@@ -1,0 +1,87 @@
+// Head-to-head of the two kernel-approximation families the paper's
+// related work surveys (Section 2): DASC's LSH block-diagonal
+// approximation vs the Nystrom low-rank approximation, at matched memory
+// budgets. The paper claims to "benefit from the advantages of both
+// categories"; this harness quantifies what each buys on the same data.
+//
+// Columns: memory budget (fraction of the full Gram matrix), the
+// Frobenius-norm ratio each method retains, and construction time.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "clustering/kernel.hpp"
+#include "common/stopwatch.hpp"
+#include "core/kernel_approximator.hpp"
+#include "core/lowrank_approximator.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace dasc;
+  bench::banner(
+      "Ablation: LSH block-diagonal vs Nystrom low-rank approximation");
+
+  const std::size_t n = 2048;
+  Rng data_rng(9500);
+  data::MixtureParams mix;
+  mix.n = n;
+  mix.dim = 64;
+  mix.k = 16;
+  mix.cluster_stddev = 0.2;  // overlap: off-block mass is real
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+  const double sigma = clustering::suggest_bandwidth(points);
+  const linalg::DenseMatrix exact = clustering::gaussian_gram(points, sigma);
+  const double exact_fnorm = exact.frobenius_norm();
+  std::printf("N = %zu, sigma = %.3f, full Gram = %s\n\n", n, sigma,
+              bench::format_bytes(static_cast<double>(n) * n * 4).c_str());
+
+  std::printf("%10s | %12s %10s %10s | %12s %10s %10s\n", "budget",
+              "LSH bytes", "fnorm", "time", "NYST bytes", "fnorm", "time");
+
+  // Sweep memory budgets via the LSH bucket cap; give Nystrom the same
+  // byte budget by choosing m = budget_entries / N landmarks.
+  for (std::size_t cap : {256u, 128u, 64u, 32u}) {
+    core::DascParams params;
+    params.m = 11;
+    params.sigma = sigma;
+    params.max_bucket_points = cap;
+    Rng r1(1);
+    Stopwatch lsh_clock;
+    core::ApproximatorStats stats;
+    const core::BlockGram block =
+        core::approximate_kernel(points, params, r1, &stats);
+    const double lsh_seconds = lsh_clock.seconds();
+    const double lsh_ratio = block.frobenius_norm() / exact_fnorm;
+
+    // Same byte budget for Nystrom (capped at 256 landmarks to keep the
+    // dense landmark eigen-solve bounded on one core).
+    const std::size_t landmarks = std::clamp<std::size_t>(
+        block.stored_entries() / n, 1, 256);
+    Rng r2(2);
+    Stopwatch nyst_clock;
+    const core::LowRankGram lowrank =
+        core::nystrom_approximate_kernel(points, landmarks, sigma, r2);
+    const double nyst_seconds = nyst_clock.seconds();
+    const double nyst_ratio = lowrank.frobenius_norm() / exact_fnorm;
+
+    std::printf("%9.1f%% | %12s %10.4f %10s | %12s %10.4f %10s\n",
+                100.0 * stats.fill_ratio,
+                bench::format_bytes(
+                    static_cast<double>(block.gram_bytes()))
+                    .c_str(),
+                lsh_ratio, bench::format_seconds(lsh_seconds).c_str(),
+                bench::format_bytes(
+                    static_cast<double>(lowrank.gram_bytes()))
+                    .c_str(),
+                nyst_ratio, bench::format_seconds(nyst_seconds).c_str());
+  }
+
+  std::printf(
+      "\nReading: Nystrom retains global structure better per byte (its\n"
+      "error concentrates in the kernel's tail spectrum), while the LSH\n"
+      "blocks preserve exact within-bucket values, parallelize over\n"
+      "independent buckets, and never touch far pairs — the property the\n"
+      "paper's distributed design needs. The paper's claim to combine the\n"
+      "two categories = LSH partitioning + per-bucket eigen-solves.\n");
+  return 0;
+}

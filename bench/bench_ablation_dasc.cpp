@@ -1,0 +1,104 @@
+// Ablations over DASC's design knobs (DESIGN.md "Design choices"):
+//   * signature width M (the Fig. 2 accuracy/parallelism tradeoff),
+//   * bucket merging on/off (P = M-1 vs P = M),
+//   * dimension selection: top-span vs span-weighted sampling,
+//   * hash family: random projection vs min-hash vs simhash.
+// Reported counters: accuracy and Gram compression for each setting.
+#include <benchmark/benchmark.h>
+
+#include "clustering/metrics.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "data/wiki_corpus.hpp"
+
+namespace {
+
+using namespace dasc;
+
+const data::PointSet& ablation_points() {
+  static const data::PointSet points = [] {
+    Rng rng(31);
+    data::WikiCorpusParams corpus;
+    corpus.n = 2048;
+    return data::make_wiki_vectors(corpus, rng);
+  }();
+  return points;
+}
+
+void run_dasc(benchmark::State& state, const core::DascParams& base) {
+  const data::PointSet& points = ablation_points();
+  double accuracy = 0.0;
+  double fill = 0.0;
+  for (auto _ : state) {
+    core::DascParams params = base;
+    Rng rng(32);
+    const core::DascResult result = core::dasc_cluster(points, params, rng);
+    accuracy =
+        clustering::clustering_accuracy(result.labels, points.labels());
+    fill = result.stats.fill_ratio;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["accuracy"] = accuracy;
+  state.counters["gram_fill"] = fill;
+}
+
+void BM_SignatureBits(benchmark::State& state) {
+  core::DascParams params;
+  params.m = static_cast<std::size_t>(state.range(0));
+  run_dasc(state, params);
+}
+BENCHMARK(BM_SignatureBits)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MergeEnabled(benchmark::State& state) {
+  core::DascParams params;
+  params.m = 6;
+  params.p = state.range(0) != 0 ? 5 : 6;  // 5 = merge (P=M-1), 6 = off
+  run_dasc(state, params);
+}
+BENCHMARK(BM_MergeEnabled)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DimensionSelection(benchmark::State& state) {
+  core::DascParams params;
+  params.selection = state.range(0) != 0
+                         ? lsh::DimensionSelection::kSpanWeighted
+                         : lsh::DimensionSelection::kTopSpan;
+  run_dasc(state, params);
+}
+BENCHMARK(BM_DimensionSelection)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HashFamily(benchmark::State& state) {
+  core::DascParams params;
+  switch (state.range(0)) {
+    case 0:
+      params.family = core::HashFamily::kRandomProjection;
+      break;
+    case 1:
+      params.family = core::HashFamily::kMinHash;
+      break;
+    case 2:
+      params.family = core::HashFamily::kSimHash;
+      break;
+    default:
+      params.family = core::HashFamily::kSpectralHash;
+      break;
+  }
+  run_dasc(state, params);
+}
+BENCHMARK(BM_HashFamily)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BalancingCap(benchmark::State& state) {
+  // The paper's balanced-partitioning remark, quantified: smaller caps cut
+  // Gram memory; the accuracy counter shows what that costs.
+  core::DascParams params;
+  params.m = 10;
+  params.max_bucket_points = static_cast<std::size_t>(state.range(0));
+  run_dasc(state, params);
+}
+BENCHMARK(BM_BalancingCap)->Arg(0)->Arg(512)->Arg(128)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

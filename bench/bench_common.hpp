@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dasc::bench {
+
+/// Print a section banner matching the paper artifact being reproduced.
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Human-readable byte count.
+inline std::string format_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 5) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f %s", bytes, units[unit]);
+  return buffer;
+}
+
+/// Human-readable seconds.
+inline std::string format_seconds(double seconds) {
+  char buffer[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f hrs", seconds / 3600.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  }
+  return buffer;
+}
+
+}  // namespace dasc::bench

@@ -1,0 +1,88 @@
+// Figure 4 (paper Section 5.5): DBI (Eq. 20) and ASE (Eq. 21) vs dataset
+// size on synthetic 64-dimensional data in [0,1], for DASC, SC, PSC and
+// NYST. The paper sweeps 2^10 .. 2^22; we sweep 2^8 .. 2^12 (exact SC
+// bounds the range on one machine) and verify the relative ordering.
+#include <cstdio>
+
+#include "baselines/nystrom.hpp"
+#include "baselines/psc.hpp"
+#include "bench_common.hpp"
+#include "clustering/metrics.hpp"
+#include "clustering/spectral.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace dasc;
+  bench::banner("Figure 4(a,b): DBI and ASE on synthetic 64-d data");
+  std::printf("%8s %6s | %7s %7s %7s %7s | %7s %7s %7s %7s\n", "log2(N)",
+              "K", "DASC", "SC", "PSC", "NYST", "DASC", "SC", "PSC", "NYST");
+  std::printf("%8s %6s | %31s | %31s\n", "", "", "DBI (lower = better)",
+              "ASE (lower = better)");
+
+  constexpr int kSeeds = 3;  // average out K-means/sampling variance
+  for (std::size_t exp = 8; exp <= 12; ++exp) {
+    const std::size_t n = 1ULL << exp;
+    const std::size_t k = 16;
+
+    double dbi[4] = {0, 0, 0, 0};
+    double ase[4] = {0, 0, 0, 0};
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng data_rng(9100 + exp * 31 + seed);
+      data::MixtureParams mix;
+      mix.n = n;
+      mix.dim = 64;  // the paper's synthetic dimensionality
+      mix.k = k;
+      mix.cluster_stddev = 0.12;  // overlap separates the methods
+      const data::PointSet points =
+          data::make_gaussian_mixture(mix, data_rng);
+
+      core::DascParams dasc_params;
+      dasc_params.k = k;
+      Rng r1(1 + seed);
+      const auto dasc_labels =
+          core::dasc_cluster(points, dasc_params, r1).labels;
+
+      clustering::SpectralParams sc_params;
+      sc_params.k = k;
+      Rng r2(2 + seed);
+      const auto sc_labels =
+          clustering::spectral_cluster(points, sc_params, r2).labels;
+
+      baselines::PscParams psc_params;
+      psc_params.k = k;
+      Rng r3(3 + seed);
+      const auto psc_labels =
+          baselines::psc_cluster(points, psc_params, r3).labels;
+
+      baselines::NystromParams nyst_params;
+      nyst_params.k = k;
+      Rng r4(4 + seed);
+      const auto nyst_labels =
+          baselines::nystrom_cluster(points, nyst_params, r4).labels;
+
+      const std::vector<int>* labels[4] = {&dasc_labels, &sc_labels,
+                                           &psc_labels, &nyst_labels};
+      for (int a = 0; a < 4; ++a) {
+        dbi[a] += clustering::davies_bouldin_index(points, *labels[a]);
+        ase[a] += clustering::average_squared_error(points, *labels[a]);
+      }
+    }
+    for (int a = 0; a < 4; ++a) {
+      dbi[a] /= kSeeds;
+      ase[a] /= kSeeds;
+    }
+    std::printf(
+        "%8zu %6zu | %7.3f %7.3f %7.3f %7.3f | %7.4f %7.4f %7.4f %7.4f\n",
+        exp, k, dbi[0], dbi[1], dbi[2], dbi[3], ase[0], ase[1], ase[2],
+        ase[3]);
+  }
+
+  std::printf(
+      "\nShape check (paper): DASC's DBI stays within the K-means noise\n"
+      "band of SC's across all sizes (the paper's central claim). The\n"
+      "paper additionally reports PSC/NYST ~30-40%% worse on ASE; at this\n"
+      "scale PSC/NYST fluctuate above the DASC/SC band on most rows but\n"
+      "not every one — see EXPERIMENTS.md.\n");
+  return 0;
+}

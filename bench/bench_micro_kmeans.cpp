@@ -1,0 +1,69 @@
+// Micro-benchmarks for K-means: k-means++ vs random seeding (quality knob
+// in the spectral step) and assignment-step scaling.
+#include <benchmark/benchmark.h>
+
+#include "clustering/kmeans.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace dasc;
+
+data::PointSet bench_points(std::size_t n, std::size_t k) {
+  Rng rng(21);
+  data::MixtureParams params;
+  params.n = n;
+  params.dim = 16;
+  params.k = k;
+  params.cluster_stddev = 0.04;
+  return data::make_gaussian_mixture(params, rng);
+}
+
+void BM_KMeansPlusPlus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const data::PointSet points = bench_points(n, 8);
+  for (auto _ : state) {
+    clustering::KMeansParams params;
+    params.k = 8;
+    params.init = clustering::KMeansInit::kPlusPlus;
+    params.threads = 1;
+    Rng rng(22);
+    benchmark::DoNotOptimize(clustering::kmeans(points, params, rng));
+  }
+}
+BENCHMARK(BM_KMeansPlusPlus)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeansRandomInit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const data::PointSet points = bench_points(n, 8);
+  for (auto _ : state) {
+    clustering::KMeansParams params;
+    params.k = 8;
+    params.init = clustering::KMeansInit::kRandom;
+    params.threads = 1;
+    Rng rng(22);
+    benchmark::DoNotOptimize(clustering::kmeans(points, params, rng));
+  }
+}
+BENCHMARK(BM_KMeansRandomInit)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeansByClusterCount(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const data::PointSet points = bench_points(4096, k);
+  for (auto _ : state) {
+    clustering::KMeansParams params;
+    params.k = k;
+    params.threads = 1;
+    Rng rng(23);
+    benchmark::DoNotOptimize(clustering::kmeans(points, params, rng));
+  }
+}
+BENCHMARK(BM_KMeansByClusterCount)->Arg(2)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Micro-benchmarks for the linear-algebra substrate: the dense QL path vs
+// Lanczos for the top-K eigenvectors (the design choice behind the
+// spectral step's dense_cutoff), plus Gram construction throughput.
+#include <benchmark/benchmark.h>
+
+#include "clustering/kernel.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace {
+
+using namespace dasc;
+
+linalg::DenseMatrix random_gram(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::MixtureParams params;
+  params.n = n;
+  params.dim = 16;
+  params.k = 4;
+  const data::PointSet points = data::make_gaussian_mixture(params, rng);
+  return clustering::gaussian_gram(points, 0.5, 1);
+}
+
+void BM_DenseEigenFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::DenseMatrix gram = random_gram(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::symmetric_eigen(gram));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DenseEigenFull)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Complexity(benchmark::oNCubed)->Unit(benchmark::kMillisecond);
+
+void BM_LanczosTopK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::DenseMatrix gram = random_gram(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linalg::lanczos_largest(linalg::as_operator(gram), 8));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LanczosTopK)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Complexity(benchmark::oNSquared)->Unit(benchmark::kMillisecond);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::DenseMatrix gram = random_gram(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::jacobi_eigen(gram));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GramConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  data::MixtureParams params;
+  params.n = n;
+  params.dim = 64;
+  params.k = 4;
+  const data::PointSet points = data::make_gaussian_mixture(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::gaussian_gram(points, 0.5, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n) / 2);
+}
+BENCHMARK(BM_GramConstruction)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Micro-benchmarks for the LSH layer: hashing throughput per family and
+// the two bucket-merge strategies (the paper's O(T^2) pairwise pass vs the
+// O(T*M) bit-flip enumeration that Eq. 6 enables for P = M-1).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "lsh/bucket_table.hpp"
+#include "lsh/minhash.hpp"
+#include "lsh/random_projection.hpp"
+#include "lsh/simhash.hpp"
+
+namespace {
+
+using namespace dasc;
+
+data::PointSet bench_points(std::size_t n) {
+  Rng rng(11);
+  data::MixtureParams params;
+  params.n = n;
+  params.dim = 64;
+  params.k = 8;
+  return data::make_gaussian_mixture(params, rng);
+}
+
+void BM_RandomProjectionHash(benchmark::State& state) {
+  const data::PointSet points = bench_points(4096);
+  Rng rng(12);
+  const auto hasher = lsh::RandomProjectionHasher::fit(
+      points, 12, lsh::DimensionSelection::kTopSpan, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.hash(points.point(i)));
+    i = (i + 1) % points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomProjectionHash);
+
+void BM_MinHash(benchmark::State& state) {
+  const data::PointSet points = bench_points(4096);
+  Rng rng(13);
+  const auto hasher = lsh::MinHashHasher::fit(points, 12, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.hash(points.point(i)));
+    i = (i + 1) % points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinHash);
+
+void BM_SimHash(benchmark::State& state) {
+  const data::PointSet points = bench_points(4096);
+  Rng rng(14);
+  const auto hasher = lsh::SimHashHasher::fit(points, 12, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.hash(points.point(i)));
+    i = (i + 1) % points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimHash);
+
+void BM_MergePairwise(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(15);
+  std::vector<lsh::Signature> sigs;
+  for (int i = 0; i < 4096; ++i) {
+    sigs.push_back({rng() & ((1ULL << m) - 1)});
+  }
+  const auto table = lsh::BucketTable::from_signatures(sigs, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.merged_buckets(m - 1, lsh::MergeStrategy::kPairwise));
+  }
+}
+BENCHMARK(BM_MergePairwise)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MergeBitFlip(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(15);  // same seed: same signatures as pairwise
+  std::vector<lsh::Signature> sigs;
+  for (int i = 0; i < 4096; ++i) {
+    sigs.push_back({rng() & ((1ULL << m) - 1)});
+  }
+  const auto table = lsh::BucketTable::from_signatures(sigs, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.merged_buckets(m - 1, lsh::MergeStrategy::kBitFlip));
+  }
+}
+BENCHMARK(BM_MergeBitFlip)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

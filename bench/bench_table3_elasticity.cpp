@@ -1,0 +1,92 @@
+// Table 3 (paper Section 5.7): elasticity of DASC on the Amazon cloud —
+// accuracy, memory, and running time with 16, 32 and 64 nodes.
+//
+// The paper runs the same 3.55M-document job on three EMR cluster widths.
+// We run the scaled-down job ONCE (2^18 documents; the MapReduce tasks
+// execute for real) and re-schedule the measured task durations onto each
+// virtual cluster width — exactly what a wider Hadoop deployment does with
+// the same independent partitions, and free of cross-run timing noise.
+// Accuracy is majority-mapping ("ratio of correctly clustered points");
+// memory is the approximated Gram storage, which depends only on the
+// bucketing, not the cluster width.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "clustering/metrics.hpp"
+#include "core/dasc_mapreduce.hpp"
+#include "data/wiki_corpus.hpp"
+#include "mapreduce/virtual_cluster.hpp"
+
+int main() {
+  using namespace dasc;
+  bench::banner("Table 3: DASC elasticity on 16/32/64 virtual nodes");
+
+  // Print the Table 2 configuration these runs model.
+  const mapreduce::JobConf reference;
+  std::printf("Modeled Hadoop configuration (Table 2):\n");
+  std::printf("  jobtracker heap %zu MB, namenode heap %zu MB\n",
+              reference.heaps.jobtracker_mb, reference.heaps.namenode_mb);
+  std::printf("  tasktracker heap %zu MB, datanode heap %zu MB\n",
+              reference.heaps.tasktracker_mb, reference.heaps.datanode_mb);
+  std::printf(
+      "  map slots/node %zu, reduce slots/node %zu, replication %zu\n\n",
+      reference.map_slots_per_node, reference.reduce_slots_per_node,
+      reference.dfs_replication);
+
+  const std::size_t n = 1ULL << 18;
+  Rng data_rng(9400);
+  data::WikiCorpusParams corpus;
+  corpus.n = n;
+  corpus.subtopics = 8;  // Wikipedia-style subcategory fan-out
+  corpus.subtopic_spread = 0.05;
+  corpus.noise = 0.05;
+  const data::PointSet points = data::make_wiki_vectors(corpus, data_rng);
+
+  core::MapReduceDascParams params;
+  params.dasc.k = data::wiki_category_count(n);
+  params.dasc.m = 12;  // the paper's Wikipedia-scale hash width
+  params.dasc.max_bucket_points = 256;  // balanced partitioning (Sec. 5.1)
+  params.conf.num_nodes = 64;
+  params.conf.num_reducers = 512;
+  params.conf.split_records = 128;
+  Rng rng(5);
+  std::printf("running the two-stage DASC job on %zu documents...\n", n);
+  const auto result = core::dasc_cluster_mapreduce(points, params, rng);
+
+  const double accuracy =
+      clustering::clustering_purity(result.labels, points.labels());
+  std::printf("job: %zu buckets (largest %zu), %zu map + %zu reduce tasks"
+              " per stage\n\n",
+              result.stats.merged_buckets, result.stats.largest_bucket,
+              result.lsh_job.num_map_tasks, result.lsh_job.num_reduce_tasks);
+
+  std::printf("%8s %12s %14s %14s %10s\n", "nodes", "accuracy", "memory",
+              "time", "speedup");
+  double base_time = 0.0;
+  for (std::size_t nodes : {16u, 32u, 64u}) {
+    const double time =
+        mapreduce::makespan_lpt(result.lsh_job.map_task_seconds, nodes,
+                                reference.map_slots_per_node) +
+        mapreduce::makespan_lpt(result.lsh_job.reduce_task_seconds, nodes,
+                                reference.reduce_slots_per_node) +
+        mapreduce::makespan_lpt(result.cluster_job.map_task_seconds, nodes,
+                                reference.map_slots_per_node) +
+        mapreduce::makespan_lpt(result.cluster_job.reduce_task_seconds,
+                                nodes, reference.reduce_slots_per_node);
+    if (nodes == 16) base_time = time;
+    std::printf("%8zu %11.1f%% %14s %14s %9.2fx\n", nodes, accuracy * 100.0,
+                bench::format_bytes(
+                    static_cast<double>(result.stats.gram_bytes))
+                    .c_str(),
+                bench::format_seconds(time).c_str(), base_time / time);
+  }
+
+  std::printf(
+      "\nShape check (paper, Table 3): accuracy and memory stay constant\n"
+      "across node counts while running time drops approximately linearly\n"
+      "(paper: 78.85 -> 40.75 -> 20.3 hrs for 16 -> 32 -> 64 nodes; the\n"
+      "scaled-down workload flattens somewhat at 64 nodes because far\n"
+      "fewer tasks remain per slot than in the paper's 3.55M-doc run).\n");
+  return 0;
+}

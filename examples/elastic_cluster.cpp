@@ -1,0 +1,106 @@
+// Elastic cluster demo: DASC on the MapReduce runtime with a DFS-backed
+// dataset and a growing virtual cluster — the paper's Section 5.7 story.
+//
+//   $ ./elastic_cluster
+//
+// Shows the substrate pieces directly: the replicated DFS, block-level
+// input splits, job counters, and how re-scheduling the same measured
+// tasks onto more nodes shrinks the simulated makespan.
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "data/dataset_io.hpp"
+#include "data/wiki_corpus.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/virtual_cluster.hpp"
+
+namespace {
+
+using namespace dasc;
+
+/// Toy job for the demo: term frequency over DFS-stored documents.
+class TermMapper final : public mapreduce::Mapper {
+ public:
+  void map(const std::string&, const std::string& value,
+           mapreduce::Emitter& out) override {
+    std::istringstream stream(value);
+    std::string term;
+    while (stream >> term) out.emit(term, "1");
+  }
+};
+
+class SumReducer final : public mapreduce::Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::Emitter& out) override {
+    out.emit(key, std::to_string(values.size()));
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. Stand up the DFS with the paper's replication factor and load a
+  //    corpus into it.
+  mapreduce::DfsConfig dfs_config;
+  dfs_config.num_nodes = 8;
+  dfs_config.replication = 3;
+  dfs_config.block_size_bytes = 4096;
+  mapreduce::Dfs dfs(dfs_config);
+
+  Rng rng(1);
+  data::WikiCorpusParams corpus;
+  corpus.n = 400;
+  corpus.k = 4;
+  const auto docs = data::make_wiki_documents(corpus, rng);
+  std::vector<std::string> lines;
+  lines.reserve(docs.size());
+  for (const auto& doc : docs) lines.push_back(doc.html);
+  dfs.write_file("/corpus/docs", lines);
+
+  const auto blocks = dfs.block_locations("/corpus/docs");
+  std::printf("DFS: %zu documents in %zu blocks, replication %zu\n",
+              docs.size(), blocks.size(), dfs_config.replication);
+  std::printf("     %zu logical bytes across %zu data nodes\n",
+              dfs.total_bytes(), dfs_config.num_nodes);
+  for (std::size_t node = 0; node < dfs_config.num_nodes; ++node) {
+    std::printf("     node %zu stores %zu bytes\n", node,
+                dfs.node_bytes(node));
+  }
+
+  // 2. Run the job once per cluster width; the physical work is identical,
+  //    the virtual scheduler spreads it over more slots.
+  std::printf("\n%8s %10s %12s %14s %12s\n", "nodes", "map tasks",
+              "map slots", "simulated", "speedup");
+  double base = 0.0;
+  for (std::size_t nodes : {4u, 8u, 16u, 32u}) {
+    mapreduce::JobSpec spec;
+    spec.conf.num_nodes = nodes;
+    spec.conf.job_name = "term-frequency";
+    spec.mapper_factory = [] { return std::make_unique<TermMapper>(); };
+    spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+    spec.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+
+    const mapreduce::JobResult result =
+        mapreduce::run_job_dfs(spec, dfs, "/corpus/docs",
+                               "/out/tf-" + std::to_string(nodes));
+    if (nodes == 4) base = result.simulated_seconds;
+    std::printf("%8zu %10zu %12zu %13.4fs %11.2fx\n", nodes,
+                result.num_map_tasks, spec.conf.total_map_slots(),
+                result.simulated_seconds, base / result.simulated_seconds);
+  }
+
+  // 3. Show the output landed back in the DFS.
+  const auto parts = dfs.list("/out/tf-32/");
+  std::printf("\noutput: %zu part file(s); first lines:\n", parts.size());
+  const auto out_lines = dfs.read_file(parts.front());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, out_lines.size());
+       ++i) {
+    std::printf("  %s\n", out_lines[i].c_str());
+  }
+  std::printf(
+      "\nSame measured tasks, wider virtual cluster, shorter makespan —\n"
+      "the elasticity property behind the paper's Table 3.\n");
+  return 0;
+}

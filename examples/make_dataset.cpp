@@ -1,0 +1,107 @@
+// make_dataset: generate the library's datasets as CSV for external use
+// (and as input to dasc_tool, closing a file-based workflow loop).
+//
+//   $ ./make_dataset [out.csv] [kind=mixture|uniform|rings|wiki]
+//                    [n=2048] [dim=64] [k=8] [noise=0.05] [seed=1]
+//
+// Without an output path the dataset is generated and summarized only.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/dataset_io.hpp"
+#include "data/synthetic.hpp"
+#include "data/wiki_corpus.hpp"
+
+namespace {
+
+struct Options {
+  std::string output;
+  std::string kind = "mixture";
+  std::size_t n = 2048;
+  std::size_t dim = 64;
+  std::size_t k = 8;
+  double noise = 0.05;
+  std::uint64_t seed = 1;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      options.output = arg;
+      continue;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "kind") {
+      options.kind = value;
+    } else if (key == "n") {
+      options.n = std::stoul(value);
+    } else if (key == "dim") {
+      options.dim = std::stoul(value);
+    } else if (key == "k") {
+      options.k = std::stoul(value);
+    } else if (key == "noise") {
+      options.noise = std::stod(value);
+    } else if (key == "seed") {
+      options.seed = std::stoull(value);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  const Options options = parse(argc, argv);
+  Rng rng(options.seed);
+
+  data::PointSet points;
+  if (options.kind == "mixture") {
+    data::MixtureParams params;
+    params.n = options.n;
+    params.dim = options.dim;
+    params.k = options.k;
+    params.cluster_stddev = options.noise;
+    points = data::make_gaussian_mixture(params, rng);
+  } else if (options.kind == "uniform") {
+    points = data::make_uniform(options.n, options.dim, rng);
+  } else if (options.kind == "rings") {
+    points = data::make_two_rings(options.n, options.noise, rng);
+  } else if (options.kind == "wiki") {
+    data::WikiCorpusParams params;
+    params.n = options.n;
+    params.k = options.k;
+    params.noise = options.noise;
+    points = data::make_wiki_vectors(params, rng);
+  } else {
+    std::fprintf(stderr,
+                 "unknown kind '%s' (mixture|uniform|rings|wiki)\n",
+                 options.kind.c_str());
+    return 2;
+  }
+
+  std::printf("generated %s dataset: %zu points x %zu dims%s\n",
+              options.kind.c_str(), points.size(), points.dim(),
+              points.has_labels() ? " (labelled)" : "");
+
+  if (!options.output.empty()) {
+    try {
+      data::save_csv(points, options.output);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "write failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote %s%s\n", options.output.c_str(),
+                points.has_labels() ? " (label appended as last column)"
+                                    : "");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// SVM classification with the approximate kernel — the paper's claim that
+// its approximation serves ANY kernel method, demonstrated on the
+// supervised task its introduction motivates (Section 1's pedestrian
+// classifier whose error halves with twice the training data).
+//
+//   $ ./svm_classification
+//
+// Trains an exact one-vs-rest RBF SVM and the LSH-bucketed approximate
+// SVM on the same data, then compares accuracy, kernel memory, and
+// training time.
+#include <cstdio>
+
+#include "common/stopwatch.hpp"
+#include "core/approx_svm.hpp"
+#include "data/synthetic.hpp"
+#include "svm/rbf_classifier.hpp"
+
+int main() {
+  using namespace dasc;
+
+  // One draw from the mixture, split train/test so both halves share the
+  // same component centers.
+  Rng data_rng(33);
+  data::MixtureParams mix;
+  mix.n = 900;
+  mix.dim = 12;
+  mix.k = 5;
+  mix.cluster_stddev = 0.05;
+  const data::PointSet all = data::make_gaussian_mixture(mix, data_rng);
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> test_rows;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i % 3 == 2 ? test_rows : train_rows).push_back(i);
+  }
+  const data::PointSet train = all.subset(train_rows);
+  const data::PointSet test = all.subset(test_rows);
+
+  std::printf("training: %zu points, %zu dims, %zu classes; test: %zu\n\n",
+              train.size(), train.dim(), mix.k, test.size());
+
+  // Exact one-vs-rest RBF SVM: O(N^2) kernel matrix.
+  Stopwatch exact_clock;
+  Rng r1(1);
+  const svm::RbfClassifier exact = svm::RbfClassifier::train(train, {}, r1);
+  const double exact_seconds = exact_clock.seconds();
+  std::printf("exact SVM:  train %.3fs, gram %zu bytes\n", exact_seconds,
+              exact.gram_bytes());
+  std::printf("            train acc %.1f%%, test acc %.1f%%\n",
+              exact.accuracy(train) * 100.0, exact.accuracy(test) * 100.0);
+
+  // Approximate SVM: LSH buckets -> local SVMs -> signature routing.
+  core::ApproxSvmParams params;
+  params.dasc.m = 10;
+  params.dasc.max_bucket_points = 150;
+  Stopwatch approx_clock;
+  Rng r2(2);
+  const core::ApproxSvm approx = core::ApproxSvm::train(train, params, r2);
+  const double approx_seconds = approx_clock.seconds();
+  std::printf("\napprox SVM: train %.3fs, gram %zu bytes (%zu buckets,"
+              " largest %zu)\n",
+              approx_seconds, approx.gram_bytes(), approx.num_buckets(),
+              approx.stats().largest_bucket);
+  std::printf("            train acc %.1f%%, test acc %.1f%%\n",
+              approx.accuracy(train) * 100.0,
+              approx.accuracy(test) * 100.0);
+
+  std::printf("\nkernel memory saving: %.1fx; training speedup: %.1fx\n",
+              static_cast<double>(exact.gram_bytes()) /
+                  static_cast<double>(approx.gram_bytes()),
+              exact_seconds / approx_seconds);
+  std::printf("The same LSH approximation that drove spectral clustering\n"
+              "serves a supervised kernel method untouched — the paper's\n"
+              "algorithm-independence claim.\n");
+  return 0;
+}

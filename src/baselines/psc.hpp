@@ -1,0 +1,41 @@
+// Parallel Spectral Clustering baseline (Chen et al., TPAMI 2011 — the
+// paper's "PSC" comparator).
+//
+// PSC sparsifies the affinity matrix by keeping each point's t nearest
+// neighbours (symmetrized), then computes the first K eigenvectors of the
+// normalized Laplacian with an ARPACK-style iterative solver (our Lanczos),
+// followed by K-means. Memory is O(N t) instead of O(N^2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+
+namespace dasc::baselines {
+
+struct PscParams {
+  std::size_t k = 2;       ///< clusters
+  std::size_t t = 0;       ///< neighbours kept per point; 0 = auto
+  double sigma = 0.0;      ///< Gaussian bandwidth; 0 = auto
+  std::size_t threads = 0;
+};
+
+struct PscResult {
+  std::vector<int> labels;
+  std::size_t k = 0;
+  std::size_t neighbours = 0;  ///< resolved t
+  /// Bytes of the sparse affinity matrix (value + index at float/int32
+  /// precision, matching the paper's sparse-representation accounting).
+  std::size_t affinity_bytes = 0;
+};
+
+/// Auto neighbour count: t = max(10, 2 ceil(log2 N)), capped at N-1.
+std::size_t psc_auto_neighbours(std::size_t n);
+
+/// Run PSC on a dataset.
+PscResult psc_cluster(const data::PointSet& points, const PscParams& params,
+                      Rng& rng);
+
+}  // namespace dasc::baselines

@@ -1,0 +1,75 @@
+#include "clustering/hungarian.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dasc::clustering {
+
+AssignmentResult solve_assignment(const linalg::DenseMatrix& cost) {
+  DASC_EXPECT(cost.rows() == cost.cols(),
+              "solve_assignment: cost matrix must be square");
+  const std::size_t n = cost.rows();
+  AssignmentResult result;
+  if (n == 0) return result;
+
+  // Potentials formulation with 1-based sentinel column 0.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<std::size_t> match(n + 1, 0);  // match[col] = row (1-based)
+  std::vector<std::size_t> path(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          path[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = path[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.assignment.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    DASC_ENSURE(match[j] >= 1, "solve_assignment: unmatched column");
+    result.assignment[match[j] - 1] = j - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    result.cost += cost(i, result.assignment[i]);
+  }
+  return result;
+}
+
+}  // namespace dasc::clustering

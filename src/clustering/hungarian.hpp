@@ -1,0 +1,22 @@
+// Hungarian algorithm (Kuhn-Munkres, O(n^3) potentials formulation) for
+// minimum-cost assignment. Used to match predicted cluster ids to ground
+// truth labels optimally when computing clustering accuracy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::clustering {
+
+/// Solve min-cost perfect assignment on a square cost matrix.
+/// Returns assignment[row] = column and the total cost.
+struct AssignmentResult {
+  std::vector<std::size_t> assignment;
+  double cost = 0.0;
+};
+
+AssignmentResult solve_assignment(const linalg::DenseMatrix& cost);
+
+}  // namespace dasc::clustering

@@ -1,0 +1,85 @@
+#include "clustering/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::clustering {
+
+double gaussian_kernel(std::span<const double> x, std::span<const double> y,
+                       double sigma) {
+  DASC_EXPECT(sigma > 0.0, "gaussian_kernel: sigma must be positive");
+  return std::exp(-linalg::squared_distance(x, y) / (2.0 * sigma * sigma));
+}
+
+double suggest_bandwidth(const data::PointSet& points) {
+  DASC_EXPECT(!points.empty(), "suggest_bandwidth: empty dataset");
+  const std::size_t n = points.size();
+  // Deterministic strided sample of up to ~2048 pairs.
+  std::vector<double> distances;
+  const std::size_t target_pairs = 2048;
+  const std::size_t stride = std::max<std::size_t>(1, n * n / target_pairs);
+  for (std::size_t flat = 0; flat < n * n; flat += stride) {
+    const std::size_t i = flat / n;
+    const std::size_t j = flat % n;
+    if (i >= j) continue;
+    distances.push_back(
+        std::sqrt(linalg::squared_distance(points.point(i), points.point(j))));
+  }
+  if (distances.empty() && n >= 2) {
+    distances.push_back(std::sqrt(
+        linalg::squared_distance(points.point(0), points.point(n - 1))));
+  }
+  if (distances.empty()) return 1.0;
+  auto mid =
+      distances.begin() + static_cast<std::ptrdiff_t>(distances.size() / 2);
+  std::nth_element(distances.begin(), mid, distances.end());
+  const double median = *mid;
+  return median > 0.0 ? median : 1.0;
+}
+
+linalg::DenseMatrix gaussian_gram(const data::PointSet& points, double sigma,
+                                  std::size_t threads) {
+  DASC_EXPECT(sigma > 0.0, "gaussian_gram: sigma must be positive");
+  const std::size_t n = points.size();
+  linalg::DenseMatrix gram(n, n, 0.0);
+  parallel_for(0, n, threads, [&](std::size_t i) {
+    gram(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = gaussian_kernel(points.point(i), points.point(j),
+                                       sigma);
+      gram(i, j) = v;
+    }
+  });
+  // Mirror the upper triangle (written race-free per row above).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) gram(j, i) = gram(i, j);
+  }
+  return gram;
+}
+
+linalg::DenseMatrix gaussian_gram_subset(
+    const data::PointSet& points, std::span<const std::size_t> indices,
+    double sigma) {
+  DASC_EXPECT(sigma > 0.0, "gaussian_gram_subset: sigma must be positive");
+  const std::size_t n = indices.size();
+  linalg::DenseMatrix gram(n, n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    DASC_EXPECT(indices[a] < points.size(),
+                "gaussian_gram_subset: index out of range");
+    gram(a, a) = 1.0;
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double v = gaussian_kernel(points.point(indices[a]),
+                                       points.point(indices[b]), sigma);
+      gram(a, b) = v;
+      gram(b, a) = v;
+    }
+  }
+  return gram;
+}
+
+}  // namespace dasc::clustering

@@ -1,0 +1,33 @@
+// Gaussian (RBF) kernel and Gram-matrix construction (paper Eq. 1):
+//   S_lm = exp(-||X_l - X_m||^2 / (2 sigma^2)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "data/point_set.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::clustering {
+
+/// Gaussian kernel value between two points. sigma must be positive.
+double gaussian_kernel(std::span<const double> x, std::span<const double> y,
+                       double sigma);
+
+/// Heuristic bandwidth: median pairwise distance over a bounded sample of
+/// point pairs (deterministic given the dataset). Never returns <= 0 for a
+/// dataset with at least two distinct points; degenerate datasets get 1.0.
+double suggest_bandwidth(const data::PointSet& points);
+
+/// Full N x N Gram matrix (the paper's exact baseline). The diagonal is 1.
+/// `threads` parallelizes row construction (0 = hardware default).
+linalg::DenseMatrix gaussian_gram(const data::PointSet& points, double sigma,
+                                  std::size_t threads = 0);
+
+/// Gram matrix restricted to `indices` (one LSH bucket): entry (a, b) is
+/// the kernel between points indices[a] and indices[b].
+linalg::DenseMatrix gaussian_gram_subset(
+    const data::PointSet& points, std::span<const std::size_t> indices,
+    double sigma);
+
+}  // namespace dasc::clustering

@@ -1,0 +1,84 @@
+#include "clustering/kernel_pca.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace dasc::clustering {
+
+void double_center(linalg::DenseMatrix& gram) {
+  DASC_EXPECT(gram.rows() == gram.cols(), "double_center: must be square");
+  const std::size_t n = gram.rows();
+  if (n == 0) return;
+
+  std::vector<double> row_mean(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row_mean[i] += gram(i, j);
+    row_mean[i] /= static_cast<double>(n);
+    total += row_mean[i];
+  }
+  const double grand_mean = total / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      gram(i, j) += grand_mean - row_mean[i] - row_mean[j];
+    }
+  }
+}
+
+KernelPcaResult kernel_pca(const linalg::DenseMatrix& gram, std::size_t p,
+                           double tolerance) {
+  DASC_EXPECT(gram.rows() == gram.cols(), "kernel_pca: gram must be square");
+  const std::size_t n = gram.rows();
+  DASC_EXPECT(p >= 1 && p <= n, "kernel_pca: p must be in [1, n]");
+  DASC_EXPECT(tolerance >= 0.0, "kernel_pca: tolerance must be >= 0");
+
+  linalg::DenseMatrix centered = gram;
+  double_center(centered);
+
+  // Top-p eigenpairs of the centered Gram matrix.
+  std::vector<double> eigenvalues(p, 0.0);
+  linalg::DenseMatrix vectors(n, p, 0.0);
+  if (n <= 128) {
+    const linalg::SymmetricEigenResult eigen =
+        linalg::symmetric_eigen(centered);
+    for (std::size_t c = 0; c < p; ++c) {
+      eigenvalues[c] = eigen.eigenvalues[n - 1 - c];
+      for (std::size_t r = 0; r < n; ++r) {
+        vectors(r, c) = eigen.eigenvectors(r, n - 1 - c);
+      }
+    }
+  } else {
+    const linalg::LanczosResult eigen =
+        linalg::lanczos_largest(linalg::as_operator(centered), p);
+    for (std::size_t c = 0; c < p && c < eigen.eigenvalues.size(); ++c) {
+      eigenvalues[c] = eigen.eigenvalues[c];
+      for (std::size_t r = 0; r < n; ++r) {
+        vectors(r, c) = eigen.eigenvectors(r, c);
+      }
+    }
+  }
+
+  // Embedding: z_j[c] = (K' a_c)_j / sqrt(lambda_c) = sqrt(lambda_c) a_c[j]
+  // since a_c is an eigenvector of K'.
+  KernelPcaResult result;
+  result.eigenvalues = eigenvalues;
+  result.embedding = linalg::DenseMatrix(n, p, 0.0);
+  const double floor =
+      tolerance * std::max(std::abs(eigenvalues.empty() ? 0.0
+                                                        : eigenvalues[0]),
+                           1e-300);
+  for (std::size_t c = 0; c < p; ++c) {
+    if (eigenvalues[c] <= floor) continue;  // null component stays zero
+    const double scale = std::sqrt(eigenvalues[c]);
+    for (std::size_t r = 0; r < n; ++r) {
+      result.embedding(r, c) = scale * vectors(r, c);
+    }
+  }
+  return result;
+}
+
+}  // namespace dasc::clustering

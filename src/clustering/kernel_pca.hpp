@@ -1,0 +1,37 @@
+// Kernel principal component analysis (Scholkopf et al., the paper's
+// "dimensionality reduction" citation [31]).
+//
+// KPCA is the second kernel-based consumer of the approximated Gram
+// matrix: the paper claims its approximation is independent of the
+// downstream algorithm, and core/approx_kernel_pca.hpp demonstrates that
+// by running this exact routine per bucket.
+//
+// Given a Gram matrix K, KPCA double-centers it,
+//   K' = K - 1K - K1 + 1K1,
+// takes the top-p eigenpairs (lambda_i, a_i) of K', and embeds point j as
+//   z_j[i] = sum_l a_i[l] K'(l, j) / sqrt(lambda_i).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::clustering {
+
+struct KernelPcaResult {
+  /// n x p matrix; row j is the embedding of point j.
+  linalg::DenseMatrix embedding;
+  /// The p retained eigenvalues of the centered Gram matrix, descending.
+  std::vector<double> eigenvalues;
+};
+
+/// KPCA of an explicit (symmetric, PSD) Gram matrix into p components.
+/// Components whose eigenvalue is <= tolerance * largest are zeroed.
+/// Requires 1 <= p <= n.
+KernelPcaResult kernel_pca(const linalg::DenseMatrix& gram, std::size_t p,
+                           double tolerance = 1e-12);
+
+/// Double-center a Gram matrix in place: K' = H K H with H = I - 11^T/n.
+void double_center(linalg::DenseMatrix& gram);
+
+}  // namespace dasc::clustering

@@ -1,0 +1,38 @@
+// Lloyd's K-means with k-means++ seeding (Hartigan & Wong lineage; the
+// final step of spectral clustering in the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+
+namespace dasc::clustering {
+
+enum class KMeansInit {
+  kPlusPlus,  ///< k-means++ D^2 seeding (default)
+  kRandom,    ///< uniform random distinct points (ablation baseline)
+};
+
+struct KMeansParams {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;  ///< stop when centroid movement^2 falls below
+  KMeansInit init = KMeansInit::kPlusPlus;
+  std::size_t threads = 0;  ///< assignment-step parallelism (0 = auto)
+};
+
+struct KMeansResult {
+  std::vector<int> labels;            ///< cluster id per point, in [0, k)
+  std::vector<std::vector<double>> centroids;
+  double inertia = 0.0;               ///< sum of squared point-centroid dist
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Cluster `points` into params.k groups. Requires k <= N.
+KMeansResult kmeans(const data::PointSet& points, const KMeansParams& params,
+                    Rng& rng);
+
+}  // namespace dasc::clustering

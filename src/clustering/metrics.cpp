@@ -1,0 +1,257 @@
+#include "clustering/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "clustering/hungarian.hpp"
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::clustering {
+
+namespace {
+
+/// Remap arbitrary int labels to dense ids [0, k).
+std::vector<int> densify(const std::vector<int>& labels, std::size_t& k_out) {
+  std::unordered_map<int, int> ids;
+  std::vector<int> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] =
+        ids.try_emplace(labels[i], static_cast<int>(ids.size()));
+    out[i] = it->second;
+  }
+  k_out = ids.size();
+  return out;
+}
+
+struct ClusterGeometry {
+  std::vector<std::vector<double>> centroids;
+  std::vector<std::size_t> sizes;
+  std::size_t k = 0;
+};
+
+ClusterGeometry cluster_geometry(const data::PointSet& points,
+                                 const std::vector<int>& dense_labels,
+                                 std::size_t k) {
+  ClusterGeometry geo;
+  geo.k = k;
+  geo.centroids.assign(k, std::vector<double>(points.dim(), 0.0));
+  geo.sizes.assign(k, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(dense_labels[i]);
+    const auto p = points.point(i);
+    for (std::size_t d = 0; d < points.dim(); ++d) {
+      geo.centroids[c][d] += p[d];
+    }
+    ++geo.sizes[c];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (geo.sizes[c] == 0) continue;
+    for (double& v : geo.centroids[c]) v /= static_cast<double>(geo.sizes[c]);
+  }
+  return geo;
+}
+
+}  // namespace
+
+linalg::DenseMatrix confusion_matrix(const std::vector<int>& predicted,
+                                     const std::vector<int>& truth) {
+  DASC_EXPECT(predicted.size() == truth.size(),
+              "confusion_matrix: size mismatch");
+  DASC_EXPECT(!predicted.empty(), "confusion_matrix: empty labelings");
+  std::size_t kp = 0;
+  std::size_t kt = 0;
+  const std::vector<int> p = densify(predicted, kp);
+  const std::vector<int> t = densify(truth, kt);
+  linalg::DenseMatrix table(kp, kt, 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    table(static_cast<std::size_t>(p[i]), static_cast<std::size_t>(t[i])) +=
+        1.0;
+  }
+  return table;
+}
+
+double clustering_accuracy(const std::vector<int>& predicted,
+                           const std::vector<int>& truth) {
+  const linalg::DenseMatrix table = confusion_matrix(predicted, truth);
+  const std::size_t n_side = std::max(table.rows(), table.cols());
+
+  // Pad to square; maximize matches == minimize (max_count - count).
+  double max_count = 0.0;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      max_count = std::max(max_count, table(i, j));
+    }
+  }
+  linalg::DenseMatrix cost(n_side, n_side, max_count);
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      cost(i, j) = max_count - table(i, j);
+    }
+  }
+
+  const AssignmentResult assignment = solve_assignment(cost);
+  double correct = 0.0;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    const std::size_t j = assignment.assignment[i];
+    if (j < table.cols()) correct += table(i, j);
+  }
+  return correct / static_cast<double>(predicted.size());
+}
+
+double clustering_purity(const std::vector<int>& predicted,
+                         const std::vector<int>& truth) {
+  const linalg::DenseMatrix table = confusion_matrix(predicted, truth);
+  double correct = 0.0;
+  for (std::size_t cluster = 0; cluster < table.rows(); ++cluster) {
+    double best = 0.0;
+    for (std::size_t label = 0; label < table.cols(); ++label) {
+      best = std::max(best, table(cluster, label));
+    }
+    correct += best;
+  }
+  return correct / static_cast<double>(predicted.size());
+}
+
+double davies_bouldin_index(const data::PointSet& points,
+                            const std::vector<int>& labels) {
+  DASC_EXPECT(points.size() == labels.size(),
+              "davies_bouldin_index: size mismatch");
+  DASC_EXPECT(!points.empty(), "davies_bouldin_index: empty dataset");
+  std::size_t k = 0;
+  const std::vector<int> dense = densify(labels, k);
+  const ClusterGeometry geo = cluster_geometry(points, dense, k);
+
+  // sigma_c: average member distance to centroid.
+  std::vector<double> sigma(k, 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(dense[i]);
+    sigma[c] += std::sqrt(linalg::squared_distance(
+        points.point(i), std::span<const double>(geo.centroids[c])));
+  }
+  std::vector<std::size_t> live;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (geo.sizes[c] > 0) {
+      sigma[c] /= static_cast<double>(geo.sizes[c]);
+      live.push_back(c);
+    }
+  }
+  if (live.size() <= 1) return 0.0;
+
+  double total = 0.0;
+  for (std::size_t ci : live) {
+    double worst = 0.0;
+    for (std::size_t cj : live) {
+      if (ci == cj) continue;
+      const double separation = std::sqrt(linalg::squared_distance(
+          std::span<const double>(geo.centroids[ci]),
+          std::span<const double>(geo.centroids[cj])));
+      if (separation <= 0.0) continue;  // coincident centroids: skip pair
+      worst = std::max(worst, (sigma[ci] + sigma[cj]) / separation);
+    }
+    total += worst;
+  }
+  return total / static_cast<double>(live.size());
+}
+
+double average_squared_error(const data::PointSet& points,
+                             const std::vector<int>& labels) {
+  DASC_EXPECT(points.size() == labels.size(),
+              "average_squared_error: size mismatch");
+  DASC_EXPECT(!points.empty(), "average_squared_error: empty dataset");
+  std::size_t k = 0;
+  const std::vector<int> dense = densify(labels, k);
+  const ClusterGeometry geo = cluster_geometry(points, dense, k);
+
+  // Eq. (21): e_c = sum of member-to-centroid distances; ASE = sum e_c^2 / N.
+  std::vector<double> e(k, 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(dense[i]);
+    e[c] += std::sqrt(linalg::squared_distance(
+        points.point(i), std::span<const double>(geo.centroids[c])));
+  }
+  double total = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    // Normalize the per-cluster sum by cluster size before squaring so the
+    // metric stays bounded for unbalanced clusters (the plotted quantity).
+    if (geo.sizes[c] == 0) continue;
+    const double mean_dist = e[c] / static_cast<double>(geo.sizes[c]);
+    total += mean_dist * mean_dist * static_cast<double>(geo.sizes[c]);
+  }
+  return total / static_cast<double>(points.size());
+}
+
+double frobenius_norm(const linalg::DenseMatrix& m) {
+  return m.frobenius_norm();
+}
+
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  DASC_EXPECT(a.size() == b.size() && !a.empty(),
+              "adjusted_rand_index: bad inputs");
+  const linalg::DenseMatrix table = confusion_matrix(a, b);
+
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_cells = 0.0;
+  std::vector<double> row_sum(table.rows(), 0.0);
+  std::vector<double> col_sum(table.cols(), 0.0);
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      sum_cells += choose2(table(i, j));
+      row_sum[i] += table(i, j);
+      col_sum[j] += table(i, j);
+    }
+  }
+  double sum_rows = 0.0;
+  double sum_cols = 0.0;
+  for (double r : row_sum) sum_rows += choose2(r);
+  for (double c : col_sum) sum_cols += choose2(c);
+
+  const double total_pairs = choose2(static_cast<double>(a.size()));
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double normalized_mutual_information(const std::vector<int>& a,
+                                     const std::vector<int>& b) {
+  DASC_EXPECT(a.size() == b.size() && !a.empty(),
+              "normalized_mutual_information: bad inputs");
+  const double n = static_cast<double>(a.size());
+  const linalg::DenseMatrix table = confusion_matrix(a, b);
+
+  std::vector<double> row_sum(table.rows(), 0.0);
+  std::vector<double> col_sum(table.cols(), 0.0);
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      row_sum[i] += table(i, j);
+      col_sum[j] += table(i, j);
+    }
+  }
+
+  double mi = 0.0;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      const double nij = table(i, j);
+      if (nij <= 0.0) continue;
+      mi += (nij / n) * std::log(nij * n / (row_sum[i] * col_sum[j]));
+    }
+  }
+  auto entropy = [n](const std::vector<double>& sums) {
+    double h = 0.0;
+    for (double s : sums) {
+      if (s > 0.0) h -= (s / n) * std::log(s / n);
+    }
+    return h;
+  };
+  const double ha = entropy(row_sum);
+  const double hb = entropy(col_sum);
+  if (ha <= 0.0 || hb <= 0.0) {
+    return ha == hb ? 1.0 : 0.0;  // one side constant
+  }
+  return mi / std::sqrt(ha * hb);
+}
+
+}  // namespace dasc::clustering

@@ -1,0 +1,60 @@
+// Clustering quality metrics used in the paper's evaluation (Section 5.3):
+//   * accuracy against ground truth (Fig. 3), with optimal label matching,
+//   * Davies-Bouldin index, Eq. (20)     (Fig. 4a),
+//   * average squared error, Eq. (21)    (Fig. 4b),
+//   * Frobenius norm / Fnorm ratio, Eq. (22) (Fig. 5),
+// plus normalized mutual information as an extra sanity metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/point_set.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::clustering {
+
+/// Ratio of correctly clustered points under the optimal (Hungarian)
+/// matching of predicted cluster ids to ground-truth labels. Labels may be
+/// arbitrary non-negative ints; sizes must match and be non-zero.
+double clustering_accuracy(const std::vector<int>& predicted,
+                           const std::vector<int>& truth);
+
+/// Majority-mapping accuracy (purity): every predicted cluster is mapped
+/// to its most frequent ground-truth label and the fraction of correctly
+/// mapped points is returned. This is the natural "ratio of correctly
+/// clustered points" when the algorithm may produce more clusters than
+/// ground-truth categories (DASC's per-bucket clusters), where a
+/// one-to-one Hungarian matching would penalize legitimate splits.
+double clustering_purity(const std::vector<int>& predicted,
+                         const std::vector<int>& truth);
+
+/// Davies-Bouldin index (Eq. 20); lower is better. Clusters with fewer
+/// than 1 point are skipped. Returns 0 for <= 1 non-empty cluster.
+double davies_bouldin_index(const data::PointSet& points,
+                            const std::vector<int>& labels);
+
+/// Average squared error (Eq. 21): mean over clusters of the squared sum of
+/// member-to-centroid distances, normalized by N as in the paper.
+double average_squared_error(const data::PointSet& points,
+                             const std::vector<int>& labels);
+
+/// Frobenius norm of an explicit matrix (Eq. 22).
+double frobenius_norm(const linalg::DenseMatrix& m);
+
+/// Normalized mutual information in [0, 1] between two labelings.
+double normalized_mutual_information(const std::vector<int>& a,
+                                     const std::vector<int>& b);
+
+/// Adjusted Rand index (Hubert & Arabie): chance-corrected pair-counting
+/// agreement. 1 for identical partitions, ~0 for independent ones, can be
+/// negative for adversarial ones. Complements purity (ARI punishes both
+/// splits and merges symmetrically).
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b);
+
+/// Contingency table: rows = predicted clusters, cols = truth classes.
+linalg::DenseMatrix confusion_matrix(const std::vector<int>& predicted,
+                                     const std::vector<int>& truth);
+
+}  // namespace dasc::clustering

@@ -1,0 +1,107 @@
+#include "clustering/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::clustering {
+
+linalg::DenseMatrix spectral_embedding(const linalg::DenseMatrix& gram,
+                                       std::size_t k,
+                                       std::size_t dense_cutoff) {
+  DASC_EXPECT(gram.rows() == gram.cols(),
+              "spectral_embedding: gram must be square");
+  const std::size_t n = gram.rows();
+  DASC_EXPECT(k >= 1 && k <= n, "spectral_embedding: k must be in [1, N]");
+
+  // A = gram with zero diagonal (NJW); degrees and normalized Laplacian.
+  linalg::DenseMatrix laplacian = gram;
+  for (std::size_t i = 0; i < n; ++i) laplacian(i, i) = 0.0;
+
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) degree += laplacian(i, j);
+    inv_sqrt_degree[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      laplacian(i, j) *= inv_sqrt_degree[i] * inv_sqrt_degree[j];
+    }
+  }
+
+  // Top-k eigenvectors of L (largest eigenvalues).
+  linalg::DenseMatrix embedding(n, k, 0.0);
+  if (n <= dense_cutoff) {
+    const linalg::SymmetricEigenResult eigen =
+        linalg::symmetric_eigen(laplacian);
+    for (std::size_t col = 0; col < k; ++col) {
+      const std::size_t src = n - 1 - col;  // eigenvalues ascend
+      for (std::size_t row = 0; row < n; ++row) {
+        embedding(row, col) = eigen.eigenvectors(row, src);
+      }
+    }
+  } else {
+    const linalg::LanczosResult eigen =
+        linalg::lanczos_largest(linalg::as_operator(laplacian), k);
+    DASC_ENSURE(eigen.eigenvectors.cols() == k,
+                "spectral_embedding: Lanczos returned too few vectors");
+    for (std::size_t col = 0; col < k; ++col) {
+      for (std::size_t row = 0; row < n; ++row) {
+        embedding(row, col) = eigen.eigenvectors(row, col);
+      }
+    }
+  }
+
+  // Row-normalize to the unit sphere (Y_ij = X_ij / ||X_i||).
+  for (std::size_t row = 0; row < n; ++row) {
+    linalg::normalize(embedding.row(row));
+  }
+  return embedding;
+}
+
+std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
+                                       std::size_t k, Rng& rng,
+                                       const SpectralParams& params) {
+  const std::size_t n = gram.rows();
+  if (n == 0) return {};
+  const std::size_t effective_k = std::min(k, n);
+  if (effective_k <= 1) return std::vector<int>(n, 0);
+
+  const linalg::DenseMatrix embedding =
+      spectral_embedding(gram, effective_k, params.dense_cutoff);
+
+  data::PointSet rows(n, effective_k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = embedding.row(i);
+    std::copy(src.begin(), src.end(), rows.point(i).begin());
+  }
+
+  KMeansParams km = params.kmeans;
+  km.k = effective_k;
+  return kmeans(rows, km, rng).labels;
+}
+
+SpectralResult spectral_cluster(const data::PointSet& points,
+                                const SpectralParams& params, Rng& rng) {
+  DASC_EXPECT(!points.empty(), "spectral_cluster: empty dataset");
+  DASC_EXPECT(params.k >= 1, "spectral_cluster: k must be positive");
+
+  const double sigma =
+      params.sigma > 0.0 ? params.sigma : suggest_bandwidth(points);
+  const linalg::DenseMatrix gram = gaussian_gram(points, sigma);
+
+  SpectralResult result;
+  result.k = std::min(params.k, points.size());
+  // Paper's accounting (Eq. 12): single-precision Gram entries.
+  result.gram_bytes = points.size() * points.size() * sizeof(float);
+  result.labels = spectral_cluster_gram(gram, result.k, rng, params);
+  return result;
+}
+
+}  // namespace dasc::clustering

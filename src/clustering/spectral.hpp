@@ -1,0 +1,55 @@
+// Spectral clustering (Ng-Jordan-Weiss), the paper's downstream consumer:
+//   A   = Gram matrix with zeroed diagonal,
+//   L   = D^{-1/2} A D^{-1/2}                       (Eq. 2),
+//   X   = top-K eigenvectors of L, row-normalized,
+//   out = K-means over the rows of X.
+// The eigenvectors come from the dense tridiagonal-QL path for small inputs
+// and from Lanczos for large ones — the same "tridiagonalize then QR"
+// scheme the paper describes in Section 3.2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clustering/kmeans.hpp"
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::clustering {
+
+struct SpectralParams {
+  std::size_t k = 2;
+  /// Gaussian bandwidth; 0 picks suggest_bandwidth(points).
+  double sigma = 0.0;
+  /// Below this size the dense eigensolver is used; above it, Lanczos.
+  std::size_t dense_cutoff = 128;
+  KMeansParams kmeans;  ///< k field is overwritten with `k`
+};
+
+struct SpectralResult {
+  std::vector<int> labels;
+  std::size_t k = 0;
+  /// Bytes of the Gram matrix this run materialized (the paper's memory
+  /// metric; counted at single precision like Eq. 12).
+  std::size_t gram_bytes = 0;
+};
+
+/// Full spectral clustering over an explicit Gram/affinity matrix.
+/// The matrix diagonal is ignored (treated as zero, per NJW).
+std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
+                                       std::size_t k, Rng& rng,
+                                       const SpectralParams& params = {});
+
+/// Build the full Gaussian Gram matrix and cluster (the paper's SC
+/// baseline; O(N^2) time and space).
+SpectralResult spectral_cluster(const data::PointSet& points,
+                                const SpectralParams& params, Rng& rng);
+
+/// The spectral embedding alone (top-k row-normalized eigenvectors of the
+/// normalized Laplacian); exposed for tests and for the DASC pipeline.
+linalg::DenseMatrix spectral_embedding(const linalg::DenseMatrix& gram,
+                                       std::size_t k,
+                                       std::size_t dense_cutoff);
+
+}  // namespace dasc::clustering

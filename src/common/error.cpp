@@ -1,0 +1,20 @@
+#include "common/error.hpp"
+
+namespace dasc::detail {
+
+namespace {
+std::string format(const char* file, int line, const std::string& msg) {
+  return std::string(file) + ":" + std::to_string(line) + ": " + msg;
+}
+}  // namespace
+
+void throw_invalid_argument(const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(format(file, line, msg));
+}
+
+void throw_internal_error(const char* file, int line, const std::string& msg) {
+  throw InternalError(format(file, line, msg));
+}
+
+}  // namespace dasc::detail

@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr.
+//
+// The MapReduce job tracker narrates stage progress at Info; everything
+// else defaults to Warn so test and benchmark output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dasc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe) if `level` passes the global threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dasc
+
+#define DASC_LOG(level) ::dasc::detail::LogStream(::dasc::LogLevel::level)

@@ -1,0 +1,66 @@
+#include "common/memory_tracker.hpp"
+
+namespace dasc {
+
+std::atomic<std::uint64_t> MemoryTracker::current_{0};
+std::atomic<std::uint64_t> MemoryTracker::peak_{0};
+
+void MemoryTracker::add(std::size_t bytes) {
+  const std::uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::sub(std::size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::current() {
+  return current_.load(std::memory_order_relaxed);
+}
+
+std::size_t MemoryTracker::peak() {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset_peak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+ScopedAllocation::ScopedAllocation(std::size_t bytes) : bytes_(bytes) {
+  MemoryTracker::add(bytes_);
+}
+
+ScopedAllocation::~ScopedAllocation() {
+  if (bytes_ != 0) MemoryTracker::sub(bytes_);
+}
+
+ScopedAllocation::ScopedAllocation(ScopedAllocation&& other) noexcept
+    : bytes_(other.bytes_) {
+  other.bytes_ = 0;
+}
+
+ScopedAllocation& ScopedAllocation::operator=(
+    ScopedAllocation&& other) noexcept {
+  if (this != &other) {
+    if (bytes_ != 0) MemoryTracker::sub(bytes_);
+    bytes_ = other.bytes_;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void ScopedAllocation::resize(std::size_t bytes) {
+  if (bytes > bytes_) {
+    MemoryTracker::add(bytes - bytes_);
+  } else {
+    MemoryTracker::sub(bytes_ - bytes);
+  }
+  bytes_ = bytes;
+}
+
+}  // namespace dasc

@@ -1,0 +1,63 @@
+// Process-wide accounting of the bytes held by tracked containers.
+//
+// The paper's memory results (Fig. 6b, Table 3) report the storage needed
+// for the Gram matrix. Tracked allocations let the benchmark harnesses
+// report exact peak bytes for each algorithm's matrices without depending
+// on RSS noise from the allocator or the test runner.
+//
+// Usage: matrices and other large buffers register their footprint through
+// MemoryTracker::add/sub (typically via ScopedAllocation). Counters are
+// atomics, so tracked structures may be built concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dasc {
+
+/// Global byte counters for tracked allocations.
+class MemoryTracker {
+ public:
+  /// Record `bytes` newly held. Updates the peak high-water mark.
+  static void add(std::size_t bytes);
+
+  /// Record `bytes` released.
+  static void sub(std::size_t bytes);
+
+  /// Bytes currently held by tracked containers.
+  static std::size_t current();
+
+  /// High-water mark since the last reset_peak().
+  static std::size_t peak();
+
+  /// Reset the peak to the current level (call before a measured phase).
+  static void reset_peak();
+
+ private:
+  static std::atomic<std::uint64_t> current_;
+  static std::atomic<std::uint64_t> peak_;
+};
+
+/// RAII registration of a fixed-size allocation with the tracker.
+class ScopedAllocation {
+ public:
+  ScopedAllocation() = default;
+  explicit ScopedAllocation(std::size_t bytes);
+  ~ScopedAllocation();
+
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+  ScopedAllocation(ScopedAllocation&& other) noexcept;
+  ScopedAllocation& operator=(ScopedAllocation&& other) noexcept;
+
+  /// Change the tracked size (e.g. after a resize).
+  void resize(std::size_t bytes);
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace dasc

@@ -1,0 +1,17 @@
+#include "common/stopwatch.hpp"
+
+namespace dasc {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Stopwatch::millis() const { return seconds() * 1e3; }
+
+}  // namespace dasc

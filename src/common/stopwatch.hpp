@@ -1,0 +1,26 @@
+// Wall-clock timing for benchmark harnesses and MapReduce task accounting.
+#pragma once
+
+#include <chrono>
+
+namespace dasc {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restart from zero.
+  void reset();
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const;
+
+  /// Elapsed milliseconds.
+  double millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dasc

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a blocking task queue.
+//
+// The MapReduce runtime uses this pool as the physical execution substrate
+// for map/reduce tasks (the *virtual* cluster on top of it handles slot
+// accounting and simulated time; see mapreduce/virtual_cluster.hpp).
+// parallel_for is the shared-memory loop primitive for the in-process
+// algorithms (k-means assignment, Gram construction, kNN search).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dasc {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Create `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across the given number of threads.
+/// Exceptions from any iteration are rethrown (first one wins).
+/// threads == 1 runs inline with zero overhead.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Default worker count for in-process parallel loops.
+std::size_t default_threads();
+
+}  // namespace dasc

@@ -1,0 +1,39 @@
+#include "core/approx_kernel_pca.hpp"
+
+#include <algorithm>
+
+#include "clustering/kernel_pca.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace dasc::core {
+
+ApproxKpcaResult approx_kernel_pca(const data::PointSet& points,
+                                   std::size_t p, const DascParams& params,
+                                   Rng& rng) {
+  DASC_EXPECT(!points.empty(), "approx_kernel_pca: empty dataset");
+  DASC_EXPECT(p >= 1, "approx_kernel_pca: p must be positive");
+
+  ApproxKpcaResult result;
+  const BlockGram gram = approximate_kernel(points, params, rng,
+                                            &result.stats);
+
+  result.embedding = linalg::DenseMatrix(points.size(), p, 0.0);
+  result.bucket_of_point.assign(points.size(), 0);
+
+  parallel_for(0, gram.num_blocks(), params.threads, [&](std::size_t b) {
+    const auto& indices = gram.bucket(b).indices;
+    const std::size_t local_p = std::min(p, indices.size());
+    const clustering::KernelPcaResult local =
+        clustering::kernel_pca(gram.block(b), local_p);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      result.bucket_of_point[indices[i]] = b;
+      for (std::size_t c = 0; c < local_p; ++c) {
+        result.embedding(indices[i], c) = local.embedding(i, c);
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace dasc::core

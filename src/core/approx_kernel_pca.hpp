@@ -1,0 +1,36 @@
+// Approximate kernel PCA on top of the LSH kernel approximation — the
+// second downstream consumer demonstrating the paper's claim that the
+// approximation "is independent of the subsequently used kernel-based
+// machine learning algorithm" (Section 1).
+//
+// Each bucket's Gram block is reduced with exact KPCA; a point's embedding
+// is its within-bucket embedding (padded/truncated to p components). The
+// Gram cost drops from O(N^2) to O(sum Ni^2) exactly as for clustering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dasc_params.hpp"
+#include "core/kernel_approximator.hpp"
+#include "data/point_set.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::core {
+
+struct ApproxKpcaResult {
+  /// N x p embedding; row i belongs to input point i.
+  linalg::DenseMatrix embedding;
+  /// Bucket id each point was embedded in.
+  std::vector<std::size_t> bucket_of_point;
+  ApproximatorStats stats;
+};
+
+/// Run per-bucket kernel PCA into p components. Buckets smaller than p
+/// produce embeddings padded with zero components.
+ApproxKpcaResult approx_kernel_pca(const data::PointSet& points,
+                                   std::size_t p, const DascParams& params,
+                                   Rng& rng);
+
+}  // namespace dasc::core

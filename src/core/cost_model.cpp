@@ -1,0 +1,71 @@
+#include "core/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::core {
+
+double model_cluster_count(double n) {
+  DASC_EXPECT(n >= 1.0, "model_cluster_count: n must be >= 1");
+  return std::max(1.0, 17.0 * (std::log2(n) - 9.0));
+}
+
+double model_bucket_count(double n) {
+  DASC_EXPECT(n >= 1.0, "model_bucket_count: n must be >= 1");
+  const double m = std::max(1.0, std::ceil(std::log2(n) / 2.0) - 1.0);
+  return std::pow(2.0, m);
+}
+
+double dasc_time_seconds(double n, double buckets,
+                         const CostModelParams& params) {
+  DASC_EXPECT(n >= 1.0 && buckets >= 1.0, "dasc_time_seconds: bad inputs");
+  DASC_EXPECT(params.beta_seconds > 0.0 && params.machines >= 1.0,
+              "dasc_time_seconds: bad model parameters");
+  const double m = std::log2(buckets);
+  const double k = model_cluster_count(n);
+  const double ops = m * n + buckets * buckets + 2.0 * n +
+                     (2.0 * n * n + 2.0 * k * n) / buckets;
+  return params.beta_seconds * ops / params.machines;
+}
+
+double sc_time_seconds(double n, const CostModelParams& params) {
+  DASC_EXPECT(n >= 1.0, "sc_time_seconds: n must be >= 1");
+  const double k = model_cluster_count(n);
+  const double ops = 2.0 * n * n + 2.0 * k * n + 2.0 * n;
+  return params.beta_seconds * ops / params.machines;
+}
+
+double dasc_memory_bytes(double n, double buckets) {
+  DASC_EXPECT(n >= 1.0 && buckets >= 1.0, "dasc_memory_bytes: bad inputs");
+  return 4.0 * n * n / buckets;  // Eq. (12)
+}
+
+double sc_memory_bytes(double n) {
+  DASC_EXPECT(n >= 1.0, "sc_memory_bytes: n must be >= 1");
+  return 4.0 * n * n;
+}
+
+double time_reduction_ratio(double n, double buckets,
+                            const CostModelParams& params) {
+  return dasc_time_seconds(n, buckets, params) /
+         sc_time_seconds(n, params);
+}
+
+double collision_probability(double n, double signature_bits, double r,
+                             double terms_per_doc) {
+  DASC_EXPECT(n >= 2.0, "collision_probability: n must be >= 2");
+  DASC_EXPECT(signature_bits >= 1.0,
+              "collision_probability: need >= 1 signature bit");
+  DASC_EXPECT(r >= 0.0 && terms_per_doc > r,
+              "collision_probability: need 0 <= r < terms_per_doc");
+  const double k = model_cluster_count(n);
+  // Eq. (16)-(17): d = K (t - r) + N r with t = terms_per_doc.
+  const double d = k * (terms_per_doc - r) + n * r;
+  // Eq. (18): P2 = ((d - r) / d)^(M N / K).
+  const double per_bit = (d - r) / d;
+  const double exponent = signature_bits * n / k;
+  return std::pow(per_bit, exponent);
+}
+
+}  // namespace dasc::core

@@ -1,0 +1,54 @@
+// Analytic cost and accuracy models from the paper's Section 4:
+//   * processing-time model, Eq. (11), and memory model, Eq. (12),
+//     plotted in Fig. 1 for N = 2^20 .. 2^30;
+//   * collision-probability model, Eqs. (13)-(19), plotted in Fig. 2.
+// All model inputs/outputs are doubles because the modeled N reaches 2^30
+// and beyond.
+#pragma once
+
+#include <cstddef>
+
+namespace dasc::core {
+
+struct CostModelParams {
+  /// beta: average machine-operation time; the paper picks 50 microseconds.
+  double beta_seconds = 50e-6;
+  /// C: cluster width; the paper models C = 1024 machines.
+  double machines = 1024.0;
+};
+
+/// The paper's cluster-count fit K(N) = 17 (log2 N - 9), floored at 1.
+double model_cluster_count(double n);
+
+/// Auto bucket count B = 2^M with M = ceil(log2 N / 2) - 1 (Section 5.4).
+double model_bucket_count(double n);
+
+/// DASC processing time, Eq. (11):
+///   beta * (M N + B^2 + 2N + (2 N^2 + 34 N (log2 N - 9)) / B) / C,
+/// with M = log2 B.
+double dasc_time_seconds(double n, double buckets,
+                         const CostModelParams& params = {});
+
+/// Full spectral clustering time (Eq. 10's numerator with B = 1):
+///   beta * (2 N^2 + 2 K N + 2 N) / C.
+double sc_time_seconds(double n, const CostModelParams& params = {});
+
+/// DASC memory, Eq. (12): 4 * B * (N/B)^2 = 4 N^2 / B bytes
+/// (single-precision entries).
+double dasc_memory_bytes(double n, double buckets);
+
+/// Full Gram matrix memory: 4 N^2 bytes.
+double sc_memory_bytes(double n);
+
+/// Time reduction ratio alpha (Eq. 8 upper bound): ~ 1/B for large N.
+double time_reduction_ratio(double n, double buckets,
+                            const CostModelParams& params = {});
+
+/// Collision probability of Eq. (18)/(19): the chance that a group of
+/// adjacent points (same true cluster, differing in r of d dimensions)
+/// receives identical signatures, for the Wikipedia statistics
+/// (11 terms/doc, r = 5, K = K(N)).
+double collision_probability(double n, double signature_bits, double r = 5.0,
+                             double terms_per_doc = 11.0);
+
+}  // namespace dasc::core

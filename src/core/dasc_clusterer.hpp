@@ -1,0 +1,49 @@
+// The full DASC pipeline (paper Section 3): kernel approximation followed
+// by per-bucket spectral clustering. Buckets are independent, so the
+// per-bucket work runs in parallel — the property the MapReduce deployment
+// exploits across machines (dasc_mapreduce.hpp) and this in-process driver
+// exploits across threads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dasc_params.hpp"
+#include "core/kernel_approximator.hpp"
+#include "data/point_set.hpp"
+
+namespace dasc::core {
+
+struct DascResult {
+  /// Cluster id per input point; ids are globally unique across buckets.
+  std::vector<int> labels;
+  /// Total clusters produced (sum of per-bucket cluster counts).
+  std::size_t num_clusters = 0;
+  /// Requested/resolved global K the per-bucket counts were derived from.
+  std::size_t requested_k = 0;
+
+  ApproximatorStats stats;
+  double cluster_seconds = 0.0;  ///< per-bucket spectral + K-means time
+  double total_seconds = 0.0;
+};
+
+/// Run DASC end-to-end on `points`.
+///
+/// Per-bucket cluster counts follow K_i = max(1, round(K * N_i / N)) so the
+/// total tracks the requested K (the paper leaves this allocation
+/// unspecified; see DESIGN.md).
+DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
+                        Rng& rng);
+
+/// Spectral clustering of one precomputed bucket block; returns local
+/// labels in [0, k_bucket). Exposed for the MapReduce reducer and tests.
+std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
+                                std::size_t k_bucket, std::size_t dense_cutoff,
+                                Rng& rng);
+
+/// The per-bucket cluster-count allocation rule.
+std::size_t bucket_cluster_count(std::size_t global_k, std::size_t bucket_size,
+                                 std::size_t total_points);
+
+}  // namespace dasc::core

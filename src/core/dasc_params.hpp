@@ -1,0 +1,64 @@
+// Tuning knobs of the DASC pipeline, defaulted to the paper's settings
+// (Section 5.4): M = ceil(log2 N / 2) - 1, P = M - 1, random-projection
+// hashing over the largest-span dimensions, Gaussian kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lsh/bucket_table.hpp"
+#include "lsh/random_projection.hpp"
+
+namespace dasc::core {
+
+/// Which LSH family produces the signatures (Section 3.2 surveys all
+/// three; the paper's experiments use random projection).
+enum class HashFamily {
+  kRandomProjection,
+  kMinHash,
+  kSimHash,
+  /// Data-dependent spectral hashing — the paper's suggested family for
+  /// skewed data ("will yield balanced partitioning", Section 5.1).
+  kSpectralHash,
+};
+
+struct DascParams {
+  /// Signature bits M; 0 = auto (ceil(log2 N / 2) - 1).
+  std::size_t m = 0;
+  /// Minimum shared bits P for bucket merging; 0 = auto (M - 1). Setting
+  /// p == m disables merging.
+  std::size_t p = 0;
+  /// Gaussian kernel bandwidth sigma; 0 = median-distance heuristic.
+  double sigma = 0.0;
+  /// Global cluster count K; 0 = the paper's Wikipedia fit
+  /// K = 17 (log2 N - 9), clamped to [2, N].
+  std::size_t k = 0;
+
+  HashFamily family = HashFamily::kRandomProjection;
+  lsh::DimensionSelection selection = lsh::DimensionSelection::kTopSpan;
+  lsh::MergeStrategy merge = lsh::MergeStrategy::kPairwise;
+
+  /// Cap on points per bucket; 0 disables. Buckets exceeding the cap are
+  /// recursively median-split along their widest dimension — the paper's
+  /// "data-dependent hashing functions ... will yield balanced
+  /// partitioning" remark (Section 5.1) realized with the k-d-tree
+  /// principle its hash design already follows.
+  std::size_t max_bucket_points = 0;
+
+  /// Dense eigensolver below this bucket size, Lanczos above.
+  std::size_t dense_cutoff = 128;
+  /// Worker threads for per-bucket processing (0 = host concurrency).
+  std::size_t threads = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Resolve m for a dataset of size n (params.m or the paper's auto rule).
+std::size_t resolve_signature_bits(const DascParams& params, std::size_t n);
+
+/// Resolve p given resolved m.
+std::size_t resolve_merge_bits(const DascParams& params, std::size_t m);
+
+/// Resolve the global cluster count for a dataset of size n.
+std::size_t resolve_cluster_count(const DascParams& params, std::size_t n);
+
+}  // namespace dasc::core

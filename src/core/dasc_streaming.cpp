@@ -1,0 +1,62 @@
+#include "core/dasc_streaming.hpp"
+
+#include <algorithm>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+
+namespace dasc::core {
+
+StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
+                                           const DascParams& params,
+                                           Rng& rng) {
+  DASC_EXPECT(!points.empty(), "dasc_cluster_streaming: empty dataset");
+
+  StreamingDascResult result;
+  result.requested_k = resolve_cluster_count(params, points.size());
+
+  // Step 1-2: bucket membership (index lists only; no kernels yet).
+  const std::vector<lsh::Bucket> buckets =
+      bucket_points(points, params, rng, &result.stats);
+  const double sigma = params.sigma > 0.0
+                           ? params.sigma
+                           : clustering::suggest_bandwidth(points);
+
+  // Per-bucket seeds drawn up front, exactly like the batch driver, so the
+  // streaming pass produces identical labels for the same input seed.
+  std::vector<std::uint64_t> seeds(buckets.size());
+  for (auto& s : seeds) s = rng();
+
+  result.labels.assign(points.size(), 0);
+  std::size_t next_offset = 0;
+
+  // Steps 3-4 fused per bucket: build the block, cluster it, discard it.
+  // Only one block Gram is ever alive.
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const auto& indices = buckets[b].indices;
+    const std::size_t k_bucket = bucket_cluster_count(
+        result.requested_k, indices.size(), points.size());
+
+    std::vector<int> local;
+    {
+      const linalg::DenseMatrix block =
+          clustering::gaussian_gram_subset(points, indices, sigma);
+      result.peak_block_bytes =
+          std::max(result.peak_block_bytes,
+                   indices.size() * indices.size() * sizeof(float));
+      Rng bucket_rng(seeds[b]);
+      local = cluster_bucket(block, k_bucket, params.dense_cutoff,
+                             bucket_rng);
+    }  // block Gram freed before the next bucket loads
+
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      result.labels[indices[i]] =
+          static_cast<int>(next_offset) + local[i];
+    }
+    next_offset += k_bucket;
+  }
+  result.num_clusters = next_offset;
+  return result;
+}
+
+}  // namespace dasc::core

@@ -1,0 +1,42 @@
+// Incremental (streaming) DASC driver — the paper's Section 5.1 claim that
+// DASC "can process very large scale data sets, because the data
+// partitions (or splits) are incrementally processed, split by split" and
+// the buckets "incrementally processed ... Thus, DASC can handle huge
+// datasets".
+//
+// Unlike dasc_cluster, which materializes every bucket's Gram block at
+// once, this driver holds at most ONE bucket's Gram matrix in memory at a
+// time: signatures stream over the input, bucket membership is the only
+// full-dataset state, and each bucket is loaded, clustered, and discarded
+// in turn. Peak tracked matrix memory is therefore O(max_i Ni^2) instead of
+// O(sum_i Ni^2) — the tests assert this through MemoryTracker.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "core/dasc_params.hpp"
+#include "data/point_set.hpp"
+
+namespace dasc::core {
+
+struct StreamingDascResult {
+  std::vector<int> labels;
+  std::size_t num_clusters = 0;
+  std::size_t requested_k = 0;
+  ApproximatorStats stats;
+  /// Largest single Gram block materialized (bytes, float accounting) —
+  /// the streaming driver's actual working-set bound.
+  std::size_t peak_block_bytes = 0;
+};
+
+/// Cluster `points` with bounded working memory: one bucket Gram at a
+/// time. Produces the same clusters as dasc_cluster for the same seed
+/// (bucket processing order differs only in timing, not in results).
+StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
+                                           const DascParams& params,
+                                           Rng& rng);
+
+}  // namespace dasc::core

@@ -1,0 +1,260 @@
+#include "core/kernel_approximator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "data/wiki_corpus.hpp"
+#include "lsh/minhash.hpp"
+#include "lsh/simhash.hpp"
+#include "lsh/spectral_hash.hpp"
+
+namespace dasc::core {
+
+std::size_t resolve_signature_bits(const DascParams& params, std::size_t n) {
+  DASC_EXPECT(n > 0, "resolve_signature_bits: n must be positive");
+  if (params.m != 0) {
+    DASC_EXPECT(params.m <= lsh::kMaxSignatureBits,
+                "resolve_signature_bits: m too large");
+    return params.m;
+  }
+  return lsh::auto_signature_bits(n);
+}
+
+std::size_t resolve_merge_bits(const DascParams& params, std::size_t m) {
+  if (params.p != 0) {
+    DASC_EXPECT(params.p <= m, "resolve_merge_bits: p must be <= m");
+    return params.p;
+  }
+  return m > 1 ? m - 1 : 1;
+}
+
+std::size_t resolve_cluster_count(const DascParams& params, std::size_t n) {
+  DASC_EXPECT(n > 0, "resolve_cluster_count: n must be positive");
+  if (params.k != 0) return std::min(params.k, n);
+  const std::size_t k = data::wiki_category_count(n);
+  return std::min(std::max<std::size_t>(k, 2), n);
+}
+
+BlockGram::BlockGram(std::vector<lsh::Bucket> buckets,
+                     std::vector<linalg::DenseMatrix> blocks, std::size_t n)
+    : buckets_(std::move(buckets)), blocks_(std::move(blocks)), n_(n) {
+  DASC_EXPECT(buckets_.size() == blocks_.size(),
+              "BlockGram: bucket/block count mismatch");
+  std::size_t covered = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    DASC_EXPECT(blocks_[b].rows() == buckets_[b].indices.size() &&
+                    blocks_[b].cols() == buckets_[b].indices.size(),
+                "BlockGram: block shape must match bucket size");
+    covered += buckets_[b].indices.size();
+  }
+  DASC_EXPECT(covered == n_, "BlockGram: buckets must partition the points");
+}
+
+const lsh::Bucket& BlockGram::bucket(std::size_t b) const {
+  DASC_EXPECT(b < buckets_.size(), "BlockGram: bucket out of range");
+  return buckets_[b];
+}
+
+const linalg::DenseMatrix& BlockGram::block(std::size_t b) const {
+  DASC_EXPECT(b < blocks_.size(), "BlockGram: block out of range");
+  return blocks_[b];
+}
+
+std::size_t BlockGram::stored_entries() const {
+  std::size_t entries = 0;
+  for (const auto& bucket : buckets_) {
+    entries += bucket.indices.size() * bucket.indices.size();
+  }
+  return entries;
+}
+
+double BlockGram::frobenius_norm() const {
+  double acc = 0.0;
+  for (const auto& block : blocks_) {
+    const double f = block.frobenius_norm();
+    acc += f * f;
+  }
+  return std::sqrt(acc);
+}
+
+linalg::DenseMatrix BlockGram::to_dense() const {
+  linalg::DenseMatrix dense(n_, n_, 0.0);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const auto& indices = buckets_[b].indices;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        dense(indices[i], indices[j]) = blocks_[b](i, j);
+      }
+    }
+  }
+  return dense;
+}
+
+namespace {
+
+std::unique_ptr<lsh::LshHasher> make_hasher(const data::PointSet& points,
+                                            const DascParams& params,
+                                            std::size_t m, Rng& rng) {
+  switch (params.family) {
+    case HashFamily::kRandomProjection:
+      return std::make_unique<lsh::RandomProjectionHasher>(
+          lsh::RandomProjectionHasher::fit(points, m, params.selection, rng));
+    case HashFamily::kMinHash:
+      return std::make_unique<lsh::MinHashHasher>(
+          lsh::MinHashHasher::fit(points, m, rng));
+    case HashFamily::kSimHash:
+      return std::make_unique<lsh::SimHashHasher>(
+          lsh::SimHashHasher::fit(points, m, rng));
+    case HashFamily::kSpectralHash:
+      return std::make_unique<lsh::SpectralHashHasher>(
+          lsh::SpectralHashHasher::fit(points, m));
+  }
+  DASC_ENSURE(false, "make_hasher: unknown hash family");
+}
+
+}  // namespace
+
+std::vector<lsh::Bucket> balance_buckets(const data::PointSet& points,
+                                         std::vector<lsh::Bucket> buckets,
+                                         std::size_t max_points) {
+  DASC_EXPECT(max_points >= 2, "balance_buckets: cap must be >= 2");
+
+  std::vector<lsh::Bucket> out;
+  std::vector<lsh::Bucket> work = std::move(buckets);
+  std::vector<double> column;
+  while (!work.empty()) {
+    lsh::Bucket bucket = std::move(work.back());
+    work.pop_back();
+    if (bucket.indices.size() <= max_points) {
+      out.push_back(std::move(bucket));
+      continue;
+    }
+
+    // Widest dimension of the bucket's members, split at its median.
+    const std::size_t d = points.dim();
+    std::size_t best_dim = 0;
+    double best_span = -1.0;
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      double lo = points.at(bucket.indices[0], dim);
+      double hi = lo;
+      for (std::size_t idx : bucket.indices) {
+        lo = std::min(lo, points.at(idx, dim));
+        hi = std::max(hi, points.at(idx, dim));
+      }
+      if (hi - lo > best_span) {
+        best_span = hi - lo;
+        best_dim = dim;
+      }
+    }
+
+    column.resize(bucket.indices.size());
+    for (std::size_t i = 0; i < bucket.indices.size(); ++i) {
+      column[i] = points.at(bucket.indices[i], best_dim);
+    }
+    auto mid = column.begin() + static_cast<std::ptrdiff_t>(column.size() / 2);
+    std::nth_element(column.begin(), mid, column.end());
+    const double median = *mid;
+
+    lsh::Bucket left;
+    lsh::Bucket right;
+    left.signature = bucket.signature;
+    right.signature = bucket.signature;
+    for (std::size_t idx : bucket.indices) {
+      (points.at(idx, best_dim) < median ? left : right)
+          .indices.push_back(idx);
+    }
+    if (left.indices.empty() || right.indices.empty()) {
+      // All members coincide on every dimension; a cap cannot apply.
+      out.push_back(std::move(bucket));
+      continue;
+    }
+    work.push_back(std::move(left));
+    work.push_back(std::move(right));
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const lsh::Bucket& x, const lsh::Bucket& y) {
+                     return x.indices.size() > y.indices.size();
+                   });
+  return out;
+}
+
+std::vector<lsh::Bucket> bucket_points(const data::PointSet& points,
+                                       const DascParams& params, Rng& rng,
+                                       ApproximatorStats* stats) {
+  DASC_EXPECT(!points.empty(), "bucket_points: empty dataset");
+  Stopwatch clock;
+
+  const std::size_t m = resolve_signature_bits(params, points.size());
+  const std::size_t p = resolve_merge_bits(params, m);
+  const std::unique_ptr<lsh::LshHasher> hasher =
+      make_hasher(points, params, m, rng);
+
+  const lsh::BucketTable table = lsh::BucketTable::build(points, *hasher);
+  const lsh::MergeStrategy strategy =
+      p == m ? lsh::MergeStrategy::kNone : params.merge;
+  std::vector<lsh::Bucket> buckets = table.merged_buckets(p, strategy);
+  if (params.max_bucket_points > 0) {
+    buckets = balance_buckets(points, std::move(buckets),
+                              std::max<std::size_t>(params.max_bucket_points,
+                                                    2));
+  }
+
+  if (stats != nullptr) {
+    stats->signature_bits = m;
+    stats->merge_bits = p;
+    stats->raw_buckets = table.raw_bucket_count();
+    stats->merged_buckets = buckets.size();
+    stats->largest_bucket =
+        buckets.empty() ? 0 : buckets.front().indices.size();
+    stats->hash_seconds = clock.seconds();
+    // Gram storage is fully determined by the bucket sizes, so report it
+    // here too (consumers that stream blocks never materialize them).
+    std::size_t entries = 0;
+    for (const auto& bucket : buckets) {
+      entries += bucket.indices.size() * bucket.indices.size();
+    }
+    stats->gram_bytes = entries * sizeof(float);
+    stats->full_gram_bytes = points.size() * points.size() * sizeof(float);
+    stats->fill_ratio = static_cast<double>(entries) /
+                        (static_cast<double>(points.size()) *
+                         static_cast<double>(points.size()));
+  }
+  return buckets;
+}
+
+BlockGram approximate_kernel(const data::PointSet& points,
+                             const DascParams& params, Rng& rng,
+                             ApproximatorStats* stats) {
+  std::vector<lsh::Bucket> buckets = bucket_points(points, params, rng, stats);
+
+  Stopwatch clock;
+  const double sigma = params.sigma > 0.0
+                           ? params.sigma
+                           : clustering::suggest_bandwidth(points);
+
+  std::vector<linalg::DenseMatrix> blocks(buckets.size());
+  parallel_for(0, buckets.size(), params.threads, [&](std::size_t b) {
+    blocks[b] = clustering::gaussian_gram_subset(
+        points, buckets[b].indices, sigma);
+  });
+
+  BlockGram gram(std::move(buckets), std::move(blocks), points.size());
+  if (stats != nullptr) {
+    stats->gram_seconds = clock.seconds();
+    stats->gram_bytes = gram.gram_bytes();
+    stats->full_gram_bytes = points.size() * points.size() * sizeof(float);
+    stats->fill_ratio =
+        static_cast<double>(gram.stored_entries()) /
+        (static_cast<double>(points.size()) *
+         static_cast<double>(points.size()));
+  }
+  return gram;
+}
+
+}  // namespace dasc::core

@@ -1,0 +1,90 @@
+// The paper's primary contribution: LSH-based approximation of the kernel
+// (Gram) matrix (Section 3, steps 1-3).
+//
+// Points are hashed to M-bit signatures, grouped into buckets (merging
+// near-duplicate signatures), and the Gaussian kernel is evaluated only
+// within buckets. The result is a block-diagonal approximation of the full
+// N x N Gram matrix costing O(sum Ni^2) instead of O(N^2) in both time and
+// space. The approximation is independent of the downstream kernel method;
+// DascClusterer is one consumer, and any kernel algorithm that accepts a
+// Gram matrix can process the blocks independently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dasc_params.hpp"
+#include "data/point_set.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "lsh/bucket_table.hpp"
+
+namespace dasc::core {
+
+/// Block-diagonal approximated Gram matrix: one dense block per bucket.
+class BlockGram {
+ public:
+  BlockGram(std::vector<lsh::Bucket> buckets,
+            std::vector<linalg::DenseMatrix> blocks, std::size_t n);
+
+  std::size_t num_blocks() const { return buckets_.size(); }
+  /// Total number of points N.
+  std::size_t num_points() const { return n_; }
+
+  const lsh::Bucket& bucket(std::size_t b) const;
+  const linalg::DenseMatrix& block(std::size_t b) const;
+
+  /// Stored kernel entries (sum Ni^2).
+  std::size_t stored_entries() const;
+
+  /// The paper's memory metric (Eq. 12): stored entries at float precision.
+  std::size_t gram_bytes() const { return stored_entries() * sizeof(float); }
+
+  /// Frobenius norm over stored blocks; equals the Frobenius norm of the
+  /// implied N x N block-diagonal matrix (absent entries are zero).
+  double frobenius_norm() const;
+
+  /// Materialize the implied N x N matrix (tests / Fnorm comparisons only).
+  linalg::DenseMatrix to_dense() const;
+
+ private:
+  std::vector<lsh::Bucket> buckets_;
+  std::vector<linalg::DenseMatrix> blocks_;
+  std::size_t n_ = 0;
+};
+
+/// Bucketing/approximation statistics surfaced to benchmarks.
+struct ApproximatorStats {
+  std::size_t signature_bits = 0;   ///< resolved M
+  std::size_t merge_bits = 0;       ///< resolved P
+  std::size_t raw_buckets = 0;      ///< unique signatures T
+  std::size_t merged_buckets = 0;   ///< buckets after P-bit merging
+  std::size_t largest_bucket = 0;
+  std::size_t gram_bytes = 0;       ///< approximated storage (Eq. 12 units)
+  std::size_t full_gram_bytes = 0;  ///< N^2 * sizeof(float) for comparison
+  double fill_ratio = 0.0;          ///< stored entries / N^2
+  double hash_seconds = 0.0;
+  double gram_seconds = 0.0;
+};
+
+/// Steps 1-3 of DASC: hash, bucket/merge, per-bucket Gram matrices.
+/// The kernel is Gaussian with params.sigma (auto when 0).
+BlockGram approximate_kernel(const data::PointSet& points,
+                             const DascParams& params, Rng& rng,
+                             ApproximatorStats* stats = nullptr);
+
+/// Steps 1-2 only: the bucketing, without materializing kernel blocks.
+/// Useful for consumers that stream blocks (and for Fig. 5's bucket sweep).
+/// Applies the params.max_bucket_points balancing cap when set.
+std::vector<lsh::Bucket> bucket_points(const data::PointSet& points,
+                                       const DascParams& params, Rng& rng,
+                                       ApproximatorStats* stats = nullptr);
+
+/// Data-dependent rebalancing (paper Section 5.1): recursively split every
+/// bucket larger than `max_points` at the median of its widest dimension.
+/// Children inherit the parent's signature. Preserves the partition.
+std::vector<lsh::Bucket> balance_buckets(const data::PointSet& points,
+                                         std::vector<lsh::Bucket> buckets,
+                                         std::size_t max_points);
+
+}  // namespace dasc::core

@@ -1,0 +1,191 @@
+#include "core/mapreduce_kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "data/dataset_io.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::core {
+
+namespace {
+
+/// Serialized partial sum: "count|s0,s1,...,sd".
+std::string encode_partial(std::uint64_t count,
+                           std::span<const double> sums) {
+  return std::to_string(count) + "|" + data::point_to_record(sums);
+}
+
+std::pair<std::uint64_t, std::vector<double>> decode_partial(
+    const std::string& value) {
+  const std::size_t bar = value.find('|');
+  DASC_EXPECT(bar != std::string::npos, "decode_partial: missing separator");
+  return {std::stoull(value.substr(0, bar)),
+          data::record_to_point(value.substr(bar + 1))};
+}
+
+std::size_t nearest_centroid(
+    std::span<const double> point,
+    const std::vector<std::vector<double>>& centroids) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double dist = linalg::squared_distance(
+        point, std::span<const double>(centroids[c]));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Assignment mapper: one (centroid, partial sum of one point) per record.
+class AssignMapper final : public mapreduce::Mapper {
+ public:
+  explicit AssignMapper(std::vector<std::vector<double>> centroids)
+      : centroids_(std::move(centroids)) {}
+
+  void map(const std::string& /*key*/, const std::string& value,
+           mapreduce::Emitter& out) override {
+    const std::vector<double> point = data::record_to_point(value);
+    const std::size_t c =
+        nearest_centroid(std::span<const double>(point), centroids_);
+    out.emit(std::to_string(c), encode_partial(1, point));
+  }
+
+ private:
+  std::vector<std::vector<double>> centroids_;
+};
+
+/// Sums partial (count, vector) pairs; serves as combiner AND reducer.
+class SumReducer final : public mapreduce::Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::Emitter& out) override {
+    std::uint64_t count = 0;
+    std::vector<double> sums;
+    for (const auto& value : values) {
+      auto [c, partial] = decode_partial(value);
+      if (sums.empty()) sums.assign(partial.size(), 0.0);
+      DASC_EXPECT(partial.size() == sums.size(),
+                  "SumReducer: dimension mismatch");
+      count += c;
+      for (std::size_t d = 0; d < partial.size(); ++d) {
+        sums[d] += partial[d];
+      }
+    }
+    out.emit(key, encode_partial(count, sums));
+  }
+};
+
+std::vector<std::vector<double>> seed_plus_plus(const data::PointSet& points,
+                                                std::size_t k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  const auto first = points.point(rng.uniform_index(points.size()));
+  centroids.emplace_back(first.begin(), first.end());
+  std::vector<double> dist2(points.size(),
+                            std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(
+          dist2[i],
+          linalg::squared_distance(points.point(i),
+                                   std::span<const double>(
+                                       centroids.back())));
+    }
+    double total = 0.0;
+    for (double v : dist2) total += v;
+    const std::size_t pick = total > 0.0
+                                 ? rng.weighted_index(dist2)
+                                 : rng.uniform_index(points.size());
+    const auto p = points.point(pick);
+    centroids.emplace_back(p.begin(), p.end());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+MrKMeansResult mapreduce_kmeans(const data::PointSet& points,
+                                const MrKMeansParams& params, Rng& rng) {
+  DASC_EXPECT(!points.empty(), "mapreduce_kmeans: empty dataset");
+  DASC_EXPECT(params.k >= 1 && params.k <= points.size(),
+              "mapreduce_kmeans: k must be in [1, N]");
+  DASC_EXPECT(params.max_iterations >= 1,
+              "mapreduce_kmeans: need >= 1 iteration");
+
+  MrKMeansResult result;
+  result.centroids = seed_plus_plus(points, params.k, rng);
+
+  std::vector<mapreduce::Record> input;
+  input.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    input.push_back(
+        {std::to_string(i), data::point_to_record(points.point(i))});
+  }
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    mapreduce::JobSpec spec;
+    spec.conf = params.conf;
+    spec.conf.job_name =
+        "kmeans-iteration-" + std::to_string(iter + 1);
+    const std::vector<std::vector<double>> centroids = result.centroids;
+    spec.mapper_factory = [centroids] {
+      return std::make_unique<AssignMapper>(centroids);
+    };
+    spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+    spec.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+
+    const mapreduce::JobResult job = mapreduce::run_job(spec, input);
+    result.simulated_seconds += job.simulated_seconds;
+    result.shuffle_bytes += job.counters.shuffle_bytes;
+
+    // Fold reduce output into new centroids.
+    std::vector<bool> seen(params.k, false);
+    double movement = 0.0;
+    for (const auto& record : job.output) {
+      const std::size_t c = std::stoull(record.key);
+      DASC_ENSURE(c < params.k, "mapreduce_kmeans: bad centroid id");
+      auto [count, sums] = decode_partial(record.value);
+      DASC_ENSURE(count > 0, "mapreduce_kmeans: empty centroid group");
+      seen[c] = true;
+      for (std::size_t d = 0; d < sums.size(); ++d) {
+        const double updated = sums[d] / static_cast<double>(count);
+        const double delta = updated - result.centroids[c][d];
+        movement += delta * delta;
+        result.centroids[c][d] = updated;
+      }
+    }
+    // Empty clusters: reseed at a random point (Mahout reseeds likewise).
+    for (std::size_t c = 0; c < params.k; ++c) {
+      if (!seen[c]) {
+        const auto p = points.point(rng.uniform_index(points.size()));
+        result.centroids[c].assign(p.begin(), p.end());
+        movement += 1.0;
+      }
+    }
+
+    if (movement < params.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final assignment (driver-side; the paper's pipelines read this from a
+  // map-only job, which would add nothing here but serialization).
+  result.labels.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.labels[i] = static_cast<int>(
+        nearest_centroid(points.point(i), result.centroids));
+  }
+  return result;
+}
+
+}  // namespace dasc::core

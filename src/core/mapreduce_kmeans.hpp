@@ -1,0 +1,44 @@
+// Distributed K-means on the MapReduce runtime — the role Apache Mahout
+// plays in the paper (Section 2 cites Mahout's MapReduce K-Means; the
+// paper's stage 2 builds on Mahout's spectral clustering, whose inner loop
+// is exactly this job).
+//
+// Classic iterative structure: the driver broadcasts centroids; mappers
+// assign points and emit (centroid id, partial sum); a combiner folds
+// partial sums inside each map task; reducers average into new centroids;
+// the driver iterates until movement falls below tolerance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "mapreduce/job.hpp"
+
+namespace dasc::core {
+
+struct MrKMeansParams {
+  std::size_t k = 2;
+  std::size_t max_iterations = 20;
+  double tolerance = 1e-6;  ///< stop when squared centroid movement drops
+  mapreduce::JobConf conf;
+};
+
+struct MrKMeansResult {
+  std::vector<int> labels;
+  std::vector<std::vector<double>> centroids;
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// Virtual-cluster time summed over all iterations' jobs.
+  double simulated_seconds = 0.0;
+  /// Shuffle bytes summed over all iterations (shows the combiner's win).
+  std::uint64_t shuffle_bytes = 0;
+};
+
+/// Run MapReduce K-means. Seeding is k-means++ in the driver (as Mahout
+/// seeds before its iteration jobs). Requires 1 <= k <= N.
+MrKMeansResult mapreduce_kmeans(const data::PointSet& points,
+                                const MrKMeansParams& params, Rng& rng);
+
+}  // namespace dasc::core

@@ -1,0 +1,66 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::data {
+
+PointSet make_gaussian_mixture(const MixtureParams& params, Rng& rng) {
+  DASC_EXPECT(params.n > 0, "make_gaussian_mixture: n must be positive");
+  DASC_EXPECT(params.dim > 0, "make_gaussian_mixture: dim must be positive");
+  DASC_EXPECT(params.k > 0 && params.k <= params.n,
+              "make_gaussian_mixture: k must be in [1, n]");
+
+  // Component centers away from the box edges so clipping rarely bites.
+  std::vector<std::vector<double>> centers(params.k);
+  for (auto& c : centers) {
+    c.resize(params.dim);
+    for (double& v : c) v = rng.uniform(0.15, 0.85);
+  }
+
+  PointSet points(params.n, params.dim);
+  std::vector<int> labels(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const std::size_t comp = i % params.k;  // balanced assignment
+    labels[i] = static_cast<int>(comp);
+    auto row = points.point(i);
+    for (std::size_t d = 0; d < params.dim; ++d) {
+      double v = centers[comp][d] + rng.normal(0.0, params.cluster_stddev);
+      if (params.clip_to_unit) v = std::clamp(v, 0.0, 1.0);
+      row[d] = v;
+    }
+  }
+  points.set_labels(std::move(labels));
+  return points;
+}
+
+PointSet make_uniform(std::size_t n, std::size_t dim, Rng& rng) {
+  DASC_EXPECT(n > 0 && dim > 0, "make_uniform: n and dim must be positive");
+  PointSet points(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : points.point(i)) v = rng.uniform();
+  }
+  return points;
+}
+
+PointSet make_two_rings(std::size_t n, double noise, Rng& rng) {
+  DASC_EXPECT(n >= 2, "make_two_rings: need at least 2 points");
+  DASC_EXPECT(noise >= 0.0, "make_two_rings: noise must be non-negative");
+  PointSet points(n, 2);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int ring = static_cast<int>(i % 2);
+    const double radius = (ring == 0 ? 0.2 : 0.45) + rng.normal(0.0, noise);
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    auto row = points.point(i);
+    row[0] = 0.5 + radius * std::cos(theta);
+    row[1] = 0.5 + radius * std::sin(theta);
+    labels[i] = ring;
+  }
+  points.set_labels(std::move(labels));
+  return points;
+}
+
+}  // namespace dasc::data

@@ -1,0 +1,35 @@
+// Synthetic dataset generators (paper Section 5.2: controlled number of
+// dimensions, points, and value range [0,1]; 64-dimensional by default).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+
+namespace dasc::data {
+
+/// Parameters for the Gaussian-mixture generator.
+struct MixtureParams {
+  std::size_t n = 1024;       ///< number of points
+  std::size_t dim = 64;       ///< dimensionality (paper default)
+  std::size_t k = 4;          ///< number of mixture components
+  double cluster_stddev = 0.05;  ///< within-cluster spread (pre-clip)
+  bool clip_to_unit = true;   ///< clamp values into [0, 1]
+  std::uint64_t seed = 1;
+};
+
+/// Labelled Gaussian mixture with component centers drawn uniformly in
+/// [0.15, 0.85]^dim so clusters stay inside the unit box after clipping.
+/// Component sizes are as equal as possible (n mod k components get one
+/// extra point); labels are the generating component ids.
+PointSet make_gaussian_mixture(const MixtureParams& params, Rng& rng);
+
+/// n points uniform in [0, 1]^dim, unlabelled (structureless control).
+PointSet make_uniform(std::size_t n, std::size_t dim, Rng& rng);
+
+/// Two concentric 2-D rings with radial noise — the classic non-Gaussian
+/// shape where spectral clustering beats K-means; labels = ring index.
+PointSet make_two_rings(std::size_t n, double noise, Rng& rng);
+
+}  // namespace dasc::data

@@ -1,0 +1,213 @@
+#include "data/wiki_corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "text/tfidf.hpp"
+#include "text/tokenizer.hpp"
+
+namespace dasc::data {
+
+std::size_t wiki_category_count(std::size_t n) {
+  DASC_EXPECT(n > 0, "wiki_category_count: n must be positive");
+  const double k = 17.0 * (std::log2(static_cast<double>(n)) - 9.0);
+  const auto clamped =
+      static_cast<std::size_t>(std::max(1.0, std::round(k)));
+  return std::min(clamped, n);
+}
+
+CategoryTree CategoryTree::generate(std::size_t leaves, Rng& rng) {
+  DASC_EXPECT(leaves >= 1, "CategoryTree: need at least one leaf");
+  CategoryTree tree;
+  tree.nodes.push_back({"Portal:Contents/Categories", {}, false, -1});
+
+  // Grow breadth-first: each interior node gets 2-5 children until the
+  // frontier can cover the requested leaf count, then the frontier becomes
+  // the leaves.
+  std::vector<std::size_t> frontier{0};
+  while (frontier.size() < leaves) {
+    std::vector<std::size_t> next;
+    for (std::size_t id : frontier) {
+      const std::size_t want = 2 + rng.uniform_index(4);  // 2..5 children
+      for (std::size_t c = 0; c < want; ++c) {
+        CategoryNode child;
+        child.name = tree.nodes[id].name + "/c" +
+                     std::to_string(tree.nodes[id].children.size());
+        tree.nodes.push_back(child);
+        const std::size_t cid = tree.nodes.size() - 1;
+        tree.nodes[id].children.push_back(cid);
+        next.push_back(cid);
+      }
+    }
+    DASC_ENSURE(!next.empty(), "CategoryTree: tree failed to grow");
+    frontier = std::move(next);
+    if (frontier.size() >= leaves) break;
+  }
+
+  // Trim the frontier to exactly `leaves` and mark them as leaf categories.
+  frontier.resize(leaves);
+  int label = 0;
+  for (std::size_t id : frontier) {
+    tree.nodes[id].is_leaf = true;
+    tree.nodes[id].leaf_label = label++;
+    tree.leaf_ids.push_back(id);
+  }
+  return tree;
+}
+
+namespace {
+
+/// Spell an index with letters only — the tokenizer treats digits as word
+/// separators, so synthetic terms must stay purely alphabetic.
+std::string alpha_suffix(std::size_t value) {
+  std::string out;
+  do {
+    out.push_back(static_cast<char>('a' + value % 26));
+    value /= 26;
+  } while (value != 0);
+  return out;
+}
+
+/// Per-category vocabulary model: every category owns a handful of topic
+/// terms; all documents share filler terms and stop words.
+struct VocabModel {
+  std::vector<std::vector<std::string>> topic_terms;  // per category
+  std::vector<std::string> shared_terms;
+
+  static VocabModel build(std::size_t k) {
+    VocabModel model;
+    model.topic_terms.resize(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      // Three topic terms per category keeps k * terms comparable to the
+      // paper's F = 11 feature slots, so the corpus-wide top-F selection
+      // retains signal terms from every category.
+      const std::size_t terms = 3;
+      for (std::size_t t = 0; t < terms; ++t) {
+        model.topic_terms[c].push_back("topic" + alpha_suffix(c) + "word" +
+                                       alpha_suffix(t));
+      }
+    }
+    for (std::size_t s = 0; s < 24; ++s) {
+      model.shared_terms.push_back("common" + alpha_suffix(s));
+    }
+    return model;
+  }
+};
+
+}  // namespace
+
+std::vector<WikiDocument> make_wiki_documents(const WikiCorpusParams& params,
+                                              Rng& rng) {
+  DASC_EXPECT(params.n > 0, "make_wiki_documents: n must be positive");
+  const std::size_t k =
+      params.k > 0 ? params.k : wiki_category_count(params.n);
+  DASC_EXPECT(k <= params.n, "make_wiki_documents: more categories than docs");
+
+  const VocabModel vocab = VocabModel::build(k);
+  const CategoryTree tree = CategoryTree::generate(k, rng);
+
+  std::vector<WikiDocument> docs;
+  docs.reserve(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const std::size_t cat = i % k;  // balanced categories
+    std::ostringstream body;
+    body << "<html><head><title>" << tree.nodes[tree.leaf_ids[cat]].name
+         << "</title></head><body><p>";
+    // Topic terms dominate the summary, interleaved with stop words and
+    // shared filler so tf-idf has real work to do.
+    const std::size_t sentences = 6 + rng.uniform_index(5);
+    for (std::size_t s = 0; s < sentences; ++s) {
+      body << "the ";
+      const auto& topics = vocab.topic_terms[cat];
+      body << topics[rng.uniform_index(topics.size())] << " is about ";
+      body << topics[rng.uniform_index(topics.size())] << " and ";
+      body << vocab.shared_terms[rng.uniform_index(
+                  vocab.shared_terms.size())]
+           << ". ";
+    }
+    body << "</p></body></html>";
+    docs.push_back({body.str(), static_cast<int>(cat)});
+  }
+  return docs;
+}
+
+PointSet wiki_documents_to_features(const std::vector<WikiDocument>& docs,
+                                    std::size_t f) {
+  DASC_EXPECT(!docs.empty(), "wiki_documents_to_features: empty corpus");
+  DASC_EXPECT(f > 0, "wiki_documents_to_features: f must be positive");
+
+  std::vector<text::TokenizedDoc> tokenized;
+  tokenized.reserve(docs.size());
+  for (const auto& doc : docs) {
+    tokenized.push_back(text::normalize_document(doc.html));
+  }
+  const text::TfIdfIndex index(tokenized);
+
+  PointSet points(docs.size(), f);
+  std::vector<int> labels(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const std::vector<double> vec = index.features(tokenized[i], f);
+    std::copy(vec.begin(), vec.end(), points.point(i).begin());
+    labels[i] = docs[i].category;
+  }
+  points.set_labels(std::move(labels));
+  points.normalize_min_max();
+  return points;
+}
+
+PointSet make_wiki_vectors(const WikiCorpusParams& params, Rng& rng) {
+  DASC_EXPECT(params.n > 0, "make_wiki_vectors: n must be positive");
+  DASC_EXPECT(params.f >= 2, "make_wiki_vectors: need at least 2 features");
+  const std::size_t k =
+      params.k > 0 ? params.k : wiki_category_count(params.n);
+  DASC_EXPECT(k <= params.n, "make_wiki_vectors: more categories than docs");
+
+  DASC_EXPECT(params.subtopics >= 1,
+              "make_wiki_vectors: need at least one subtopic");
+
+  // Each category emphasizes 2-3 of the F tf-idf dimensions (a document
+  // summary shares only a few important terms with its category peers);
+  // subtopic modes perturb the category prototype, mirroring Wikipedia's
+  // subcategory fan-out.
+  const std::size_t s = params.subtopics;
+  std::vector<std::vector<double>> prototypes(k * s,
+                                              std::vector<double>(params.f));
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> base(params.f, 0.0);
+    const std::size_t hot = 2 + rng.uniform_index(2);
+    for (std::size_t h = 0; h < hot; ++h) {
+      base[rng.uniform_index(params.f)] = rng.uniform(0.55, 0.95);
+    }
+    for (double& v : base) {
+      if (v == 0.0) v = rng.uniform(0.0, 0.1);  // background tf-idf mass
+    }
+    for (std::size_t sub = 0; sub < s; ++sub) {
+      auto& proto = prototypes[c * s + sub];
+      for (std::size_t d = 0; d < params.f; ++d) {
+        const double offset =
+            sub == 0 ? 0.0 : rng.normal(0.0, params.subtopic_spread);
+        proto[d] = std::clamp(base[d] + offset, 0.0, 1.0);
+      }
+    }
+  }
+
+  PointSet points(params.n, params.f);
+  std::vector<int> labels(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const std::size_t cat = i % k;
+    const std::size_t sub = (i / k) % s;
+    labels[i] = static_cast<int>(cat);
+    auto row = points.point(i);
+    const auto& proto = prototypes[cat * s + sub];
+    for (std::size_t d = 0; d < params.f; ++d) {
+      row[d] =
+          std::clamp(proto[d] + rng.normal(0.0, params.noise), 0.0, 1.0);
+    }
+  }
+  points.set_labels(std::move(labels));
+  return points;
+}
+
+}  // namespace dasc::data

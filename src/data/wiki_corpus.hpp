@@ -1,0 +1,82 @@
+// Synthetic Wikipedia-like corpus (substitute for the paper's 3.55M crawled
+// documents; see DESIGN.md "Substitutions").
+//
+// The paper's accuracy experiments depend on three statistics of its corpus:
+//   * documents live in a category tree and carry a ground-truth category,
+//   * the number of categories follows K = 17 (log2 N - 9)   (Eq. 15),
+//   * each document is reduced to F = 11 tf-idf features     (Section 5.2).
+// This generator reproduces all three. Two paths are provided:
+//   * make_wiki_documents: raw pseudo-HTML documents drawn from per-category
+//     term distributions, to be run through the full text pipeline
+//     (strip -> tokenize -> stem -> tf-idf), exercising the same code path
+//     as the paper's Lucene processing;
+//   * make_wiki_vectors: the equivalent feature vectors generated directly,
+//     for benchmark-scale runs where re-tokenizing is pointless.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+
+namespace dasc::data {
+
+/// The paper's empirical category-count fit, Eq. (15): K = 17(log2 N - 9),
+/// clamped to at least 1 (and at most N).
+std::size_t wiki_category_count(std::size_t n);
+
+/// A node in the synthetic category tree (mirrors the crawler's
+/// CategoryTreeBullet / CategoryTreeEmptyBullet distinction).
+struct CategoryNode {
+  std::string name;
+  std::vector<std::size_t> children;  ///< indices into CategoryTree::nodes
+  bool is_leaf = false;
+  int leaf_label = -1;  ///< dense label for leaf categories, -1 otherwise
+};
+
+/// A random category tree with exactly `leaves` leaf categories.
+struct CategoryTree {
+  std::vector<CategoryNode> nodes;  ///< nodes[0] is the root
+  std::vector<std::size_t> leaf_ids;
+
+  static CategoryTree generate(std::size_t leaves, Rng& rng);
+};
+
+struct WikiCorpusParams {
+  std::size_t n = 1024;   ///< number of documents
+  std::size_t f = 11;     ///< feature terms per document (paper's F)
+  std::size_t k = 0;      ///< categories; 0 means wiki_category_count(n)
+  /// Subtopic prototypes per category. Real Wikipedia categories fan out
+  /// into subcategories; >1 gives each category several nearby modes, so
+  /// LSH bucketing produces many medium buckets instead of one monolith
+  /// per category (the balanced regime the paper's cluster runs exhibit).
+  std::size_t subtopics = 1;
+  double noise = 0.08;    ///< within-subtopic feature jitter
+  double subtopic_spread = 0.12;  ///< subtopic offset from category mode
+  std::uint64_t seed = 7;
+};
+
+/// One raw document plus its ground-truth leaf category.
+struct WikiDocument {
+  std::string html;  ///< pseudo-HTML body (tags, stop words, topic terms)
+  int category = 0;
+};
+
+/// Generate raw documents over a category tree. Intended for moderate n
+/// (the full text pipeline is run on these in tests/examples).
+std::vector<WikiDocument> make_wiki_documents(const WikiCorpusParams& params,
+                                              Rng& rng);
+
+/// Run the text pipeline over raw documents and produce labelled F-dim
+/// tf-idf feature vectors (the paper's clustering input).
+PointSet wiki_documents_to_features(const std::vector<WikiDocument>& docs,
+                                    std::size_t f);
+
+/// Directly generate labelled feature vectors with the same cluster
+/// geometry (each category emphasizes a few of the F dimensions), skipping
+/// text processing. Used by the large benchmark sweeps.
+PointSet make_wiki_vectors(const WikiCorpusParams& params, Rng& rng);
+
+}  // namespace dasc::data

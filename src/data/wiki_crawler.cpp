@@ -1,0 +1,154 @@
+#include "data/wiki_crawler.hpp"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dasc::data {
+
+namespace {
+
+std::string category_url(std::size_t node) {
+  return "/cat/" + std::to_string(node);
+}
+
+std::string document_url(std::size_t doc) {
+  return "/doc/" + std::to_string(doc);
+}
+
+}  // namespace
+
+WikiSite make_wiki_site(const WikiCorpusParams& params, Rng& rng) {
+  // The documents and their category tree.
+  const std::size_t k =
+      params.k > 0 ? params.k : wiki_category_count(params.n);
+  WikiCorpusParams doc_params = params;
+  doc_params.k = k;
+  const std::vector<WikiDocument> docs =
+      make_wiki_documents(doc_params, rng);
+  const CategoryTree tree = CategoryTree::generate(k, rng);
+
+  WikiSite site;
+  site.num_documents = docs.size();
+  site.num_categories = k;
+  site.index_url = category_url(0);
+
+  // Documents grouped per leaf label.
+  std::vector<std::vector<std::size_t>> docs_of_leaf(k);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    docs_of_leaf[static_cast<std::size_t>(docs[i].category)].push_back(i);
+  }
+
+  // One page per tree node. Interior nodes list their children with the
+  // marker that tells the crawler whether to recurse; leaves list their
+  // documents.
+  for (std::size_t node = 0; node < tree.nodes.size(); ++node) {
+    std::ostringstream page;
+    page << "<html><head><title>" << tree.nodes[node].name
+         << "</title></head><body>";
+    if (tree.nodes[node].is_leaf) {
+      const auto label =
+          static_cast<std::size_t>(tree.nodes[node].leaf_label);
+      for (std::size_t doc : docs_of_leaf[label]) {
+        page << "<div class=\"ArticleLink\"><a href=\""
+             << document_url(doc) << "\">doc" << doc << "</a></div>";
+      }
+    } else {
+      for (std::size_t child : tree.nodes[node].children) {
+        const char* marker = tree.nodes[child].is_leaf
+                                 ? "CategoryTreeEmptyBullet"
+                                 : "CategoryTreeBullet";
+        page << "<div class=\"" << marker << "\"><a href=\""
+             << category_url(child) << "\">" << tree.nodes[child].name
+             << "</a></div>";
+      }
+    }
+    page << "</body></html>";
+    site.pages[category_url(node)] = page.str();
+  }
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    site.pages[document_url(i)] = docs[i].html;
+  }
+  return site;
+}
+
+std::vector<std::string> extract_links(const std::string& html,
+                                       const std::string& marker_class) {
+  std::vector<std::string> hrefs;
+  const std::string marker = "class=\"" + marker_class + "\"";
+  std::size_t pos = 0;
+  while ((pos = html.find(marker, pos)) != std::string::npos) {
+    const std::size_t href = html.find("href=\"", pos);
+    if (href == std::string::npos) break;
+    const std::size_t start = href + 6;
+    const std::size_t end = html.find('"', start);
+    DASC_ENSURE(end != std::string::npos,
+                "extract_links: unterminated href");
+    hrefs.push_back(html.substr(start, end - start));
+    pos = end;
+  }
+  return hrefs;
+}
+
+CrawlResult crawl_wiki_site(const WikiSite& site) {
+  DASC_EXPECT(!site.pages.empty(), "crawl_wiki_site: empty site");
+  DASC_EXPECT(site.pages.contains(site.index_url),
+              "crawl_wiki_site: missing index page");
+
+  auto fetch = [&site](const std::string& url) -> const std::string& {
+    const auto it = site.pages.find(url);
+    if (it == site.pages.end()) {
+      throw IoError("crawl_wiki_site: dangling link to " + url);
+    }
+    return it->second;
+  };
+
+  CrawlResult result;
+  std::set<std::string> visited;
+  std::deque<std::string> categories{site.index_url};  // BFS frontier
+
+  while (!categories.empty()) {
+    const std::string url = categories.front();
+    categories.pop_front();
+    if (!visited.insert(url).second) continue;  // cycle safety
+    const std::string& page = fetch(url);
+    ++result.pages_fetched;
+
+    // Recurse into subcategories that have their own subcategories.
+    for (const auto& link : extract_links(page, "CategoryTreeBullet")) {
+      categories.push_back(link);
+    }
+
+    // Degenerate single-category site: the index itself is the leaf.
+    const auto own_articles = extract_links(page, "ArticleLink");
+    if (!own_articles.empty()) {
+      const auto label = static_cast<int>(result.categories_discovered++);
+      for (const auto& doc_link : own_articles) {
+        if (!visited.insert(doc_link).second) continue;
+        result.documents.push_back({fetch(doc_link), label});
+        ++result.pages_fetched;
+      }
+    }
+
+    // Leaf categories: scrape their documents immediately.
+    for (const auto& leaf_link :
+         extract_links(page, "CategoryTreeEmptyBullet")) {
+      if (!visited.insert(leaf_link).second) continue;
+      const std::string& leaf_page = fetch(leaf_link);
+      ++result.pages_fetched;
+      const auto label =
+          static_cast<int>(result.categories_discovered++);
+      for (const auto& doc_link :
+           extract_links(leaf_page, "ArticleLink")) {
+        if (!visited.insert(doc_link).second) continue;
+        result.documents.push_back({fetch(doc_link), label});
+        ++result.pages_fetched;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dasc::data

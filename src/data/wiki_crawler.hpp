@@ -1,0 +1,54 @@
+// Crawler substrate for the paper's data collection (Section 5.2).
+//
+// The paper crawls Wikipedia's category portal: category pages mark each
+// subcategory link either CategoryTreeBullet (has its own subcategories)
+// or CategoryTreeEmptyBullet (leaf whose children are HTML documents); the
+// crawler walks the tree and downloads the leaf documents. We reproduce
+// that pipeline against a generated in-memory "site": make_wiki_site lays
+// a synthetic corpus out as linked HTML pages with exactly those markers,
+// and crawl_wiki_site recovers the documents by parsing them — the same
+// code path as the paper's crawler, without the network.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/wiki_corpus.hpp"
+
+namespace dasc::data {
+
+/// An in-memory website: url -> HTML.
+struct WikiSite {
+  std::unordered_map<std::string, std::string> pages;
+  std::string index_url;
+  std::size_t num_documents = 0;
+  std::size_t num_categories = 0;
+};
+
+/// Lay a synthetic corpus out as a category-tree website.
+WikiSite make_wiki_site(const WikiCorpusParams& params, Rng& rng);
+
+/// One crawled document: the page body plus the leaf category it was
+/// discovered under (dense ids in discovery order — the crawler's ground
+/// truth, as in the paper).
+struct CrawlResult {
+  std::vector<WikiDocument> documents;
+  std::size_t pages_fetched = 0;
+  std::size_t categories_discovered = 0;
+};
+
+/// Walk the site from its index page, recursing into CategoryTreeBullet
+/// links and scraping documents below CategoryTreeEmptyBullet leaves.
+/// Throws IoError on a dangling link; revisited pages are skipped (cycle
+/// safety).
+CrawlResult crawl_wiki_site(const WikiSite& site);
+
+/// Extract the href targets of anchors carrying `marker_class` from an
+/// HTML page (tiny attribute parser; exposed for tests).
+std::vector<std::string> extract_links(const std::string& html,
+                                       const std::string& marker_class);
+
+}  // namespace dasc::data

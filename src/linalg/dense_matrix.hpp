@@ -1,0 +1,75 @@
+// Row-major dense matrix with tracked allocation.
+//
+// Gram matrices dominate the memory story of the paper (Fig. 6b), so every
+// DenseMatrix registers its footprint with MemoryTracker, letting the
+// benchmark harnesses report exact peak matrix bytes per algorithm.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/memory_tracker.hpp"
+
+namespace dasc::linalg {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix initialized to `fill`.
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  // Copies register their own footprint with the tracker; moves transfer it.
+  DenseMatrix(const DenseMatrix& other);
+  DenseMatrix& operator=(const DenseMatrix& other);
+  DenseMatrix(DenseMatrix&&) noexcept = default;
+  DenseMatrix& operator=(DenseMatrix&&) noexcept = default;
+  ~DenseMatrix() = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Tracked bytes held by this matrix.
+  std::size_t bytes() const { return data_.size() * sizeof(double); }
+
+  static DenseMatrix identity(std::size_t n);
+
+  /// this * other (naive triple loop with cache-friendly ordering).
+  DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// this^T.
+  DenseMatrix transposed() const;
+
+  /// y = this * x for a length-cols() vector x; y has length rows().
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// Frobenius norm sqrt(sum a_ij^2) -- Eq. (22) of the paper.
+  double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij| between two equal-shape matrices.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+  /// True if |a_ij - a_ji| <= tol for all i, j.
+  bool is_symmetric(double tol = 1e-10) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+  ScopedAllocation tracked_;
+};
+
+}  // namespace dasc::linalg

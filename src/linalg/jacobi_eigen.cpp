@@ -1,0 +1,86 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::linalg {
+
+SymmetricEigenResult jacobi_eigen(const DenseMatrix& input, int max_sweeps) {
+  DASC_EXPECT(input.rows() == input.cols(),
+              "jacobi_eigen: matrix must be square");
+  DASC_EXPECT(input.is_symmetric(1e-8), "jacobi_eigen: matrix not symmetric");
+  DASC_EXPECT(max_sweeps > 0, "jacobi_eigen: max_sweeps must be positive");
+
+  const std::size_t n = input.rows();
+  DenseMatrix a = input;
+  DenseMatrix v = DenseMatrix::identity(n);
+
+  auto off_diag_norm = [&a, n] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) acc += a(i, j) * a(i, j);
+    }
+    return std::sqrt(acc);
+  };
+
+  const double tol = 1e-14 * std::max(1.0, a.frobenius_norm());
+  for (int sweep = 0; sweep < max_sweeps && off_diag_norm() > tol; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tol / (static_cast<double>(n))) continue;
+
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        // Smaller-angle rotation root for stability.
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigenResult result;
+  result.eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.eigenvalues[i] = a(i, i);
+
+  // Sort ascending with matching eigenvector columns.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return result.eigenvalues[x] < result.eigenvalues[y];
+  });
+  SymmetricEigenResult sorted;
+  sorted.eigenvalues.resize(n);
+  sorted.eigenvectors = DenseMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted.eigenvalues[j] = result.eigenvalues[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return sorted;
+}
+
+}  // namespace dasc::linalg

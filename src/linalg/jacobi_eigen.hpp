@@ -1,0 +1,17 @@
+// Cyclic Jacobi eigendecomposition for small symmetric matrices.
+//
+// Slower than tridiagonal QL but unconditionally robust and trivially
+// verifiable; the test suite uses it as an independent oracle against the
+// QL path, and the Nystrom baseline uses it on its (small) landmark matrix.
+#pragma once
+
+#include "linalg/symmetric_eigen.hpp"
+
+namespace dasc::linalg {
+
+/// Full eigendecomposition of symmetric `a` by cyclic Jacobi rotations.
+/// Eigenvalues ascending; column j of eigenvectors pairs with value j.
+/// Intended for n up to a few hundred.
+SymmetricEigenResult jacobi_eigen(const DenseMatrix& a, int max_sweeps = 64);
+
+}  // namespace dasc::linalg

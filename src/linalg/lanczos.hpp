@@ -1,0 +1,53 @@
+// Lanczos iteration for extremal eigenpairs of a symmetric linear operator.
+//
+// The PSC baseline (PARPACK in the paper) and the spectral-clustering step
+// only need the top-K eigenvectors of an N x N symmetric operator whose
+// matvec is cheap (sparse affinity, or a dense Gram matrix). Lanczos with
+// full reorthogonalization gives those in O(iters * matvec) without ever
+// forming a dense factorization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::linalg {
+
+/// A symmetric linear operator y = A*x of dimension `dim`.
+struct LinearOperator {
+  std::size_t dim = 0;
+  /// Must write A*x into y; x and y have length dim and never alias.
+  std::function<void(std::span<const double> x, std::span<double> y)> apply;
+};
+
+/// Wrap a dense symmetric matrix as a LinearOperator (no copy; the matrix
+/// must outlive the operator).
+LinearOperator as_operator(const DenseMatrix& a);
+
+struct LanczosOptions {
+  /// Maximum Krylov subspace size; 0 picks min(dim, max(2k+16, 32)).
+  std::size_t max_subspace = 0;
+  /// Residual tolerance on ||A v - lambda v|| relative to |lambda_max|.
+  double tolerance = 1e-8;
+  /// Seed for the random start vector.
+  std::uint64_t seed = 12345;
+};
+
+struct LanczosResult {
+  /// k converged (or best-effort) eigenvalues, descending by value.
+  std::vector<double> eigenvalues;
+  /// Column j is the Ritz vector for eigenvalues[j]; dim x k.
+  DenseMatrix eigenvectors;
+  /// Lanczos steps actually taken.
+  std::size_t iterations = 0;
+};
+
+/// Compute the k algebraically largest eigenpairs of `op`.
+/// Requires 1 <= k <= op.dim.
+LanczosResult lanczos_largest(const LinearOperator& op, std::size_t k,
+                              const LanczosOptions& options = {});
+
+}  // namespace dasc::linalg

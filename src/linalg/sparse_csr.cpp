@@ -1,0 +1,107 @@
+#include "linalg/sparse_csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::linalg {
+
+SparseCsr::SparseCsr(std::size_t rows, std::size_t cols,
+                     std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  for (const auto& t : entries) {
+    DASC_EXPECT(t.row < rows && t.col < cols,
+                "SparseCsr: triplet index out of range");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size();) {
+    const std::size_t r = entries[i].row;
+    const std::size_t c = entries[i].col;
+    double v = 0.0;
+    while (i < entries.size() && entries[i].row == r && entries[i].col == c) {
+      v += entries[i].value;
+      ++i;
+    }
+    if (v != 0.0) {
+      col_idx_.push_back(c);
+      values_.push_back(v);
+      ++row_ptr_[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+  tracked_.resize(col_idx_.size() * sizeof(std::size_t) +
+                  values_.size() * sizeof(double) +
+                  row_ptr_.size() * sizeof(std::size_t));
+}
+
+std::span<const std::size_t> SparseCsr::row_cols(std::size_t r) const {
+  DASC_EXPECT(r < rows_, "SparseCsr: row out of range");
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> SparseCsr::row_values(std::size_t r) const {
+  DASC_EXPECT(r < rows_, "SparseCsr: row out of range");
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+void SparseCsr::matvec(std::span<const double> x, std::span<double> y) const {
+  DASC_EXPECT(x.size() == cols_, "matvec: x length mismatch");
+  DASC_EXPECT(y.size() == rows_, "matvec: y length mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+double SparseCsr::at(std::size_t r, std::size_t c) const {
+  const auto cols = row_cols(r);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+  if (it == cols.end() || *it != c) return 0.0;
+  return values_[row_ptr_[r] + static_cast<std::size_t>(it - cols.begin())];
+}
+
+std::vector<double> SparseCsr::row_sums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sums[r] += values_[k];
+    }
+  }
+  return sums;
+}
+
+double SparseCsr::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+std::size_t SparseCsr::bytes() const {
+  return col_idx_.size() * sizeof(std::size_t) +
+         values_.size() * sizeof(double) +
+         row_ptr_.size() * sizeof(std::size_t);
+}
+
+bool SparseCsr::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (std::abs(vals[k] - at(cols[k], r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dasc::linalg

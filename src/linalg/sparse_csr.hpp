@@ -1,0 +1,67 @@
+// Compressed sparse row matrix.
+//
+// Used by the PSC baseline (sparse t-nearest-neighbour affinity graph) and
+// by the Lanczos eigensolver's matvec. Construction is from triplets; rows
+// are sorted by column and duplicate entries are summed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/memory_tracker.hpp"
+
+namespace dasc::linalg {
+
+/// One (row, col, value) entry used to assemble a SparseCsr.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR matrix of doubles.
+class SparseCsr {
+ public:
+  SparseCsr() = default;
+
+  /// Assemble from triplets; duplicates are summed, explicit zeros dropped.
+  SparseCsr(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Column indices of row r (sorted ascending).
+  std::span<const std::size_t> row_cols(std::size_t r) const;
+  /// Values of row r, aligned with row_cols(r).
+  std::span<const double> row_values(std::size_t r) const;
+
+  /// y = A * x.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// Value at (r, c); 0 if not stored. O(log nnz(row)).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Row sums (degree vector for affinity matrices).
+  std::vector<double> row_sums() const;
+
+  /// Frobenius norm of the stored entries.
+  double frobenius_norm() const;
+
+  /// Bytes held by the index and value arrays.
+  std::size_t bytes() const;
+
+  /// True if A(i,j) == A(j,i) within tol for all stored entries.
+  bool is_symmetric(double tol = 1e-10) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+  ScopedAllocation tracked_;
+};
+
+}  // namespace dasc::linalg

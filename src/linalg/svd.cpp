@@ -1,0 +1,110 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dasc::linalg {
+
+SvdResult jacobi_svd(const DenseMatrix& a, int max_sweeps) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  DASC_EXPECT(m >= n, "jacobi_svd: requires rows >= cols");
+  DASC_EXPECT(n >= 1, "jacobi_svd: empty matrix");
+  DASC_EXPECT(max_sweeps > 0, "jacobi_svd: max_sweeps must be positive");
+
+  // Work on a copy whose columns we orthogonalize; V accumulates the
+  // right rotations so A = (work) * V^T throughout.
+  DenseMatrix work = a;
+  DenseMatrix v = DenseMatrix::identity(n);
+
+  const double eps = 1e-14;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Column inner products.
+        double app = 0.0;
+        double aqq = 0.0;
+        double apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += work(i, p) * work(i, p);
+          aqq += work(i, q) * work(i, q);
+          apq += work(i, p) * work(i, q);
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq) ||
+            (app == 0.0 && aqq == 0.0)) {
+          continue;
+        }
+        converged = false;
+
+        // Jacobi rotation zeroing the (p, q) column inner product.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = work(i, p);
+          const double wq = work(i, q);
+          work(i, p) = c * wp - s * wq;
+          work(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values = column norms; sort descending with U/V columns.
+  std::vector<double> sigma(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += work(i, j) * work(i, j);
+    sigma[j] = std::sqrt(norm);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&sigma](std::size_t x,
+                                                 std::size_t y) {
+    return sigma[x] > sigma[y];
+  });
+
+  SvdResult result;
+  result.singular_values.resize(n);
+  result.u = DenseMatrix(m, n, 0.0);
+  result.v = DenseMatrix(n, n, 0.0);
+  for (std::size_t out = 0; out < n; ++out) {
+    const std::size_t j = order[out];
+    result.singular_values[out] = sigma[j];
+    if (sigma[j] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        result.u(i, out) = work(i, j) / sigma[j];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      result.v(i, out) = v(i, j);
+    }
+  }
+  return result;
+}
+
+std::size_t numerical_rank(const SvdResult& svd, double tolerance) {
+  DASC_EXPECT(tolerance >= 0.0, "numerical_rank: tolerance must be >= 0");
+  if (svd.singular_values.empty()) return 0;
+  const double floor = tolerance * svd.singular_values.front();
+  std::size_t rank = 0;
+  for (double s : svd.singular_values) {
+    if (s > floor) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace dasc::linalg

@@ -1,0 +1,230 @@
+#include "linalg/symmetric_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dasc::linalg {
+
+namespace {
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of the symmetric matrix stored in z to tridiagonal
+// form (diagonal d, sub-diagonal e), accumulating the orthogonal transform
+// in z. Classical tred2 (EISPACK lineage, re-derived).
+void tridiagonalize(DenseMatrix& z, std::vector<double>& d,
+                    std::vector<double>& e) {
+  const std::size_t n = z.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  if (n == 0) return;
+
+  for (std::size_t j = 0; j < n; ++j) d[j] = z(n - 1, j);
+
+  for (std::size_t i = n - 1; i > 0; --i) {
+    // Scale to avoid under/overflow.
+    double scale = 0.0;
+    double h = 0.0;
+    for (std::size_t k = 0; k < i; ++k) scale += std::abs(d[k]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (std::size_t j = 0; j < i; ++j) {
+        d[j] = z(i - 1, j);
+        z(i, j) = 0.0;
+        z(j, i) = 0.0;
+      }
+    } else {
+      for (std::size_t k = 0; k < i; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+      for (std::size_t j = 0; j < i; ++j) e[j] = 0.0;
+
+      // Apply similarity transformation to remaining columns.
+      for (std::size_t j = 0; j < i; ++j) {
+        f = d[j];
+        z(j, i) = f;
+        g = e[j] + z(j, j) * f;
+        for (std::size_t k = j + 1; k <= i - 1; ++k) {
+          g += z(k, j) * d[k];
+          e[k] += z(k, j) * f;
+        }
+        e[j] = g;
+      }
+      f = 0.0;
+      for (std::size_t j = 0; j < i; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (std::size_t j = 0; j < i; ++j) e[j] -= hh * d[j];
+      for (std::size_t j = 0; j < i; ++j) {
+        f = d[j];
+        g = e[j];
+        for (std::size_t k = j; k <= i - 1; ++k) {
+          z(k, j) -= f * e[k] + g * d[k];
+        }
+        d[j] = z(i - 1, j);
+        z(i, j) = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+
+  // Accumulate transformations.
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    z(n - 1, i) = z(i, i);
+    z(i, i) = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (std::size_t k = 0; k <= i; ++k) d[k] = z(k, i + 1) / h;
+      for (std::size_t j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k <= i; ++k) g += z(k, i + 1) * z(k, j);
+        for (std::size_t k = 0; k <= i; ++k) z(k, j) -= g * d[k];
+      }
+    }
+    for (std::size_t k = 0; k <= i; ++k) z(k, i + 1) = 0.0;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    d[j] = z(n - 1, j);
+    z(n - 1, j) = 0.0;
+  }
+  z(n - 1, n - 1) = 1.0;
+  e[0] = 0.0;
+}
+
+// Implicit-shift QL on the tridiagonal (d, e), updating eigenvectors in z.
+// Classical tql2. e uses the convention e[i] couples rows i-1 and i.
+void ql_implicit_shift(std::vector<double>& d, std::vector<double>& e,
+                       DenseMatrix& z) {
+  const std::size_t n = d.size();
+  if (n <= 1) return;
+
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  for (std::size_t l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    std::size_t m = l;
+    while (m < n) {
+      if (std::abs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+
+    if (m > l) {
+      int iter = 0;
+      do {
+        DASC_ENSURE(++iter <= 50, "QL iteration failed to converge");
+        // Compute implicit shift.
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = hypot2(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (std::size_t i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        // Implicit QL transformation.
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (std::size_t ii = m; ii-- > l;) {
+          const std::size_t i = ii;
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = hypot2(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+
+          // Accumulate transformation in eigenvectors.
+          for (std::size_t k = 0; k < n; ++k) {
+            h = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * h;
+            z(k, i) = c * z(k, i) - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvector columns.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::size_t k = i;
+    double p = d[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      std::swap(d[k], d[i]);
+      for (std::size_t j = 0; j < n; ++j) std::swap(z(j, i), z(j, k));
+    }
+  }
+}
+
+}  // namespace
+
+SymmetricEigenResult symmetric_eigen(const DenseMatrix& a) {
+  DASC_EXPECT(a.rows() == a.cols(), "symmetric_eigen: matrix must be square");
+  DASC_EXPECT(a.is_symmetric(1e-8), "symmetric_eigen: matrix not symmetric");
+
+  SymmetricEigenResult result;
+  result.eigenvectors = a;  // tridiagonalize works in place
+  std::vector<double> d;
+  std::vector<double> e;
+  tridiagonalize(result.eigenvectors, d, e);
+  ql_implicit_shift(d, e, result.eigenvectors);
+  result.eigenvalues = std::move(d);
+  return result;
+}
+
+SymmetricEigenResult tridiagonal_eigen(std::vector<double> d,
+                                       std::vector<double> e) {
+  const std::size_t n = d.size();
+  DASC_EXPECT(n == 0 || e.size() == n - 1,
+              "tridiagonal_eigen: e must have length n-1");
+  SymmetricEigenResult result;
+  result.eigenvectors = DenseMatrix::identity(n);
+  // ql_implicit_shift expects e shifted so that e[i] couples i-1 and i.
+  std::vector<double> e_shift(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) e_shift[i + 1] = e[i];
+  ql_implicit_shift(d, e_shift, result.eigenvectors);
+  result.eigenvalues = std::move(d);
+  return result;
+}
+
+}  // namespace dasc::linalg

@@ -1,0 +1,35 @@
+// Dense symmetric eigendecomposition.
+//
+// The paper's per-bucket spectral step (Section 3.2) reduces the Laplacian
+// to a symmetric tridiagonal matrix and then applies QR/QL iterations. We
+// implement exactly that classical two-phase scheme:
+//   1. Householder tridiagonalization (O(n^3)),
+//   2. implicit-shift QL on the tridiagonal form (O(n^2) per eigenvalue),
+// accumulating the orthogonal transform so eigenvectors come out directly.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::linalg {
+
+/// Eigendecomposition of a real symmetric matrix.
+struct SymmetricEigenResult {
+  /// Eigenvalues in ascending order.
+  std::vector<double> eigenvalues;
+  /// Column j of this matrix is the unit eigenvector for eigenvalues[j].
+  DenseMatrix eigenvectors;
+};
+
+/// Full eigendecomposition of symmetric `a`. Throws InvalidArgument if the
+/// matrix is not square or not symmetric (within a loose tolerance).
+SymmetricEigenResult symmetric_eigen(const DenseMatrix& a);
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with diagonal `d`
+/// (length n) and sub-diagonal `e` (length n-1; e[i] couples i and i+1).
+/// Used by the Lanczos solver on its projected matrix T.
+SymmetricEigenResult tridiagonal_eigen(std::vector<double> d,
+                                       std::vector<double> e);
+
+}  // namespace dasc::linalg

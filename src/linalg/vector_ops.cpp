@@ -1,0 +1,48 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  DASC_EXPECT(x.size() == y.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double squared_distance(std::span<const double> x, std::span<const double> y) {
+  DASC_EXPECT(x.size() == y.size(), "squared_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  DASC_EXPECT(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double normalize(std::span<double> x) {
+  const double n = norm2(x);
+  if (n > 0.0) scale(x, 1.0 / n);
+  return n;
+}
+
+void copy(std::span<const double> src, std::span<double> dst) {
+  DASC_EXPECT(src.size() == dst.size(), "copy: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+}  // namespace dasc::linalg

@@ -1,0 +1,33 @@
+// Span-based dense vector kernels shared by the eigensolvers and the
+// clustering algorithms. All routines require equal-length inputs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dasc::linalg {
+
+/// Dot product <x, y>.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm ||x||_2.
+double norm2(std::span<const double> x);
+
+/// Squared Euclidean distance ||x - y||^2.
+double squared_distance(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(std::span<double> x, double alpha);
+
+/// Normalize x to unit 2-norm in place; returns the original norm.
+/// A zero vector is left unchanged and 0 is returned.
+double normalize(std::span<double> x);
+
+/// Elementwise copy.
+void copy(std::span<const double> src, std::span<double> dst);
+
+}  // namespace dasc::linalg

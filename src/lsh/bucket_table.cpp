@@ -1,0 +1,134 @@
+#include "lsh/bucket_table.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace dasc::lsh {
+
+BucketTable BucketTable::build(const data::PointSet& points,
+                               const LshHasher& hasher) {
+  DASC_EXPECT(!points.empty(), "BucketTable: empty dataset");
+  DASC_EXPECT(points.dim() == hasher.input_dim(),
+              "BucketTable: hasher dimensionality mismatch");
+  std::vector<Signature> signatures(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    signatures[i] = hasher.hash(points.point(i));
+  }
+  return from_signatures(signatures, hasher.bits());
+}
+
+BucketTable BucketTable::from_signatures(
+    const std::vector<Signature>& signatures, std::size_t m) {
+  DASC_EXPECT(!signatures.empty(), "BucketTable: no signatures");
+  DASC_EXPECT(m >= 1 && m <= kMaxSignatureBits, "BucketTable: bad width");
+
+  std::unordered_map<Signature, std::size_t, SignatureHash> ids;
+  BucketTable table;
+  table.m_ = m;
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    const Signature sig = signatures[i];
+    DASC_EXPECT(m == kMaxSignatureBits || (sig.bits >> m) == 0,
+                "BucketTable: signature has bits above width m");
+    auto [it, inserted] = ids.try_emplace(sig, table.raw_.size());
+    if (inserted) table.raw_.push_back({sig, {}});
+    table.raw_[it->second].indices.push_back(i);
+  }
+  return table;
+}
+
+std::vector<Bucket> BucketTable::raw_buckets() const {
+  return merged_buckets(m_, MergeStrategy::kNone);
+}
+
+std::vector<Bucket> BucketTable::merged_buckets(
+    std::size_t p, MergeStrategy strategy) const {
+  DASC_EXPECT(p <= m_, "merged_buckets: p must be <= m");
+  const std::size_t t = raw_.size();
+
+  // Star merging: raw buckets are visited largest-first; each either joins
+  // the first existing group whose *representative* signature shares at
+  // least p bits with it, or founds a new group. Bounding the comparison
+  // to representatives keeps the merge radius at m - p bits — a transitive
+  // union over the 1-bit graph would chain across the whole signature
+  // space whenever it is densely occupied (small m or large N) and
+  // collapse the partition, destroying the paper's O(sum Ni^2) saving.
+  std::vector<std::size_t> order(t);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (raw_[a].indices.size() != raw_[b].indices.size()) {
+      return raw_[a].indices.size() > raw_[b].indices.size();
+    }
+    return raw_[a].signature.bits < raw_[b].signature.bits;
+  });
+
+  std::vector<Bucket> out;
+  std::vector<Signature> representatives;
+  std::unordered_map<Signature, std::size_t, SignatureHash> rep_lookup;
+
+  auto find_group = [&](Signature sig) -> std::ptrdiff_t {
+    switch (strategy) {
+      case MergeStrategy::kNone:
+        return -1;
+      case MergeStrategy::kPairwise:
+        // Section 3.2: compare against the existing unique signatures.
+        for (std::size_t g = 0; g < representatives.size(); ++g) {
+          const bool matches =
+              p == m_ - 1
+                  ? differ_by_at_most_one_bit(sig, representatives[g])
+                  : share_at_least(sig, representatives[g], m_, p);
+          if (matches) return static_cast<std::ptrdiff_t>(g);
+        }
+        return -1;
+      case MergeStrategy::kBitFlip: {
+        DASC_EXPECT(p == m_ - 1,
+                    "merged_buckets: kBitFlip requires p == m - 1");
+        // Eq. (6) specialization: a 1-bit neighbourhood can be enumerated
+        // instead of scanned, O(m) per bucket instead of O(T).
+        const auto exact = rep_lookup.find(sig);
+        if (exact != rep_lookup.end()) {
+          return static_cast<std::ptrdiff_t>(exact->second);
+        }
+        std::ptrdiff_t best = -1;
+        for (std::size_t bit = 0; bit < m_; ++bit) {
+          const auto it = rep_lookup.find({sig.bits ^ (1ULL << bit)});
+          if (it != rep_lookup.end()) {
+            const auto g = static_cast<std::ptrdiff_t>(it->second);
+            if (best == -1 || g < best) best = g;
+          }
+        }
+        return best;
+      }
+    }
+    return -1;
+  };
+
+  // kPairwise must pick the same group kBitFlip would (the first group in
+  // creation order); the linear scan already returns the smallest g.
+  for (std::size_t rank = 0; rank < t; ++rank) {
+    const RawBucket& raw = raw_[order[rank]];
+    const std::ptrdiff_t group = find_group(raw.signature);
+    if (group < 0) {
+      out.push_back({raw.signature, raw.indices});
+      representatives.push_back(raw.signature);
+      rep_lookup.emplace(raw.signature, out.size() - 1);
+    } else {
+      auto& bucket = out[static_cast<std::size_t>(group)];
+      bucket.indices.insert(bucket.indices.end(), raw.indices.begin(),
+                            raw.indices.end());
+    }
+  }
+
+  for (auto& bucket : out) {
+    std::sort(bucket.indices.begin(), bucket.indices.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Bucket& x, const Bucket& y) {
+                     return x.indices.size() > y.indices.size();
+                   });
+  return out;
+}
+
+}  // namespace dasc::lsh

@@ -1,0 +1,72 @@
+// Signature bucketing and near-duplicate bucket merging (paper steps 2-3).
+//
+// Points with identical signatures share a bucket; buckets whose signatures
+// share at least P of M bits are merged (Section 3.2). For the paper's
+// default P = M-1 the pairwise test is the O(1) bit trick of Eq. (6); we
+// additionally provide an O(T*M) single-bit-flip neighbour enumeration that
+// produces the identical merge but avoids the O(T^2) pass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/point_set.hpp"
+#include "lsh/hasher.hpp"
+#include "lsh/signature.hpp"
+
+namespace dasc::lsh {
+
+/// One merged group of points.
+struct Bucket {
+  /// Representative signature (of the largest constituent raw bucket).
+  Signature signature;
+  /// Dataset indices of the member points.
+  std::vector<std::size_t> indices;
+};
+
+/// Strategy used to find mergeable signature pairs.
+enum class MergeStrategy {
+  kNone,          ///< keep raw signature buckets (P = M)
+  kPairwise,      ///< O(T^2) comparison of all unique signatures (paper)
+  kBitFlip,       ///< O(T*M) neighbour lookup; valid only for P = M-1
+};
+
+/// Hash table from signatures to member points.
+class BucketTable {
+ public:
+  /// Hash every point and group by signature.
+  static BucketTable build(const data::PointSet& points,
+                           const LshHasher& hasher);
+
+  /// Build from precomputed signatures (the MapReduce path).
+  static BucketTable from_signatures(const std::vector<Signature>& signatures,
+                                     std::size_t m);
+
+  /// Number of distinct raw signatures T.
+  std::size_t raw_bucket_count() const { return raw_.size(); }
+
+  std::size_t signature_bits() const { return m_; }
+
+  /// Merge buckets sharing >= p bits with an existing group's
+  /// representative signature (star merging, largest bucket first — see
+  /// the .cpp for why the merge is deliberately not transitive) and return
+  /// the final groups sorted by decreasing size. p == m means no merging.
+  /// kBitFlip requires p == m-1 and produces the identical grouping to
+  /// kPairwise at lower cost.
+  std::vector<Bucket> merged_buckets(std::size_t p,
+                                     MergeStrategy strategy) const;
+
+  /// Raw (unmerged) buckets, sorted by decreasing size.
+  std::vector<Bucket> raw_buckets() const;
+
+ private:
+  struct RawBucket {
+    Signature signature;
+    std::vector<std::size_t> indices;
+  };
+
+  std::vector<RawBucket> raw_;
+  std::size_t m_ = 0;
+};
+
+}  // namespace dasc::lsh

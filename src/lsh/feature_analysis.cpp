@@ -1,0 +1,118 @@
+#include "lsh/feature_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dasc::lsh {
+
+std::vector<std::size_t> FeatureAnalysis::dimensions_by_span() const {
+  std::vector<std::size_t> order(dims.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return dims[a].span > dims[b].span;
+                   });
+  return order;
+}
+
+FeatureAnalysis analyze_features(const data::PointSet& points) {
+  DASC_EXPECT(!points.empty(), "analyze_features: empty dataset");
+  const std::size_t d = points.dim();
+
+  FeatureAnalysis out;
+  out.dims.resize(d);
+
+  const std::vector<double> minima = points.minima();
+  const std::vector<double> spans = points.spans();
+
+  double span_total = 0.0;
+  for (std::size_t dim = 0; dim < d; ++dim) {
+    DimensionStats& stats = out.dims[dim];
+    stats.min = minima[dim];
+    stats.span = spans[dim];
+    stats.histogram.assign(kHistogramBins, 0);
+    span_total += stats.span;
+  }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.point(i);
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      DimensionStats& stats = out.dims[dim];
+      std::size_t bin = 0;
+      if (stats.span > 0.0) {
+        const double rel = (row[dim] - stats.min) / stats.span;
+        bin = std::min<std::size_t>(
+            static_cast<std::size_t>(rel * kHistogramBins),
+            kHistogramBins - 1);
+      }
+      ++stats.histogram[bin];
+    }
+  }
+
+  for (std::size_t dim = 0; dim < d; ++dim) {
+    DimensionStats& stats = out.dims[dim];
+    // Eq. (5): s = argmin of the histogram; threshold sits at that bin's
+    // lower edge, i.e. the sparsest region of the dimension, so the split
+    // rarely separates near-duplicate points.
+    const std::size_t s = static_cast<std::size_t>(
+        std::min_element(stats.histogram.begin(), stats.histogram.end()) -
+        stats.histogram.begin());
+    stats.threshold =
+        stats.min + static_cast<double>(s) * stats.span /
+                        static_cast<double>(kHistogramBins);
+  }
+
+  out.selection_probability.assign(d, 0.0);
+  if (span_total > 0.0) {
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      out.selection_probability[dim] = out.dims[dim].span / span_total;
+    }
+  } else {
+    // Degenerate dataset (all points identical): uniform probabilities.
+    for (double& p : out.selection_probability) {
+      p = 1.0 / static_cast<double>(d);
+    }
+  }
+  return out;
+}
+
+double threshold_for_rank(const DimensionStats& stats, std::size_t rank) {
+  DASC_EXPECT(stats.histogram.size() == kHistogramBins,
+              "threshold_for_rank: stats missing histogram");
+  // Greedy selection: each rank takes the lowest-count remaining bin,
+  // breaking count ties by distance from the bins already chosen (several
+  // empty bins often sit in one density gap — adjacent cuts there would be
+  // near-duplicates and waste signature bits).
+  const std::size_t wanted = rank % kHistogramBins;
+  std::vector<std::size_t> chosen;
+  std::vector<bool> used(kHistogramBins, false);
+  for (std::size_t r = 0; r <= wanted; ++r) {
+    std::size_t best = kHistogramBins;
+    std::size_t best_count = 0;
+    std::size_t best_distance = 0;
+    for (std::size_t bin = 0; bin < kHistogramBins; ++bin) {
+      if (used[bin]) continue;
+      std::size_t distance = kHistogramBins;
+      for (std::size_t c : chosen) {
+        const std::size_t gap = bin > c ? bin - c : c - bin;
+        distance = std::min(distance, gap);
+      }
+      const std::size_t count = stats.histogram[bin];
+      if (best == kHistogramBins || count < best_count ||
+          (count == best_count && distance > best_distance)) {
+        best = bin;
+        best_count = count;
+        best_distance = distance;
+      }
+    }
+    DASC_ENSURE(best < kHistogramBins, "threshold_for_rank: no bin left");
+    used[best] = true;
+    chosen.push_back(best);
+  }
+  return stats.min + static_cast<double>(chosen.back()) * stats.span /
+                         static_cast<double>(kHistogramBins);
+}
+
+}  // namespace dasc::lsh

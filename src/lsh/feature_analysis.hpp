@@ -1,0 +1,49 @@
+// Per-dimension statistics driving the paper's hash-function design
+// (Section 3.3 "Algorithm 1" discussion and Section 4.2):
+//   * numerical span of each dimension (Eq. 4's selection weight),
+//   * a 20-bin histogram per dimension,
+//   * the threshold = lower edge of the smallest-count bin (Eq. 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/point_set.hpp"
+
+namespace dasc::lsh {
+
+/// Histogram bin count fixed by the paper ("we create 20 bins").
+inline constexpr std::size_t kHistogramBins = 20;
+
+/// Statistics of one dimension of the dataset.
+struct DimensionStats {
+  double min = 0.0;
+  double span = 0.0;
+  /// Point counts over kHistogramBins equal-width bins of [min, min+span].
+  std::vector<std::size_t> histogram;
+  /// Eq. (5): min + s * span / 20, s = index of the smallest-count bin.
+  double threshold = 0.0;
+};
+
+/// Full per-dimension analysis of a dataset.
+struct FeatureAnalysis {
+  std::vector<DimensionStats> dims;
+  /// Eq. (4): span[i] / sum(span), the selection probability per dimension.
+  std::vector<double> selection_probability;
+
+  /// Dimensions ordered by decreasing span (ties by index).
+  std::vector<std::size_t> dimensions_by_span() const;
+};
+
+/// Analyze all dimensions of `points`. Requires a non-empty dataset.
+FeatureAnalysis analyze_features(const data::PointSet& points);
+
+/// Generalization of Eq. (5) for hash widths M > d (the paper evaluates
+/// M up to 35 on 11-dimensional documents, so dimensions repeat): the
+/// rank-r threshold sits at the lower edge of the (r+1)-th smallest-count
+/// histogram bin. rank 0 reproduces DimensionStats::threshold; ranks wrap
+/// modulo the bin count. Repeated picks of one dimension thus cut it at
+/// distinct sparse edges instead of emitting duplicate bits.
+double threshold_for_rank(const DimensionStats& stats, std::size_t rank);
+
+}  // namespace dasc::lsh

@@ -1,0 +1,28 @@
+// Common interface of the LSH families studied in the paper (Section 3.2:
+// random projection, stable distributions, min-wise permutations). DASC is
+// written against this interface, so any family can drive the bucketing.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "lsh/signature.hpp"
+
+namespace dasc::lsh {
+
+/// Produces an M-bit signature for a d-dimensional point.
+class LshHasher {
+ public:
+  virtual ~LshHasher() = default;
+
+  /// Signature width M.
+  virtual std::size_t bits() const = 0;
+
+  /// Input dimensionality d.
+  virtual std::size_t input_dim() const = 0;
+
+  /// Hash one point (length must equal input_dim()).
+  virtual Signature hash(std::span<const double> point) const = 0;
+};
+
+}  // namespace dasc::lsh

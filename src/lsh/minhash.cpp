@@ -1,0 +1,69 @@
+#include "lsh/minhash.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dasc::lsh {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+MinHashHasher MinHashHasher::fit(const data::PointSet& points, std::size_t m,
+                                 Rng& rng) {
+  DASC_EXPECT(!points.empty(), "MinHashHasher: empty dataset");
+  DASC_EXPECT(m >= 1 && m <= kMaxSignatureBits,
+              "MinHashHasher: m out of range");
+
+  const std::size_t d = points.dim();
+  std::vector<double> cutoffs(d);
+  std::vector<double> column(points.size());
+  for (std::size_t dim = 0; dim < d; ++dim) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      column[i] = points.at(i, dim);
+    }
+    auto mid = column.begin() + static_cast<std::ptrdiff_t>(column.size() / 2);
+    std::nth_element(column.begin(), mid, column.end());
+    cutoffs[dim] = *mid;
+  }
+
+  std::vector<std::uint64_t> salts(m);
+  for (auto& s : salts) s = rng();
+  return MinHashHasher(std::move(cutoffs), std::move(salts));
+}
+
+MinHashHasher::MinHashHasher(std::vector<double> cutoffs,
+                             std::vector<std::uint64_t> salts)
+    : cutoffs_(std::move(cutoffs)), salts_(std::move(salts)) {}
+
+Signature MinHashHasher::hash(std::span<const double> point) const {
+  DASC_EXPECT(point.size() == cutoffs_.size(),
+              "MinHashHasher: point dimension mismatch");
+  Signature sig;
+  for (std::size_t bit = 0; bit < salts_.size(); ++bit) {
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    bool any = false;
+    for (std::size_t dim = 0; dim < point.size(); ++dim) {
+      if (point[dim] > cutoffs_[dim]) {
+        best = std::min(best, mix(salts_[bit] ^ (dim + 1)));
+        any = true;
+      }
+    }
+    // Empty set: hash the whole-vector sentinel so identical empty sets
+    // still collide.
+    const std::uint64_t h = any ? best : mix(salts_[bit]);
+    if (h & 1ULL) sig.bits |= (1ULL << bit);
+  }
+  return sig;
+}
+
+}  // namespace dasc::lsh

@@ -1,0 +1,37 @@
+// Min-wise-independent-permutation hashing (the MinHash family the paper
+// surveys in Section 3.2, citing Chum et al.).
+//
+// Real-valued vectors are binarized into the set of dimensions whose value
+// exceeds that dimension's median; each signature bit is the parity of one
+// minwise hash over that set (1-bit MinHash), so Hamming similarity between
+// signatures estimates Jaccard similarity between the sets.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "lsh/hasher.hpp"
+
+namespace dasc::lsh {
+
+class MinHashHasher final : public LshHasher {
+ public:
+  /// Fit binarization cutoffs (per-dimension medians) and draw m
+  /// independent hash permutations.
+  static MinHashHasher fit(const data::PointSet& points, std::size_t m,
+                           Rng& rng);
+
+  std::size_t bits() const override { return salts_.size(); }
+  std::size_t input_dim() const override { return cutoffs_.size(); }
+
+  Signature hash(std::span<const double> point) const override;
+
+ private:
+  MinHashHasher(std::vector<double> cutoffs, std::vector<std::uint64_t> salts);
+
+  std::vector<double> cutoffs_;        // per-dimension binarization cutoff
+  std::vector<std::uint64_t> salts_;   // one per signature bit
+};
+
+}  // namespace dasc::lsh

@@ -1,0 +1,94 @@
+#include "lsh/random_projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::lsh {
+
+RandomProjectionHasher RandomProjectionHasher::fit(
+    const data::PointSet& points, std::size_t m, DimensionSelection mode,
+    Rng& rng) {
+  DASC_EXPECT(!points.empty(), "RandomProjectionHasher: empty dataset");
+  DASC_EXPECT(m >= 1 && m <= kMaxSignatureBits,
+              "RandomProjectionHasher: m out of range");
+
+  const FeatureAnalysis analysis = analyze_features(points);
+  const std::size_t d = points.dim();
+
+  std::vector<std::size_t> picks;
+  picks.reserve(m);
+  if (mode == DimensionSelection::kTopSpan) {
+    const std::vector<std::size_t> order = analysis.dimensions_by_span();
+    for (std::size_t i = 0; i < m; ++i) picks.push_back(order[i % d]);
+  } else {
+    // Span-weighted sampling without replacement until dimensions run out,
+    // then wrap around with replacement.
+    std::vector<double> weights;
+    weights.reserve(d);
+    for (const auto& dim : analysis.dims) weights.push_back(dim.span);
+    const bool degenerate =
+        std::all_of(weights.begin(), weights.end(),
+                    [](double w) { return w <= 0.0; });
+    if (degenerate) weights.assign(d, 1.0);
+
+    std::vector<double> pool = weights;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (std::all_of(pool.begin(), pool.end(),
+                      [](double w) { return w <= 0.0; })) {
+        pool = weights;  // refill once every dimension was used
+      }
+      const std::size_t pick = rng.weighted_index(pool);
+      picks.push_back(pick);
+      pool[pick] = 0.0;
+    }
+  }
+
+  // Repeated picks of one dimension take successive rank thresholds (the
+  // Eq. 5 rule generalized to M > d; see threshold_for_rank), so every bit
+  // cuts the data somewhere new.
+  std::vector<double> thresholds;
+  thresholds.reserve(m);
+  std::vector<std::size_t> uses(d, 0);
+  for (std::size_t pick : picks) {
+    thresholds.push_back(
+        threshold_for_rank(analysis.dims[pick], uses[pick]++));
+  }
+  return RandomProjectionHasher(std::move(picks), std::move(thresholds), d);
+}
+
+RandomProjectionHasher::RandomProjectionHasher(
+    std::vector<std::size_t> dims, std::vector<double> thresholds,
+    std::size_t input_dim)
+    : dims_(std::move(dims)),
+      thresholds_(std::move(thresholds)),
+      input_dim_(input_dim) {
+  DASC_EXPECT(!dims_.empty() && dims_.size() <= kMaxSignatureBits,
+              "RandomProjectionHasher: bad signature width");
+  DASC_EXPECT(dims_.size() == thresholds_.size(),
+              "RandomProjectionHasher: dims/thresholds size mismatch");
+  for (std::size_t dim : dims_) {
+    DASC_EXPECT(dim < input_dim_,
+                "RandomProjectionHasher: dimension out of range");
+  }
+}
+
+Signature RandomProjectionHasher::hash(std::span<const double> point) const {
+  DASC_EXPECT(point.size() == input_dim_,
+              "RandomProjectionHasher: point dimension mismatch");
+  Signature sig;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (point[dims_[i]] <= thresholds_[i]) sig.bits |= (1ULL << i);
+  }
+  return sig;
+}
+
+std::size_t auto_signature_bits(std::size_t n) {
+  DASC_EXPECT(n > 0, "auto_signature_bits: n must be positive");
+  const double m = std::ceil(std::log2(static_cast<double>(n)) / 2.0) - 1.0;
+  const auto clamped = static_cast<std::size_t>(std::max(1.0, m));
+  return std::min(clamped, kMaxSignatureBits);
+}
+
+}  // namespace dasc::lsh

@@ -1,0 +1,62 @@
+// The paper's hash family: axis-aligned threshold projections chosen by the
+// k-d-tree principle (Section 3.3). Each of the M bits compares one input
+// dimension against that dimension's histogram threshold (Eq. 5); the
+// dimension is chosen either as one of the M largest-span dimensions
+// (Section 4.2) or by span-weighted sampling (Eq. 4).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "lsh/feature_analysis.hpp"
+#include "lsh/hasher.hpp"
+
+namespace dasc::lsh {
+
+/// How hashing dimensions are selected from the feature analysis.
+enum class DimensionSelection {
+  /// Deterministically take the M dimensions with the largest span
+  /// (Section 4.2: "pick the dimensions with highest M spans").
+  kTopSpan,
+  /// Sample M distinct dimensions with probability proportional to span
+  /// (Eq. 4), the randomized variant described with Algorithm 1.
+  kSpanWeighted,
+};
+
+/// Axis-threshold random-projection hasher.
+class RandomProjectionHasher final : public LshHasher {
+ public:
+  /// Fit a hasher to a dataset. If m exceeds the dimensionality, dimensions
+  /// repeat (with fresh thresholds drawn from the same histogram rule this
+  /// would be degenerate, so we cap distinct picks at d and wrap).
+  static RandomProjectionHasher fit(const data::PointSet& points,
+                                    std::size_t m, DimensionSelection mode,
+                                    Rng& rng);
+
+  /// Build directly from (dimension, threshold) pairs; used by tests and by
+  /// the MapReduce driver, which broadcasts fitted parameters to mappers.
+  RandomProjectionHasher(std::vector<std::size_t> dims,
+                         std::vector<double> thresholds,
+                         std::size_t input_dim);
+
+  std::size_t bits() const override { return dims_.size(); }
+  std::size_t input_dim() const override { return input_dim_; }
+
+  /// Algorithm 1: bit i = (point[dims[i]] <= thresholds[i]).
+  Signature hash(std::span<const double> point) const override;
+
+  const std::vector<std::size_t>& dimensions() const { return dims_; }
+  const std::vector<double>& thresholds() const { return thresholds_; }
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<double> thresholds_;
+  std::size_t input_dim_ = 0;
+};
+
+/// The paper's auto-tuned signature width (Section 5.4):
+///   M = ceil(log2(N) / 2) - 1, clamped into [1, kMaxSignatureBits].
+std::size_t auto_signature_bits(std::size_t n);
+
+}  // namespace dasc::lsh

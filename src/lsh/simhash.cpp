@@ -1,0 +1,46 @@
+#include "lsh/simhash.hpp"
+
+#include "common/error.hpp"
+
+namespace dasc::lsh {
+
+SimHashHasher SimHashHasher::fit(const data::PointSet& points, std::size_t m,
+                                 Rng& rng) {
+  DASC_EXPECT(!points.empty(), "SimHashHasher: empty dataset");
+  DASC_EXPECT(m >= 1 && m <= kMaxSignatureBits,
+              "SimHashHasher: m out of range");
+
+  const std::size_t d = points.dim();
+  std::vector<double> center(d, 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.point(i);
+    for (std::size_t dim = 0; dim < d; ++dim) center[dim] += row[dim];
+  }
+  for (double& c : center) c /= static_cast<double>(points.size());
+
+  std::vector<double> directions(m * d);
+  for (double& v : directions) v = rng.normal();
+  return SimHashHasher(std::move(center), std::move(directions), m);
+}
+
+SimHashHasher::SimHashHasher(std::vector<double> center,
+                             std::vector<double> directions, std::size_t m)
+    : center_(std::move(center)), directions_(std::move(directions)), m_(m) {}
+
+Signature SimHashHasher::hash(std::span<const double> point) const {
+  DASC_EXPECT(point.size() == center_.size(),
+              "SimHashHasher: point dimension mismatch");
+  Signature sig;
+  const std::size_t d = center_.size();
+  for (std::size_t bit = 0; bit < m_; ++bit) {
+    const double* dir = directions_.data() + bit * d;
+    double proj = 0.0;
+    for (std::size_t dim = 0; dim < d; ++dim) {
+      proj += dir[dim] * (point[dim] - center_[dim]);
+    }
+    if (proj >= 0.0) sig.bits |= (1ULL << bit);
+  }
+  return sig;
+}
+
+}  // namespace dasc::lsh

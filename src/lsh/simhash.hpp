@@ -1,0 +1,38 @@
+// Stable-distribution / random-hyperplane hashing (Charikar's SimHash, the
+// "stable distributions" family the paper surveys in Section 3.2).
+//
+// Each signature bit is the sign of a Gaussian random projection of the
+// centered point, so the probability two points agree on a bit is
+// 1 - theta/pi for angle theta between them.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "lsh/hasher.hpp"
+
+namespace dasc::lsh {
+
+class SimHashHasher final : public LshHasher {
+ public:
+  /// Fit the dataset centroid (projection origin) and draw m Gaussian
+  /// directions.
+  static SimHashHasher fit(const data::PointSet& points, std::size_t m,
+                           Rng& rng);
+
+  std::size_t bits() const override { return m_; }
+  std::size_t input_dim() const override { return center_.size(); }
+
+  Signature hash(std::span<const double> point) const override;
+
+ private:
+  SimHashHasher(std::vector<double> center, std::vector<double> directions,
+                std::size_t m);
+
+  std::vector<double> center_;
+  std::vector<double> directions_;  // m x d row-major
+  std::size_t m_ = 0;
+};
+
+}  // namespace dasc::lsh

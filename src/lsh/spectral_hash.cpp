@@ -1,0 +1,119 @@
+#include "lsh/spectral_hash.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace dasc::lsh {
+
+namespace {
+/// Cap on stored CDF samples per direction (hash cost stays O(log)).
+constexpr std::size_t kMaxQuantileSamples = 512;
+}  // namespace
+
+SpectralHashHasher SpectralHashHasher::fit(const data::PointSet& points,
+                                           std::size_t m,
+                                           std::size_t principal_dirs) {
+  DASC_EXPECT(!points.empty(), "SpectralHashHasher: empty dataset");
+  DASC_EXPECT(m >= 1 && m <= kMaxSignatureBits,
+              "SpectralHashHasher: m out of range");
+
+  const std::size_t n = points.size();
+  const std::size_t d = points.dim();
+  std::size_t q = principal_dirs == 0 ? std::min(d, m) : principal_dirs;
+  q = std::min({q, d, m});
+  DASC_EXPECT(q >= 1, "SpectralHashHasher: need >= 1 principal direction");
+
+  // Mean and covariance (d x d; document features keep d small).
+  std::vector<double> mean(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = points.point(i);
+    for (std::size_t a = 0; a < d; ++a) mean[a] += row[a];
+  }
+  for (double& v : mean) v /= static_cast<double>(n);
+
+  linalg::DenseMatrix cov(d, d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = points.point(i);
+    for (std::size_t a = 0; a < d; ++a) {
+      const double da = row[a] - mean[a];
+      for (std::size_t b = a; b < d; ++b) {
+        cov(a, b) += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = a; b < d; ++b) {
+      cov(a, b) /= static_cast<double>(n);
+      cov(b, a) = cov(a, b);
+    }
+  }
+
+  const linalg::SymmetricEigenResult eigen = linalg::symmetric_eigen(cov);
+
+  // Top-q principal directions (eigenvalues ascend -> take the tail).
+  std::vector<double> dirs(q * d, 0.0);
+  for (std::size_t c = 0; c < q; ++c) {
+    for (std::size_t a = 0; a < d; ++a) {
+      dirs[c * d + a] = eigen.eigenvectors(a, d - 1 - c);
+    }
+  }
+
+  // Empirical CDF per direction: a sorted (sub)sample of projections.
+  const std::size_t stride =
+      std::max<std::size_t>(1, n / kMaxQuantileSamples);
+  std::vector<std::vector<double>> quantiles(q);
+  for (std::size_t c = 0; c < q; ++c) {
+    auto& sample = quantiles[c];
+    for (std::size_t i = 0; i < n; i += stride) {
+      const auto row = points.point(i);
+      double proj = 0.0;
+      for (std::size_t a = 0; a < d; ++a) {
+        proj += dirs[c * d + a] * (row[a] - mean[a]);
+      }
+      sample.push_back(proj);
+    }
+    std::sort(sample.begin(), sample.end());
+  }
+
+  return SpectralHashHasher(std::move(mean), std::move(dirs),
+                            std::move(quantiles), q, m);
+}
+
+SpectralHashHasher::SpectralHashHasher(
+    std::vector<double> mean, std::vector<double> dirs,
+    std::vector<std::vector<double>> quantiles, std::size_t q, std::size_t m)
+    : mean_(std::move(mean)),
+      dirs_(std::move(dirs)),
+      quantiles_(std::move(quantiles)),
+      q_(q),
+      m_(m) {}
+
+Signature SpectralHashHasher::hash(std::span<const double> point) const {
+  DASC_EXPECT(point.size() == mean_.size(),
+              "SpectralHashHasher: point dimension mismatch");
+  const std::size_t d = mean_.size();
+  Signature sig;
+  for (std::size_t bit = 0; bit < m_; ++bit) {
+    const std::size_t c = bit % q_;
+    const std::size_t mode = 1 + bit / q_;
+    double proj = 0.0;
+    for (std::size_t a = 0; a < d; ++a) {
+      proj += dirs_[c * d + a] * (point[a] - mean_[a]);
+    }
+    // Rank transform: t = empirical CDF of the projection in [0, 1].
+    const auto& sample = quantiles_[c];
+    const auto pos = std::lower_bound(sample.begin(), sample.end(), proj);
+    const double t = static_cast<double>(pos - sample.begin()) /
+                     static_cast<double>(sample.size());
+    if (std::cos(static_cast<double>(mode) * M_PI * t) >= 0.0) {
+      sig.bits |= (1ULL << bit);
+    }
+  }
+  return sig;
+}
+
+}  // namespace dasc::lsh

@@ -1,0 +1,50 @@
+// Spectral hashing (Weiss et al.) — the data-dependent family the paper
+// names for skewed data: "There are data-dependent hashing functions
+// (e.g., spectral hashing functions), which will yield balanced
+// partitioning. Their inclusion in DASC is straightforward." (Section 5.1)
+//
+// Construction: PCA of the data, then each bit thresholds a sinusoid of
+// one principal projection,
+//   bit(i) = [ cos(mode_i * pi * t_i(x)) >= 0 ],
+// where t_i(x) is the *empirical CDF* of the projection onto principal
+// direction (i mod q) and mode_i = 1 + i / q. The rank transform is what
+// delivers the balanced partitioning the paper wants on skewed data: each
+// sinusoid slab holds an equal share of the population, so even a dense
+// clump is split across buckets.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "lsh/hasher.hpp"
+
+namespace dasc::lsh {
+
+class SpectralHashHasher final : public LshHasher {
+ public:
+  /// Fit PCA directions and per-direction projection quantiles.
+  /// `principal_dirs` caps how many principal components are cycled
+  /// through (0 = min(d, m)).
+  static SpectralHashHasher fit(const data::PointSet& points, std::size_t m,
+                                std::size_t principal_dirs = 0);
+
+  std::size_t bits() const override { return m_; }
+  std::size_t input_dim() const override { return mean_.size(); }
+
+  Signature hash(std::span<const double> point) const override;
+
+ private:
+  SpectralHashHasher(std::vector<double> mean, std::vector<double> dirs,
+                     std::vector<std::vector<double>> quantiles,
+                     std::size_t q, std::size_t m);
+
+  std::vector<double> mean_;
+  std::vector<double> dirs_;  // q x d row-major principal directions
+  /// Sorted projection samples per direction (the empirical CDF).
+  std::vector<std::vector<double>> quantiles_;
+  std::size_t q_ = 0;  // number of principal directions
+  std::size_t m_ = 0;
+};
+
+}  // namespace dasc::lsh

@@ -1,0 +1,142 @@
+#include "mapreduce/dfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dasc::mapreduce {
+
+Dfs::Dfs(const DfsConfig& config) : config_(config), placement_rng_(config.seed) {
+  DASC_EXPECT(config.num_nodes >= 1, "Dfs: need at least one node");
+  DASC_EXPECT(config.replication >= 1, "Dfs: replication must be >= 1");
+  DASC_EXPECT(config.block_size_bytes >= 1, "Dfs: block size must be >= 1");
+}
+
+std::vector<std::size_t> Dfs::place_replicas() {
+  // HDFS-style: replicas land on distinct nodes when possible.
+  const std::size_t replicas = std::min(config_.replication, config_.num_nodes);
+  std::vector<std::size_t> nodes;
+  nodes.reserve(replicas);
+  while (nodes.size() < replicas) {
+    const std::size_t node = placement_rng_.uniform_index(config_.num_nodes);
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+void Dfs::append_locked(File& file, const std::vector<std::string>& lines) {
+  std::size_t start = 0;
+  while (start < lines.size()) {
+    std::size_t bytes = 0;
+    std::size_t end = start;
+    while (end < lines.size() &&
+           (end == start || bytes + lines[end].size() + 1 <=
+                                config_.block_size_bytes)) {
+      bytes += lines[end].size() + 1;  // +1 for the newline
+      ++end;
+    }
+    Block block;
+    block.lines = std::make_shared<const std::vector<std::string>>(
+        lines.begin() + static_cast<std::ptrdiff_t>(start),
+        lines.begin() + static_cast<std::ptrdiff_t>(end));
+    block.size_bytes = bytes;
+    block.replica_nodes = place_replicas();
+    file.blocks.push_back(std::move(block));
+    start = end;
+  }
+}
+
+void Dfs::write_file(const std::string& path,
+                     const std::vector<std::string>& lines) {
+  std::lock_guard lock(mutex_);
+  File file;
+  append_locked(file, lines);
+  files_[path] = std::move(file);
+}
+
+void Dfs::append(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::lock_guard lock(mutex_);
+  append_locked(files_[path], lines);
+}
+
+std::vector<std::string> Dfs::read_file(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("Dfs: no such file: " + path);
+  std::vector<std::string> lines;
+  for (const auto& block : it->second.blocks) {
+    lines.insert(lines.end(), block.lines->begin(), block.lines->end());
+  }
+  return lines;
+}
+
+std::vector<std::string> Dfs::read_block(const std::string& path,
+                                         std::size_t block) const {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("Dfs: no such file: " + path);
+  DASC_EXPECT(block < it->second.blocks.size(), "Dfs: block out of range");
+  return *it->second.blocks[block].lines;
+}
+
+bool Dfs::exists(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  return files_.contains(path);
+}
+
+void Dfs::remove(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  files_.erase(path);
+}
+
+std::vector<std::string> Dfs::list(const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+std::vector<BlockInfo> Dfs::block_locations(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw IoError("Dfs: no such file: " + path);
+  std::vector<BlockInfo> out;
+  out.reserve(it->second.blocks.size());
+  for (const auto& block : it->second.blocks) {
+    out.push_back(
+        {block.size_bytes, block.lines->size(), block.replica_nodes});
+  }
+  return out;
+}
+
+std::size_t Dfs::node_bytes(std::size_t node) const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [path, file] : files_) {
+    for (const auto& block : file.blocks) {
+      const auto& nodes = block.replica_nodes;
+      if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) {
+        total += block.size_bytes;
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t Dfs::total_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [path, file] : files_) {
+    for (const auto& block : file.blocks) {
+      total += block.size_bytes * block.replica_nodes.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace dasc::mapreduce

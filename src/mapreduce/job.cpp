@@ -1,0 +1,237 @@
+#include "mapreduce/job.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "mapreduce/shuffle.hpp"
+#include "mapreduce/virtual_cluster.hpp"
+
+namespace dasc::mapreduce {
+
+namespace {
+
+/// One input split: a range of records.
+struct Split {
+  std::vector<Record> records;
+};
+
+/// Run one task body up to `attempts` times (Hadoop task-attempt retry);
+/// increments `failed_attempts` per retried failure and rethrows the last
+/// error when every attempt failed.
+template <typename Body>
+void run_with_retries(std::size_t attempts,
+                      std::atomic<std::uint64_t>& failed_attempts,
+                      const Body& body) {
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      body();
+      return;
+    } catch (...) {
+      if (attempt >= attempts) throw;
+      failed_attempts.fetch_add(1, std::memory_order_relaxed);
+      DASC_LOG(kWarn) << "task attempt " << attempt << " failed; retrying";
+    }
+  }
+}
+
+JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
+  spec.conf.validate();
+  DASC_EXPECT(spec.mapper_factory != nullptr, "run_job: missing mapper");
+  DASC_EXPECT(spec.reducer_factory != nullptr, "run_job: missing reducer");
+
+  Stopwatch total_clock;
+  JobResult result;
+  result.num_map_tasks = splits.size();
+  result.num_reduce_tasks = spec.conf.num_reducers;
+  result.map_task_seconds.assign(splits.size(), 0.0);
+
+  DASC_LOG(kInfo) << spec.conf.job_name << ": " << splits.size()
+                  << " map tasks, " << spec.conf.num_reducers
+                  << " reduce tasks on " << spec.conf.num_nodes << " nodes";
+
+  // ---- Map phase (parallel over tasks; one mapper instance per task) ----
+  std::vector<std::vector<Record>> map_outputs(splits.size());
+  std::atomic<std::uint64_t> map_in{0};
+  std::atomic<std::uint64_t> map_out{0};
+  std::atomic<std::uint64_t> combine_in{0};
+  std::atomic<std::uint64_t> combine_out{0};
+
+  const bool use_combiner =
+      spec.conf.enable_combiner && spec.combiner_factory != nullptr;
+  std::atomic<std::uint64_t> failed_attempts{0};
+
+  parallel_for(
+      0, splits.size(), spec.conf.physical_threads, [&](std::size_t task) {
+        Stopwatch clock;
+        run_with_retries(spec.conf.max_task_attempts, failed_attempts, [&] {
+          const std::unique_ptr<Mapper> mapper = spec.mapper_factory();
+          VectorEmitter emitter;
+          for (const auto& record : splits[task].records) {
+            mapper->map(record.key, record.value, emitter);
+          }
+          const std::uint64_t emitted = emitter.records().size();
+
+          std::vector<Record> output;
+          std::uint64_t combined_count = 0;
+          if (use_combiner) {
+            // Combine within the task: sort/group local output and fold it
+            // before it hits the shuffle.
+            const std::unique_ptr<Reducer> combiner =
+                spec.combiner_factory();
+            VectorEmitter combined;
+            for (auto& group :
+                 sort_and_group(std::move(emitter.records()))) {
+              combiner->reduce(group.key, group.values, combined);
+            }
+            combined_count = combined.records().size();
+            output = std::move(combined.records());
+          } else {
+            output = std::move(emitter.records());
+          }
+
+          // Commit only on success, so a retried attempt never
+          // double-counts (Hadoop discards failed attempts' output).
+          map_in.fetch_add(splits[task].records.size(),
+                           std::memory_order_relaxed);
+          map_out.fetch_add(emitted, std::memory_order_relaxed);
+          if (use_combiner) {
+            combine_in.fetch_add(emitted, std::memory_order_relaxed);
+            combine_out.fetch_add(combined_count,
+                                  std::memory_order_relaxed);
+          }
+          map_outputs[task] = std::move(output);
+        });
+        result.map_task_seconds[task] = clock.seconds();
+      });
+
+  result.counters.map_input_records = map_in.load();
+  result.counters.map_output_records = map_out.load();
+  result.counters.combine_input_records = combine_in.load();
+  result.counters.combine_output_records = combine_out.load();
+
+  // ---- Shuffle ----
+  std::vector<std::vector<Record>> partitions =
+      partition_outputs(map_outputs, spec.conf.num_reducers);
+  map_outputs.clear();
+  result.counters.shuffle_bytes = shuffle_bytes(partitions);
+
+  // ---- Reduce phase ----
+  result.reduce_task_seconds.assign(partitions.size(), 0.0);
+  std::vector<std::vector<Record>> reduce_outputs(partitions.size());
+  std::atomic<std::uint64_t> reduce_groups{0};
+  std::atomic<std::uint64_t> reduce_in{0};
+  std::atomic<std::uint64_t> reduce_out{0};
+
+  parallel_for(
+      0, partitions.size(), spec.conf.physical_threads,
+      [&](std::size_t task) {
+        Stopwatch clock;
+        // Group once; retries re-run the reducer over the same groups.
+        const auto groups = sort_and_group(std::move(partitions[task]));
+        run_with_retries(spec.conf.max_task_attempts, failed_attempts, [&] {
+          const std::unique_ptr<Reducer> reducer = spec.reducer_factory();
+          VectorEmitter emitter;
+          std::uint64_t in_records = 0;
+          for (const auto& group : groups) {
+            in_records += group.values.size();
+            reducer->reduce(group.key, group.values, emitter);
+          }
+          reduce_groups.fetch_add(groups.size(), std::memory_order_relaxed);
+          reduce_in.fetch_add(in_records, std::memory_order_relaxed);
+          reduce_out.fetch_add(emitter.records().size(),
+                               std::memory_order_relaxed);
+          reduce_outputs[task] = std::move(emitter.records());
+        });
+        result.reduce_task_seconds[task] = clock.seconds();
+      });
+
+  result.counters.reduce_input_groups = reduce_groups.load();
+  result.counters.reduce_input_records = reduce_in.load();
+  result.counters.reduce_output_records = reduce_out.load();
+  result.counters.failed_task_attempts = failed_attempts.load();
+
+  for (auto& part : reduce_outputs) {
+    result.output.insert(result.output.end(),
+                         std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+  }
+
+  // ---- Simulated cluster time ----
+  result.map_makespan_seconds =
+      makespan_lpt(result.map_task_seconds, spec.conf.num_nodes,
+                   spec.conf.map_slots_per_node);
+  result.reduce_makespan_seconds =
+      makespan_lpt(result.reduce_task_seconds, spec.conf.num_nodes,
+                   spec.conf.reduce_slots_per_node);
+  result.simulated_seconds =
+      result.map_makespan_seconds + result.reduce_makespan_seconds;
+  result.real_seconds = total_clock.seconds();
+
+  DASC_LOG(kInfo) << spec.conf.job_name << ": done; simulated "
+                  << result.simulated_seconds << "s (map "
+                  << result.map_makespan_seconds << "s + reduce "
+                  << result.reduce_makespan_seconds << "s), real "
+                  << result.real_seconds << "s";
+  return result;
+}
+
+}  // namespace
+
+JobResult run_job(const JobSpec& spec, const std::vector<Record>& input) {
+  spec.conf.validate();
+  std::vector<Split> splits;
+  for (std::size_t start = 0; start < input.size();
+       start += spec.conf.split_records) {
+    const std::size_t end =
+        std::min(input.size(), start + spec.conf.split_records);
+    Split split;
+    split.records.assign(input.begin() + static_cast<std::ptrdiff_t>(start),
+                         input.begin() + static_cast<std::ptrdiff_t>(end));
+    splits.push_back(std::move(split));
+  }
+  if (splits.empty()) splits.emplace_back();  // empty job still runs
+  return execute(spec, std::move(splits));
+}
+
+JobResult run_job_dfs(const JobSpec& spec, Dfs& dfs,
+                      const std::string& input_path,
+                      const std::string& output_path) {
+  spec.conf.validate();
+  const std::vector<BlockInfo> blocks = dfs.block_locations(input_path);
+
+  // One split per DFS block: the data-local layout a Hadoop job would use.
+  std::vector<Split> splits;
+  splits.reserve(blocks.size());
+  std::size_t line_offset = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    Split split;
+    const std::vector<std::string> lines = dfs.read_block(input_path, b);
+    split.records.reserve(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      split.records.push_back(
+          {std::to_string(line_offset + i), lines[i]});
+    }
+    line_offset += lines.size();
+    splits.push_back(std::move(split));
+  }
+  if (splits.empty()) splits.emplace_back();
+
+  JobResult result = execute(spec, std::move(splits));
+
+  // Persist reduce output as part files, Hadoop-style.
+  std::vector<std::string> lines;
+  lines.reserve(result.output.size());
+  for (const auto& record : result.output) {
+    lines.push_back(record.key + "\t" + record.value);
+  }
+  char name[32];
+  std::snprintf(name, sizeof(name), "/part-r-%05d", 0);
+  dfs.write_file(output_path + name, lines);
+  return result;
+}
+
+}  // namespace dasc::mapreduce

@@ -1,0 +1,61 @@
+// The job tracker: splits input, runs map tasks, shuffles, runs reduce
+// tasks, and accounts both real wall-clock and simulated cluster time.
+//
+// Execution model (see DESIGN.md): tasks execute for real on a host thread
+// pool; each task's measured duration is then scheduled onto the virtual
+// cluster described by JobConf (num_nodes x slots) to obtain the makespan a
+// Hadoop deployment of that size would observe. Map and reduce phases are
+// separated by a barrier, as in Hadoop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/dfs.hpp"
+#include "mapreduce/job_conf.hpp"
+#include "mapreduce/types.hpp"
+
+namespace dasc::mapreduce {
+
+/// A complete job description. Factories are invoked once per task, so
+/// mapper/reducer instances never need to be thread-safe.
+struct JobSpec {
+  JobConf conf;
+  std::function<std::unique_ptr<Mapper>()> mapper_factory;
+  std::function<std::unique_ptr<Reducer>()> reducer_factory;
+  /// Optional combiner (run per map task when conf.enable_combiner).
+  std::function<std::unique_ptr<Reducer>()> combiner_factory;
+};
+
+struct JobResult {
+  /// Reduce outputs concatenated in partition order.
+  std::vector<Record> output;
+  Counters counters;
+
+  std::size_t num_map_tasks = 0;
+  std::size_t num_reduce_tasks = 0;
+  std::vector<double> map_task_seconds;
+  std::vector<double> reduce_task_seconds;
+
+  /// Simulated phase makespans on the virtual cluster.
+  double map_makespan_seconds = 0.0;
+  double reduce_makespan_seconds = 0.0;
+  /// map + reduce makespans (the job's simulated elapsed time).
+  double simulated_seconds = 0.0;
+  /// Actual wall-clock of this in-process run.
+  double real_seconds = 0.0;
+};
+
+/// Run a job over in-memory input records (split every conf.split_records).
+JobResult run_job(const JobSpec& spec, const std::vector<Record>& input);
+
+/// Run a job over a DFS file: one map task per block (data-local splits),
+/// writing reduce outputs to `<output_path>/part-r-NNNNN` files of
+/// tab-separated key/value lines.
+JobResult run_job_dfs(const JobSpec& spec, Dfs& dfs,
+                      const std::string& input_path,
+                      const std::string& output_path);
+
+}  // namespace dasc::mapreduce

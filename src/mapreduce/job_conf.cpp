@@ -1,0 +1,20 @@
+#include "mapreduce/job_conf.hpp"
+
+#include "common/error.hpp"
+
+namespace dasc::mapreduce {
+
+void JobConf::validate() const {
+  DASC_EXPECT(num_nodes >= 1, "JobConf: num_nodes must be >= 1");
+  DASC_EXPECT(map_slots_per_node >= 1,
+              "JobConf: map_slots_per_node must be >= 1");
+  DASC_EXPECT(reduce_slots_per_node >= 1,
+              "JobConf: reduce_slots_per_node must be >= 1");
+  DASC_EXPECT(dfs_replication >= 1, "JobConf: dfs_replication must be >= 1");
+  DASC_EXPECT(num_reducers >= 1, "JobConf: num_reducers must be >= 1");
+  DASC_EXPECT(split_records >= 1, "JobConf: split_records must be >= 1");
+  DASC_EXPECT(max_task_attempts >= 1,
+              "JobConf: max_task_attempts must be >= 1");
+}
+
+}  // namespace dasc::mapreduce

@@ -1,0 +1,56 @@
+// Job and cluster configuration, defaulted to the paper's Elastic MapReduce
+// setup (Table 2) and its five-node local cluster (Section 5.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dasc::mapreduce {
+
+/// Hadoop daemon heap sizes from Table 2. They do not influence the
+/// simulation result but are carried (and printed by the elasticity bench)
+/// so runs document the configuration they model.
+struct DaemonHeaps {
+  std::size_t jobtracker_mb = 768;
+  std::size_t namenode_mb = 256;
+  std::size_t tasktracker_mb = 512;
+  std::size_t datanode_mb = 256;
+};
+
+struct JobConf {
+  /// Virtual cluster width (the paper runs 5 local or 16/32/64 EMR nodes).
+  std::size_t num_nodes = 5;
+  /// Table 2: "Maximum map tasks in tasktracker".
+  std::size_t map_slots_per_node = 4;
+  /// Table 2: "Maximum reduce tasks in tasktracker".
+  std::size_t reduce_slots_per_node = 2;
+  /// Table 2: "Data replication ratio in DFS".
+  std::size_t dfs_replication = 3;
+  /// Reduce task count (number of output partitions).
+  std::size_t num_reducers = 4;
+  /// Records per input split when reading in-memory input (DFS input uses
+  /// one split per block instead).
+  std::size_t split_records = 1024;
+  /// Physical worker threads executing tasks (0 = host concurrency).
+  std::size_t physical_threads = 0;
+  /// Run the combiner on map outputs when one is provided.
+  bool enable_combiner = true;
+  /// Attempts per task before the job fails (Hadoop retries failed task
+  /// attempts; 1 = fail fast).
+  std::size_t max_task_attempts = 1;
+  /// Human-readable job name for logging.
+  std::string job_name = "job";
+
+  DaemonHeaps heaps;
+
+  std::size_t total_map_slots() const { return num_nodes * map_slots_per_node; }
+  std::size_t total_reduce_slots() const {
+    return num_nodes * reduce_slots_per_node;
+  }
+
+  /// Throws InvalidArgument if any field is inconsistent.
+  void validate() const;
+};
+
+}  // namespace dasc::mapreduce

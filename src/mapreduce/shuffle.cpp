@@ -1,0 +1,55 @@
+#include "mapreduce/shuffle.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace dasc::mapreduce {
+
+std::size_t partition_for_key(const std::string& key,
+                              std::size_t num_partitions) {
+  DASC_EXPECT(num_partitions >= 1, "partition_for_key: need >= 1 partition");
+  return std::hash<std::string>{}(key) % num_partitions;
+}
+
+std::vector<std::vector<Record>> partition_outputs(
+    const std::vector<std::vector<Record>>& outputs,
+    std::size_t num_partitions) {
+  std::vector<std::vector<Record>> partitions(num_partitions);
+  for (const auto& task_output : outputs) {
+    for (const auto& record : task_output) {
+      partitions[partition_for_key(record.key, num_partitions)].push_back(
+          record);
+    }
+  }
+  return partitions;
+}
+
+std::vector<KeyGroup> sort_and_group(std::vector<Record> partition) {
+  std::stable_sort(partition.begin(), partition.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.key < b.key;
+                   });
+  std::vector<KeyGroup> groups;
+  for (auto& record : partition) {
+    if (groups.empty() || groups.back().key != record.key) {
+      groups.push_back({record.key, {}});
+    }
+    groups.back().values.push_back(std::move(record.value));
+  }
+  return groups;
+}
+
+std::size_t shuffle_bytes(
+    const std::vector<std::vector<Record>>& partitions) {
+  std::size_t bytes = 0;
+  for (const auto& partition : partitions) {
+    for (const auto& record : partition) {
+      bytes += record.key.size() + record.value.size() + 2;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace dasc::mapreduce

@@ -1,0 +1,36 @@
+// Shuffle phase: hash partitioning of map outputs, per-partition sort, and
+// grouping by key — the bridge between map and reduce.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mapreduce/types.hpp"
+
+namespace dasc::mapreduce {
+
+/// Default Hadoop-style partitioner: hash(key) mod num_partitions.
+std::size_t partition_for_key(const std::string& key,
+                              std::size_t num_partitions);
+
+/// One reduce group: a key and all values emitted for it, in map order
+/// within each map task and sorted by (key, task) across tasks.
+struct KeyGroup {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Partition map outputs. outputs[task] is one map task's emitted records;
+/// the result has one record vector per partition.
+std::vector<std::vector<Record>> partition_outputs(
+    const std::vector<std::vector<Record>>& outputs,
+    std::size_t num_partitions);
+
+/// Sort one partition's records by key and group equal keys.
+std::vector<KeyGroup> sort_and_group(std::vector<Record> partition);
+
+/// Total serialized bytes of the records (the shuffle-traffic counter).
+std::size_t shuffle_bytes(const std::vector<std::vector<Record>>& partitions);
+
+}  // namespace dasc::mapreduce

@@ -1,0 +1,65 @@
+#include "mapreduce/virtual_cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace dasc::mapreduce {
+
+ScheduleResult schedule_lpt(const std::vector<double>& durations,
+                            std::size_t num_nodes,
+                            std::size_t slots_per_node) {
+  DASC_EXPECT(num_nodes >= 1, "schedule_lpt: need >= 1 node");
+  DASC_EXPECT(slots_per_node >= 1, "schedule_lpt: need >= 1 slot per node");
+  for (double d : durations) {
+    DASC_EXPECT(d >= 0.0, "schedule_lpt: negative duration");
+  }
+
+  ScheduleResult result;
+  result.node_busy_seconds.assign(num_nodes, 0.0);
+  if (durations.empty()) return result;
+
+  // Longest tasks first; ties by index for determinism.
+  std::vector<std::size_t> order(durations.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return durations[a] != durations[b] ? durations[a] > durations[b]
+                                        : a < b;
+  });
+
+  // Min-heap of (available_time, slot_id); slot_id = node * slots + slot.
+  using SlotState = std::pair<double, std::size_t>;
+  std::priority_queue<SlotState, std::vector<SlotState>,
+                      std::greater<SlotState>>
+      slots;
+  for (std::size_t s = 0; s < num_nodes * slots_per_node; ++s) {
+    slots.push({0.0, s});
+  }
+
+  result.placements.resize(durations.size());
+  for (std::size_t task : order) {
+    auto [available, slot_id] = slots.top();
+    slots.pop();
+    TaskPlacement placement;
+    placement.task = task;
+    placement.node = slot_id / slots_per_node;
+    placement.slot = slot_id % slots_per_node;
+    placement.start_seconds = available;
+    placement.end_seconds = available + durations[task];
+    result.placements[task] = placement;
+    result.node_busy_seconds[placement.node] += durations[task];
+    result.makespan_seconds =
+        std::max(result.makespan_seconds, placement.end_seconds);
+    slots.push({placement.end_seconds, slot_id});
+  }
+  return result;
+}
+
+double makespan_lpt(const std::vector<double>& durations,
+                    std::size_t num_nodes, std::size_t slots_per_node) {
+  return schedule_lpt(durations, num_nodes, slots_per_node).makespan_seconds;
+}
+
+}  // namespace dasc::mapreduce

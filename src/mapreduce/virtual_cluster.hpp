@@ -1,0 +1,43 @@
+// Virtual-cluster time simulation.
+//
+// Tasks run for real on the host machine and their wall-clock durations are
+// measured; this scheduler then places those durations onto V nodes x S
+// slots with an LPT (longest processing time first) list schedule — exactly
+// how a Hadoop job tracker fills free task slots — and reports the phase
+// makespan. Elasticity numbers (Table 3) come from re-scheduling the same
+// measured tasks onto different node counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dasc::mapreduce {
+
+/// Placement of one task produced by the scheduler.
+struct TaskPlacement {
+  std::size_t task = 0;       ///< index into the duration vector
+  std::size_t node = 0;       ///< virtual node id
+  std::size_t slot = 0;       ///< slot index within the node
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Result of scheduling one phase (map wave or reduce wave).
+struct ScheduleResult {
+  double makespan_seconds = 0.0;
+  std::vector<TaskPlacement> placements;
+  /// Busy time per node (for utilization reporting).
+  std::vector<double> node_busy_seconds;
+};
+
+/// Schedule `durations` onto num_nodes * slots_per_node identical slots by
+/// LPT. Deterministic: ties broken by task index.
+ScheduleResult schedule_lpt(const std::vector<double>& durations,
+                            std::size_t num_nodes,
+                            std::size_t slots_per_node);
+
+/// Convenience: just the makespan.
+double makespan_lpt(const std::vector<double>& durations,
+                    std::size_t num_nodes, std::size_t slots_per_node);
+
+}  // namespace dasc::mapreduce

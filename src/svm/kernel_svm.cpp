@@ -1,0 +1,139 @@
+#include "svm/kernel_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::svm {
+
+KernelSvm KernelSvm::train(const linalg::DenseMatrix& gram,
+                           const std::vector<int>& labels,
+                           const SvmParams& params, Rng& rng) {
+  const std::size_t n = gram.rows();
+  DASC_EXPECT(gram.cols() == n, "KernelSvm: gram must be square");
+  DASC_EXPECT(labels.size() == n, "KernelSvm: labels size mismatch");
+  DASC_EXPECT(n >= 2, "KernelSvm: need at least two points");
+  DASC_EXPECT(params.c > 0.0, "KernelSvm: C must be positive");
+  DASC_EXPECT(params.tolerance > 0.0, "KernelSvm: tolerance must be > 0");
+  bool has_pos = false;
+  bool has_neg = false;
+  for (int y : labels) {
+    DASC_EXPECT(y == 1 || y == -1, "KernelSvm: labels must be +1/-1");
+    (y == 1 ? has_pos : has_neg) = true;
+  }
+  DASC_EXPECT(has_pos && has_neg, "KernelSvm: need both classes");
+
+  KernelSvm model;
+  model.labels_ = labels;
+  model.alphas_.assign(n, 0.0);
+  model.bias_ = 0.0;
+
+  // Simplified SMO: sweep for KKT violators, pair each with a random
+  // second index, and solve the two-variable subproblem analytically.
+  auto decision_on_train = [&](std::size_t i) {
+    double acc = model.bias_;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (model.alphas_[t] != 0.0) {
+        acc += model.alphas_[t] * labels[t] * gram(t, i);
+      }
+    }
+    return acc;
+  };
+
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+  while (passes < params.max_passes &&
+         iterations < params.max_iterations) {
+    ++iterations;
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double error_i = decision_on_train(i) - labels[i];
+      const bool violates =
+          (labels[i] * error_i < -params.tolerance &&
+           model.alphas_[i] < params.c) ||
+          (labels[i] * error_i > params.tolerance && model.alphas_[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = rng.uniform_index(n - 1);
+      if (j >= i) ++j;
+      const double error_j = decision_on_train(j) - labels[j];
+
+      const double alpha_i_old = model.alphas_[i];
+      const double alpha_j_old = model.alphas_[j];
+
+      // Box constraints for the pair.
+      double lo;
+      double hi;
+      if (labels[i] != labels[j]) {
+        lo = std::max(0.0, alpha_j_old - alpha_i_old);
+        hi = std::min(params.c, params.c + alpha_j_old - alpha_i_old);
+      } else {
+        lo = std::max(0.0, alpha_i_old + alpha_j_old - params.c);
+        hi = std::min(params.c, alpha_i_old + alpha_j_old);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * gram(i, j) - gram(i, i) - gram(j, j);
+      if (eta >= 0.0) continue;  // non-positive curvature: skip pair
+
+      double alpha_j =
+          alpha_j_old - labels[j] * (error_i - error_j) / eta;
+      alpha_j = std::clamp(alpha_j, lo, hi);
+      if (std::abs(alpha_j - alpha_j_old) < 1e-7) continue;
+
+      // Clamp against floating-point round-off; the pair update keeps
+      // alpha_i inside [0, C] analytically.
+      const double alpha_i = std::clamp(
+          alpha_i_old + labels[i] * labels[j] * (alpha_j_old - alpha_j),
+          0.0, params.c);
+
+      // Bias update keeping KKT on the changed pair.
+      const double b1 = model.bias_ - error_i -
+                        labels[i] * (alpha_i - alpha_i_old) * gram(i, i) -
+                        labels[j] * (alpha_j - alpha_j_old) * gram(i, j);
+      const double b2 = model.bias_ - error_j -
+                        labels[i] * (alpha_i - alpha_i_old) * gram(i, j) -
+                        labels[j] * (alpha_j - alpha_j_old) * gram(j, j);
+      if (alpha_i > 0.0 && alpha_i < params.c) {
+        model.bias_ = b1;
+      } else if (alpha_j > 0.0 && alpha_j < params.c) {
+        model.bias_ = b2;
+      } else {
+        model.bias_ = 0.5 * (b1 + b2);
+      }
+
+      model.alphas_[i] = alpha_i;
+      model.alphas_[j] = alpha_j;
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  return model;
+}
+
+double KernelSvm::decision(std::span<const double> kernel_row) const {
+  DASC_EXPECT(kernel_row.size() == alphas_.size(),
+              "KernelSvm: kernel row length mismatch");
+  double acc = bias_;
+  for (std::size_t t = 0; t < alphas_.size(); ++t) {
+    if (alphas_[t] != 0.0) {
+      acc += alphas_[t] * labels_[t] * kernel_row[t];
+    }
+  }
+  return acc;
+}
+
+int KernelSvm::predict(std::span<const double> kernel_row) const {
+  return decision(kernel_row) >= 0.0 ? 1 : -1;
+}
+
+std::size_t KernelSvm::num_support_vectors() const {
+  std::size_t count = 0;
+  for (double a : alphas_) {
+    if (a > 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace dasc::svm

@@ -1,0 +1,78 @@
+#include "svm/rbf_classifier.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+
+namespace dasc::svm {
+
+RbfClassifier RbfClassifier::train(const data::PointSet& points,
+                                   const RbfClassifierParams& params,
+                                   Rng& rng) {
+  DASC_EXPECT(points.size() >= 2, "RbfClassifier: need >= 2 points");
+  DASC_EXPECT(points.has_labels(), "RbfClassifier: points must be labelled");
+
+  RbfClassifier model;
+  model.training_ = points;
+  model.sigma_ = params.sigma > 0.0 ? params.sigma
+                                    : clustering::suggest_bandwidth(points);
+
+  // Distinct classes in first-appearance order.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (std::find(model.classes_.begin(), model.classes_.end(),
+                  points.label(i)) == model.classes_.end()) {
+      model.classes_.push_back(points.label(i));
+    }
+  }
+  DASC_EXPECT(model.classes_.size() >= 2,
+              "RbfClassifier: need >= 2 classes");
+
+  const linalg::DenseMatrix gram =
+      clustering::gaussian_gram(points, model.sigma_);
+
+  model.models_.reserve(model.classes_.size());
+  for (int cls : model.classes_) {
+    std::vector<int> binary(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      binary[i] = points.label(i) == cls ? 1 : -1;
+    }
+    model.models_.push_back(
+        KernelSvm::train(gram, binary, params.svm, rng));
+  }
+  return model;
+}
+
+int RbfClassifier::predict(std::span<const double> point) const {
+  DASC_EXPECT(point.size() == training_.dim(),
+              "RbfClassifier: dimension mismatch");
+  std::vector<double> kernel_row(training_.size());
+  for (std::size_t t = 0; t < training_.size(); ++t) {
+    kernel_row[t] =
+        clustering::gaussian_kernel(point, training_.point(t), sigma_);
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  int best_class = classes_.front();
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const double score = models_[c].decision(kernel_row);
+    if (score > best) {
+      best = score;
+      best_class = classes_[c];
+    }
+  }
+  return best_class;
+}
+
+double RbfClassifier::accuracy(const data::PointSet& points) const {
+  DASC_EXPECT(points.has_labels(), "accuracy: points must be labelled");
+  DASC_EXPECT(!points.empty(), "accuracy: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (predict(points.point(i)) == points.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(points.size());
+}
+
+}  // namespace dasc::svm

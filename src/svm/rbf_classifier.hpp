@@ -1,0 +1,52 @@
+// Multi-class RBF-kernel SVM classifier: one-vs-rest over KernelSvm with
+// the Gaussian kernel, keeping the training points for kernel evaluation
+// at prediction time. This is the "exact" classifier that
+// core/approx_svm.hpp accelerates with the DASC kernel approximation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/point_set.hpp"
+#include "svm/kernel_svm.hpp"
+
+namespace dasc::svm {
+
+struct RbfClassifierParams {
+  double sigma = 0.0;  ///< Gaussian bandwidth; 0 = median heuristic
+  SvmParams svm;
+};
+
+/// One-vs-rest Gaussian-kernel SVM over labelled points.
+class RbfClassifier {
+ public:
+  /// Train on labelled points (labels are arbitrary ints; every distinct
+  /// value becomes a class). Requires >= 2 classes and >= 2 points.
+  static RbfClassifier train(const data::PointSet& points,
+                             const RbfClassifierParams& params, Rng& rng);
+
+  /// Predict the class label of a point (same dimensionality as training).
+  int predict(std::span<const double> point) const;
+
+  /// Fraction of `points` whose prediction matches their label.
+  double accuracy(const data::PointSet& points) const;
+
+  std::size_t num_classes() const { return classes_.size(); }
+  double sigma() const { return sigma_; }
+
+  /// Training-set bytes the model's Gram matrix needed (float entries) —
+  /// the quantity the DASC approximation shrinks.
+  std::size_t gram_bytes() const {
+    return training_.size() * training_.size() * sizeof(float);
+  }
+
+ private:
+  data::PointSet training_;
+  std::vector<int> classes_;       ///< distinct labels, model order
+  std::vector<KernelSvm> models_;  ///< one binary model per class
+  double sigma_ = 1.0;
+};
+
+}  // namespace dasc::svm

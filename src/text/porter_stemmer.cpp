@@ -1,0 +1,349 @@
+#include "text/porter_stemmer.hpp"
+
+#include <array>
+
+namespace dasc::text {
+
+namespace {
+
+// Working buffer for one word; implements the predicates and rules of the
+// 1980 paper. `end` is the index one past the current stem end.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word), end_(word.size()) {}
+
+  std::string run() {
+    if (b_.size() < 3) return b_;
+    step1a();
+    step1b();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5a();
+    step5b();
+    return b_.substr(0, end_);
+  }
+
+ private:
+  // True if b_[i] is a consonant (y is a consonant when it follows a vowel
+  // position... per Porter: y is a consonant at position 0 or after a
+  // vowel-classified consonant).
+  bool is_consonant(std::size_t i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b_[0, j]: number of VC sequences.
+  std::size_t measure(std::size_t j) const {
+    std::size_t n = 0;
+    std::size_t i = 0;
+    // Skip initial consonants.
+    while (true) {
+      if (i > j) return n;
+      if (!is_consonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if b_[0, j] contains a vowel.
+  bool vowel_in_stem(std::size_t j) const {
+    for (std::size_t i = 0; i <= j; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b_[j-1, j] is a double consonant.
+  bool double_consonant(std::size_t j) const {
+    if (j < 1) return false;
+    if (b_[j] != b_[j - 1]) return false;
+    return is_consonant(j);
+  }
+
+  // True if b_[i-2, i] is consonant-vowel-consonant and the final consonant
+  // is not w, x or y ("*o" condition).
+  bool cvc(std::size_t i) const {
+    if (i < 2) return false;
+    if (!is_consonant(i) || is_consonant(i - 1) || !is_consonant(i - 2)) {
+      return false;
+    }
+    const char c = b_[i];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool ends(std::string_view suffix) {
+    if (suffix.size() > end_) return false;
+    if (b_.compare(end_ - suffix.size(), suffix.size(), suffix) != 0) {
+      return false;
+    }
+    j_ = end_ - suffix.size();  // stem is b_[0, j_-1]
+    return true;
+  }
+
+  void set_to(std::string_view replacement) {
+    b_.replace(j_, end_ - j_, replacement);
+    end_ = j_ + replacement.size();
+  }
+
+  // measure of the stem preceding the matched suffix
+  std::size_t stem_measure() const { return j_ == 0 ? 0 : measure(j_ - 1); }
+
+  void replace_if_m_positive(std::string_view replacement) {
+    if (stem_measure() > 0) set_to(replacement);
+  }
+
+  // Step 1a: plurals.  SSES->SS, IES->I, SS->SS, S->.
+  void step1a() {
+    if (b_[end_ - 1] != 's') return;
+    if (ends("sses")) {
+      end_ -= 2;
+    } else if (ends("ies")) {
+      set_to("i");
+    } else if (end_ >= 2 && b_[end_ - 2] != 's') {
+      --end_;
+    }
+  }
+
+  // Step 1b: -ed and -ing, with vowel-in-stem condition and cleanup.
+  void step1b() {
+    bool cleanup = false;
+    if (ends("eed")) {
+      if (stem_measure() > 0) --end_;
+    } else if (ends("ed")) {
+      if (j_ >= 1 && vowel_in_stem(j_ - 1)) {
+        end_ = j_;
+        cleanup = true;
+      }
+    } else if (ends("ing")) {
+      if (j_ >= 1 && vowel_in_stem(j_ - 1)) {
+        end_ = j_;
+        cleanup = true;
+      }
+    }
+    if (!cleanup) return;
+    if (ends("at")) {
+      set_to("ate");
+    } else if (ends("bl")) {
+      set_to("ble");
+    } else if (ends("iz")) {
+      set_to("ize");
+    } else if (double_consonant(end_ - 1)) {
+      const char c = b_[end_ - 1];
+      if (c != 'l' && c != 's' && c != 'z') --end_;
+    } else if (measure(end_ - 1) == 1 && cvc(end_ - 1)) {
+      j_ = end_;
+      set_to("e");
+    }
+  }
+
+  // Step 1c: Y -> I when there is a vowel in the stem.
+  void step1c() {
+    if (ends("y") && j_ >= 1 && vowel_in_stem(j_ - 1)) {
+      b_[end_ - 1] = 'i';
+    }
+  }
+
+  // Step 2: double/triple suffixes mapped to single forms (m>0).
+  void step2() {
+    if (end_ < 2) return;
+    switch (b_[end_ - 2]) {
+      case 'a':
+        if (ends("ational")) {
+          replace_if_m_positive("ate");
+        } else if (ends("tional")) {
+          replace_if_m_positive("tion");
+        }
+        break;
+      case 'c':
+        if (ends("enci")) {
+          replace_if_m_positive("ence");
+        } else if (ends("anci")) {
+          replace_if_m_positive("ance");
+        }
+        break;
+      case 'e':
+        if (ends("izer")) replace_if_m_positive("ize");
+        break;
+      case 'l':
+        if (ends("abli")) {
+          replace_if_m_positive("able");
+        } else if (ends("alli")) {
+          replace_if_m_positive("al");
+        } else if (ends("entli")) {
+          replace_if_m_positive("ent");
+        } else if (ends("eli")) {
+          replace_if_m_positive("e");
+        } else if (ends("ousli")) {
+          replace_if_m_positive("ous");
+        }
+        break;
+      case 'o':
+        if (ends("ization")) {
+          replace_if_m_positive("ize");
+        } else if (ends("ation")) {
+          replace_if_m_positive("ate");
+        } else if (ends("ator")) {
+          replace_if_m_positive("ate");
+        }
+        break;
+      case 's':
+        if (ends("alism")) {
+          replace_if_m_positive("al");
+        } else if (ends("iveness")) {
+          replace_if_m_positive("ive");
+        } else if (ends("fulness")) {
+          replace_if_m_positive("ful");
+        } else if (ends("ousness")) {
+          replace_if_m_positive("ous");
+        }
+        break;
+      case 't':
+        if (ends("aliti")) {
+          replace_if_m_positive("al");
+        } else if (ends("iviti")) {
+          replace_if_m_positive("ive");
+        } else if (ends("biliti")) {
+          replace_if_m_positive("ble");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate, -ative, ... (m>0).
+  void step3() {
+    switch (b_[end_ - 1]) {
+      case 'e':
+        if (ends("icate")) {
+          replace_if_m_positive("ic");
+        } else if (ends("ative")) {
+          replace_if_m_positive("");
+        } else if (ends("alize")) {
+          replace_if_m_positive("al");
+        }
+        break;
+      case 'i':
+        if (ends("iciti")) replace_if_m_positive("ic");
+        break;
+      case 'l':
+        if (ends("ical")) {
+          replace_if_m_positive("ic");
+        } else if (ends("ful")) {
+          replace_if_m_positive("");
+        }
+        break;
+      case 's':
+        if (ends("ness")) replace_if_m_positive("");
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: drop residual suffixes when m>1.
+  void step4() {
+    if (end_ < 2) return;
+    bool matched = false;
+    switch (b_[end_ - 2]) {
+      case 'a':
+        matched = ends("al");
+        break;
+      case 'c':
+        matched = ends("ance") || ends("ence");
+        break;
+      case 'e':
+        matched = ends("er");
+        break;
+      case 'i':
+        matched = ends("ic");
+        break;
+      case 'l':
+        matched = ends("able") || ends("ible");
+        break;
+      case 'n':
+        matched = ends("ant") || ends("ement") || ends("ment") || ends("ent");
+        break;
+      case 'o':
+        if (ends("ion")) {
+          matched = j_ >= 1 && (b_[j_ - 1] == 's' || b_[j_ - 1] == 't');
+        } else {
+          matched = ends("ou");
+        }
+        break;
+      case 's':
+        matched = ends("ism");
+        break;
+      case 't':
+        matched = ends("ate") || ends("iti");
+        break;
+      case 'u':
+        matched = ends("ous");
+        break;
+      case 'v':
+        matched = ends("ive");
+        break;
+      case 'z':
+        matched = ends("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && stem_measure() > 1) end_ = j_;
+  }
+
+  // Step 5a: remove final e when the preceding stem has m>1, or m==1 and
+  // the stem does not end consonant-vowel-consonant ("*o").
+  void step5a() {
+    if (b_[end_ - 1] != 'e' || end_ < 2) return;
+    const std::size_t m = measure(end_ - 2);
+    if (m > 1 || (m == 1 && !cvc(end_ - 2))) --end_;
+  }
+
+  // Step 5b: -ll -> -l when m>1.
+  void step5b() {
+    if (b_[end_ - 1] == 'l' && double_consonant(end_ - 1) &&
+        measure(end_ - 1) > 1) {
+      --end_;
+    }
+  }
+
+  std::string b_;
+  std::size_t end_;
+  std::size_t j_ = 0;
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+  return Stemmer(word).run();
+}
+
+}  // namespace dasc::text

@@ -1,0 +1,15 @@
+// Porter stemming algorithm (M. F. Porter, "An Algorithm for Suffix
+// Stripping", Program 14(3), 1980) — the stemmer the paper uses through
+// Lucene. Full implementation of steps 1a-5b.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dasc::text {
+
+/// Stem a lowercase ASCII word. Words shorter than 3 characters are
+/// returned unchanged (per the original algorithm's convention).
+std::string porter_stem(std::string_view word);
+
+}  // namespace dasc::text

@@ -1,0 +1,47 @@
+#include "text/stopwords.hpp"
+
+#include <string>
+#include <unordered_set>
+
+namespace dasc::text {
+
+namespace {
+
+const std::unordered_set<std::string>& stopword_set() {
+  static const std::unordered_set<std::string> words = {
+      "a",       "about",   "above",   "after",   "again",    "against",
+      "all",     "am",      "an",      "and",     "any",      "are",
+      "aren",    "as",      "at",      "be",      "because",  "been",
+      "before",  "being",   "below",   "between", "both",     "but",
+      "by",      "can",     "cannot",  "could",   "couldn",   "did",
+      "didn",    "do",      "does",    "doesn",   "doing",    "don",
+      "down",    "during",  "each",    "few",     "for",      "from",
+      "further", "had",     "hadn",    "has",     "hasn",     "have",
+      "haven",   "having",  "he",      "her",     "here",     "hers",
+      "herself", "him",     "himself", "his",     "how",      "i",
+      "if",      "in",      "into",    "is",      "isn",      "it",
+      "its",     "itself",  "let",     "me",      "more",     "most",
+      "mustn",   "my",      "myself",  "no",      "nor",      "not",
+      "of",      "off",     "on",      "once",    "only",     "or",
+      "other",   "ought",   "our",     "ours",    "ourselves","out",
+      "over",    "own",     "same",    "shan",    "she",      "should",
+      "shouldn", "so",      "some",    "such",    "than",     "that",
+      "the",     "their",   "theirs",  "them",    "themselves","then",
+      "there",   "these",   "they",    "this",    "those",    "through",
+      "to",      "too",     "under",   "until",   "up",       "very",
+      "was",     "wasn",    "we",      "were",    "weren",    "what",
+      "when",    "where",   "which",   "while",   "who",      "whom",
+      "why",     "with",    "won",     "would",   "wouldn",   "you",
+      "your",    "yours",   "yourself","yourselves"};
+  return words;
+}
+
+}  // namespace
+
+bool is_stopword(std::string_view word) {
+  return stopword_set().contains(std::string(word));
+}
+
+std::size_t stopword_count() { return stopword_set().size(); }
+
+}  // namespace dasc::text

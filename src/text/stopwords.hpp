@@ -1,0 +1,15 @@
+// English stop-word filter. The paper concatenates several public lists;
+// we embed a standard ~170-word list (the SMART/Lucene core intersection).
+#pragma once
+
+#include <string_view>
+
+namespace dasc::text {
+
+/// True if `word` (already lowercased) is an English stop word.
+bool is_stopword(std::string_view word);
+
+/// Number of words in the embedded list (for tests).
+std::size_t stopword_count();
+
+}  // namespace dasc::text

@@ -1,0 +1,104 @@
+#include "text/tfidf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::text {
+
+TfIdfIndex::TfIdfIndex(const std::vector<TokenizedDoc>& corpus)
+    : num_documents_(corpus.size()) {
+  DASC_EXPECT(!corpus.empty(), "TfIdfIndex: empty corpus");
+
+  // Pass 1: vocabulary + document frequencies.
+  for (const auto& doc : corpus) {
+    std::vector<std::size_t> seen;
+    for (const auto& term : doc) {
+      auto [it, inserted] = vocab_.try_emplace(term, vocab_.size());
+      if (inserted) doc_freq_.push_back(0);
+      seen.push_back(it->second);
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (std::size_t id : seen) ++doc_freq_[id];
+  }
+
+  // Pass 2: total tf-idf mass per term, used for corpus-wide term ranking.
+  corpus_weight_.assign(vocab_.size(), 0.0);
+  for (const auto& doc : corpus) {
+    for (const auto& [id, w] : weigh(doc)) corpus_weight_[id] += w;
+  }
+}
+
+long long TfIdfIndex::term_id(const std::string& term) const {
+  const auto it = vocab_.find(term);
+  return it == vocab_.end() ? -1 : static_cast<long long>(it->second);
+}
+
+std::size_t TfIdfIndex::document_frequency(const std::string& term) const {
+  const auto it = vocab_.find(term);
+  return it == vocab_.end() ? 0 : doc_freq_[it->second];
+}
+
+double TfIdfIndex::idf(const std::string& term) const {
+  const std::size_t df = document_frequency(term);
+  DASC_EXPECT(df > 0, "idf: term not in vocabulary: " + term);
+  return std::log(static_cast<double>(num_documents_) /
+                  static_cast<double>(df));
+}
+
+std::vector<std::pair<std::size_t, double>> TfIdfIndex::weigh(
+    const TokenizedDoc& doc) const {
+  std::unordered_map<std::size_t, std::size_t> counts;
+  std::size_t in_vocab = 0;
+  for (const auto& term : doc) {
+    const auto it = vocab_.find(term);
+    if (it == vocab_.end()) continue;  // OOV terms contribute nothing
+    ++counts[it->second];
+    ++in_vocab;
+  }
+  std::vector<std::pair<std::size_t, double>> weights;
+  weights.reserve(counts.size());
+  const double denom = std::max<std::size_t>(in_vocab, 1);
+  for (const auto& [id, count] : counts) {
+    const double tf = static_cast<double>(count) / denom;
+    const double idf_t = std::log(static_cast<double>(num_documents_) /
+                                  static_cast<double>(doc_freq_[id]));
+    weights.emplace_back(id, tf * idf_t);
+  }
+  std::sort(weights.begin(), weights.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return weights;
+}
+
+std::vector<std::size_t> TfIdfIndex::top_terms(std::size_t f) const {
+  DASC_EXPECT(f > 0, "top_terms: f must be positive");
+  std::vector<std::size_t> ids(corpus_weight_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const std::size_t keep = std::min(f, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
+                    [this](std::size_t a, std::size_t b) {
+                      return corpus_weight_[a] > corpus_weight_[b];
+                    });
+  ids.resize(keep);
+  return ids;
+}
+
+std::vector<double> TfIdfIndex::features(const TokenizedDoc& doc,
+                                         std::size_t f) const {
+  const std::vector<std::size_t> terms = top_terms(f);
+  const auto weights = weigh(doc);
+  std::vector<double> out(f, 0.0);
+  for (std::size_t dim = 0; dim < terms.size(); ++dim) {
+    for (const auto& [id, w] : weights) {
+      if (id == terms[dim]) {
+        out[dim] = w;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dasc::text

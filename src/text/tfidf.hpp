@@ -1,0 +1,57 @@
+// tf-idf weighting and top-F term selection (paper Section 5.2).
+//
+// The paper ranks the corpus vocabulary by idf, keeps the F = 11 most
+// discriminative terms per document summary, and uses the resulting
+// 11-dimensional tf-idf vectors as clustering features.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dasc::text {
+
+/// One document as a normalized token stream.
+using TokenizedDoc = std::vector<std::string>;
+
+/// Corpus-wide term statistics and per-document tf-idf features.
+class TfIdfIndex {
+ public:
+  /// Build vocabulary and document frequencies from the corpus.
+  explicit TfIdfIndex(const std::vector<TokenizedDoc>& corpus);
+
+  std::size_t num_documents() const { return num_documents_; }
+  std::size_t vocabulary_size() const { return vocab_.size(); }
+
+  /// Term id, or -1 if out of vocabulary.
+  long long term_id(const std::string& term) const;
+
+  /// Number of documents containing the term.
+  std::size_t document_frequency(const std::string& term) const;
+
+  /// idf(t) = log(N / df(t)); throws for out-of-vocabulary terms.
+  double idf(const std::string& term) const;
+
+  /// tf-idf weights of one document over the full vocabulary, sparse as
+  /// (term_id, weight) pairs sorted by weight descending.
+  std::vector<std::pair<std::size_t, double>> weigh(
+      const TokenizedDoc& doc) const;
+
+  /// Dense feature vector over the corpus-wide top-F terms ranked by idf
+  /// summed over occurrences (the paper's "important terms" selection).
+  /// Every document maps to the same F dimensions, so the vectors are
+  /// directly comparable.
+  std::vector<double> features(const TokenizedDoc& doc, std::size_t f) const;
+
+  /// The corpus-wide ids of the top-F terms used by features().
+  std::vector<std::size_t> top_terms(std::size_t f) const;
+
+ private:
+  std::unordered_map<std::string, std::size_t> vocab_;
+  std::vector<std::size_t> doc_freq_;       // by term id
+  std::vector<double> corpus_weight_;       // total tf-idf mass by term id
+  std::size_t num_documents_ = 0;
+};
+
+}  // namespace dasc::text

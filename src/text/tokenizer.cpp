@@ -1,0 +1,56 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+
+#include "text/porter_stemmer.hpp"
+#include "text/stopwords.hpp"
+
+namespace dasc::text {
+
+std::string strip_markup(std::string_view html) {
+  std::string out;
+  out.reserve(html.size());
+  bool in_tag = false;
+  for (char c : html) {
+    if (c == '<') {
+      in_tag = true;
+      out.push_back(' ');  // tags separate words
+    } else if (c == '>') {
+      in_tag = false;
+    } else if (!in_tag) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> tokenize(std::string_view raw) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : raw) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalpha(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> normalize_document(std::string_view html) {
+  std::vector<std::string> tokens = tokenize(strip_markup(html));
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (is_stopword(token)) continue;
+    std::string stemmed = porter_stem(token);
+    if (stemmed.size() < 2) continue;  // single letters carry no signal
+    out.push_back(std::move(stemmed));
+  }
+  return out;
+}
+
+}  // namespace dasc::text

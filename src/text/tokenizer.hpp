@@ -1,0 +1,22 @@
+// Text normalization matching the paper's Wikipedia pipeline (Section 5.2):
+// strip markup, lowercase, drop punctuation, remove stop words, stem.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dasc::text {
+
+/// Remove HTML/XML tags, keeping only the text between them.
+std::string strip_markup(std::string_view html);
+
+/// Lowercase ASCII letters; non-alphanumeric characters become separators.
+/// Returns the raw token stream (no stop-word removal, no stemming).
+std::vector<std::string> tokenize(std::string_view raw);
+
+/// Full pipeline: strip_markup -> tokenize -> stop-word filter -> Porter
+/// stem. This is what the corpus builder feeds to the tf-idf index.
+std::vector<std::string> normalize_document(std::string_view html);
+
+}  // namespace dasc::text

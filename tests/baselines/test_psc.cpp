@@ -1,0 +1,109 @@
+#include "baselines/psc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/metrics.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::baselines {
+namespace {
+
+TEST(PscAutoNeighbours, RuleAndClamping) {
+  EXPECT_EQ(psc_auto_neighbours(1024), 20u);  // 2 * 10
+  EXPECT_EQ(psc_auto_neighbours(8), 7u);      // capped at n - 1
+  EXPECT_THROW(psc_auto_neighbours(1), dasc::InvalidArgument);
+}
+
+TEST(Psc, RecoversSeparatedBlobs) {
+  dasc::Rng data_rng(411);
+  data::MixtureParams mix;
+  mix.n = 300;
+  mix.dim = 8;
+  mix.k = 3;
+  mix.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+
+  PscParams params;
+  params.k = 3;
+  dasc::Rng rng(412);
+  const PscResult result = psc_cluster(points, params, rng);
+  EXPECT_GT(clustering::clustering_accuracy(result.labels, points.labels()),
+            0.95);
+}
+
+TEST(Psc, SeparatesConcentricRings) {
+  dasc::Rng data_rng(413);
+  const data::PointSet points = data::make_two_rings(200, 0.004, data_rng);
+  PscParams params;
+  params.k = 2;
+  params.t = 10;
+  params.sigma = 0.05;
+  dasc::Rng rng(414);
+  const PscResult result = psc_cluster(points, params, rng);
+  EXPECT_GT(clustering::clustering_accuracy(result.labels, points.labels()),
+            0.95);
+}
+
+TEST(Psc, SparseMemorySmallerThanDense) {
+  dasc::Rng data_rng(415);
+  const data::PointSet points = data::make_uniform(400, 6, data_rng);
+  PscParams params;
+  params.k = 4;
+  dasc::Rng rng(416);
+  const PscResult result = psc_cluster(points, params, rng);
+  const std::size_t dense_bytes = 400u * 400u * sizeof(float);
+  EXPECT_LT(result.affinity_bytes, dense_bytes);
+  EXPECT_GT(result.affinity_bytes, 0u);
+}
+
+TEST(Psc, LabelsValidAndAllClustersRepresented) {
+  dasc::Rng data_rng(417);
+  data::MixtureParams mix;
+  mix.n = 200;
+  mix.dim = 6;
+  mix.k = 4;
+  mix.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+  PscParams params;
+  params.k = 4;
+  dasc::Rng rng(418);
+  const PscResult result = psc_cluster(points, params, rng);
+  std::vector<int> counts(4, 0);
+  for (int label : result.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 4);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Psc, ExplicitNeighbourCountRespected) {
+  dasc::Rng data_rng(419);
+  const data::PointSet points = data::make_uniform(100, 4, data_rng);
+  PscParams params;
+  params.k = 2;
+  params.t = 7;
+  dasc::Rng rng(420);
+  const PscResult result = psc_cluster(points, params, rng);
+  EXPECT_EQ(result.neighbours, 7u);
+}
+
+TEST(Psc, KOneAndBadInputs) {
+  dasc::Rng data_rng(421);
+  const data::PointSet points = data::make_uniform(50, 3, data_rng);
+  PscParams params;
+  params.k = 1;
+  dasc::Rng rng(422);
+  const PscResult result = psc_cluster(points, params, rng);
+  for (int label : result.labels) EXPECT_EQ(label, 0);
+
+  params.k = 0;
+  EXPECT_THROW(psc_cluster(points, params, rng), dasc::InvalidArgument);
+  const data::PointSet single(1, 3);
+  params.k = 1;
+  EXPECT_THROW(psc_cluster(single, params, rng), dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::baselines

@@ -1,0 +1,102 @@
+#include "clustering/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dasc::clustering {
+namespace {
+
+TEST(Hungarian, TrivialSizes) {
+  const auto empty = solve_assignment(linalg::DenseMatrix(0, 0));
+  EXPECT_TRUE(empty.assignment.empty());
+  EXPECT_DOUBLE_EQ(empty.cost, 0.0);
+
+  linalg::DenseMatrix one(1, 1);
+  one(0, 0) = 3.5;
+  const auto single = solve_assignment(one);
+  ASSERT_EQ(single.assignment.size(), 1u);
+  EXPECT_EQ(single.assignment[0], 0u);
+  EXPECT_DOUBLE_EQ(single.cost, 3.5);
+}
+
+TEST(Hungarian, KnownThreeByThree) {
+  // Classic example: optimal cost is 5 (0->1, 1->0, 2->2).
+  linalg::DenseMatrix cost(3, 3);
+  const double values[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) cost(i, j) = values[i][j];
+  }
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, 5.0);
+}
+
+TEST(Hungarian, IdentityIsOptimalForDiagonalDominance) {
+  linalg::DenseMatrix cost(4, 4, 10.0);
+  for (std::size_t i = 0; i < 4; ++i) cost(i, i) = 1.0;
+  const auto result = solve_assignment(cost);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(result.assignment[i], i);
+  EXPECT_DOUBLE_EQ(result.cost, 4.0);
+}
+
+TEST(Hungarian, AssignmentIsAPermutation) {
+  dasc::Rng rng(71);
+  linalg::DenseMatrix cost(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) cost(i, j) = rng.uniform();
+  }
+  const auto result = solve_assignment(cost);
+  std::vector<std::size_t> sorted = result.assignment;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Hungarian, BeatsGreedyOrMatchesIt) {
+  dasc::Rng rng(73);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 6;
+    linalg::DenseMatrix cost(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) cost(i, j) = rng.uniform();
+    }
+    const auto result = solve_assignment(cost);
+
+    // Greedy row-by-row assignment for comparison.
+    std::vector<bool> used(n, false);
+    double greedy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = 1e300;
+      std::size_t best_j = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!used[j] && cost(i, j) < best) {
+          best = cost(i, j);
+          best_j = j;
+        }
+      }
+      used[best_j] = true;
+      greedy += best;
+    }
+    EXPECT_LE(result.cost, greedy + 1e-12);
+  }
+}
+
+TEST(Hungarian, HandlesNegativeCosts) {
+  linalg::DenseMatrix cost(2, 2);
+  cost(0, 0) = -5.0;
+  cost(0, 1) = 0.0;
+  cost(1, 0) = 0.0;
+  cost(1, 1) = -5.0;
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, -10.0);
+}
+
+TEST(Hungarian, RejectsNonSquare) {
+  EXPECT_THROW(solve_assignment(linalg::DenseMatrix(2, 3)),
+               dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::clustering

@@ -1,0 +1,110 @@
+#include "clustering/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::clustering {
+namespace {
+
+TEST(GaussianKernel, KnownValues) {
+  const std::vector<double> x{0.0, 0.0};
+  const std::vector<double> y{3.0, 4.0};  // distance 5
+  EXPECT_NEAR(gaussian_kernel(x, y, 1.0), std::exp(-12.5), 1e-15);
+  EXPECT_DOUBLE_EQ(gaussian_kernel(x, x, 1.0), 1.0);
+}
+
+TEST(GaussianKernel, BandwidthControlsDecay) {
+  const std::vector<double> x{0.0};
+  const std::vector<double> y{1.0};
+  EXPECT_LT(gaussian_kernel(x, y, 0.5), gaussian_kernel(x, y, 2.0));
+}
+
+TEST(GaussianKernel, RejectsNonPositiveSigma) {
+  const std::vector<double> x{0.0};
+  EXPECT_THROW(gaussian_kernel(x, x, 0.0), dasc::InvalidArgument);
+  EXPECT_THROW(gaussian_kernel(x, x, -1.0), dasc::InvalidArgument);
+}
+
+TEST(SuggestBandwidth, PositiveAndScaleAware) {
+  dasc::Rng rng(41);
+  const data::PointSet small = data::make_uniform(100, 4, rng);
+  const double sigma_small = suggest_bandwidth(small);
+  EXPECT_GT(sigma_small, 0.0);
+
+  // Scale the data by 10x: bandwidth should grow roughly accordingly.
+  data::PointSet big(100, 4);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      big.at(i, d) = small.at(i, d) * 10.0;
+    }
+  }
+  const double sigma_big = suggest_bandwidth(big);
+  EXPECT_GT(sigma_big, 3.0 * sigma_small);
+}
+
+TEST(SuggestBandwidth, DegenerateDatasetFallsBackToOne) {
+  const data::PointSet points(5, 2, std::vector<double>(10, 0.5));
+  EXPECT_DOUBLE_EQ(suggest_bandwidth(points), 1.0);
+}
+
+TEST(GaussianGram, SymmetricWithUnitDiagonal) {
+  dasc::Rng rng(42);
+  const data::PointSet points = data::make_uniform(40, 3, rng);
+  const linalg::DenseMatrix gram = gaussian_gram(points, 0.5);
+  EXPECT_TRUE(gram.is_symmetric(1e-12));
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(gram(i, i), 1.0);
+  }
+}
+
+TEST(GaussianGram, EntriesMatchKernelFunction) {
+  dasc::Rng rng(43);
+  const data::PointSet points = data::make_uniform(10, 4, rng);
+  const linalg::DenseMatrix gram = gaussian_gram(points, 0.7);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      const double expected =
+          i == j ? 1.0
+                 : gaussian_kernel(points.point(i), points.point(j), 0.7);
+      EXPECT_NEAR(gram(i, j), expected, 1e-15);
+    }
+  }
+}
+
+TEST(GaussianGram, ParallelMatchesSequential) {
+  dasc::Rng rng(44);
+  const data::PointSet points = data::make_uniform(60, 5, rng);
+  const linalg::DenseMatrix seq = gaussian_gram(points, 0.4, 1);
+  const linalg::DenseMatrix par = gaussian_gram(points, 0.4, 4);
+  EXPECT_DOUBLE_EQ(seq.max_abs_diff(par), 0.0);
+}
+
+TEST(GaussianGramSubset, MatchesFullGramOnIndices) {
+  dasc::Rng rng(45);
+  const data::PointSet points = data::make_uniform(30, 3, rng);
+  const linalg::DenseMatrix full = gaussian_gram(points, 0.6);
+  const std::vector<std::size_t> indices{3, 7, 11, 29};
+  const linalg::DenseMatrix sub =
+      gaussian_gram_subset(points, indices, 0.6);
+  for (std::size_t a = 0; a < indices.size(); ++a) {
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+      EXPECT_NEAR(sub(a, b), full(indices[a], indices[b]), 1e-15);
+    }
+  }
+}
+
+TEST(GaussianGramSubset, RejectsOutOfRangeIndex) {
+  dasc::Rng rng(46);
+  const data::PointSet points = data::make_uniform(5, 2, rng);
+  const std::vector<std::size_t> bad{0, 5};
+  EXPECT_THROW(gaussian_gram_subset(points, bad, 0.5),
+               dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::clustering

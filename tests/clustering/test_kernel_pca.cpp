@@ -1,0 +1,128 @@
+#include "clustering/kernel_pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::clustering {
+namespace {
+
+TEST(DoubleCenter, RowsAndColumnsSumToZero) {
+  dasc::Rng rng(131);
+  const data::PointSet points = data::make_uniform(30, 4, rng);
+  linalg::DenseMatrix gram = gaussian_gram(points, 0.5);
+  double_center(gram);
+  for (std::size_t i = 0; i < 30; ++i) {
+    double row_sum = 0.0;
+    double col_sum = 0.0;
+    for (std::size_t j = 0; j < 30; ++j) {
+      row_sum += gram(i, j);
+      col_sum += gram(j, i);
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-9);
+    EXPECT_NEAR(col_sum, 0.0, 1e-9);
+  }
+}
+
+TEST(DoubleCenter, PreservesSymmetry) {
+  dasc::Rng rng(132);
+  const data::PointSet points = data::make_uniform(20, 3, rng);
+  linalg::DenseMatrix gram = gaussian_gram(points, 0.7);
+  double_center(gram);
+  EXPECT_TRUE(gram.is_symmetric(1e-10));
+}
+
+TEST(KernelPca, LinearKernelRecoversPca) {
+  // With the linear kernel K = X X^T, KPCA embeddings reproduce ordinary
+  // PCA scores: squared distances between embedded points must match
+  // (centered) squared distances between the originals when all
+  // components are kept.
+  dasc::Rng rng(133);
+  const data::PointSet points = data::make_uniform(25, 3, rng);
+  linalg::DenseMatrix gram(25, 25, 0.0);
+  for (std::size_t i = 0; i < 25; ++i) {
+    for (std::size_t j = 0; j < 25; ++j) {
+      gram(i, j) = linalg::dot(points.point(i), points.point(j));
+    }
+  }
+  const KernelPcaResult result = kernel_pca(gram, 3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      const double original =
+          linalg::squared_distance(points.point(i), points.point(j));
+      const double embedded = linalg::squared_distance(
+          result.embedding.row(i), result.embedding.row(j));
+      EXPECT_NEAR(embedded, original, 1e-8);
+    }
+  }
+}
+
+TEST(KernelPca, EigenvaluesDescendAndAreNonNegative) {
+  dasc::Rng rng(134);
+  const data::PointSet points = data::make_uniform(40, 5, rng);
+  const linalg::DenseMatrix gram = gaussian_gram(points, 0.5);
+  const KernelPcaResult result = kernel_pca(gram, 6);
+  for (std::size_t c = 1; c < result.eigenvalues.size(); ++c) {
+    EXPECT_GE(result.eigenvalues[c - 1], result.eigenvalues[c] - 1e-10);
+  }
+  for (double v : result.eigenvalues) EXPECT_GE(v, -1e-8);
+}
+
+TEST(KernelPca, FirstComponentSeparatesClusters) {
+  dasc::Rng rng(135);
+  data::MixtureParams mix;
+  mix.n = 60;
+  mix.dim = 6;
+  mix.k = 2;
+  mix.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(mix, rng);
+  const linalg::DenseMatrix gram = gaussian_gram(points, 0.4);
+  const KernelPcaResult result = kernel_pca(gram, 1);
+
+  // Component 1 should split the two generating components by sign (or at
+  // least threshold cleanly at 0 after centering).
+  int agree = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const bool positive = result.embedding(i, 0) >= 0.0;
+    const bool cluster0 = points.label(i) == 0;
+    if (positive == cluster0) ++agree;
+  }
+  const int separation = std::max(agree, 60 - agree);
+  EXPECT_GE(separation, 57);  // near-perfect split
+}
+
+TEST(KernelPca, LanczosPathMatchesDenseOnVariances) {
+  dasc::Rng rng(136);
+  const data::PointSet points = data::make_uniform(150, 4, rng);
+  const linalg::DenseMatrix gram = gaussian_gram(points, 0.6);
+  // n = 150 > 128 triggers the Lanczos path; compare eigenvalues against a
+  // sub-threshold exact run on the same matrix via the dense branch of a
+  // padded problem is overkill — instead verify the embedding variance per
+  // component equals the eigenvalue (a KPCA identity).
+  const KernelPcaResult result = kernel_pca(gram, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double variance = 0.0;
+    for (std::size_t i = 0; i < 150; ++i) {
+      variance += result.embedding(i, c) * result.embedding(i, c);
+    }
+    EXPECT_NEAR(variance, result.eigenvalues[c],
+                1e-6 * std::max(1.0, result.eigenvalues[c]));
+  }
+}
+
+TEST(KernelPca, RejectsBadArguments) {
+  linalg::DenseMatrix gram(4, 4, 0.0);
+  EXPECT_THROW(kernel_pca(gram, 0), dasc::InvalidArgument);
+  EXPECT_THROW(kernel_pca(gram, 5), dasc::InvalidArgument);
+  EXPECT_THROW(kernel_pca(linalg::DenseMatrix(2, 3), 1),
+               dasc::InvalidArgument);
+  EXPECT_THROW(kernel_pca(gram, 1, -1.0), dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::clustering

@@ -1,0 +1,156 @@
+#include "clustering/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/metrics.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::clustering {
+namespace {
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  dasc::Rng data_rng(51);
+  data::MixtureParams mix;
+  mix.n = 300;
+  mix.dim = 8;
+  mix.k = 3;
+  mix.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+
+  KMeansParams params;
+  params.k = 3;
+  dasc::Rng rng(52);
+  const KMeansResult result = kmeans(points, params, rng);
+  EXPECT_GT(clustering_accuracy(result.labels, points.labels()), 0.98);
+}
+
+TEST(KMeans, LabelsInRangeAndAllClustersUsed) {
+  dasc::Rng data_rng(53);
+  const data::PointSet points = data::make_uniform(200, 4, data_rng);
+  KMeansParams params;
+  params.k = 5;
+  dasc::Rng rng(54);
+  const KMeansResult result = kmeans(points, params, rng);
+  std::vector<int> counts(5, 0);
+  for (int label : result.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 5);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  dasc::Rng data_rng(55);
+  const data::PointSet points = data::make_uniform(300, 6, data_rng);
+  double prev = 1e300;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    KMeansParams params;
+    params.k = k;
+    dasc::Rng rng(56);
+    const KMeansResult result = kmeans(points, params, rng);
+    EXPECT_LT(result.inertia, prev + 1e-9);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, KEqualsOneCentroidIsMean) {
+  const data::PointSet points(4, 1, {0.0, 2.0, 4.0, 6.0});
+  KMeansParams params;
+  params.k = 1;
+  dasc::Rng rng(57);
+  const KMeansResult result = kmeans(points, params, rng);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 3.0, 1e-12);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(KMeans, KEqualsNPerfectFit) {
+  dasc::Rng data_rng(58);
+  const data::PointSet points = data::make_uniform(10, 3, data_rng);
+  KMeansParams params;
+  params.k = 10;
+  dasc::Rng rng(59);
+  const KMeansResult result = kmeans(points, params, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DeterministicForSameSeed) {
+  dasc::Rng data_rng(60);
+  const data::PointSet points = data::make_uniform(150, 4, data_rng);
+  KMeansParams params;
+  params.k = 4;
+  dasc::Rng r1(99);
+  dasc::Rng r2(99);
+  const auto a = kmeans(points, params, r1);
+  const auto b = kmeans(points, params, r2);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(KMeans, PlusPlusBeatsRandomInitOnAverageInertia) {
+  dasc::Rng data_rng(61);
+  data::MixtureParams mix;
+  mix.n = 240;
+  mix.dim = 12;
+  mix.k = 8;
+  mix.cluster_stddev = 0.03;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+
+  double pp_total = 0.0;
+  double rand_total = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    KMeansParams params;
+    params.k = 8;
+    params.max_iterations = 5;  // tight budget exposes init quality
+    params.init = KMeansInit::kPlusPlus;
+    dasc::Rng r1(1000 + trial);
+    pp_total += kmeans(points, params, r1).inertia;
+    params.init = KMeansInit::kRandom;
+    dasc::Rng r2(1000 + trial);
+    rand_total += kmeans(points, params, r2).inertia;
+  }
+  EXPECT_LE(pp_total, rand_total * 1.05);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  // All points identical: any k partitions them without crashing.
+  const data::PointSet points(6, 2, std::vector<double>(12, 0.5));
+  KMeansParams params;
+  params.k = 3;
+  dasc::Rng rng(62);
+  const KMeansResult result = kmeans(points, params, rng);
+  EXPECT_EQ(result.labels.size(), 6u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, RejectsBadParameters) {
+  dasc::Rng data_rng(63);
+  const data::PointSet points = data::make_uniform(5, 2, data_rng);
+  KMeansParams params;
+  params.k = 6;  // k > n
+  dasc::Rng rng(64);
+  EXPECT_THROW(kmeans(points, params, rng), dasc::InvalidArgument);
+  params.k = 0;
+  EXPECT_THROW(kmeans(points, params, rng), dasc::InvalidArgument);
+  params.k = 2;
+  params.max_iterations = 0;
+  EXPECT_THROW(kmeans(points, params, rng), dasc::InvalidArgument);
+}
+
+TEST(KMeans, ParallelAssignmentMatchesSequential) {
+  dasc::Rng data_rng(65);
+  const data::PointSet points = data::make_uniform(200, 8, data_rng);
+  KMeansParams params;
+  params.k = 6;
+  params.threads = 1;
+  dasc::Rng r1(7);
+  const auto seq = kmeans(points, params, r1);
+  params.threads = 4;
+  dasc::Rng r2(7);
+  const auto par = kmeans(points, params, r2);
+  EXPECT_EQ(seq.labels, par.labels);
+}
+
+}  // namespace
+}  // namespace dasc::clustering

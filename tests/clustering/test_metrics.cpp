@@ -1,0 +1,236 @@
+#include "clustering/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::clustering {
+namespace {
+
+TEST(Accuracy, PerfectMatchIsOne) {
+  const std::vector<int> labels{0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(clustering_accuracy(labels, labels), 1.0);
+}
+
+TEST(Accuracy, PermutedLabelsStillPerfect) {
+  const std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  const std::vector<int> predicted{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(clustering_accuracy(predicted, truth), 1.0);
+}
+
+TEST(Accuracy, SingleMistakeCounted) {
+  const std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<int> predicted{0, 0, 1, 1, 1, 1};
+  EXPECT_NEAR(clustering_accuracy(predicted, truth), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Accuracy, MorePredictedClustersThanTruth) {
+  const std::vector<int> truth{0, 0, 0, 0};
+  const std::vector<int> predicted{0, 0, 1, 2};
+  // Best match keeps the largest cluster: 2 of 4 correct.
+  EXPECT_NEAR(clustering_accuracy(predicted, truth), 0.5, 1e-12);
+}
+
+TEST(Accuracy, ArbitraryLabelValuesAccepted) {
+  const std::vector<int> truth{7, 7, 42, 42};
+  const std::vector<int> predicted{100, 100, 3, 3};
+  EXPECT_DOUBLE_EQ(clustering_accuracy(predicted, truth), 1.0);
+}
+
+TEST(Accuracy, RejectsSizeMismatchAndEmpty) {
+  EXPECT_THROW(clustering_accuracy({0}, {0, 1}), dasc::InvalidArgument);
+  EXPECT_THROW(clustering_accuracy({}, {}), dasc::InvalidArgument);
+}
+
+TEST(ConfusionMatrix, CountsPairs) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  const std::vector<int> predicted{0, 1, 1, 1};
+  const auto table = confusion_matrix(predicted, truth);
+  ASSERT_EQ(table.rows(), 2u);
+  ASSERT_EQ(table.cols(), 2u);
+  // predicted 0: one truth-0. predicted 1: one truth-0, two truth-1.
+  EXPECT_DOUBLE_EQ(table(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table(1, 1), 2.0);
+}
+
+TEST(DaviesBouldin, CompactSeparatedClustersScoreLow) {
+  dasc::Rng rng(81);
+  data::MixtureParams tight;
+  tight.n = 200;
+  tight.dim = 4;
+  tight.k = 2;
+  tight.cluster_stddev = 0.01;
+  const data::PointSet good = data::make_gaussian_mixture(tight, rng);
+  const double dbi_good = davies_bouldin_index(good, good.labels());
+
+  data::MixtureParams loose = tight;
+  loose.cluster_stddev = 0.2;
+  const data::PointSet bad = data::make_gaussian_mixture(loose, rng);
+  const double dbi_bad = davies_bouldin_index(bad, bad.labels());
+
+  EXPECT_LT(dbi_good, dbi_bad);
+  EXPECT_GT(dbi_good, 0.0);
+}
+
+TEST(DaviesBouldin, SingleClusterIsZero) {
+  dasc::Rng rng(82);
+  const data::PointSet points = data::make_uniform(50, 3, rng);
+  const std::vector<int> labels(50, 0);
+  EXPECT_DOUBLE_EQ(davies_bouldin_index(points, labels), 0.0);
+}
+
+TEST(AverageSquaredError, ZeroForPerfectClusters) {
+  // Every point sits exactly on its centroid.
+  data::PointSet points(4, 1, {1.0, 1.0, 5.0, 5.0});
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_NEAR(average_squared_error(points, labels), 0.0, 1e-12);
+}
+
+TEST(AverageSquaredError, GrowsWithScatter) {
+  dasc::Rng rng(83);
+  data::MixtureParams tight;
+  tight.n = 200;
+  tight.dim = 6;
+  tight.k = 4;
+  tight.cluster_stddev = 0.01;
+  const data::PointSet good = data::make_gaussian_mixture(tight, rng);
+
+  data::MixtureParams loose = tight;
+  loose.cluster_stddev = 0.1;
+  const data::PointSet bad = data::make_gaussian_mixture(loose, rng);
+
+  EXPECT_LT(average_squared_error(good, good.labels()),
+            average_squared_error(bad, bad.labels()));
+}
+
+TEST(AverageSquaredError, WorseLabelsScoreHigher) {
+  dasc::Rng rng(84);
+  data::MixtureParams mix;
+  mix.n = 100;
+  mix.dim = 4;
+  mix.k = 2;
+  mix.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(mix, rng);
+  std::vector<int> shuffled = points.labels();
+  for (std::size_t i = 0; i < shuffled.size() / 2; ++i) {
+    shuffled[i] = 1 - shuffled[i];  // corrupt half the labels
+  }
+  EXPECT_LT(average_squared_error(points, points.labels()),
+            average_squared_error(points, shuffled));
+}
+
+TEST(Purity, PerfectClustersScoreOne) {
+  const std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(clustering_purity(truth, truth), 1.0);
+}
+
+TEST(Purity, SplitClustersStayPure) {
+  // One truth class split into two predicted clusters: purity stays 1
+  // while the one-to-one Hungarian accuracy drops — the property that
+  // makes purity the right measure for DASC's per-bucket clusters.
+  const std::vector<int> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> predicted{0, 0, 2, 2, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(clustering_purity(predicted, truth), 1.0);
+  EXPECT_LT(clustering_accuracy(predicted, truth), 1.0);
+}
+
+TEST(Purity, MergedClassesArePenalized) {
+  const std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<int> predicted(6, 0);  // everything in one cluster
+  EXPECT_DOUBLE_EQ(clustering_purity(predicted, truth), 0.5);
+}
+
+TEST(Purity, AtLeastHungarianAccuracy) {
+  // Purity dominates one-to-one accuracy on random labelings.
+  dasc::Rng rng(86);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> a(60);
+    std::vector<int> b(60);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<int>(rng.uniform_index(5));
+      b[i] = static_cast<int>(rng.uniform_index(4));
+    }
+    EXPECT_GE(clustering_purity(a, b), clustering_accuracy(a, b) - 1e-12);
+  }
+}
+
+TEST(Purity, SingletonClustersGameTheMetricToOne) {
+  // Known caveat (documented): purity is 1 when every point is its own
+  // cluster; benchmarks therefore also report cluster counts.
+  const std::vector<int> truth{0, 0, 1, 1};
+  const std::vector<int> predicted{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(clustering_purity(predicted, truth), 1.0);
+}
+
+TEST(Nmi, PerfectAndIndependentExtremes) {
+  const std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(normalized_mutual_information(truth, truth), 1.0, 1e-12);
+
+  // Independent labelings over many points: NMI near 0.
+  dasc::Rng rng(85);
+  std::vector<int> a(2000);
+  std::vector<int> b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.uniform_index(4));
+    b[i] = static_cast<int>(rng.uniform_index(4));
+  }
+  EXPECT_LT(normalized_mutual_information(a, b), 0.05);
+}
+
+TEST(Nmi, InvariantToLabelPermutation) {
+  const std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  const std::vector<int> permuted{5, 5, 9, 9, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(permuted, truth), 1.0, 1e-12);
+}
+
+TEST(AdjustedRand, IdenticalPartitionsScoreOne) {
+  const std::vector<int> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(labels, labels), 1.0);
+  const std::vector<int> permuted{5, 5, 0, 0, 9, 9};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(permuted, labels), 1.0);
+}
+
+TEST(AdjustedRand, IndependentPartitionsNearZero) {
+  dasc::Rng rng(87);
+  std::vector<int> a(3000);
+  std::vector<int> b(3000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.uniform_index(4));
+    b[i] = static_cast<int>(rng.uniform_index(4));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.03);
+}
+
+TEST(AdjustedRand, PunishesSplitsUnlikePurity) {
+  // Every point its own cluster: purity is gamed to 1, ARI is ~0.
+  const std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<int> singletons{0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(clustering_purity(singletons, truth), 1.0);
+  EXPECT_NEAR(adjusted_rand_index(singletons, truth), 0.0, 1e-12);
+}
+
+TEST(AdjustedRand, PartialAgreementBetweenZeroAndOne) {
+  const std::vector<int> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> noisy{0, 0, 0, 1, 1, 1, 1, 1};
+  const double ari = adjusted_rand_index(noisy, truth);
+  EXPECT_GT(ari, 0.2);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(AdjustedRand, BothTrivialPartitionsScoreOne) {
+  const std::vector<int> all_same(5, 0);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(all_same, all_same), 1.0);
+}
+
+TEST(FrobeniusNorm, MatchesMatrixMethod) {
+  linalg::DenseMatrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+}
+
+}  // namespace
+}  // namespace dasc::clustering

@@ -1,0 +1,42 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dasc {
+namespace {
+
+TEST(Error, ExpectPassesOnTrueCondition) {
+  EXPECT_NO_THROW(DASC_EXPECT(1 + 1 == 2, "fine"));
+}
+
+TEST(Error, ExpectThrowsInvalidArgument) {
+  EXPECT_THROW(DASC_EXPECT(false, "bad input"), InvalidArgument);
+}
+
+TEST(Error, EnsureThrowsInternalError) {
+  EXPECT_THROW(DASC_ENSURE(false, "broken invariant"), InternalError);
+}
+
+TEST(Error, MessageCarriesFileAndText) {
+  try {
+    DASC_EXPECT(false, "my message");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my message"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, InvalidArgumentIsNotInternalError) {
+  try {
+    DASC_EXPECT(false, "x");
+  } catch (const InternalError&) {
+    FAIL() << "wrong exception type";
+  } catch (const InvalidArgument&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace dasc

@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dasc {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, EmittingBelowThresholdDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  log_line(LogLevel::kDebug, "suppressed");
+  DASC_LOG(kDebug) << "also suppressed " << 42;
+  SUCCEED();
+}
+
+TEST(Log, StreamMacroFormatsArbitraryTypes) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // keep test output clean
+  DASC_LOG(kDebug) << "n=" << 5 << " f=" << 1.5 << " s=" << std::string("x");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dasc

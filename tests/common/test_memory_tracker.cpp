@@ -1,0 +1,71 @@
+#include "common/memory_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dasc {
+namespace {
+
+TEST(MemoryTracker, AddAndSubBalance) {
+  const std::size_t before = MemoryTracker::current();
+  MemoryTracker::add(1000);
+  EXPECT_EQ(MemoryTracker::current(), before + 1000);
+  MemoryTracker::sub(1000);
+  EXPECT_EQ(MemoryTracker::current(), before);
+}
+
+TEST(MemoryTracker, PeakTracksHighWaterMark) {
+  MemoryTracker::reset_peak();
+  const std::size_t base = MemoryTracker::peak();
+  MemoryTracker::add(5000);
+  MemoryTracker::sub(5000);
+  EXPECT_GE(MemoryTracker::peak(), base + 5000);
+}
+
+TEST(MemoryTracker, ResetPeakDropsToCurrent) {
+  MemoryTracker::add(100);
+  MemoryTracker::reset_peak();
+  EXPECT_EQ(MemoryTracker::peak(), MemoryTracker::current());
+  MemoryTracker::sub(100);
+}
+
+TEST(ScopedAllocation, RegistersAndReleases) {
+  const std::size_t before = MemoryTracker::current();
+  {
+    ScopedAllocation alloc(256);
+    EXPECT_EQ(MemoryTracker::current(), before + 256);
+  }
+  EXPECT_EQ(MemoryTracker::current(), before);
+}
+
+TEST(ScopedAllocation, MoveTransfersOwnership) {
+  const std::size_t before = MemoryTracker::current();
+  {
+    ScopedAllocation a(128);
+    ScopedAllocation b = std::move(a);
+    EXPECT_EQ(MemoryTracker::current(), before + 128);  // not doubled
+  }
+  EXPECT_EQ(MemoryTracker::current(), before);
+}
+
+TEST(ScopedAllocation, MoveAssignReleasesOldFootprint) {
+  const std::size_t before = MemoryTracker::current();
+  {
+    ScopedAllocation a(100);
+    ScopedAllocation b(200);
+    b = std::move(a);
+    EXPECT_EQ(MemoryTracker::current(), before + 100);
+  }
+  EXPECT_EQ(MemoryTracker::current(), before);
+}
+
+TEST(ScopedAllocation, ResizeAdjustsBothDirections) {
+  const std::size_t before = MemoryTracker::current();
+  ScopedAllocation alloc(100);
+  alloc.resize(300);
+  EXPECT_EQ(MemoryTracker::current(), before + 300);
+  alloc.resize(50);
+  EXPECT_EQ(MemoryTracker::current(), before + 50);
+}
+
+}  // namespace
+}  // namespace dasc

@@ -1,0 +1,40 @@
+#include "common/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dasc {
+namespace {
+
+TEST(Stopwatch, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch clock;
+  const double t1 = clock.seconds();
+  const double t2 = clock.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(Stopwatch, MeasuresSleep) {
+  Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(clock.millis(), 15.0);
+  EXPECT_LT(clock.seconds(), 5.0);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch clock;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  clock.reset();
+  EXPECT_LT(clock.millis(), 15.0);
+}
+
+TEST(Stopwatch, MillisMatchesSeconds) {
+  Stopwatch clock;
+  const double s = clock.seconds();
+  const double ms = clock.millis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);  // sampled twice, allow slack
+}
+
+}  // namespace
+}  // namespace dasc

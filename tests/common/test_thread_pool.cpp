@@ -1,0 +1,102 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dasc {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, FutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), InvalidArgument);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(0, 1000, 4, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, SupportsNonZeroBegin) {
+  std::atomic<long> sum{0};
+  parallel_for(10, 20, 3, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelFor, EmptyRangeIsNoOp) {
+  bool called = false;
+  parallel_for(5, 5, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> order;
+  parallel_for(0, 10, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // sequential order preserved
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100, 4,
+                   [](std::size_t i) {
+                     if (i == 42) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, RejectsInvertedRange) {
+  EXPECT_THROW(parallel_for(10, 5, 2, [](std::size_t) {}), InvalidArgument);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkStillCorrect) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 3, 16, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace dasc

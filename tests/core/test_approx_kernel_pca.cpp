@@ -1,0 +1,132 @@
+#include "core/approx_kernel_pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/kernel_pca.hpp"
+#include "clustering/kmeans.hpp"
+#include "clustering/metrics.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::core {
+namespace {
+
+data::PointSet blobs(std::size_t n, std::size_t k, std::uint64_t seed) {
+  dasc::Rng rng(seed);
+  data::MixtureParams params;
+  params.n = n;
+  params.dim = 12;
+  params.k = k;
+  params.cluster_stddev = 0.03;
+  return data::make_gaussian_mixture(params, rng);
+}
+
+TEST(ApproxKernelPca, ShapeAndBucketAssignment) {
+  const data::PointSet points = blobs(200, 4, 611);
+  DascParams params;
+  dasc::Rng rng(1);
+  const ApproxKpcaResult result = approx_kernel_pca(points, 3, params, rng);
+  EXPECT_EQ(result.embedding.rows(), 200u);
+  EXPECT_EQ(result.embedding.cols(), 3u);
+  ASSERT_EQ(result.bucket_of_point.size(), 200u);
+  for (std::size_t b : result.bucket_of_point) {
+    EXPECT_LT(b, result.stats.merged_buckets);
+  }
+}
+
+TEST(ApproxKernelPca, EmbeddingIsClusterableLikeExactKpca) {
+  // The kernel-independence claim: per-bucket KPCA embeddings should
+  // support K-means clustering about as well as exact KPCA does.
+  const data::PointSet points = blobs(160, 4, 612);
+
+  DascParams params;
+  params.m = 10;
+  dasc::Rng rng(2);
+  const ApproxKpcaResult approx = approx_kernel_pca(points, 4, params, rng);
+
+  // Cluster the approximate embedding together with the bucket ids as an
+  // extra coordinate (points in different buckets were embedded in
+  // different coordinate systems, exactly like DASC's clustering step
+  // treats buckets independently). Here it suffices to check per-bucket
+  // consistency: within each bucket, K-means on the embedding should
+  // reproduce the ground-truth labels of that bucket.
+  double weighted_purity = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t b = 0; b < approx.stats.merged_buckets; ++b) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (approx.bucket_of_point[i] == b) members.push_back(i);
+    }
+    if (members.size() < 8) continue;
+
+    data::PointSet bucket_embedding(members.size(), 4);
+    std::vector<int> truth(members.size());
+    for (std::size_t row = 0; row < members.size(); ++row) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        bucket_embedding.at(row, c) = approx.embedding(members[row], c);
+      }
+      truth[row] = points.label(members[row]);
+    }
+    clustering::KMeansParams km;
+    km.k = std::min<std::size_t>(4, members.size());
+    dasc::Rng km_rng(3);
+    const auto labels = clustering::kmeans(bucket_embedding, km, km_rng);
+    weighted_purity +=
+        clustering::clustering_purity(labels.labels, truth) *
+        static_cast<double>(members.size());
+    counted += members.size();
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(weighted_purity / static_cast<double>(counted), 0.9);
+}
+
+TEST(ApproxKernelPca, SmallBucketsPadWithZeros) {
+  // p larger than some bucket: the extra components must be zero, not
+  // garbage.
+  const data::PointSet points = blobs(60, 3, 613);
+  DascParams params;
+  params.m = 12;  // many small buckets
+  params.p = 12;  // no merging
+  dasc::Rng rng(4);
+  const ApproxKpcaResult result = approx_kernel_pca(points, 10, params, rng);
+  // Find a bucket smaller than p and check its points' tail components.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::size_t bucket_size = 0;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (result.bucket_of_point[j] == result.bucket_of_point[i]) {
+        ++bucket_size;
+      }
+    }
+    if (bucket_size < 10) {
+      for (std::size_t c = bucket_size; c < 10; ++c) {
+        EXPECT_DOUBLE_EQ(result.embedding(i, c), 0.0);
+      }
+      return;  // one witness suffices
+    }
+  }
+  GTEST_SKIP() << "no bucket smaller than p in this draw";
+}
+
+TEST(ApproxKernelPca, GramBytesMatchClusteringPipeline) {
+  const data::PointSet points = blobs(150, 3, 614);
+  DascParams params;
+  dasc::Rng r1(5);
+  const ApproxKpcaResult kpca = approx_kernel_pca(points, 2, params, r1);
+  dasc::Rng r2(5);
+  ApproximatorStats stats;
+  bucket_points(points, params, r2, &stats);
+  EXPECT_EQ(kpca.stats.gram_bytes, stats.gram_bytes);
+}
+
+TEST(ApproxKernelPca, RejectsBadArguments) {
+  DascParams params;
+  dasc::Rng rng(6);
+  EXPECT_THROW(approx_kernel_pca(data::PointSet(), 2, params, rng),
+               dasc::InvalidArgument);
+  const data::PointSet points = blobs(20, 2, 615);
+  EXPECT_THROW(approx_kernel_pca(points, 0, params, rng),
+               dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::core

@@ -1,0 +1,110 @@
+#include "core/approx_svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "svm/rbf_classifier.hpp"
+
+namespace dasc::core {
+namespace {
+
+data::PointSet blobs(std::size_t n, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  data::MixtureParams params;
+  params.n = n;
+  params.dim = 8;
+  params.k = k;
+  params.cluster_stddev = 0.04;
+  return data::make_gaussian_mixture(params, rng);
+}
+
+TEST(ApproxSvm, AccuracyComparableToExactSvm) {
+  const data::PointSet points = blobs(240, 4, 911);
+
+  ApproxSvmParams approx_params;
+  approx_params.dasc.m = 8;
+  Rng r1(1);
+  const ApproxSvm approx = ApproxSvm::train(points, approx_params, r1);
+
+  Rng r2(2);
+  const svm::RbfClassifier exact =
+      svm::RbfClassifier::train(points, {}, r2);
+
+  const double approx_acc = approx.accuracy(points);
+  const double exact_acc = exact.accuracy(points);
+  EXPECT_GT(approx_acc, 0.93);
+  EXPECT_GT(approx_acc, exact_acc - 0.05);
+}
+
+TEST(ApproxSvm, UsesLessKernelMemoryThanExact) {
+  const data::PointSet points = blobs(300, 6, 912);
+  ApproxSvmParams params;
+  params.dasc.m = 10;
+  Rng rng(3);
+  const ApproxSvm model = ApproxSvm::train(points, params, rng);
+  EXPECT_LT(model.gram_bytes(), points.size() * points.size() *
+                                    sizeof(float));
+  EXPECT_GT(model.num_buckets(), 1u);
+}
+
+TEST(ApproxSvm, RoutesQueriesToTrainingBuckets) {
+  // Training points must route to the bucket they were trained in, so
+  // training accuracy is well-defined bucket-locally.
+  const data::PointSet points = blobs(120, 3, 913);
+  ApproxSvmParams params;
+  params.dasc.m = 6;
+  Rng rng(4);
+  const ApproxSvm model = ApproxSvm::train(points, params, rng);
+  // Smoke: all predictions are valid class labels.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int predicted = model.predict(points.point(i));
+    EXPECT_GE(predicted, 0);
+    EXPECT_LT(predicted, 3);
+  }
+}
+
+TEST(ApproxSvm, SingleClassBucketsPredictTheirClass) {
+  // Well-separated tight blobs: most buckets are pure and become constant
+  // predictors; accuracy must stay near-perfect.
+  Rng data_rng(914);
+  data::MixtureParams mix;
+  mix.n = 150;
+  mix.dim = 8;
+  mix.k = 3;
+  mix.cluster_stddev = 0.01;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+  ApproxSvmParams params;
+  params.dasc.m = 10;
+  Rng rng(5);
+  const ApproxSvm model = ApproxSvm::train(points, params, rng);
+  EXPECT_GT(model.accuracy(points), 0.98);
+}
+
+TEST(ApproxSvm, BalancingCapSupported) {
+  const data::PointSet points = blobs(200, 2, 915);
+  ApproxSvmParams params;
+  params.dasc.m = 4;
+  params.dasc.max_bucket_points = 50;
+  Rng rng(6);
+  const ApproxSvm model = ApproxSvm::train(points, params, rng);
+  EXPECT_LE(model.stats().largest_bucket, 50u);
+  EXPECT_GT(model.accuracy(points), 0.9);
+}
+
+TEST(ApproxSvm, RejectsBadInputs) {
+  Rng rng(7);
+  ApproxSvmParams params;
+  EXPECT_THROW(ApproxSvm::train(data::PointSet(), params, rng),
+               dasc::InvalidArgument);
+  data::PointSet unlabelled(10, 2);
+  EXPECT_THROW(ApproxSvm::train(unlabelled, params, rng),
+               dasc::InvalidArgument);
+  const data::PointSet points = blobs(40, 2, 916);
+  params.dasc.family = HashFamily::kSimHash;
+  EXPECT_THROW(ApproxSvm::train(points, params, rng),
+               dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::core

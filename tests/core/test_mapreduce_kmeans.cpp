@@ -1,0 +1,146 @@
+#include "core/mapreduce_kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/kmeans.hpp"
+#include "clustering/metrics.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::core {
+namespace {
+
+data::PointSet blobs(std::size_t n, std::size_t k, std::uint64_t seed) {
+  dasc::Rng rng(seed);
+  data::MixtureParams params;
+  params.n = n;
+  params.dim = 8;
+  params.k = k;
+  params.cluster_stddev = 0.02;
+  return data::make_gaussian_mixture(params, rng);
+}
+
+TEST(MapReduceKMeans, RecoversSeparatedBlobs) {
+  const data::PointSet points = blobs(300, 3, 711);
+  MrKMeansParams params;
+  params.k = 3;
+  dasc::Rng rng(1);
+  const MrKMeansResult result = mapreduce_kmeans(points, params, rng);
+  EXPECT_GT(clustering::clustering_accuracy(result.labels, points.labels()),
+            0.98);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(MapReduceKMeans, MatchesInProcessKMeansQuality) {
+  const data::PointSet points = blobs(240, 4, 712);
+
+  MrKMeansParams mr_params;
+  mr_params.k = 4;
+  dasc::Rng r1(2);
+  const MrKMeansResult mr = mapreduce_kmeans(points, mr_params, r1);
+
+  clustering::KMeansParams local_params;
+  local_params.k = 4;
+  dasc::Rng r2(2);
+  const auto local = clustering::kmeans(points, local_params, r2);
+
+  const double mr_acc =
+      clustering::clustering_accuracy(mr.labels, points.labels());
+  const double local_acc =
+      clustering::clustering_accuracy(local.labels, points.labels());
+  EXPECT_NEAR(mr_acc, local_acc, 0.05);
+}
+
+TEST(MapReduceKMeans, CentroidsAreClusterMeans) {
+  // At convergence every centroid equals the mean of its assigned points
+  // (the Lloyd fixed point), regardless of the MapReduce plumbing.
+  const data::PointSet points = blobs(120, 2, 713);
+  MrKMeansParams params;
+  params.k = 2;
+  dasc::Rng rng(3);
+  const MrKMeansResult result = mapreduce_kmeans(points, params, rng);
+  ASSERT_TRUE(result.converged);
+
+  for (std::size_t c = 0; c < 2; ++c) {
+    std::vector<double> mean(points.dim(), 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (result.labels[i] != static_cast<int>(c)) continue;
+      const auto p = points.point(i);
+      for (std::size_t d = 0; d < points.dim(); ++d) mean[d] += p[d];
+      ++count;
+    }
+    ASSERT_GT(count, 0u);
+    for (std::size_t d = 0; d < points.dim(); ++d) {
+      EXPECT_NEAR(result.centroids[c][d],
+                  mean[d] / static_cast<double>(count), 1e-9);
+    }
+  }
+}
+
+TEST(MapReduceKMeans, CombinerShrinksShuffleTraffic) {
+  const data::PointSet points = blobs(400, 3, 714);
+
+  MrKMeansParams with_combiner;
+  with_combiner.k = 3;
+  with_combiner.max_iterations = 3;
+  with_combiner.conf.split_records = 50;
+  dasc::Rng r1(4);
+  const auto combined = mapreduce_kmeans(points, with_combiner, r1);
+
+  MrKMeansParams without = with_combiner;
+  without.conf.enable_combiner = false;
+  dasc::Rng r2(4);
+  const auto raw = mapreduce_kmeans(points, without, r2);
+
+  EXPECT_LT(combined.shuffle_bytes, raw.shuffle_bytes / 2);
+  // Same fixed point either way.
+  EXPECT_EQ(combined.labels, raw.labels);
+}
+
+TEST(MapReduceKMeans, SingleClusterCentroidIsGlobalMean) {
+  const data::PointSet points = blobs(50, 2, 715);
+  MrKMeansParams params;
+  params.k = 1;
+  dasc::Rng rng(5);
+  const MrKMeansResult result = mapreduce_kmeans(points, params, rng);
+  std::vector<double> mean(points.dim(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto p = points.point(i);
+    for (std::size_t d = 0; d < points.dim(); ++d) mean[d] += p[d];
+  }
+  for (std::size_t d = 0; d < points.dim(); ++d) {
+    EXPECT_NEAR(result.centroids[0][d],
+                mean[d] / static_cast<double>(points.size()), 1e-9);
+  }
+}
+
+TEST(MapReduceKMeans, AccumulatesSimulatedTime) {
+  const data::PointSet points = blobs(100, 2, 716);
+  MrKMeansParams params;
+  params.k = 2;
+  params.max_iterations = 5;
+  dasc::Rng rng(6);
+  const MrKMeansResult result = mapreduce_kmeans(points, params, rng);
+  EXPECT_GT(result.simulated_seconds, 0.0);
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_LE(result.iterations, 5u);
+}
+
+TEST(MapReduceKMeans, RejectsBadArguments) {
+  const data::PointSet points = blobs(10, 2, 717);
+  MrKMeansParams params;
+  dasc::Rng rng(7);
+  params.k = 0;
+  EXPECT_THROW(mapreduce_kmeans(points, params, rng), dasc::InvalidArgument);
+  params.k = 11;
+  EXPECT_THROW(mapreduce_kmeans(points, params, rng), dasc::InvalidArgument);
+  params.k = 2;
+  params.max_iterations = 0;
+  EXPECT_THROW(mapreduce_kmeans(points, params, rng), dasc::InvalidArgument);
+  EXPECT_THROW(mapreduce_kmeans(data::PointSet(), params, rng),
+               dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::core

@@ -1,0 +1,86 @@
+#include "data/point_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dasc::data {
+namespace {
+
+TEST(PointSet, ConstructionAndAccess) {
+  PointSet points(3, 2);
+  EXPECT_EQ(points.size(), 3u);
+  EXPECT_EQ(points.dim(), 2u);
+  points.at(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(points.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(points.point(1)[1], 5.0);
+}
+
+TEST(PointSet, AdoptsValuesVector) {
+  const PointSet points(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(points.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(points.at(1, 0), 3.0);
+}
+
+TEST(PointSet, RejectsSizeMismatch) {
+  EXPECT_THROW(PointSet(2, 2, {1.0, 2.0, 3.0}), dasc::InvalidArgument);
+}
+
+TEST(PointSet, IndexBoundsChecked) {
+  PointSet points(2, 2);
+  EXPECT_THROW(points.at(2, 0), dasc::InvalidArgument);
+  EXPECT_THROW(points.at(0, 2), dasc::InvalidArgument);
+  EXPECT_THROW(points.point(2), dasc::InvalidArgument);
+}
+
+TEST(PointSet, LabelsRoundTrip) {
+  PointSet points(3, 1);
+  EXPECT_FALSE(points.has_labels());
+  EXPECT_THROW(points.label(0), dasc::InvalidArgument);
+  points.set_labels({0, 1, 2});
+  EXPECT_TRUE(points.has_labels());
+  EXPECT_EQ(points.label(2), 2);
+  EXPECT_THROW(points.set_labels({0}), dasc::InvalidArgument);
+}
+
+TEST(PointSet, SubsetSelectsRowsAndLabels) {
+  PointSet points(4, 2, {0, 0, 1, 1, 2, 2, 3, 3});
+  points.set_labels({10, 11, 12, 13});
+  const PointSet sub = points.subset({3, 1});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.at(1, 0), 1.0);
+  EXPECT_EQ(sub.label(0), 13);
+  EXPECT_EQ(sub.label(1), 11);
+  EXPECT_THROW(points.subset({4}), dasc::InvalidArgument);
+}
+
+TEST(PointSet, NormalizeMinMaxMapsToUnitBox) {
+  PointSet points(3, 2, {0.0, 10.0, 5.0, 20.0, 10.0, 30.0});
+  points.normalize_min_max();
+  EXPECT_DOUBLE_EQ(points.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(points.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(points.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(points.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(points.at(2, 1), 1.0);
+}
+
+TEST(PointSet, NormalizeConstantDimensionToZero) {
+  PointSet points(2, 1, {7.0, 7.0});
+  points.normalize_min_max();
+  EXPECT_DOUBLE_EQ(points.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(points.at(1, 0), 0.0);
+}
+
+TEST(PointSet, SpansAndMinima) {
+  const PointSet points(3, 2, {1.0, -2.0, 4.0, 0.0, 2.0, 6.0});
+  const auto spans = points.spans();
+  const auto minima = points.minima();
+  EXPECT_DOUBLE_EQ(spans[0], 3.0);
+  EXPECT_DOUBLE_EQ(spans[1], 8.0);
+  EXPECT_DOUBLE_EQ(minima[0], 1.0);
+  EXPECT_DOUBLE_EQ(minima[1], -2.0);
+}
+
+}  // namespace
+}  // namespace dasc::data

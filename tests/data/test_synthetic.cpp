@@ -1,0 +1,122 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::data {
+namespace {
+
+TEST(GaussianMixture, ShapeAndRange) {
+  Rng rng(1);
+  MixtureParams params;
+  params.n = 500;
+  params.dim = 8;
+  params.k = 3;
+  const PointSet points = make_gaussian_mixture(params, rng);
+  EXPECT_EQ(points.size(), 500u);
+  EXPECT_EQ(points.dim(), 8u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (double v : points.point(i)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GaussianMixture, BalancedLabels) {
+  Rng rng(2);
+  MixtureParams params;
+  params.n = 300;
+  params.k = 3;
+  const PointSet points = make_gaussian_mixture(params, rng);
+  ASSERT_TRUE(points.has_labels());
+  std::vector<int> counts(3, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ++counts[static_cast<std::size_t>(points.label(i))];
+  }
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(GaussianMixture, SameClusterPointsAreCloser) {
+  Rng rng(3);
+  MixtureParams params;
+  params.n = 200;
+  params.dim = 16;
+  params.k = 2;
+  params.cluster_stddev = 0.02;
+  const PointSet points = make_gaussian_mixture(params, rng);
+  // Points 0 and 2 share component 0; point 1 is component 1.
+  const double same =
+      linalg::squared_distance(points.point(0), points.point(2));
+  const double cross =
+      linalg::squared_distance(points.point(0), points.point(1));
+  EXPECT_LT(same, cross);
+}
+
+TEST(GaussianMixture, DeterministicForSeed) {
+  MixtureParams params;
+  params.n = 50;
+  Rng a(9);
+  Rng b(9);
+  const PointSet pa = make_gaussian_mixture(params, a);
+  const PointSet pb = make_gaussian_mixture(params, b);
+  EXPECT_EQ(pa.values(), pb.values());
+}
+
+TEST(GaussianMixture, RejectsBadParams) {
+  Rng rng(1);
+  MixtureParams params;
+  params.n = 5;
+  params.k = 10;  // k > n
+  EXPECT_THROW(make_gaussian_mixture(params, rng), dasc::InvalidArgument);
+}
+
+TEST(Uniform, CoversUnitBox) {
+  Rng rng(4);
+  const PointSet points = make_uniform(2000, 2, rng);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    lo = std::min(lo, points.at(i, 0));
+    hi = std::max(hi, points.at(i, 0));
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(TwoRings, RadiiSeparateByLabel) {
+  Rng rng(5);
+  const PointSet points = make_two_rings(400, 0.0, rng);
+  ASSERT_TRUE(points.has_labels());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double dx = points.at(i, 0) - 0.5;
+    const double dy = points.at(i, 1) - 0.5;
+    const double radius = std::sqrt(dx * dx + dy * dy);
+    if (points.label(i) == 0) {
+      EXPECT_NEAR(radius, 0.2, 1e-9);
+    } else {
+      EXPECT_NEAR(radius, 0.45, 1e-9);
+    }
+  }
+}
+
+TEST(TwoRings, NoiseSpreadsRadius) {
+  Rng rng(6);
+  const PointSet points = make_two_rings(500, 0.01, rng);
+  double spread = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points.label(i) != 0) continue;
+    const double dx = points.at(i, 0) - 0.5;
+    const double dy = points.at(i, 1) - 0.5;
+    spread = std::max(spread, std::abs(std::sqrt(dx * dx + dy * dy) - 0.2));
+  }
+  EXPECT_GT(spread, 0.005);
+  EXPECT_LT(spread, 0.1);
+}
+
+}  // namespace
+}  // namespace dasc::data

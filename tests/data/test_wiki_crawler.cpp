@@ -1,0 +1,144 @@
+#include "data/wiki_crawler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "data/wiki_corpus.hpp"
+
+namespace dasc::data {
+namespace {
+
+TEST(ExtractLinks, ParsesMarkedAnchors) {
+  const std::string html =
+      "<div class=\"CategoryTreeBullet\"><a href=\"/cat/1\">A</a></div>"
+      "<div class=\"CategoryTreeEmptyBullet\"><a href=\"/cat/2\">B</a></div>"
+      "<div class=\"CategoryTreeBullet\"><a href=\"/cat/3\">C</a></div>";
+  const auto bullets = extract_links(html, "CategoryTreeBullet");
+  ASSERT_EQ(bullets.size(), 2u);
+  EXPECT_EQ(bullets[0], "/cat/1");
+  EXPECT_EQ(bullets[1], "/cat/3");
+  const auto leaves = extract_links(html, "CategoryTreeEmptyBullet");
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0], "/cat/2");
+  EXPECT_TRUE(extract_links(html, "ArticleLink").empty());
+}
+
+TEST(WikiSite, LaysOutTreeAndDocuments) {
+  Rng rng(961);
+  WikiCorpusParams params;
+  params.n = 60;
+  params.k = 4;
+  const WikiSite site = make_wiki_site(params, rng);
+  EXPECT_EQ(site.num_documents, 60u);
+  EXPECT_EQ(site.num_categories, 4u);
+  ASSERT_TRUE(site.pages.contains(site.index_url));
+  // At least one page per document plus the category pages.
+  EXPECT_GE(site.pages.size(), 60u + 4u);
+  // The index page carries the paper's tree markers.
+  const std::string& index = site.pages.at(site.index_url);
+  EXPECT_TRUE(index.find("CategoryTreeBullet") != std::string::npos ||
+              index.find("CategoryTreeEmptyBullet") != std::string::npos);
+}
+
+TEST(Crawler, RecoversEveryDocument) {
+  Rng rng(962);
+  WikiCorpusParams params;
+  params.n = 80;
+  params.k = 5;
+  const WikiSite site = make_wiki_site(params, rng);
+  const CrawlResult crawl = crawl_wiki_site(site);
+
+  EXPECT_EQ(crawl.documents.size(), 80u);
+  EXPECT_EQ(crawl.categories_discovered, 5u);
+  // Every crawled body is a real document page (contains topic terms).
+  for (const auto& doc : crawl.documents) {
+    EXPECT_NE(doc.html.find("topic"), std::string::npos);
+  }
+}
+
+TEST(Crawler, LabelsAreConsistentWithSiteStructure) {
+  // All documents discovered under one leaf share a crawler label, and
+  // distinct leaves get distinct labels (the paper's ground truth).
+  Rng rng(963);
+  WikiCorpusParams params;
+  params.n = 90;
+  params.k = 3;
+  const WikiSite site = make_wiki_site(params, rng);
+  const CrawlResult crawl = crawl_wiki_site(site);
+
+  std::set<int> labels;
+  for (const auto& doc : crawl.documents) labels.insert(doc.category);
+  EXPECT_EQ(labels.size(), 3u);
+
+  // Balanced corpus: each label covers n/k documents.
+  for (int label : labels) {
+    std::size_t count = 0;
+    for (const auto& doc : crawl.documents) {
+      if (doc.category == label) ++count;
+    }
+    EXPECT_EQ(count, 30u);
+  }
+}
+
+TEST(Crawler, CrawledCorpusFeedsThePipeline) {
+  // End-to-end §5.2: site -> crawl -> text pipeline -> labelled features.
+  Rng rng(964);
+  WikiCorpusParams params;
+  params.n = 60;
+  params.k = 3;
+  const WikiSite site = make_wiki_site(params, rng);
+  const CrawlResult crawl = crawl_wiki_site(site);
+  const PointSet features = wiki_documents_to_features(crawl.documents, 11);
+  EXPECT_EQ(features.size(), 60u);
+  EXPECT_EQ(features.dim(), 11u);
+  EXPECT_TRUE(features.has_labels());
+}
+
+TEST(Crawler, SingleCategorySite) {
+  Rng rng(965);
+  WikiCorpusParams params;
+  params.n = 10;
+  params.k = 1;
+  const WikiSite site = make_wiki_site(params, rng);
+  const CrawlResult crawl = crawl_wiki_site(site);
+  EXPECT_EQ(crawl.documents.size(), 10u);
+  EXPECT_EQ(crawl.categories_discovered, 1u);
+}
+
+TEST(Crawler, DanglingLinkThrows) {
+  Rng rng(966);
+  WikiCorpusParams params;
+  params.n = 20;
+  params.k = 2;
+  WikiSite site = make_wiki_site(params, rng);
+  // Remove one document page: the crawler must notice.
+  site.pages.erase("/doc/0");
+  EXPECT_THROW(crawl_wiki_site(site), dasc::IoError);
+}
+
+TEST(Crawler, CycleSafe) {
+  // A category page linking back to the index must not loop forever.
+  Rng rng(967);
+  WikiCorpusParams params;
+  params.n = 20;
+  params.k = 2;
+  WikiSite site = make_wiki_site(params, rng);
+  site.pages[site.index_url] +=
+      "<div class=\"CategoryTreeBullet\"><a href=\"" + site.index_url +
+      "\">loop</a></div>";
+  const CrawlResult crawl = crawl_wiki_site(site);
+  EXPECT_EQ(crawl.documents.size(), 20u);
+}
+
+TEST(Crawler, RejectsEmptyOrBrokenSite) {
+  EXPECT_THROW(crawl_wiki_site(WikiSite{}), dasc::InvalidArgument);
+  WikiSite no_index;
+  no_index.pages["/other"] = "<html></html>";
+  no_index.index_url = "/cat/0";
+  EXPECT_THROW(crawl_wiki_site(no_index), dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::data

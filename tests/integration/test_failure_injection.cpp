@@ -1,0 +1,169 @@
+// Failure-injection tests: degenerate datasets, hostile inputs, and
+// component failures that the pipeline must survive or reject cleanly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/nystrom.hpp"
+#include "baselines/psc.hpp"
+#include "clustering/metrics.hpp"
+#include "common/error.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "data/synthetic.hpp"
+#include "mapreduce/job.hpp"
+
+namespace dasc {
+namespace {
+
+TEST(FailureInjection, AllPointsIdentical) {
+  // Every signature collides: one giant bucket; spectral must not crash on
+  // the rank-1 all-ones Gram matrix.
+  const data::PointSet points(64, 4, std::vector<double>(256, 0.5));
+  core::DascParams params;
+  params.k = 3;
+  Rng rng(711);
+  const core::DascResult result = core::dasc_cluster(points, params, rng);
+  EXPECT_EQ(result.labels.size(), 64u);
+}
+
+TEST(FailureInjection, SinglePointDataset) {
+  const data::PointSet points(1, 3, {0.1, 0.2, 0.3});
+  core::DascParams params;
+  params.k = 1;
+  Rng rng(712);
+  const core::DascResult result = core::dasc_cluster(points, params, rng);
+  ASSERT_EQ(result.labels.size(), 1u);
+  EXPECT_EQ(result.labels[0], 0);
+}
+
+TEST(FailureInjection, TwoPointDataset) {
+  const data::PointSet points(2, 2, {0.0, 0.0, 1.0, 1.0});
+  core::DascParams params;
+  params.k = 2;
+  Rng rng(713);
+  const core::DascResult result = core::dasc_cluster(points, params, rng);
+  EXPECT_EQ(result.labels.size(), 2u);
+}
+
+TEST(FailureInjection, ExtremeOutlierDoesNotBreakBucketing) {
+  Rng data_rng(714);
+  data::MixtureParams mix;
+  mix.n = 100;
+  mix.dim = 4;
+  mix.k = 2;
+  mix.clip_to_unit = false;
+  data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+  for (std::size_t d = 0; d < 4; ++d) points.at(0, d) = 1e6;  // outlier
+
+  core::DascParams params;
+  params.k = 2;
+  Rng rng(715);
+  const core::DascResult result = core::dasc_cluster(points, params, rng);
+  EXPECT_EQ(result.labels.size(), 100u);
+}
+
+TEST(FailureInjection, ConstantDimensionsHandledByAllAlgorithms) {
+  // Half the dimensions carry no information (span 0).
+  Rng data_rng(716);
+  data::PointSet points(80, 6);
+  for (std::size_t i = 0; i < 80; ++i) {
+    points.at(i, 0) = data_rng.uniform();
+    points.at(i, 1) = data_rng.uniform();
+    points.at(i, 2) = data_rng.uniform();
+    // dims 3-5 stay 0.
+  }
+  core::DascParams params;
+  params.k = 2;
+  Rng r1(717);
+  EXPECT_NO_THROW(core::dasc_cluster(points, params, r1));
+
+  baselines::PscParams psc_params;
+  psc_params.k = 2;
+  Rng r2(718);
+  EXPECT_NO_THROW(baselines::psc_cluster(points, psc_params, r2));
+
+  baselines::NystromParams nyst_params;
+  nyst_params.k = 2;
+  Rng r3(719);
+  EXPECT_NO_THROW(baselines::nystrom_cluster(points, nyst_params, r3));
+}
+
+TEST(FailureInjection, KLargerThanAnyBucket) {
+  Rng data_rng(720);
+  const data::PointSet points = data::make_uniform(60, 4, data_rng);
+  core::DascParams params;
+  params.k = 50;  // most buckets will be far smaller than K
+  params.m = 6;
+  Rng rng(721);
+  const core::DascResult result = core::dasc_cluster(points, params, rng);
+  EXPECT_EQ(result.labels.size(), 60u);
+  for (int label : result.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(result.num_clusters));
+  }
+}
+
+TEST(FailureInjection, MapTaskFailurePropagatesNotHangs) {
+  // A mapper that fails on one specific record must fail the whole job
+  // (our runtime has no task retry) without deadlocking the thread pool.
+  class FlakyMapper final : public mapreduce::Mapper {
+   public:
+    void map(const std::string& key, const std::string& value,
+             mapreduce::Emitter& out) override {
+      if (key == "13") throw std::runtime_error("injected task failure");
+      out.emit(value, "1");
+    }
+  };
+  class CountReducer final : public mapreduce::Reducer {
+   public:
+    void reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                mapreduce::Emitter& out) override {
+      out.emit(key, std::to_string(values.size()));
+    }
+  };
+
+  mapreduce::JobSpec spec;
+  spec.conf.split_records = 4;
+  spec.mapper_factory = [] { return std::make_unique<FlakyMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+
+  std::vector<mapreduce::Record> input;
+  for (int i = 0; i < 64; ++i) {
+    input.push_back({std::to_string(i), "v" + std::to_string(i % 5)});
+  }
+  EXPECT_THROW(mapreduce::run_job(spec, input), std::runtime_error);
+}
+
+TEST(FailureInjection, NanInputRejectedByMetrics) {
+  // Metrics on garbage labels: sizes must still be validated first.
+  EXPECT_THROW(
+      clustering::clustering_accuracy(std::vector<int>{0},
+                                      std::vector<int>{0, 1}),
+      InvalidArgument);
+}
+
+TEST(FailureInjection, HeavilySkewedBuckets) {
+  // 90% of points in one tight clump, the rest scattered: one huge bucket
+  // plus many singletons. The per-bucket K allocation must stay valid.
+  Rng data_rng(722);
+  data::PointSet points(200, 4);
+  for (std::size_t i = 0; i < 180; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      points.at(i, d) = 0.5 + 0.001 * data_rng.uniform();
+    }
+  }
+  for (std::size_t i = 180; i < 200; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      points.at(i, d) = data_rng.uniform();
+    }
+  }
+  core::DascParams params;
+  params.k = 4;
+  Rng rng(723);
+  const core::DascResult result = core::dasc_cluster(points, params, rng);
+  EXPECT_EQ(result.labels.size(), 200u);
+}
+
+}  // namespace
+}  // namespace dasc

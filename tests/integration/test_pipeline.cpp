@@ -1,0 +1,127 @@
+// Cross-module integration tests: the full paper pipeline from raw
+// pseudo-HTML documents through text processing, LSH bucketing, MapReduce
+// execution, and clustering metrics.
+#include <gtest/gtest.h>
+
+#include "baselines/nystrom.hpp"
+#include "baselines/psc.hpp"
+#include "clustering/metrics.hpp"
+#include "clustering/spectral.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "core/dasc_mapreduce.hpp"
+#include "data/wiki_corpus.hpp"
+
+namespace dasc {
+namespace {
+
+TEST(Pipeline, DocumentsToClustersEndToEnd) {
+  // Raw documents -> text pipeline -> tf-idf features -> DASC clusters.
+  Rng rng(611);
+  data::WikiCorpusParams corpus_params;
+  corpus_params.n = 120;
+  corpus_params.k = 4;
+  const auto docs = data::make_wiki_documents(corpus_params, rng);
+  const data::PointSet features = data::wiki_documents_to_features(docs, 11);
+
+  core::DascParams params;
+  params.k = 4;
+  Rng cluster_rng(612);
+  const core::DascResult result =
+      core::dasc_cluster(features, params, cluster_rng);
+  const double accuracy =
+      clustering::clustering_accuracy(result.labels, features.labels());
+  EXPECT_GT(accuracy, 0.7);  // real text pipeline: noisier than vectors
+}
+
+TEST(Pipeline, AllFourAlgorithmsClusterTheSameWikiDataset) {
+  // The Fig. 3 comparison harness in miniature: every algorithm must beat
+  // a trivial baseline on the same labelled corpus.
+  Rng rng(613);
+  data::WikiCorpusParams corpus_params;
+  corpus_params.n = 512;
+  corpus_params.k = 8;  // explicit: the Eq. 15 fit degenerates below 1K docs
+  const data::PointSet points = data::make_wiki_vectors(corpus_params, rng);
+  const std::size_t k = corpus_params.k;
+
+  core::DascParams dasc_params;
+  dasc_params.k = k;
+  Rng r1(1);
+  const double dasc_acc = clustering::clustering_accuracy(
+      core::dasc_cluster(points, dasc_params, r1).labels, points.labels());
+
+  clustering::SpectralParams sc_params;
+  sc_params.k = k;
+  Rng r2(2);
+  const double sc_acc = clustering::clustering_accuracy(
+      clustering::spectral_cluster(points, sc_params, r2).labels,
+      points.labels());
+
+  baselines::PscParams psc_params;
+  psc_params.k = k;
+  Rng r3(3);
+  const double psc_acc = clustering::clustering_accuracy(
+      baselines::psc_cluster(points, psc_params, r3).labels,
+      points.labels());
+
+  baselines::NystromParams nyst_params;
+  nyst_params.k = k;
+  Rng r4(4);
+  const double nyst_acc = clustering::clustering_accuracy(
+      baselines::nystrom_cluster(points, nyst_params, r4).labels,
+      points.labels());
+
+  // Random assignment over k clusters would land near 1/k plus the largest
+  // cluster share; require clearly better.
+  const double floor = 2.5 / static_cast<double>(k);
+  EXPECT_GT(dasc_acc, floor);
+  EXPECT_GT(sc_acc, floor);
+  EXPECT_GT(psc_acc, floor);
+  EXPECT_GT(nyst_acc, floor);
+}
+
+TEST(Pipeline, MapReduceAndInProcessDascAgreeOnBuckets) {
+  Rng rng(614);
+  data::WikiCorpusParams corpus_params;
+  corpus_params.n = 200;
+  const data::PointSet points = data::make_wiki_vectors(corpus_params, rng);
+
+  core::MapReduceDascParams mr_params;
+  Rng mr_rng(77);
+  const auto mr = core::dasc_cluster_mapreduce(points, mr_params, mr_rng);
+
+  Rng local_rng(77);
+  core::ApproximatorStats local_stats;
+  core::bucket_points(points, mr_params.dasc, local_rng, &local_stats);
+
+  EXPECT_EQ(mr.stats.raw_buckets, local_stats.raw_buckets);
+  EXPECT_EQ(mr.stats.merged_buckets, local_stats.merged_buckets);
+  EXPECT_EQ(mr.stats.gram_bytes, local_stats.gram_bytes);
+}
+
+TEST(Pipeline, ApproximationMemoryAdvantageGrowsWithN) {
+  // Fig. 6b's shape: DASC's Gram bytes grow much slower than N^2.
+  Rng rng(615);
+  double prev_ratio = 1.0;
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    data::WikiCorpusParams corpus_params;
+    corpus_params.n = n;
+    const data::PointSet points =
+        data::make_wiki_vectors(corpus_params, rng);
+    core::DascParams params;
+    Rng bucket_rng(616);
+    core::ApproximatorStats stats;
+    core::bucket_points(points, params, bucket_rng, &stats);
+    std::size_t entries = 0;
+    Rng again(616);
+    for (const auto& bucket : core::bucket_points(points, params, again)) {
+      entries += bucket.indices.size() * bucket.indices.size();
+    }
+    const double ratio = static_cast<double>(entries) /
+                         (static_cast<double>(n) * static_cast<double>(n));
+    EXPECT_LE(ratio, prev_ratio * 1.2);  // non-increasing (with slack)
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace dasc

@@ -1,0 +1,145 @@
+// Parameterized property sweeps across the pipeline's configuration grid:
+// every (hash family x signature width x merge setting) combination must
+// uphold the same invariants — partition completeness, label validity,
+// memory accounting, determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "clustering/metrics.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc {
+namespace {
+
+using GridParam = std::tuple<int /*family*/, int /*m*/, bool /*merge*/>;
+
+class DascGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static core::DascParams make_params(const GridParam& grid) {
+    core::DascParams params;
+    params.family = static_cast<core::HashFamily>(std::get<0>(grid));
+    params.m = static_cast<std::size_t>(std::get<1>(grid));
+    params.p = std::get<2>(grid) ? 0 : params.m;  // 0 = auto merge (M-1)
+    params.k = 4;
+    return params;
+  }
+
+  static const data::PointSet& dataset() {
+    static const data::PointSet points = [] {
+      Rng rng(901);
+      data::MixtureParams mix;
+      mix.n = 240;
+      mix.dim = 10;
+      mix.k = 4;
+      mix.cluster_stddev = 0.05;
+      return data::make_gaussian_mixture(mix, rng);
+    }();
+    return points;
+  }
+};
+
+TEST_P(DascGrid, BucketsPartitionTheDataset) {
+  const core::DascParams params = make_params(GetParam());
+  Rng rng(902);
+  const auto buckets = core::bucket_points(dataset(), params, rng);
+  std::set<std::size_t> seen;
+  for (const auto& bucket : buckets) {
+    for (std::size_t idx : bucket.indices) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate point " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), dataset().size());
+}
+
+TEST_P(DascGrid, StatsAccountingConsistent) {
+  const core::DascParams params = make_params(GetParam());
+  Rng rng(903);
+  core::ApproximatorStats stats;
+  const auto buckets = core::bucket_points(dataset(), params, rng, &stats);
+  EXPECT_EQ(stats.merged_buckets, buckets.size());
+  EXPECT_GE(stats.raw_buckets, stats.merged_buckets);
+  std::size_t entries = 0;
+  std::size_t largest = 0;
+  for (const auto& bucket : buckets) {
+    entries += bucket.indices.size() * bucket.indices.size();
+    largest = std::max(largest, bucket.indices.size());
+  }
+  EXPECT_EQ(stats.gram_bytes, entries * sizeof(float));
+  EXPECT_EQ(stats.largest_bucket, largest);
+  EXPECT_GT(stats.fill_ratio, 0.0);
+  EXPECT_LE(stats.fill_ratio, 1.0 + 1e-12);
+}
+
+TEST_P(DascGrid, ClusteringProducesValidDeterministicLabels) {
+  const core::DascParams params = make_params(GetParam());
+  Rng r1(904);
+  const core::DascResult a = core::dasc_cluster(dataset(), params, r1);
+  Rng r2(904);
+  const core::DascResult b = core::dasc_cluster(dataset(), params, r2);
+
+  ASSERT_EQ(a.labels.size(), dataset().size());
+  for (int label : a.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(a.num_clusters));
+  }
+  EXPECT_EQ(a.labels, b.labels);  // determinism across runs
+}
+
+TEST_P(DascGrid, PurityBeatsChance) {
+  const core::DascParams params = make_params(GetParam());
+  Rng rng(905);
+  const core::DascResult result = core::dasc_cluster(dataset(), params, rng);
+  const double purity =
+      clustering::clustering_purity(result.labels, dataset().labels());
+  EXPECT_GT(purity, 0.4);  // 4 balanced classes: chance is 0.25
+}
+
+std::string grid_name(const ::testing::TestParamInfo<GridParam>& info) {
+  static const char* const families[] = {"RandomProjection", "MinHash",
+                                         "SimHash", "SpectralHash"};
+  return std::string(families[std::get<0>(info.param)]) + "_m" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) ? "_merge" : "_nomerge");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilyWidthMerge, DascGrid,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),   // all hash families
+                       ::testing::Values(4, 8, 12),     // signature widths
+                       ::testing::Bool()),              // merge on/off
+    grid_name);
+
+class BalanceCapGrid : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BalanceCapGrid, CapIsRespectedAndPartitionPreserved) {
+  Rng data_rng(906);
+  data::MixtureParams mix;
+  mix.n = 300;
+  mix.dim = 6;
+  mix.k = 2;
+  mix.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+
+  core::DascParams params;
+  params.m = 4;
+  params.max_bucket_points = GetParam();
+  Rng rng(907);
+  core::ApproximatorStats stats;
+  const auto buckets = core::bucket_points(points, params, rng, &stats);
+
+  std::size_t covered = 0;
+  for (const auto& bucket : buckets) {
+    EXPECT_LE(bucket.indices.size(), GetParam());
+    covered += bucket.indices.size();
+  }
+  EXPECT_EQ(covered, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, BalanceCapGrid,
+                         ::testing::Values(8, 32, 64, 150, 300));
+
+}  // namespace
+}  // namespace dasc

@@ -1,0 +1,141 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/memory_tracker.hpp"
+
+namespace dasc::linalg {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndIndexing) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+}
+
+TEST(DenseMatrix, OutOfRangeThrows) {
+  DenseMatrix m(2, 2);
+  EXPECT_THROW(m(2, 0), dasc::InvalidArgument);
+  EXPECT_THROW(m(0, 2), dasc::InvalidArgument);
+  EXPECT_THROW(m.row(2), dasc::InvalidArgument);
+}
+
+TEST(DenseMatrix, RowSpanAliasesStorage) {
+  DenseMatrix m(2, 2, 0.0);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(DenseMatrix, Identity) {
+  const DenseMatrix id = DenseMatrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, MultiplyKnownValues) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(3, 2);
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  }
+  const DenseMatrix c = a.multiply(b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(DenseMatrix, MultiplyByIdentityIsNoOp) {
+  DenseMatrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a(i, j) = static_cast<double>(i * 3 + j);
+    }
+  }
+  const DenseMatrix c = a.multiply(DenseMatrix::identity(3));
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(c), 0.0);
+}
+
+TEST(DenseMatrix, MultiplyRejectsShapeMismatch) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), dasc::InvalidArgument);
+}
+
+TEST(DenseMatrix, TransposedSwapsIndices) {
+  DenseMatrix a(2, 3);
+  a(0, 2) = 5.0;
+  const DenseMatrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(DenseMatrix, MatvecKnownValues) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const std::vector<double> x{5.0, 6.0};
+  std::vector<double> y(2, 0.0);
+  a.matvec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(DenseMatrix, FrobeniusNorm) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(DenseMatrix, IsSymmetricDetectsAsymmetry) {
+  DenseMatrix a(2, 2, 0.0);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  EXPECT_TRUE(a.is_symmetric());
+  a(1, 0) = 1.5;
+  EXPECT_FALSE(a.is_symmetric());
+  EXPECT_FALSE(DenseMatrix(2, 3).is_symmetric());
+}
+
+TEST(DenseMatrix, TracksMemoryFootprint) {
+  const std::size_t before = dasc::MemoryTracker::current();
+  {
+    DenseMatrix m(100, 100);
+    EXPECT_EQ(dasc::MemoryTracker::current(),
+              before + 100 * 100 * sizeof(double));
+  }
+  EXPECT_EQ(dasc::MemoryTracker::current(), before);
+}
+
+TEST(DenseMatrix, CopyDoublesFootprintMoveDoesNot) {
+  const std::size_t before = dasc::MemoryTracker::current();
+  DenseMatrix a(10, 10);
+  DenseMatrix b = a;  // copy
+  EXPECT_EQ(dasc::MemoryTracker::current(),
+            before + 2 * 10 * 10 * sizeof(double));
+  DenseMatrix c = std::move(a);  // move keeps total constant
+  EXPECT_EQ(dasc::MemoryTracker::current(),
+            before + 2 * 10 * 10 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace dasc::linalg

@@ -1,0 +1,79 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace dasc::linalg {
+namespace {
+
+DenseMatrix random_symmetric(std::size_t n, Rng& rng) {
+  DenseMatrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(JacobiEigen, KnownTwoByTwo) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  const auto eigen = jacobi_eigen(a);
+  EXPECT_NEAR(eigen.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(eigen.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(JacobiEigen, AgreesWithQlPath) {
+  Rng rng(55);
+  const DenseMatrix a = random_symmetric(20, rng);
+  const auto jac = jacobi_eigen(a);
+  const auto ql = symmetric_eigen(a);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(jac.eigenvalues[i], ql.eigenvalues[i], 1e-8);
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsSatisfyDefinition) {
+  Rng rng(57);
+  const DenseMatrix a = random_symmetric(10, rng);
+  const auto eigen = jacobi_eigen(a);
+  std::vector<double> v(10);
+  std::vector<double> av(10);
+  for (std::size_t col = 0; col < 10; ++col) {
+    for (std::size_t i = 0; i < 10; ++i) v[i] = eigen.eigenvectors(i, col);
+    a.matvec(v, av);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(av[i], eigen.eigenvalues[col] * v[i], 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, RejectsBadInput) {
+  EXPECT_THROW(jacobi_eigen(DenseMatrix(2, 3)), dasc::InvalidArgument);
+  DenseMatrix a(2, 2, 0.0);
+  EXPECT_THROW(jacobi_eigen(a, 0), dasc::InvalidArgument);
+}
+
+TEST(JacobiEigen, PsdMatrixHasNonNegativeEigenvalues) {
+  // A = B^T B is PSD.
+  Rng rng(59);
+  DenseMatrix b(8, 8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  const DenseMatrix a = b.transposed().multiply(b);
+  const auto eigen = jacobi_eigen(a);
+  for (double v : eigen.eigenvalues) EXPECT_GE(v, -1e-9);
+}
+
+}  // namespace
+}  // namespace dasc::linalg

@@ -1,0 +1,97 @@
+#include "linalg/sparse_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace dasc::linalg {
+namespace {
+
+TEST(SparseCsr, AssemblesAndReadsBack) {
+  const SparseCsr m(3, 3, {{0, 1, 2.0}, {2, 0, -1.0}, {1, 1, 4.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(SparseCsr, DuplicateTripletsAreSummed) {
+  const SparseCsr m(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+}
+
+TEST(SparseCsr, ExplicitZerosAreDropped) {
+  const SparseCsr m(2, 2, {{0, 0, 1.0}, {1, 1, 0.0}, {0, 1, 2.0},
+                           {0, 1, -2.0}});
+  EXPECT_EQ(m.nnz(), 1u);  // only (0,0) survives
+}
+
+TEST(SparseCsr, RejectsOutOfRangeTriplets) {
+  EXPECT_THROW(SparseCsr(2, 2, {{2, 0, 1.0}}), dasc::InvalidArgument);
+  EXPECT_THROW(SparseCsr(2, 2, {{0, 2, 1.0}}), dasc::InvalidArgument);
+}
+
+TEST(SparseCsr, RowSpansAreSortedByColumn) {
+  const SparseCsr m(1, 5, {{0, 4, 1.0}, {0, 1, 2.0}, {0, 3, 3.0}});
+  const auto cols = m.row_cols(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(cols[0] < cols[1] && cols[1] < cols[2]);
+}
+
+TEST(SparseCsr, MatvecMatchesDense) {
+  Rng rng(31);
+  const std::size_t n = 40;
+  std::vector<Triplet> triplets;
+  DenseMatrix dense(n, n, 0.0);
+  for (int e = 0; e < 200; ++e) {
+    const auto r = rng.uniform_index(n);
+    const auto c = rng.uniform_index(n);
+    const double v = rng.uniform(-1.0, 1.0);
+    triplets.push_back({r, c, v});
+    dense(r, c) += v;
+  }
+  const SparseCsr sparse(n, n, std::move(triplets));
+
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> y_sparse(n, 0.0);
+  std::vector<double> y_dense(n, 0.0);
+  sparse.matvec(x, y_sparse);
+  dense.matvec(x, y_dense);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+  }
+}
+
+TEST(SparseCsr, RowSums) {
+  const SparseCsr m(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, -3.0}});
+  const auto sums = m.row_sums();
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], -3.0);
+}
+
+TEST(SparseCsr, FrobeniusNorm) {
+  const SparseCsr m(2, 2, {{0, 0, 3.0}, {1, 1, 4.0}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(SparseCsr, SymmetryCheck) {
+  const SparseCsr sym(2, 2, {{0, 1, 2.0}, {1, 0, 2.0}});
+  EXPECT_TRUE(sym.is_symmetric());
+  const SparseCsr asym(2, 2, {{0, 1, 2.0}});
+  EXPECT_FALSE(asym.is_symmetric());
+}
+
+TEST(SparseCsr, BytesScaleWithNnz) {
+  const SparseCsr small(10, 10, {{0, 0, 1.0}});
+  const SparseCsr large(10, 10,
+                        {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  EXPECT_LT(small.bytes(), large.bytes());
+}
+
+}  // namespace
+}  // namespace dasc::linalg

@@ -1,0 +1,73 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dasc::linalg {
+namespace {
+
+TEST(VectorOps, DotProduct) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOps, DotRejectsMismatchedSizes) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(dot(std::span<const double>(x), std::span<const double>(y)),
+               dasc::InvalidArgument);
+}
+
+TEST(VectorOps, Norm2) {
+  const std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VectorOps, SquaredDistance) {
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{4.0, 5.0};
+  EXPECT_DOUBLE_EQ(squared_distance(x, y), 9.0 + 16.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<double> x{1.0, -2.0};
+  scale(x, -3.0);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+}
+
+TEST(VectorOps, NormalizeMakesUnitVector) {
+  std::vector<double> x{3.0, 4.0};
+  const double original = normalize(x);
+  EXPECT_DOUBLE_EQ(original, 5.0);
+  EXPECT_NEAR(norm2(x), 1.0, 1e-15);
+}
+
+TEST(VectorOps, NormalizeZeroVectorIsNoOp) {
+  std::vector<double> x{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(x), 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(VectorOps, Copy) {
+  const std::vector<double> src{1.0, 2.0, 3.0};
+  std::vector<double> dst(3, 0.0);
+  copy(src, dst);
+  EXPECT_EQ(src, dst);
+}
+
+}  // namespace
+}  // namespace dasc::linalg

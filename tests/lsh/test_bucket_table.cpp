@@ -1,0 +1,159 @@
+#include "lsh/bucket_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "lsh/random_projection.hpp"
+
+namespace dasc::lsh {
+namespace {
+
+std::vector<Signature> signatures_from_bits(
+    const std::vector<std::uint64_t>& bits) {
+  std::vector<Signature> sigs;
+  sigs.reserve(bits.size());
+  for (auto b : bits) sigs.push_back({b});
+  return sigs;
+}
+
+void expect_partition(const std::vector<Bucket>& buckets, std::size_t n) {
+  std::set<std::size_t> seen;
+  for (const auto& bucket : buckets) {
+    for (std::size_t idx : bucket.indices) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+  if (!seen.empty()) {
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+  }
+}
+
+TEST(BucketTable, GroupsIdenticalSignatures) {
+  const auto table = BucketTable::from_signatures(
+      signatures_from_bits({0b00, 0b01, 0b00, 0b11, 0b01}), 2);
+  EXPECT_EQ(table.raw_bucket_count(), 3u);
+  const auto buckets = table.raw_buckets();
+  expect_partition(buckets, 5);
+  // Largest first: two buckets of size 2, then one of size 1.
+  EXPECT_EQ(buckets[0].indices.size(), 2u);
+  EXPECT_EQ(buckets[1].indices.size(), 2u);
+  EXPECT_EQ(buckets[2].indices.size(), 1u);
+}
+
+TEST(BucketTable, PairwiseMergeAtPEqualsMMinusOne) {
+  // 000, 001 differ by 1 bit -> merged; 111 stays alone.
+  const auto table = BucketTable::from_signatures(
+      signatures_from_bits({0b000, 0b001, 0b111}), 3);
+  const auto buckets = table.merged_buckets(2, MergeStrategy::kPairwise);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].indices.size(), 2u);
+  expect_partition(buckets, 3);
+}
+
+TEST(BucketTable, MergeIsBoundedNotTransitive) {
+  // 000 - 001 - 011 - 111 form a 1-bit chain. Star merging joins a group
+  // only within 1 bit of its *representative*, so the chain splits into
+  // {000, 001} and {011, 111} instead of collapsing into one bucket (a
+  // transitive merge would connect the whole signature space whenever it
+  // is densely occupied and destroy the approximation).
+  const auto table = BucketTable::from_signatures(
+      signatures_from_bits({0b000, 0b001, 0b011, 0b111}), 3);
+  const auto buckets = table.merged_buckets(2, MergeStrategy::kPairwise);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].indices.size(), 2u);
+  EXPECT_EQ(buckets[1].indices.size(), 2u);
+}
+
+TEST(BucketTable, FullyOccupiedSignatureSpaceDoesNotCollapse) {
+  // Every 4-bit signature present: merging must still leave several
+  // groups, not one giant bucket.
+  std::vector<std::uint64_t> bits(16);
+  std::iota(bits.begin(), bits.end(), 0);
+  const auto table =
+      BucketTable::from_signatures(signatures_from_bits(bits), 4);
+  const auto buckets = table.merged_buckets(3, MergeStrategy::kPairwise);
+  EXPECT_GT(buckets.size(), 2u);
+}
+
+TEST(BucketTable, BitFlipMatchesPairwiseForOneBit) {
+  dasc::Rng rng(33);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 300; ++i) sigs.push_back({rng() & 0x1F});  // m = 5
+  const auto table = BucketTable::from_signatures(sigs, 5);
+  const auto pairwise = table.merged_buckets(4, MergeStrategy::kPairwise);
+  const auto bitflip = table.merged_buckets(4, MergeStrategy::kBitFlip);
+  ASSERT_EQ(pairwise.size(), bitflip.size());
+  for (std::size_t b = 0; b < pairwise.size(); ++b) {
+    EXPECT_EQ(pairwise[b].indices, bitflip[b].indices);
+  }
+}
+
+TEST(BucketTable, BitFlipRequiresPEqualsMMinusOne) {
+  const auto table =
+      BucketTable::from_signatures(signatures_from_bits({0b00}), 2);
+  EXPECT_THROW(table.merged_buckets(0, MergeStrategy::kBitFlip),
+               dasc::InvalidArgument);
+}
+
+TEST(BucketTable, LowerPMergesMore) {
+  dasc::Rng rng(34);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 200; ++i) sigs.push_back({rng() & 0xFF});  // m = 8
+  const auto table = BucketTable::from_signatures(sigs, 8);
+  std::size_t prev = table.merged_buckets(8, MergeStrategy::kNone).size();
+  for (std::size_t p = 7; p >= 5; --p) {
+    const std::size_t count =
+        table.merged_buckets(p, MergeStrategy::kPairwise).size();
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(BucketTable, PZeroMergesEverything) {
+  dasc::Rng rng(35);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 50; ++i) sigs.push_back({rng() & 0xF});
+  const auto table = BucketTable::from_signatures(sigs, 4);
+  const auto buckets = table.merged_buckets(0, MergeStrategy::kPairwise);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].indices.size(), 50u);
+}
+
+TEST(BucketTable, BuildFromPointsPartitionsDataset) {
+  dasc::Rng rng(36);
+  const data::PointSet points = data::make_uniform(500, 8, rng);
+  dasc::Rng fit_rng(37);
+  const auto hasher = RandomProjectionHasher::fit(
+      points, 5, DimensionSelection::kTopSpan, fit_rng);
+  const auto table = BucketTable::build(points, hasher);
+  expect_partition(table.raw_buckets(), 500);
+  expect_partition(table.merged_buckets(4, MergeStrategy::kPairwise), 500);
+}
+
+TEST(BucketTable, MergedSignatureComesFromLargestConstituent) {
+  // Bucket 0b00 has 3 members, 0b01 has 1; merged signature must be 0b00.
+  const auto table = BucketTable::from_signatures(
+      signatures_from_bits({0b00, 0b00, 0b00, 0b01}), 2);
+  const auto buckets = table.merged_buckets(1, MergeStrategy::kPairwise);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].signature.bits, 0b00u);
+}
+
+TEST(BucketTable, RejectsSignaturesAboveWidth) {
+  EXPECT_THROW(
+      BucketTable::from_signatures(signatures_from_bits({0b100}), 2),
+      dasc::InvalidArgument);
+}
+
+TEST(BucketTable, RejectsEmptyInput) {
+  EXPECT_THROW(BucketTable::from_signatures({}, 4), dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::lsh

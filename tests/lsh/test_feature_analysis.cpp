@@ -1,0 +1,158 @@
+#include "lsh/feature_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::lsh {
+namespace {
+
+TEST(FeatureAnalysis, SpansAndMinima) {
+  const data::PointSet points(3, 2, {0.0, 5.0, 1.0, 7.0, 0.5, 9.0});
+  const FeatureAnalysis analysis = analyze_features(points);
+  ASSERT_EQ(analysis.dims.size(), 2u);
+  EXPECT_DOUBLE_EQ(analysis.dims[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.dims[0].span, 1.0);
+  EXPECT_DOUBLE_EQ(analysis.dims[1].min, 5.0);
+  EXPECT_DOUBLE_EQ(analysis.dims[1].span, 4.0);
+}
+
+TEST(FeatureAnalysis, SelectionProbabilityIsEq4) {
+  const data::PointSet points(2, 2, {0.0, 0.0, 1.0, 3.0});
+  const FeatureAnalysis analysis = analyze_features(points);
+  // spans are 1 and 3 -> probabilities 0.25 and 0.75.
+  EXPECT_DOUBLE_EQ(analysis.selection_probability[0], 0.25);
+  EXPECT_DOUBLE_EQ(analysis.selection_probability[1], 0.75);
+}
+
+TEST(FeatureAnalysis, ProbabilitiesSumToOne) {
+  dasc::Rng rng(7);
+  const data::PointSet points = data::make_uniform(200, 10, rng);
+  const FeatureAnalysis analysis = analyze_features(points);
+  double total = 0.0;
+  for (double p : analysis.selection_probability) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FeatureAnalysis, HistogramCountsAllPoints) {
+  dasc::Rng rng(8);
+  const data::PointSet points = data::make_uniform(500, 3, rng);
+  const FeatureAnalysis analysis = analyze_features(points);
+  for (const auto& dim : analysis.dims) {
+    ASSERT_EQ(dim.histogram.size(), kHistogramBins);
+    std::size_t total = 0;
+    for (std::size_t c : dim.histogram) total += c;
+    EXPECT_EQ(total, 500u);
+  }
+}
+
+TEST(FeatureAnalysis, ThresholdFollowsEq5) {
+  // Dimension values concentrated in [0, 0.5]; the sparsest bin is in the
+  // upper half, so the threshold must land at a bin edge >= 0.5... unless
+  // an empty bin occurs earlier. Construct data with exactly one sparse
+  // region: values in [0, 0.45] and [0.55, 1.0], nothing in the middle.
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(0.45 * i / 50.0);
+    values.push_back(0.55 + 0.45 * i / 50.0);
+  }
+  const std::size_t n = values.size();
+  const data::PointSet points(n, 1, std::move(values));
+  const FeatureAnalysis analysis = analyze_features(points);
+  const double threshold = analysis.dims[0].threshold;
+  // The empty bin covers (0.45, 0.55); Eq. 5 sets the threshold at the
+  // lower edge of the smallest-count bin.
+  EXPECT_GE(threshold, 0.40);
+  EXPECT_LE(threshold, 0.60);
+}
+
+TEST(FeatureAnalysis, ThresholdWithinDimensionRange) {
+  dasc::Rng rng(9);
+  const data::PointSet points = data::make_uniform(300, 6, rng);
+  const FeatureAnalysis analysis = analyze_features(points);
+  for (const auto& dim : analysis.dims) {
+    EXPECT_GE(dim.threshold, dim.min);
+    EXPECT_LE(dim.threshold, dim.min + dim.span);
+  }
+}
+
+TEST(FeatureAnalysis, DimensionsBySpanIsDescending) {
+  const data::PointSet points(2, 3, {0.0, 0.0, 0.0, 2.0, 5.0, 1.0});
+  const FeatureAnalysis analysis = analyze_features(points);
+  const auto order = analysis.dimensions_by_span();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(FeatureAnalysis, DegenerateConstantDataset) {
+  const data::PointSet points(3, 2, {1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  const FeatureAnalysis analysis = analyze_features(points);
+  EXPECT_DOUBLE_EQ(analysis.selection_probability[0], 0.5);
+  EXPECT_DOUBLE_EQ(analysis.selection_probability[1], 0.5);
+}
+
+TEST(FeatureAnalysis, RejectsEmptyDataset) {
+  EXPECT_THROW(analyze_features(data::PointSet()), dasc::InvalidArgument);
+}
+
+TEST(ThresholdForRank, RankZeroMatchesEq5Threshold) {
+  dasc::Rng rng(10);
+  const data::PointSet points = data::make_uniform(400, 3, rng);
+  const FeatureAnalysis analysis = analyze_features(points);
+  for (const auto& dim : analysis.dims) {
+    EXPECT_DOUBLE_EQ(threshold_for_rank(dim, 0), dim.threshold);
+  }
+}
+
+TEST(ThresholdForRank, RanksAreDistinctCuts) {
+  // Data with two dense modes and wide gaps: successive ranks must land on
+  // different bin edges (no duplicate bits for repeated dimension picks).
+  std::vector<double> values;
+  dasc::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(0.1 + 0.02 * rng.uniform());
+    values.push_back(0.9 + 0.02 * rng.uniform());
+  }
+  const std::size_t n = values.size();
+  const data::PointSet points(n, 1, std::move(values));
+  const FeatureAnalysis analysis = analyze_features(points);
+  const double t0 = threshold_for_rank(analysis.dims[0], 0);
+  const double t1 = threshold_for_rank(analysis.dims[0], 1);
+  const double t2 = threshold_for_rank(analysis.dims[0], 2);
+  EXPECT_NE(t0, t1);
+  EXPECT_NE(t1, t2);
+  EXPECT_NE(t0, t2);
+}
+
+TEST(ThresholdForRank, TieCountBinsSpreadApart) {
+  // One dense blob in the middle: all outer bins are empty (tied counts).
+  // The first two ranks must not be adjacent bins.
+  std::vector<double> values;
+  dasc::Rng rng(12);
+  for (int i = 0; i < 300; ++i) values.push_back(0.5 + 0.01 * rng.uniform());
+  values.push_back(0.0);  // pin the range
+  values.push_back(1.0);
+  const std::size_t n = values.size();
+  const data::PointSet points(n, 1, std::move(values));
+  const FeatureAnalysis analysis = analyze_features(points);
+  const double t0 = threshold_for_rank(analysis.dims[0], 0);
+  const double t1 = threshold_for_rank(analysis.dims[0], 1);
+  EXPECT_GT(std::abs(t0 - t1), 2.5 / static_cast<double>(kHistogramBins));
+}
+
+TEST(ThresholdForRank, WrapsModuloBinCount) {
+  dasc::Rng rng(13);
+  const data::PointSet points = data::make_uniform(100, 1, rng);
+  const FeatureAnalysis analysis = analyze_features(points);
+  EXPECT_DOUBLE_EQ(threshold_for_rank(analysis.dims[0], 0),
+                   threshold_for_rank(analysis.dims[0], kHistogramBins));
+}
+
+}  // namespace
+}  // namespace dasc::lsh

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+#include <unordered_map>
+#include "data/synthetic.hpp"
+#include "lsh/minhash.hpp"
+#include "lsh/random_projection.hpp"
+#include "lsh/simhash.hpp"
+#include "lsh/spectral_hash.hpp"
+
+namespace dasc::lsh {
+namespace {
+
+TEST(AutoSignatureBits, FollowsPaperRule) {
+  // M = ceil(log2 N / 2) - 1.
+  EXPECT_EQ(auto_signature_bits(1024), 4u);      // ceil(10/2)-1
+  EXPECT_EQ(auto_signature_bits(4096), 5u);      // ceil(12/2)-1
+  EXPECT_EQ(auto_signature_bits(1 << 20), 9u);   // ceil(20/2)-1
+  EXPECT_EQ(auto_signature_bits(2), 1u);         // clamped to >= 1
+}
+
+TEST(RandomProjection, HashBitFollowsAlgorithm1) {
+  // One dimension, threshold 0.5: value <= threshold -> bit set.
+  const RandomProjectionHasher hasher({0}, {0.5}, 1);
+  const std::vector<double> low{0.3};
+  const std::vector<double> high{0.7};
+  EXPECT_EQ(hasher.hash(low).bits, 1ULL);
+  EXPECT_EQ(hasher.hash(high).bits, 0ULL);
+}
+
+TEST(RandomProjection, FitUsesTopSpanDimensions) {
+  // Dimension 1 has a large span, dimension 0 nearly none.
+  std::vector<double> values;
+  dasc::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(0.5 + 0.001 * rng.uniform());
+    values.push_back(rng.uniform());
+  }
+  const data::PointSet points(100, 2, std::move(values));
+  dasc::Rng fit_rng(12);
+  const auto hasher = RandomProjectionHasher::fit(
+      points, 1, DimensionSelection::kTopSpan, fit_rng);
+  ASSERT_EQ(hasher.dimensions().size(), 1u);
+  EXPECT_EQ(hasher.dimensions()[0], 1u);
+}
+
+TEST(RandomProjection, SpanWeightedPrefersWideDimensions) {
+  std::vector<double> values;
+  dasc::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(0.5 + 1e-6 * rng.uniform());  // tiny span
+    values.push_back(rng.uniform());               // full span
+  }
+  const data::PointSet points(200, 2, std::move(values));
+  int wide_picked = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    dasc::Rng fit_rng(100 + trial);
+    const auto hasher = RandomProjectionHasher::fit(
+        points, 1, DimensionSelection::kSpanWeighted, fit_rng);
+    if (hasher.dimensions()[0] == 1) ++wide_picked;
+  }
+  EXPECT_GT(wide_picked, 45);  // overwhelmingly the wide dimension
+}
+
+TEST(RandomProjection, NearbyPointsCollideMoreThanFarOnes) {
+  dasc::Rng rng(14);
+  data::MixtureParams params;
+  params.n = 400;
+  params.dim = 16;
+  params.k = 4;
+  params.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(params, rng);
+  dasc::Rng fit_rng(15);
+  const auto hasher = RandomProjectionHasher::fit(
+      points, 8, DimensionSelection::kTopSpan, fit_rng);
+
+  int same_collisions = 0;
+  int cross_collisions = 0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    // i and i+4 share a component (labels repeat mod 4); i and i+1 differ.
+    const auto sig_i = hasher.hash(points.point(i));
+    if (sig_i == hasher.hash(points.point(i + 4))) ++same_collisions;
+    if (sig_i == hasher.hash(points.point(i + 1))) ++cross_collisions;
+    ++pairs;
+  }
+  EXPECT_GT(same_collisions, cross_collisions);
+}
+
+TEST(RandomProjection, RejectsBadConstruction) {
+  EXPECT_THROW(RandomProjectionHasher({2}, {0.5}, 2),  // dim out of range
+               dasc::InvalidArgument);
+  EXPECT_THROW(RandomProjectionHasher({0}, {0.5, 0.6}, 1),  // size mismatch
+               dasc::InvalidArgument);
+  EXPECT_THROW(RandomProjectionHasher({}, {}, 1),  // empty signature
+               dasc::InvalidArgument);
+}
+
+TEST(RandomProjection, HashRejectsWrongDimension) {
+  const RandomProjectionHasher hasher({0}, {0.5}, 2);
+  const std::vector<double> wrong{0.1};
+  EXPECT_THROW(hasher.hash(wrong), dasc::InvalidArgument);
+}
+
+TEST(RandomProjection, MWiderThanDimensionalityWraps) {
+  dasc::Rng rng(16);
+  const data::PointSet points = data::make_uniform(50, 2, rng);
+  dasc::Rng fit_rng(17);
+  const auto hasher = RandomProjectionHasher::fit(
+      points, 6, DimensionSelection::kTopSpan, fit_rng);
+  EXPECT_EQ(hasher.bits(), 6u);
+  for (std::size_t dim : hasher.dimensions()) EXPECT_LT(dim, 2u);
+}
+
+TEST(MinHash, IdenticalPointsAlwaysCollide) {
+  dasc::Rng rng(18);
+  const data::PointSet points = data::make_uniform(100, 8, rng);
+  dasc::Rng fit_rng(19);
+  const auto hasher = MinHashHasher::fit(points, 12, fit_rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hasher.hash(points.point(i)), hasher.hash(points.point(i)));
+  }
+}
+
+TEST(MinHash, BitsAndDimReported) {
+  dasc::Rng rng(20);
+  const data::PointSet points = data::make_uniform(50, 6, rng);
+  dasc::Rng fit_rng(21);
+  const auto hasher = MinHashHasher::fit(points, 10, fit_rng);
+  EXPECT_EQ(hasher.bits(), 10u);
+  EXPECT_EQ(hasher.input_dim(), 6u);
+}
+
+TEST(SimHash, SignBitSeparatesOppositePoints) {
+  dasc::Rng rng(22);
+  data::PointSet points(2, 4);
+  for (std::size_t d = 0; d < 4; ++d) {
+    points.at(0, d) = 1.0;
+    points.at(1, d) = -1.0;
+  }
+  dasc::Rng fit_rng(23);
+  const auto hasher = SimHashHasher::fit(points, 16, fit_rng);
+  // Centered data: the two antipodal points must differ on every bit.
+  const auto a = hasher.hash(points.point(0));
+  const auto b = hasher.hash(points.point(1));
+  EXPECT_EQ(hamming_distance(a, b), 16u);
+}
+
+TEST(SimHash, ClusteredPointsCollideOften) {
+  dasc::Rng rng(24);
+  data::MixtureParams params;
+  params.n = 200;
+  params.dim = 8;
+  params.k = 2;
+  params.cluster_stddev = 0.01;
+  const data::PointSet points = data::make_gaussian_mixture(params, rng);
+  dasc::Rng fit_rng(25);
+  const auto hasher = SimHashHasher::fit(points, 6, fit_rng);
+  int same = 0;
+  int cross = 0;
+  for (std::size_t i = 0; i + 2 < 100; i += 2) {
+    const auto sig = hasher.hash(points.point(i));
+    // i and i+2 share a component; i and i+1 do not.
+    if (sig == hasher.hash(points.point(i + 2))) ++same;
+    if (sig == hasher.hash(points.point(i + 1))) ++cross;
+  }
+  // Same-cluster pairs must collide far more often than cross-cluster
+  // pairs (exact rates depend on how the random hyperplanes fall).
+  EXPECT_GT(same, 10);
+  EXPECT_GT(same, 3 * cross);
+}
+
+
+TEST(SpectralHash, BalancedPartitionOnSkewedData) {
+  // The paper's motivation for data-dependent hashing: heavily skewed
+  // data. 90% of points in one clump defeats threshold hashing, but the
+  // sinusoidal spectral-hash bits still split the clump.
+  dasc::Rng rng(26);
+  data::PointSet points(500, 4);
+  for (std::size_t i = 0; i < 450; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      points.at(i, d) = 0.5 + 0.05 * rng.uniform();
+    }
+  }
+  for (std::size_t i = 450; i < 500; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) points.at(i, d) = rng.uniform();
+  }
+  const auto hasher = SpectralHashHasher::fit(points, 8);
+  std::unordered_map<std::uint64_t, int> counts;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ++counts[hasher.hash(points.point(i)).bits];
+  }
+  int biggest = 0;
+  for (const auto& [sig, count] : counts) biggest = std::max(biggest, count);
+  // The clump (450 points) must not land in a single signature.
+  EXPECT_LT(biggest, 300);
+  EXPECT_GT(counts.size(), 8u);
+}
+
+TEST(SpectralHash, DeterministicAndDimChecked) {
+  dasc::Rng rng(27);
+  const data::PointSet points = data::make_uniform(100, 5, rng);
+  const auto hasher = SpectralHashHasher::fit(points, 10);
+  EXPECT_EQ(hasher.bits(), 10u);
+  EXPECT_EQ(hasher.input_dim(), 5u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(hasher.hash(points.point(i)), hasher.hash(points.point(i)));
+  }
+  const std::vector<double> wrong{0.1};
+  EXPECT_THROW(hasher.hash(wrong), dasc::InvalidArgument);
+}
+
+TEST(SpectralHash, NearbyPointsAreCloserInHammingSpace) {
+  // Spectral hashing trades exact-collision rate for balance (a dense
+  // cluster is deliberately split across slabs), so locality shows up as
+  // smaller Hamming distance rather than more full collisions.
+  dasc::Rng rng(28);
+  data::MixtureParams params;
+  params.n = 300;
+  params.dim = 8;
+  params.k = 3;
+  params.cluster_stddev = 0.02;
+  const data::PointSet points = data::make_gaussian_mixture(params, rng);
+  const auto hasher = SpectralHashHasher::fit(points, 6);
+  std::size_t same = 0;
+  std::size_t cross = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i + 3 < 150; ++i) {
+    const auto sig = hasher.hash(points.point(i));
+    same += hamming_distance(sig, hasher.hash(points.point(i + 3)));
+    cross += hamming_distance(sig, hasher.hash(points.point(i + 1)));
+    ++pairs;
+  }
+  EXPECT_LT(static_cast<double>(same) / pairs,
+            0.8 * static_cast<double>(cross) / pairs);
+}
+
+}  // namespace
+}  // namespace dasc::lsh

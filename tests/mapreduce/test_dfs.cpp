@@ -1,0 +1,193 @@
+#include "mapreduce/dfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dasc::mapreduce {
+namespace {
+
+std::vector<std::string> make_lines(std::size_t n, const std::string& prefix) {
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lines.push_back(prefix + std::to_string(i));
+  }
+  return lines;
+}
+
+TEST(Dfs, WriteReadRoundTrip) {
+  Dfs dfs({});
+  const auto lines = make_lines(100, "line");
+  dfs.write_file("/data/input", lines);
+  EXPECT_EQ(dfs.read_file("/data/input"), lines);
+}
+
+TEST(Dfs, MissingFileThrows) {
+  Dfs dfs({});
+  EXPECT_THROW(dfs.read_file("/nope"), dasc::IoError);
+  EXPECT_THROW(dfs.block_locations("/nope"), dasc::IoError);
+}
+
+TEST(Dfs, ExistsAndRemove) {
+  Dfs dfs({});
+  dfs.write_file("/a", {"x"});
+  EXPECT_TRUE(dfs.exists("/a"));
+  dfs.remove("/a");
+  EXPECT_FALSE(dfs.exists("/a"));
+}
+
+TEST(Dfs, ListByPrefix) {
+  Dfs dfs({});
+  dfs.write_file("/out/part-0", {"a"});
+  dfs.write_file("/out/part-1", {"b"});
+  dfs.write_file("/other", {"c"});
+  const auto paths = dfs.list("/out/");
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/out/part-0");
+  EXPECT_EQ(paths[1], "/out/part-1");
+}
+
+TEST(Dfs, SplitsIntoBlocksBySize) {
+  DfsConfig config;
+  config.block_size_bytes = 64;
+  Dfs dfs(config);
+  dfs.write_file("/big", make_lines(100, "0123456789"));
+  const auto blocks = dfs.block_locations("/big");
+  EXPECT_GT(blocks.size(), 5u);
+  std::size_t total_lines = 0;
+  for (const auto& block : blocks) total_lines += block.num_lines;
+  EXPECT_EQ(total_lines, 100u);
+}
+
+TEST(Dfs, OversizedSingleLineStillStored) {
+  DfsConfig config;
+  config.block_size_bytes = 4;
+  Dfs dfs(config);
+  dfs.write_file("/wide", {"this line is far longer than a block"});
+  const auto back = dfs.read_file("/wide");
+  ASSERT_EQ(back.size(), 1u);
+}
+
+TEST(Dfs, ReplicasOnDistinctNodes) {
+  DfsConfig config;
+  config.num_nodes = 5;
+  config.replication = 3;
+  config.block_size_bytes = 32;
+  Dfs dfs(config);
+  dfs.write_file("/data", make_lines(50, "record"));
+  for (const auto& block : dfs.block_locations("/data")) {
+    EXPECT_EQ(block.replica_nodes.size(), 3u);
+    const std::set<std::size_t> unique(block.replica_nodes.begin(),
+                                       block.replica_nodes.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (std::size_t node : block.replica_nodes) EXPECT_LT(node, 5u);
+  }
+}
+
+TEST(Dfs, ReplicationCappedByNodeCount) {
+  DfsConfig config;
+  config.num_nodes = 2;
+  config.replication = 3;
+  Dfs dfs(config);
+  dfs.write_file("/data", {"x"});
+  EXPECT_EQ(dfs.block_locations("/data")[0].replica_nodes.size(), 2u);
+}
+
+TEST(Dfs, TotalBytesCountReplication) {
+  DfsConfig config;
+  config.num_nodes = 4;
+  config.replication = 2;
+  Dfs dfs(config);
+  dfs.write_file("/data", {"abcd"});  // 5 bytes with newline
+  EXPECT_EQ(dfs.total_bytes(), 10u);
+  std::size_t across_nodes = 0;
+  for (std::size_t node = 0; node < 4; ++node) {
+    across_nodes += dfs.node_bytes(node);
+  }
+  EXPECT_EQ(across_nodes, dfs.total_bytes());
+}
+
+TEST(Dfs, AppendAddsBlocks) {
+  Dfs dfs({});
+  dfs.write_file("/log", {"first"});
+  dfs.append("/log", {"second", "third"});
+  const auto lines = dfs.read_file("/log");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "third");
+}
+
+TEST(Dfs, ReadBlockReturnsExactSlice) {
+  DfsConfig config;
+  config.block_size_bytes = 16;
+  Dfs dfs(config);
+  dfs.write_file("/data", make_lines(10, "0123456789ab"));
+  const auto blocks = dfs.block_locations("/data");
+  std::vector<std::string> reassembled;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto part = dfs.read_block("/data", b);
+    reassembled.insert(reassembled.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(reassembled, dfs.read_file("/data"));
+  EXPECT_THROW(dfs.read_block("/data", blocks.size()),
+               dasc::InvalidArgument);
+}
+
+TEST(Dfs, ConcurrentWritersAndReaders) {
+  // The job tracker reads splits while reducers append outputs; the DFS
+  // must tolerate concurrent access without corruption.
+  Dfs dfs({});
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&dfs, &failures, t] {
+      try {
+        const std::string path = "/worker/" + std::to_string(t);
+        for (int round = 0; round < 50; ++round) {
+          dfs.write_file(path, make_lines(20, "w" + std::to_string(t)));
+          const auto lines = dfs.read_file(path);
+          if (lines.size() != 20) ++failures;
+          dfs.append(path, {"extra"});
+          dfs.list("/worker/");
+          dfs.node_bytes(0);
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < 4; ++t) {
+    const auto lines = dfs.read_file("/worker/" + std::to_string(t));
+    EXPECT_EQ(lines.size(), 21u);  // last write + one append
+  }
+}
+
+TEST(Dfs, PlacementIsDeterministicPerSeed) {
+  DfsConfig config;
+  config.seed = 123;
+  Dfs a(config);
+  Dfs b(config);
+  a.write_file("/x", make_lines(30, "line"));
+  b.write_file("/x", make_lines(30, "line"));
+  const auto blocks_a = a.block_locations("/x");
+  const auto blocks_b = b.block_locations("/x");
+  ASSERT_EQ(blocks_a.size(), blocks_b.size());
+  for (std::size_t i = 0; i < blocks_a.size(); ++i) {
+    EXPECT_EQ(blocks_a[i].replica_nodes, blocks_b[i].replica_nodes);
+  }
+}
+
+TEST(Dfs, ValidatesConfig) {
+  DfsConfig bad;
+  bad.num_nodes = 0;
+  EXPECT_THROW(Dfs{bad}, dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::mapreduce

@@ -1,0 +1,264 @@
+#include "mapreduce/job.hpp"
+
+#include "mapreduce/virtual_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dasc::mapreduce {
+namespace {
+
+/// Classic word count: the canonical end-to-end exercise of the runtime.
+class WordCountMapper final : public Mapper {
+ public:
+  void map(const std::string& /*key*/, const std::string& value,
+           Emitter& out) override {
+    std::istringstream stream(value);
+    std::string word;
+    while (stream >> word) out.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override {
+    long total = 0;
+    for (const auto& v : values) total += std::stol(v);
+    out.emit(key, std::to_string(total));
+  }
+};
+
+JobSpec word_count_spec() {
+  JobSpec spec;
+  spec.conf.num_reducers = 3;
+  spec.conf.split_records = 4;
+  spec.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+  return spec;
+}
+
+std::vector<Record> word_count_input() {
+  return {
+      {"0", "the quick brown fox"},
+      {"1", "the lazy dog"},
+      {"2", "the quick dog"},
+      {"3", "fox fox fox"},
+      {"4", "dog"},
+  };
+}
+
+std::map<std::string, long> to_counts(const std::vector<Record>& output) {
+  std::map<std::string, long> counts;
+  for (const auto& record : output) {
+    counts[record.key] += std::stol(record.value);
+  }
+  return counts;
+}
+
+TEST(Job, WordCountEndToEnd) {
+  const JobResult result = run_job(word_count_spec(), word_count_input());
+  const auto counts = to_counts(result.output);
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("fox"), 4);
+  EXPECT_EQ(counts.at("dog"), 3);
+  EXPECT_EQ(counts.at("quick"), 2);
+  EXPECT_EQ(counts.at("brown"), 1);
+  EXPECT_EQ(counts.at("lazy"), 1);
+}
+
+TEST(Job, CountersAreConsistent) {
+  const JobResult result = run_job(word_count_spec(), word_count_input());
+  EXPECT_EQ(result.counters.map_input_records, 5u);
+  EXPECT_EQ(result.counters.map_output_records, 14u);  // 14 words total
+  // The combiner folds duplicate words within each split.
+  EXPECT_EQ(result.counters.combine_input_records, 14u);
+  EXPECT_LT(result.counters.combine_output_records, 14u);
+  EXPECT_EQ(result.counters.reduce_input_groups, 6u);  // distinct words
+  EXPECT_EQ(result.counters.reduce_output_records, 6u);
+  EXPECT_GT(result.counters.shuffle_bytes, 0u);
+}
+
+TEST(Job, CombinerDoesNotChangeResult) {
+  JobSpec with = word_count_spec();
+  JobSpec without = word_count_spec();
+  without.conf.enable_combiner = false;
+  const auto counts_with = to_counts(run_job(with, word_count_input()).output);
+  const auto counts_without =
+      to_counts(run_job(without, word_count_input()).output);
+  EXPECT_EQ(counts_with, counts_without);
+}
+
+TEST(Job, SplitsRespectSplitRecords) {
+  JobSpec spec = word_count_spec();
+  spec.conf.split_records = 2;
+  const JobResult result = run_job(spec, word_count_input());
+  EXPECT_EQ(result.num_map_tasks, 3u);  // ceil(5 / 2)
+  EXPECT_EQ(result.map_task_seconds.size(), 3u);
+}
+
+TEST(Job, EmptyInputStillRuns) {
+  const JobResult result = run_job(word_count_spec(), {});
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.counters.map_input_records, 0u);
+  EXPECT_EQ(result.num_map_tasks, 1u);
+}
+
+TEST(Job, SimulatedTimeShrinksWithMoreNodes) {
+  // Build a heavier input so task durations are measurable, then reschedule
+  // the SAME measured task set onto wider clusters: the virtual-cluster
+  // makespan must be monotone in node count (re-running the job would
+  // compare two different noisy measurements instead).
+  std::vector<Record> input;
+  for (int i = 0; i < 256; ++i) {
+    std::string text;
+    for (int w = 0; w < 200; ++w) {
+      text += "word" + std::to_string((i * 31 + w) % 50) + " ";
+    }
+    input.push_back({std::to_string(i), text});
+  }
+  JobSpec spec = word_count_spec();
+  spec.conf.split_records = 8;
+  const JobResult result = run_job(spec, input);
+
+  const double t1 =
+      makespan_lpt(result.map_task_seconds, 1, spec.conf.map_slots_per_node) +
+      makespan_lpt(result.reduce_task_seconds, 1,
+                   spec.conf.reduce_slots_per_node);
+  const double t8 =
+      makespan_lpt(result.map_task_seconds, 8, spec.conf.map_slots_per_node) +
+      makespan_lpt(result.reduce_task_seconds, 8,
+                   spec.conf.reduce_slots_per_node);
+  EXPECT_LE(t8, t1);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(Job, MissingFactoriesRejected) {
+  JobSpec spec;
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  EXPECT_THROW(run_job(spec, {}), dasc::InvalidArgument);
+  spec = word_count_spec();
+  spec.reducer_factory = nullptr;
+  EXPECT_THROW(run_job(spec, {}), dasc::InvalidArgument);
+}
+
+TEST(Job, InvalidConfRejected) {
+  JobSpec spec = word_count_spec();
+  spec.conf.num_reducers = 0;
+  EXPECT_THROW(run_job(spec, {}), dasc::InvalidArgument);
+}
+
+TEST(Job, DfsJobReadsBlocksAndWritesParts) {
+  DfsConfig dfs_config;
+  dfs_config.block_size_bytes = 64;
+  Dfs dfs(dfs_config);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 40; ++i) {
+    lines.push_back("alpha beta gamma alpha");
+  }
+  dfs.write_file("/input/corpus", lines);
+
+  JobSpec spec = word_count_spec();
+  const JobResult result = run_job_dfs(spec, dfs, "/input/corpus", "/output");
+
+  EXPECT_GT(result.num_map_tasks, 1u);  // one task per block
+  const auto counts = to_counts(result.output);
+  EXPECT_EQ(counts.at("alpha"), 80);
+  EXPECT_EQ(counts.at("beta"), 40);
+
+  // Output persisted as part files.
+  const auto parts = dfs.list("/output/part-r-");
+  ASSERT_EQ(parts.size(), 1u);
+  const auto part_lines = dfs.read_file(parts[0]);
+  EXPECT_EQ(part_lines.size(), result.output.size());
+  EXPECT_NE(part_lines[0].find('\t'), std::string::npos);
+}
+
+TEST(Job, FlakyMapperSucceedsWithRetries) {
+  // A mapper whose first attempt per task fails must succeed when the
+  // configuration allows retries, with counters unaffected by the failed
+  // attempts (Hadoop discards their output).
+  // A fresh mapper instance is constructed per attempt, so the "fail only
+  // on the first attempt" state must live outside the mapper.
+  static std::atomic<int> attempts{0};
+  attempts = 0;
+  class SharedFlakyMapper final : public Mapper {
+   public:
+    void map(const std::string& key, const std::string& value,
+             Emitter& out) override {
+      if (key == "0" && attempts.fetch_add(1) == 0) {
+        throw std::runtime_error("transient failure");
+      }
+      std::istringstream stream(value);
+      std::string word;
+      while (stream >> word) out.emit(word, "1");
+    }
+  };
+
+  JobSpec spec = word_count_spec();
+  spec.conf.max_task_attempts = 3;
+  spec.mapper_factory = [] { return std::make_unique<SharedFlakyMapper>(); };
+  const JobResult result = run_job(spec, word_count_input());
+  const auto counts = to_counts(result.output);
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("fox"), 4);
+  EXPECT_EQ(result.counters.failed_task_attempts, 1u);
+  EXPECT_EQ(result.counters.map_input_records, 5u);  // no double counting
+}
+
+TEST(Job, PersistentFailureStillFailsAfterRetries) {
+  class AlwaysFailingMapper final : public Mapper {
+   public:
+    void map(const std::string&, const std::string&, Emitter&) override {
+      throw std::runtime_error("permanent failure");
+    }
+  };
+  JobSpec spec = word_count_spec();
+  spec.conf.max_task_attempts = 3;
+  spec.mapper_factory = [] {
+    return std::make_unique<AlwaysFailingMapper>();
+  };
+  EXPECT_THROW(run_job(spec, word_count_input()), std::runtime_error);
+}
+
+TEST(Job, ZeroAttemptConfigRejected) {
+  JobSpec spec = word_count_spec();
+  spec.conf.max_task_attempts = 0;
+  EXPECT_THROW(run_job(spec, word_count_input()), dasc::InvalidArgument);
+}
+
+TEST(Job, MapperExceptionPropagates) {
+  class ThrowingMapper final : public Mapper {
+   public:
+    void map(const std::string&, const std::string&, Emitter&) override {
+      throw std::runtime_error("mapper failure");
+    }
+  };
+  JobSpec spec = word_count_spec();
+  spec.mapper_factory = [] { return std::make_unique<ThrowingMapper>(); };
+  EXPECT_THROW(run_job(spec, word_count_input()), std::runtime_error);
+}
+
+TEST(Job, ReducerExceptionPropagates) {
+  class ThrowingReducer final : public Reducer {
+   public:
+    void reduce(const std::string&, const std::vector<std::string>&,
+                Emitter&) override {
+      throw std::runtime_error("reducer failure");
+    }
+  };
+  JobSpec spec = word_count_spec();
+  spec.combiner_factory = nullptr;
+  spec.reducer_factory = [] { return std::make_unique<ThrowingReducer>(); };
+  EXPECT_THROW(run_job(spec, word_count_input()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dasc::mapreduce

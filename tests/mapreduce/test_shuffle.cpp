@@ -1,0 +1,77 @@
+#include "mapreduce/shuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dasc::mapreduce {
+namespace {
+
+TEST(Partitioner, StableAndInRange) {
+  for (const std::string key : {"a", "b", "signature01", ""}) {
+    const std::size_t p = partition_for_key(key, 7);
+    EXPECT_LT(p, 7u);
+    EXPECT_EQ(p, partition_for_key(key, 7));  // deterministic
+  }
+  EXPECT_THROW(partition_for_key("x", 0), dasc::InvalidArgument);
+}
+
+TEST(Partitioner, SpreadsKeys) {
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 800; ++i) {
+    ++counts[partition_for_key("key" + std::to_string(i), 8)];
+  }
+  for (int c : counts) EXPECT_GT(c, 20);  // no partition starves
+}
+
+TEST(PartitionOutputs, EveryRecordLandsInItsKeyPartition) {
+  std::vector<std::vector<Record>> outputs(3);
+  for (int task = 0; task < 3; ++task) {
+    for (int i = 0; i < 20; ++i) {
+      outputs[task].push_back(
+          {"k" + std::to_string(i % 5), "v" + std::to_string(i)});
+    }
+  }
+  const auto partitions = partition_outputs(outputs, 4);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    for (const auto& record : partitions[p]) {
+      EXPECT_EQ(partition_for_key(record.key, 4), p);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(SortAndGroup, GroupsEqualKeys) {
+  const auto groups = sort_and_group(
+      {{"b", "1"}, {"a", "2"}, {"b", "3"}, {"a", "4"}, {"c", "5"}});
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].key, "a");
+  EXPECT_EQ(groups[0].values, (std::vector<std::string>{"2", "4"}));
+  EXPECT_EQ(groups[1].key, "b");
+  EXPECT_EQ(groups[1].values, (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(groups[2].key, "c");
+}
+
+TEST(SortAndGroup, StableWithinKey) {
+  const auto groups =
+      sort_and_group({{"k", "first"}, {"k", "second"}, {"k", "third"}});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].values,
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(SortAndGroup, EmptyInput) {
+  EXPECT_TRUE(sort_and_group({}).empty());
+}
+
+TEST(ShuffleBytes, CountsKeyValueAndFraming) {
+  const std::vector<std::vector<Record>> partitions{
+      {{"ab", "cde"}},  // 2 + 3 + 2 framing = 7
+      {}};
+  EXPECT_EQ(shuffle_bytes(partitions), 7u);
+}
+
+}  // namespace
+}  // namespace dasc::mapreduce

@@ -1,0 +1,119 @@
+#include "mapreduce/virtual_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dasc::mapreduce {
+namespace {
+
+TEST(Schedule, EmptyTaskListHasZeroMakespan) {
+  const auto result = schedule_lpt({}, 4, 2);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 0.0);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(Schedule, SingleSlotSerializesEverything) {
+  const std::vector<double> tasks{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(makespan_lpt(tasks, 1, 1), 6.0);
+}
+
+TEST(Schedule, PerfectlyParallelWhenSlotsMatchTasks) {
+  const std::vector<double> tasks{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(makespan_lpt(tasks, 2, 2), 2.0);
+}
+
+TEST(Schedule, LptPacksUnevenTasks) {
+  // Tasks 5, 3, 3, 2, 2 onto 2 slots: LPT gives {5, 2} and {3, 3, 2} -> 8.
+  const std::vector<double> tasks{5.0, 3.0, 3.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(makespan_lpt(tasks, 2, 1), 8.0);
+}
+
+TEST(Schedule, MakespanAtLeastLowerBounds) {
+  dasc::Rng rng(101);
+  std::vector<double> tasks(100);
+  for (double& t : tasks) t = rng.uniform(0.1, 3.0);
+  const double total = std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  const double longest = *std::max_element(tasks.begin(), tasks.end());
+  const double makespan = makespan_lpt(tasks, 4, 2);
+  EXPECT_GE(makespan, total / 8.0 - 1e-12);  // work conservation
+  EXPECT_GE(makespan, longest - 1e-12);      // critical path
+  // LPT is a 4/3-approximation of optimum >= max(bounds).
+  EXPECT_LE(makespan, std::max(total / 8.0, longest) * 4.0 / 3.0 + longest);
+}
+
+TEST(Schedule, MoreNodesNeverSlower) {
+  dasc::Rng rng(102);
+  std::vector<double> tasks(200);
+  for (double& t : tasks) t = rng.uniform(0.05, 1.0);
+  double prev = makespan_lpt(tasks, 1, 2);
+  for (std::size_t nodes : {2u, 4u, 8u, 16u}) {
+    const double current = makespan_lpt(tasks, nodes, 2);
+    EXPECT_LE(current, prev + 1e-9);
+    prev = current;
+  }
+}
+
+TEST(Schedule, NearLinearSpeedupWithManySmallTasks) {
+  // The elasticity property behind Table 3: abundant uniform tasks scale
+  // nearly linearly with node count.
+  std::vector<double> tasks(1024, 1.0);
+  const double t16 = makespan_lpt(tasks, 16, 1);
+  const double t64 = makespan_lpt(tasks, 64, 1);
+  EXPECT_NEAR(t16 / t64, 4.0, 0.01);
+}
+
+TEST(Schedule, PlacementsAreConsistent) {
+  dasc::Rng rng(103);
+  std::vector<double> tasks(50);
+  for (double& t : tasks) t = rng.uniform(0.1, 2.0);
+  const auto result = schedule_lpt(tasks, 3, 2);
+  ASSERT_EQ(result.placements.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& p = result.placements[i];
+    EXPECT_EQ(p.task, i);
+    EXPECT_LT(p.node, 3u);
+    EXPECT_LT(p.slot, 2u);
+    EXPECT_NEAR(p.end_seconds - p.start_seconds, tasks[i], 1e-12);
+    EXPECT_LE(p.end_seconds, result.makespan_seconds + 1e-12);
+  }
+  // Busy time adds up to total work.
+  const double busy = std::accumulate(result.node_busy_seconds.begin(),
+                                      result.node_busy_seconds.end(), 0.0);
+  EXPECT_NEAR(busy, std::accumulate(tasks.begin(), tasks.end(), 0.0), 1e-9);
+}
+
+TEST(Schedule, NoOverlapWithinSlot) {
+  dasc::Rng rng(104);
+  std::vector<double> tasks(40);
+  for (double& t : tasks) t = rng.uniform(0.1, 1.0);
+  const auto result = schedule_lpt(tasks, 2, 2);
+  // Group placements by (node, slot) and check intervals don't overlap.
+  for (std::size_t node = 0; node < 2; ++node) {
+    for (std::size_t slot = 0; slot < 2; ++slot) {
+      std::vector<std::pair<double, double>> intervals;
+      for (const auto& p : result.placements) {
+        if (p.node == node && p.slot == slot) {
+          intervals.emplace_back(p.start_seconds, p.end_seconds);
+        }
+      }
+      std::sort(intervals.begin(), intervals.end());
+      for (std::size_t i = 1; i < intervals.size(); ++i) {
+        EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Schedule, RejectsBadInputs) {
+  EXPECT_THROW(schedule_lpt({1.0}, 0, 1), dasc::InvalidArgument);
+  EXPECT_THROW(schedule_lpt({1.0}, 1, 0), dasc::InvalidArgument);
+  EXPECT_THROW(schedule_lpt({-1.0}, 1, 1), dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::mapreduce

@@ -1,0 +1,143 @@
+#include "svm/kernel_svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::svm {
+namespace {
+
+/// Linear kernel Gram for hand-built small problems.
+linalg::DenseMatrix linear_gram(const data::PointSet& points) {
+  linalg::DenseMatrix gram(points.size(), points.size(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      gram(i, j) = linalg::dot(points.point(i), points.point(j));
+    }
+  }
+  return gram;
+}
+
+TEST(KernelSvm, SeparatesLinearlySeparableData) {
+  // Two clouds separated along dimension 0.
+  Rng data_rng(811);
+  data::PointSet points(60, 2);
+  std::vector<int> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const bool positive = i % 2 == 0;
+    points.at(i, 0) = (positive ? 2.0 : -2.0) + data_rng.normal(0.0, 0.3);
+    points.at(i, 1) = data_rng.normal(0.0, 0.5);
+    labels[i] = positive ? 1 : -1;
+  }
+  const linalg::DenseMatrix gram = linear_gram(points);
+  Rng rng(812);
+  const KernelSvm model = KernelSvm::train(gram, labels, {}, rng);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    std::vector<double> row(60);
+    for (std::size_t t = 0; t < 60; ++t) row[t] = gram(i, t);
+    if (model.predict(row) == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 58u);
+}
+
+TEST(KernelSvm, RbfKernelSolvesXor) {
+  // XOR is the classic non-linear case: impossible for a linear SVM,
+  // solved by the Gaussian kernel.
+  Rng data_rng(813);
+  data::PointSet points(80, 2);
+  std::vector<int> labels(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    const double x = (i & 1) ? 1.0 : 0.0;
+    const double y = (i & 2) ? 1.0 : 0.0;
+    points.at(i, 0) = x + data_rng.normal(0.0, 0.05);
+    points.at(i, 1) = y + data_rng.normal(0.0, 0.05);
+    labels[i] = (static_cast<int>(x) ^ static_cast<int>(y)) == 1 ? 1 : -1;
+  }
+  const linalg::DenseMatrix gram = clustering::gaussian_gram(points, 0.3);
+  SvmParams params;
+  params.c = 10.0;
+  Rng rng(814);
+  const KernelSvm model = KernelSvm::train(gram, labels, params, rng);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < 80; ++i) {
+    std::vector<double> row(80);
+    for (std::size_t t = 0; t < 80; ++t) row[t] = gram(i, t);
+    if (model.predict(row) == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 76u);
+}
+
+TEST(KernelSvm, AlphasRespectBoxConstraint) {
+  Rng data_rng(815);
+  data::MixtureParams mix;
+  mix.n = 100;
+  mix.dim = 4;
+  mix.k = 2;
+  mix.cluster_stddev = 0.1;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+  std::vector<int> labels(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    labels[i] = points.label(i) == 0 ? 1 : -1;
+  }
+  const linalg::DenseMatrix gram = clustering::gaussian_gram(points, 0.5);
+  SvmParams params;
+  params.c = 2.5;
+  Rng rng(816);
+  const KernelSvm model = KernelSvm::train(gram, labels, params, rng);
+  for (double a : model.alphas()) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, params.c + 1e-12);
+  }
+  EXPECT_GT(model.num_support_vectors(), 0u);
+  EXPECT_LT(model.num_support_vectors(), 100u);  // sparse solution
+}
+
+TEST(KernelSvm, DualConstraintHolds) {
+  // sum alpha_i y_i == 0 at any SMO fixed point (pairwise updates
+  // preserve it exactly).
+  Rng data_rng(817);
+  data::MixtureParams mix;
+  mix.n = 60;
+  mix.dim = 3;
+  mix.k = 2;
+  mix.cluster_stddev = 0.05;
+  const data::PointSet points = data::make_gaussian_mixture(mix, data_rng);
+  std::vector<int> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    labels[i] = points.label(i) == 0 ? 1 : -1;
+  }
+  const linalg::DenseMatrix gram = clustering::gaussian_gram(points, 0.5);
+  Rng rng(818);
+  const KernelSvm model = KernelSvm::train(gram, labels, {}, rng);
+  double balance = 0.0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    balance += model.alphas()[i] * labels[i];
+  }
+  EXPECT_NEAR(balance, 0.0, 1e-9);
+}
+
+TEST(KernelSvm, RejectsBadInputs) {
+  linalg::DenseMatrix gram(4, 4, 1.0);
+  Rng rng(819);
+  EXPECT_THROW(KernelSvm::train(gram, {1, -1, 1}, {}, rng),
+               dasc::InvalidArgument);  // size mismatch
+  EXPECT_THROW(KernelSvm::train(gram, {1, 1, 1, 1}, {}, rng),
+               dasc::InvalidArgument);  // one class only
+  EXPECT_THROW(KernelSvm::train(gram, {1, -1, 2, -1}, {}, rng),
+               dasc::InvalidArgument);  // label not in {-1, +1}
+  SvmParams bad;
+  bad.c = 0.0;
+  EXPECT_THROW(KernelSvm::train(gram, {1, -1, 1, -1}, bad, rng),
+               dasc::InvalidArgument);
+  EXPECT_THROW(KernelSvm::train(linalg::DenseMatrix(2, 3), {1, -1}, {}, rng),
+               dasc::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::svm

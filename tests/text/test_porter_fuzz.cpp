@@ -1,0 +1,85 @@
+// Fuzz-style property tests for the Porter stemmer: it must never crash,
+// grow words, or oscillate on arbitrary lowercase input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "text/porter_stemmer.hpp"
+
+namespace dasc::text {
+namespace {
+
+std::string random_word(Rng& rng, std::size_t max_len) {
+  const std::size_t len = 1 + rng.uniform_index(max_len);
+  std::string word;
+  word.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    word.push_back(static_cast<char>('a' + rng.uniform_index(26)));
+  }
+  return word;
+}
+
+TEST(PorterFuzz, NeverLengthensAWord) {
+  Rng rng(971);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::string word = random_word(rng, 18);
+    EXPECT_LE(porter_stem(word).size(), word.size()) << word;
+  }
+}
+
+TEST(PorterFuzz, StemIsNonEmptyForNonEmptyInput) {
+  Rng rng(972);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::string word = random_word(rng, 12);
+    EXPECT_FALSE(porter_stem(word).empty()) << word;
+  }
+}
+
+TEST(PorterFuzz, SecondApplicationIsStable) {
+  // Porter is not formally idempotent on every word, but a second pass
+  // must terminate, never grow the stem, and a third pass must agree with
+  // the second (no oscillation).
+  Rng rng(973);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::string word = random_word(rng, 15);
+    const std::string once = porter_stem(word);
+    const std::string twice = porter_stem(once);
+    const std::string thrice = porter_stem(twice);
+    EXPECT_LE(twice.size(), once.size()) << word;
+    EXPECT_EQ(thrice, porter_stem(thrice)) << word;
+  }
+}
+
+TEST(PorterFuzz, VowellessAndRepetitiveInputsSurvive) {
+  for (const char* word :
+       {"bcdfg", "zzzzzzzzzz", "aaaaaaaaaa", "xyxyxyxyxy", "qqq",
+        "sssssses", "inginginging", "eeeeed"}) {
+    const std::string stem = porter_stem(word);
+    EXPECT_FALSE(stem.empty()) << word;
+    EXPECT_LE(stem.size(), std::string(word).size());
+  }
+}
+
+TEST(PorterFuzz, AllSuffixFormsOfAStemTerminate) {
+  // Exercise every rule table entry against a fixed stem.
+  const char* suffixes[] = {
+      "s",     "es",    "sses",   "ies",     "ed",      "ing",   "eed",
+      "at",    "bl",    "iz",     "y",       "ational", "tional", "enci",
+      "anci",  "izer",  "abli",   "alli",    "entli",   "eli",    "ousli",
+      "ization", "ation", "ator", "alism",   "iveness", "fulness",
+      "ousness", "aliti", "iviti", "biliti", "icate",   "ative",  "alize",
+      "iciti", "ical",  "ful",    "ness",    "al",      "ance",   "ence",
+      "er",    "ic",    "able",   "ible",    "ant",     "ement",  "ment",
+      "ent",   "ion",   "ou",     "ism",     "ate",     "iti",    "ous",
+      "ive",   "ize",   "e",      "ll"};
+  for (const char* suffix : suffixes) {
+    const std::string word = std::string("terminat") + suffix;
+    const std::string stem = porter_stem(word);
+    EXPECT_FALSE(stem.empty()) << word;
+    EXPECT_LE(stem.size(), word.size()) << word;
+  }
+}
+
+}  // namespace
+}  // namespace dasc::text

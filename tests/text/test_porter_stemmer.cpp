@@ -1,0 +1,111 @@
+#include "text/porter_stemmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dasc::text {
+namespace {
+
+TEST(PorterStemmer, ShortWordsUnchanged) {
+  EXPECT_EQ(porter_stem("a"), "a");
+  EXPECT_EQ(porter_stem("is"), "is");
+  EXPECT_EQ(porter_stem("sky"), "sky");
+}
+
+TEST(PorterStemmer, Step1aPlurals) {
+  EXPECT_EQ(porter_stem("caresses"), "caress");
+  EXPECT_EQ(porter_stem("ponies"), "poni");
+  EXPECT_EQ(porter_stem("caress"), "caress");
+  EXPECT_EQ(porter_stem("cats"), "cat");
+}
+
+TEST(PorterStemmer, Step1bEdIng) {
+  EXPECT_EQ(porter_stem("feed"), "feed");
+  // Step 1b yields "agree"; step 5a then drops the final e (m("agre")=1,
+  // not *o) — the canonical Porter output is "agre".
+  EXPECT_EQ(porter_stem("agreed"), "agre");
+  EXPECT_EQ(porter_stem("plastered"), "plaster");
+  EXPECT_EQ(porter_stem("bled"), "bled");
+  EXPECT_EQ(porter_stem("motoring"), "motor");
+  EXPECT_EQ(porter_stem("sing"), "sing");
+}
+
+TEST(PorterStemmer, Step1bCleanup) {
+  EXPECT_EQ(porter_stem("conflated"), "conflat");
+  EXPECT_EQ(porter_stem("troubled"), "troubl");
+  EXPECT_EQ(porter_stem("sized"), "size");
+  EXPECT_EQ(porter_stem("hopping"), "hop");
+  EXPECT_EQ(porter_stem("tanned"), "tan");
+  EXPECT_EQ(porter_stem("falling"), "fall");
+  EXPECT_EQ(porter_stem("hissing"), "hiss");
+  EXPECT_EQ(porter_stem("fizzed"), "fizz");
+  EXPECT_EQ(porter_stem("failing"), "fail");
+  EXPECT_EQ(porter_stem("filing"), "file");
+}
+
+TEST(PorterStemmer, Step1cYToI) {
+  EXPECT_EQ(porter_stem("happy"), "happi");
+  EXPECT_EQ(porter_stem("sky"), "sky");  // no vowel in stem
+}
+
+TEST(PorterStemmer, Step2DoubleSuffixes) {
+  EXPECT_EQ(porter_stem("relational"), "relat");
+  EXPECT_EQ(porter_stem("conditional"), "condit");
+  EXPECT_EQ(porter_stem("rational"), "ration");
+  EXPECT_EQ(porter_stem("valenci"), "valenc");
+  EXPECT_EQ(porter_stem("digitizer"), "digit");
+  EXPECT_EQ(porter_stem("operator"), "oper");
+}
+
+TEST(PorterStemmer, Step3Suffixes) {
+  EXPECT_EQ(porter_stem("triplicate"), "triplic");
+  EXPECT_EQ(porter_stem("formative"), "form");
+  EXPECT_EQ(porter_stem("formalize"), "formal");
+  EXPECT_EQ(porter_stem("electrical"), "electr");
+  EXPECT_EQ(porter_stem("hopeful"), "hope");
+  EXPECT_EQ(porter_stem("goodness"), "good");
+}
+
+TEST(PorterStemmer, Step4ResidualSuffixes) {
+  EXPECT_EQ(porter_stem("revival"), "reviv");
+  EXPECT_EQ(porter_stem("allowance"), "allow");
+  EXPECT_EQ(porter_stem("inference"), "infer");
+  EXPECT_EQ(porter_stem("airliner"), "airlin");
+  EXPECT_EQ(porter_stem("adjustment"), "adjust");
+  EXPECT_EQ(porter_stem("adoption"), "adopt");
+  EXPECT_EQ(porter_stem("effective"), "effect");
+}
+
+TEST(PorterStemmer, Step5FinalE) {
+  EXPECT_EQ(porter_stem("probate"), "probat");
+  EXPECT_EQ(porter_stem("rate"), "rate");
+  EXPECT_EQ(porter_stem("cease"), "ceas");
+}
+
+TEST(PorterStemmer, Step5DoubleL) {
+  EXPECT_EQ(porter_stem("controll"), "control");
+  EXPECT_EQ(porter_stem("roll"), "roll");
+}
+
+TEST(PorterStemmer, StemmingIsIdempotentOnCommonWords) {
+  const std::vector<std::string> words{
+      "running",  "clustering", "documents", "categories", "approximation",
+      "similarity", "distributed", "computing", "matrices",  "probability"};
+  for (const auto& word : words) {
+    const std::string once = porter_stem(word);
+    EXPECT_EQ(porter_stem(once), once) << word << " -> " << once;
+  }
+}
+
+TEST(PorterStemmer, RelatedFormsShareAStem) {
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connected"));
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connecting"));
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connection"));
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connections"));
+}
+
+}  // namespace
+}  // namespace dasc::text

@@ -1,0 +1,34 @@
+#include "text/stopwords.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dasc::text {
+namespace {
+
+TEST(Stopwords, CommonWordsAreStopwords) {
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("and"));
+  EXPECT_TRUE(is_stopword("is"));
+  EXPECT_TRUE(is_stopword("of"));
+  EXPECT_TRUE(is_stopword("with"));
+}
+
+TEST(Stopwords, ContentWordsAreNot) {
+  EXPECT_FALSE(is_stopword("cluster"));
+  EXPECT_FALSE(is_stopword("spectral"));
+  EXPECT_FALSE(is_stopword("wikipedia"));
+  EXPECT_FALSE(is_stopword(""));
+}
+
+TEST(Stopwords, ListHasReasonableSize) {
+  EXPECT_GT(stopword_count(), 100u);
+  EXPECT_LT(stopword_count(), 400u);
+}
+
+TEST(Stopwords, MatchingIsCaseSensitiveLowercase) {
+  // The pipeline lowercases before filtering; the list is lowercase-only.
+  EXPECT_FALSE(is_stopword("The"));
+}
+
+}  // namespace
+}  // namespace dasc::text

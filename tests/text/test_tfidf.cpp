@@ -1,0 +1,105 @@
+#include "text/tfidf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dasc::text {
+namespace {
+
+std::vector<TokenizedDoc> tiny_corpus() {
+  return {
+      {"apple", "banana", "apple"},
+      {"banana", "cherry"},
+      {"apple", "cherry", "cherry", "durian"},
+  };
+}
+
+TEST(TfIdf, VocabularyAndDocumentFrequencies) {
+  const TfIdfIndex index(tiny_corpus());
+  EXPECT_EQ(index.num_documents(), 3u);
+  EXPECT_EQ(index.vocabulary_size(), 4u);
+  EXPECT_EQ(index.document_frequency("apple"), 2u);
+  EXPECT_EQ(index.document_frequency("banana"), 2u);
+  EXPECT_EQ(index.document_frequency("cherry"), 2u);
+  EXPECT_EQ(index.document_frequency("durian"), 1u);
+  EXPECT_EQ(index.document_frequency("unknown"), 0u);
+}
+
+TEST(TfIdf, IdfValues) {
+  const TfIdfIndex index(tiny_corpus());
+  EXPECT_NEAR(index.idf("durian"), std::log(3.0), 1e-12);
+  EXPECT_NEAR(index.idf("apple"), std::log(1.5), 1e-12);
+  EXPECT_THROW(index.idf("unknown"), dasc::InvalidArgument);
+}
+
+TEST(TfIdf, TermIdsAreDenseAndStable) {
+  const TfIdfIndex index(tiny_corpus());
+  EXPECT_GE(index.term_id("apple"), 0);
+  EXPECT_LT(index.term_id("apple"),
+            static_cast<long long>(index.vocabulary_size()));
+  EXPECT_EQ(index.term_id("missing"), -1);
+}
+
+TEST(TfIdf, WeighRanksDistinctiveTermsHigher) {
+  const TfIdfIndex index(tiny_corpus());
+  // Doc 2: "apple cherry cherry durian". durian is rare (df=1) and cherry
+  // frequent in-doc; both should outweigh apple (tf=1/4, low idf).
+  const auto weights = index.weigh(tiny_corpus()[2]);
+  ASSERT_EQ(weights.size(), 3u);
+  const auto apple_id = static_cast<std::size_t>(index.term_id("apple"));
+  EXPECT_EQ(weights.back().first, apple_id);
+}
+
+TEST(TfIdf, WeighIgnoresOutOfVocabularyTerms) {
+  const TfIdfIndex index(tiny_corpus());
+  const auto weights = index.weigh({"unknown", "words", "apple"});
+  ASSERT_EQ(weights.size(), 1u);
+  EXPECT_EQ(weights[0].first,
+            static_cast<std::size_t>(index.term_id("apple")));
+}
+
+TEST(TfIdf, TopTermsBoundedByVocabulary) {
+  const TfIdfIndex index(tiny_corpus());
+  EXPECT_EQ(index.top_terms(2).size(), 2u);
+  EXPECT_EQ(index.top_terms(100).size(), index.vocabulary_size());
+  EXPECT_THROW(index.top_terms(0), dasc::InvalidArgument);
+}
+
+TEST(TfIdf, FeaturesHaveRequestedDimension) {
+  const TfIdfIndex index(tiny_corpus());
+  const auto f = index.features(tiny_corpus()[0], 3);
+  EXPECT_EQ(f.size(), 3u);
+  // The document contains at least one top term, so not all-zero.
+  double total = 0.0;
+  for (double v : f) total += std::abs(v);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(TfIdf, EmptyCorpusRejected) {
+  EXPECT_THROW(TfIdfIndex({}), dasc::InvalidArgument);
+}
+
+TEST(TfIdf, SimilarDocsGetSimilarFeatures) {
+  std::vector<TokenizedDoc> corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back({"alpha", "beta", "alpha"});
+    corpus.push_back({"gamma", "delta", "gamma"});
+  }
+  const TfIdfIndex index(corpus);
+  const auto fa = index.features(corpus[0], 4);
+  const auto fb = index.features(corpus[2], 4);  // same class
+  const auto fc = index.features(corpus[1], 4);  // other class
+  double same = 0.0;
+  double diff = 0.0;
+  for (std::size_t d = 0; d < 4; ++d) {
+    same += (fa[d] - fb[d]) * (fa[d] - fb[d]);
+    diff += (fa[d] - fc[d]) * (fa[d] - fc[d]);
+  }
+  EXPECT_LT(same, diff);
+}
+
+}  // namespace
+}  // namespace dasc::text

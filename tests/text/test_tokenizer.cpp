@@ -1,0 +1,61 @@
+#include "text/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dasc::text {
+namespace {
+
+TEST(StripMarkup, RemovesTagsKeepsText) {
+  EXPECT_EQ(strip_markup("<p>hello</p>"), " hello ");
+  EXPECT_EQ(strip_markup("no tags"), "no tags");
+}
+
+TEST(StripMarkup, TagsActAsWordSeparators) {
+  const auto tokens = tokenize(strip_markup("foo<br/>bar"));
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "foo");
+  EXPECT_EQ(tokens[1], "bar");
+}
+
+TEST(StripMarkup, HandlesNestedAndAttributedTags) {
+  const std::string html =
+      "<div class=\"x\"><span>inner</span> text</div>";
+  const auto tokens = tokenize(strip_markup(html));
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "inner");
+  EXPECT_EQ(tokens[1], "text");
+}
+
+TEST(Tokenize, LowercasesAndSplitsOnNonAlpha) {
+  const auto tokens = tokenize("Hello, World! 123 foo-bar");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "foo");
+  EXPECT_EQ(tokens[3], "bar");
+}
+
+TEST(Tokenize, EmptyAndPunctuationOnlyInput) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("!!! ... ###").empty());
+}
+
+TEST(NormalizeDocument, RemovesStopwordsAndStems) {
+  const auto tokens =
+      normalize_document("<p>The cats are running over the bridges</p>");
+  // "the", "are", "over" are stop words; "cats"->"cat",
+  // "running"->"run", "bridges"->"bridg".
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "run");
+  EXPECT_EQ(tokens[2], "bridg");
+}
+
+TEST(NormalizeDocument, DropsSingleLetterStems) {
+  const auto tokens = normalize_document("a b c word");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "word");
+}
+
+}  // namespace
+}  // namespace dasc::text
