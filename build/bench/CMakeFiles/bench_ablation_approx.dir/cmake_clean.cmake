@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_approx.dir/bench_ablation_approx.cpp.o"
+  "CMakeFiles/bench_ablation_approx.dir/bench_ablation_approx.cpp.o.d"
+  "bench_ablation_approx"
+  "bench_ablation_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

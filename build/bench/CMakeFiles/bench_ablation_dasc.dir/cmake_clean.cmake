@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dasc.dir/bench_ablation_dasc.cpp.o"
+  "CMakeFiles/bench_ablation_dasc.dir/bench_ablation_dasc.cpp.o.d"
+  "bench_ablation_dasc"
+  "bench_ablation_dasc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dasc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

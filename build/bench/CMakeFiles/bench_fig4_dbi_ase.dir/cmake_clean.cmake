@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dbi_ase.dir/bench_fig4_dbi_ase.cpp.o"
+  "CMakeFiles/bench_fig4_dbi_ase.dir/bench_fig4_dbi_ase.cpp.o.d"
+  "bench_fig4_dbi_ase"
+  "bench_fig4_dbi_ase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dbi_ase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_dbi_ase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fnorm.dir/bench_fig5_fnorm.cpp.o"
+  "CMakeFiles/bench_fig5_fnorm.dir/bench_fig5_fnorm.cpp.o.d"
+  "bench_fig5_fnorm"
+  "bench_fig5_fnorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fnorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_elasticity.dir/bench_table3_elasticity.cpp.o"
+  "CMakeFiles/bench_table3_elasticity.dir/bench_table3_elasticity.cpp.o.d"
+  "bench_table3_elasticity"
+  "bench_table3_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_tool.dir/dasc_tool.cpp.o"
+  "CMakeFiles/dasc_tool.dir/dasc_tool.cpp.o.d"
+  "dasc_tool"
+  "dasc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_cluster.dir/elastic_cluster.cpp.o"
+  "CMakeFiles/elastic_cluster.dir/elastic_cluster.cpp.o.d"
+  "elastic_cluster"
+  "elastic_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_segmentation.dir/image_segmentation.cpp.o"
+  "CMakeFiles/image_segmentation.dir/image_segmentation.cpp.o.d"
+  "image_segmentation"
+  "image_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

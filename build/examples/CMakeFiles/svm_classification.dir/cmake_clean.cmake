@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_classification.dir/svm_classification.cpp.o"
+  "CMakeFiles/svm_classification.dir/svm_classification.cpp.o.d"
+  "svm_classification"
+  "svm_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

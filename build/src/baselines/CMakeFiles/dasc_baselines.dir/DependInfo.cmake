@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/nystrom.cpp" "src/baselines/CMakeFiles/dasc_baselines.dir/nystrom.cpp.o" "gcc" "src/baselines/CMakeFiles/dasc_baselines.dir/nystrom.cpp.o.d"
+  "/root/repo/src/baselines/psc.cpp" "src/baselines/CMakeFiles/dasc_baselines.dir/psc.cpp.o" "gcc" "src/baselines/CMakeFiles/dasc_baselines.dir/psc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dasc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dasc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/dasc_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dasc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_baselines.dir/nystrom.cpp.o"
+  "CMakeFiles/dasc_baselines.dir/nystrom.cpp.o.d"
+  "CMakeFiles/dasc_baselines.dir/psc.cpp.o"
+  "CMakeFiles/dasc_baselines.dir/psc.cpp.o.d"
+  "libdasc_baselines.a"
+  "libdasc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

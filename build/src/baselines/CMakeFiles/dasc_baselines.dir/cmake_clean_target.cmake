@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdasc_baselines.a"
+)

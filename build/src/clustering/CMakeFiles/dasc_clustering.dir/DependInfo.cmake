@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/hungarian.cpp" "src/clustering/CMakeFiles/dasc_clustering.dir/hungarian.cpp.o" "gcc" "src/clustering/CMakeFiles/dasc_clustering.dir/hungarian.cpp.o.d"
+  "/root/repo/src/clustering/kernel.cpp" "src/clustering/CMakeFiles/dasc_clustering.dir/kernel.cpp.o" "gcc" "src/clustering/CMakeFiles/dasc_clustering.dir/kernel.cpp.o.d"
+  "/root/repo/src/clustering/kernel_pca.cpp" "src/clustering/CMakeFiles/dasc_clustering.dir/kernel_pca.cpp.o" "gcc" "src/clustering/CMakeFiles/dasc_clustering.dir/kernel_pca.cpp.o.d"
+  "/root/repo/src/clustering/kmeans.cpp" "src/clustering/CMakeFiles/dasc_clustering.dir/kmeans.cpp.o" "gcc" "src/clustering/CMakeFiles/dasc_clustering.dir/kmeans.cpp.o.d"
+  "/root/repo/src/clustering/metrics.cpp" "src/clustering/CMakeFiles/dasc_clustering.dir/metrics.cpp.o" "gcc" "src/clustering/CMakeFiles/dasc_clustering.dir/metrics.cpp.o.d"
+  "/root/repo/src/clustering/spectral.cpp" "src/clustering/CMakeFiles/dasc_clustering.dir/spectral.cpp.o" "gcc" "src/clustering/CMakeFiles/dasc_clustering.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dasc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dasc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dasc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_clustering.dir/hungarian.cpp.o"
+  "CMakeFiles/dasc_clustering.dir/hungarian.cpp.o.d"
+  "CMakeFiles/dasc_clustering.dir/kernel.cpp.o"
+  "CMakeFiles/dasc_clustering.dir/kernel.cpp.o.d"
+  "CMakeFiles/dasc_clustering.dir/kernel_pca.cpp.o"
+  "CMakeFiles/dasc_clustering.dir/kernel_pca.cpp.o.d"
+  "CMakeFiles/dasc_clustering.dir/kmeans.cpp.o"
+  "CMakeFiles/dasc_clustering.dir/kmeans.cpp.o.d"
+  "CMakeFiles/dasc_clustering.dir/metrics.cpp.o"
+  "CMakeFiles/dasc_clustering.dir/metrics.cpp.o.d"
+  "CMakeFiles/dasc_clustering.dir/spectral.cpp.o"
+  "CMakeFiles/dasc_clustering.dir/spectral.cpp.o.d"
+  "libdasc_clustering.a"
+  "libdasc_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

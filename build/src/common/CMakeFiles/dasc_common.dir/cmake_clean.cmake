@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_common.dir/error.cpp.o"
+  "CMakeFiles/dasc_common.dir/error.cpp.o.d"
+  "CMakeFiles/dasc_common.dir/log.cpp.o"
+  "CMakeFiles/dasc_common.dir/log.cpp.o.d"
+  "CMakeFiles/dasc_common.dir/memory_tracker.cpp.o"
+  "CMakeFiles/dasc_common.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/dasc_common.dir/rng.cpp.o"
+  "CMakeFiles/dasc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dasc_common.dir/stopwatch.cpp.o"
+  "CMakeFiles/dasc_common.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/dasc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dasc_common.dir/thread_pool.cpp.o.d"
+  "libdasc_common.a"
+  "libdasc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_kernel_pca.cpp" "src/core/CMakeFiles/dasc_core.dir/approx_kernel_pca.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/approx_kernel_pca.cpp.o.d"
+  "/root/repo/src/core/approx_svm.cpp" "src/core/CMakeFiles/dasc_core.dir/approx_svm.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/approx_svm.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/dasc_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/dasc_clusterer.cpp" "src/core/CMakeFiles/dasc_core.dir/dasc_clusterer.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/dasc_clusterer.cpp.o.d"
+  "/root/repo/src/core/dasc_mapreduce.cpp" "src/core/CMakeFiles/dasc_core.dir/dasc_mapreduce.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/dasc_mapreduce.cpp.o.d"
+  "/root/repo/src/core/dasc_streaming.cpp" "src/core/CMakeFiles/dasc_core.dir/dasc_streaming.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/dasc_streaming.cpp.o.d"
+  "/root/repo/src/core/kernel_approximator.cpp" "src/core/CMakeFiles/dasc_core.dir/kernel_approximator.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/kernel_approximator.cpp.o.d"
+  "/root/repo/src/core/lowrank_approximator.cpp" "src/core/CMakeFiles/dasc_core.dir/lowrank_approximator.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/lowrank_approximator.cpp.o.d"
+  "/root/repo/src/core/mapreduce_kmeans.cpp" "src/core/CMakeFiles/dasc_core.dir/mapreduce_kmeans.cpp.o" "gcc" "src/core/CMakeFiles/dasc_core.dir/mapreduce_kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dasc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dasc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/dasc_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/dasc_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/dasc_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/dasc_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dasc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_core.dir/approx_kernel_pca.cpp.o"
+  "CMakeFiles/dasc_core.dir/approx_kernel_pca.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/approx_svm.cpp.o"
+  "CMakeFiles/dasc_core.dir/approx_svm.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/cost_model.cpp.o"
+  "CMakeFiles/dasc_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/dasc_clusterer.cpp.o"
+  "CMakeFiles/dasc_core.dir/dasc_clusterer.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/dasc_mapreduce.cpp.o"
+  "CMakeFiles/dasc_core.dir/dasc_mapreduce.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/dasc_streaming.cpp.o"
+  "CMakeFiles/dasc_core.dir/dasc_streaming.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/kernel_approximator.cpp.o"
+  "CMakeFiles/dasc_core.dir/kernel_approximator.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/lowrank_approximator.cpp.o"
+  "CMakeFiles/dasc_core.dir/lowrank_approximator.cpp.o.d"
+  "CMakeFiles/dasc_core.dir/mapreduce_kmeans.cpp.o"
+  "CMakeFiles/dasc_core.dir/mapreduce_kmeans.cpp.o.d"
+  "libdasc_core.a"
+  "libdasc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

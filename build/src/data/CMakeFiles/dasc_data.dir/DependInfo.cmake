@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cpp" "src/data/CMakeFiles/dasc_data.dir/dataset_io.cpp.o" "gcc" "src/data/CMakeFiles/dasc_data.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/data/point_set.cpp" "src/data/CMakeFiles/dasc_data.dir/point_set.cpp.o" "gcc" "src/data/CMakeFiles/dasc_data.dir/point_set.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/dasc_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/dasc_data.dir/synthetic.cpp.o.d"
+  "/root/repo/src/data/wiki_corpus.cpp" "src/data/CMakeFiles/dasc_data.dir/wiki_corpus.cpp.o" "gcc" "src/data/CMakeFiles/dasc_data.dir/wiki_corpus.cpp.o.d"
+  "/root/repo/src/data/wiki_crawler.cpp" "src/data/CMakeFiles/dasc_data.dir/wiki_crawler.cpp.o" "gcc" "src/data/CMakeFiles/dasc_data.dir/wiki_crawler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dasc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_data.dir/dataset_io.cpp.o"
+  "CMakeFiles/dasc_data.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/dasc_data.dir/point_set.cpp.o"
+  "CMakeFiles/dasc_data.dir/point_set.cpp.o.d"
+  "CMakeFiles/dasc_data.dir/synthetic.cpp.o"
+  "CMakeFiles/dasc_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/dasc_data.dir/wiki_corpus.cpp.o"
+  "CMakeFiles/dasc_data.dir/wiki_corpus.cpp.o.d"
+  "CMakeFiles/dasc_data.dir/wiki_crawler.cpp.o"
+  "CMakeFiles/dasc_data.dir/wiki_crawler.cpp.o.d"
+  "libdasc_data.a"
+  "libdasc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

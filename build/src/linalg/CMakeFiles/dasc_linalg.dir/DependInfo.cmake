@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/dasc_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/dasc_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cpp" "src/linalg/CMakeFiles/dasc_linalg.dir/jacobi_eigen.cpp.o" "gcc" "src/linalg/CMakeFiles/dasc_linalg.dir/jacobi_eigen.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/linalg/CMakeFiles/dasc_linalg.dir/lanczos.cpp.o" "gcc" "src/linalg/CMakeFiles/dasc_linalg.dir/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/sparse_csr.cpp" "src/linalg/CMakeFiles/dasc_linalg.dir/sparse_csr.cpp.o" "gcc" "src/linalg/CMakeFiles/dasc_linalg.dir/sparse_csr.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/dasc_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/dasc_linalg.dir/svd.cpp.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cpp" "src/linalg/CMakeFiles/dasc_linalg.dir/symmetric_eigen.cpp.o" "gcc" "src/linalg/CMakeFiles/dasc_linalg.dir/symmetric_eigen.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/dasc_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/dasc_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

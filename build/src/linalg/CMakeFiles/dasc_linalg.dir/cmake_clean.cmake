@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/dasc_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/dasc_linalg.dir/jacobi_eigen.cpp.o"
+  "CMakeFiles/dasc_linalg.dir/jacobi_eigen.cpp.o.d"
+  "CMakeFiles/dasc_linalg.dir/lanczos.cpp.o"
+  "CMakeFiles/dasc_linalg.dir/lanczos.cpp.o.d"
+  "CMakeFiles/dasc_linalg.dir/sparse_csr.cpp.o"
+  "CMakeFiles/dasc_linalg.dir/sparse_csr.cpp.o.d"
+  "CMakeFiles/dasc_linalg.dir/svd.cpp.o"
+  "CMakeFiles/dasc_linalg.dir/svd.cpp.o.d"
+  "CMakeFiles/dasc_linalg.dir/symmetric_eigen.cpp.o"
+  "CMakeFiles/dasc_linalg.dir/symmetric_eigen.cpp.o.d"
+  "CMakeFiles/dasc_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/dasc_linalg.dir/vector_ops.cpp.o.d"
+  "libdasc_linalg.a"
+  "libdasc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsh/bucket_table.cpp" "src/lsh/CMakeFiles/dasc_lsh.dir/bucket_table.cpp.o" "gcc" "src/lsh/CMakeFiles/dasc_lsh.dir/bucket_table.cpp.o.d"
+  "/root/repo/src/lsh/feature_analysis.cpp" "src/lsh/CMakeFiles/dasc_lsh.dir/feature_analysis.cpp.o" "gcc" "src/lsh/CMakeFiles/dasc_lsh.dir/feature_analysis.cpp.o.d"
+  "/root/repo/src/lsh/minhash.cpp" "src/lsh/CMakeFiles/dasc_lsh.dir/minhash.cpp.o" "gcc" "src/lsh/CMakeFiles/dasc_lsh.dir/minhash.cpp.o.d"
+  "/root/repo/src/lsh/random_projection.cpp" "src/lsh/CMakeFiles/dasc_lsh.dir/random_projection.cpp.o" "gcc" "src/lsh/CMakeFiles/dasc_lsh.dir/random_projection.cpp.o.d"
+  "/root/repo/src/lsh/signature.cpp" "src/lsh/CMakeFiles/dasc_lsh.dir/signature.cpp.o" "gcc" "src/lsh/CMakeFiles/dasc_lsh.dir/signature.cpp.o.d"
+  "/root/repo/src/lsh/simhash.cpp" "src/lsh/CMakeFiles/dasc_lsh.dir/simhash.cpp.o" "gcc" "src/lsh/CMakeFiles/dasc_lsh.dir/simhash.cpp.o.d"
+  "/root/repo/src/lsh/spectral_hash.cpp" "src/lsh/CMakeFiles/dasc_lsh.dir/spectral_hash.cpp.o" "gcc" "src/lsh/CMakeFiles/dasc_lsh.dir/spectral_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dasc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dasc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dasc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

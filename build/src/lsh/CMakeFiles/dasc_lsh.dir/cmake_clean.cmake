@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_lsh.dir/bucket_table.cpp.o"
+  "CMakeFiles/dasc_lsh.dir/bucket_table.cpp.o.d"
+  "CMakeFiles/dasc_lsh.dir/feature_analysis.cpp.o"
+  "CMakeFiles/dasc_lsh.dir/feature_analysis.cpp.o.d"
+  "CMakeFiles/dasc_lsh.dir/minhash.cpp.o"
+  "CMakeFiles/dasc_lsh.dir/minhash.cpp.o.d"
+  "CMakeFiles/dasc_lsh.dir/random_projection.cpp.o"
+  "CMakeFiles/dasc_lsh.dir/random_projection.cpp.o.d"
+  "CMakeFiles/dasc_lsh.dir/signature.cpp.o"
+  "CMakeFiles/dasc_lsh.dir/signature.cpp.o.d"
+  "CMakeFiles/dasc_lsh.dir/simhash.cpp.o"
+  "CMakeFiles/dasc_lsh.dir/simhash.cpp.o.d"
+  "CMakeFiles/dasc_lsh.dir/spectral_hash.cpp.o"
+  "CMakeFiles/dasc_lsh.dir/spectral_hash.cpp.o.d"
+  "libdasc_lsh.a"
+  "libdasc_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/dfs.cpp" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/dfs.cpp.o" "gcc" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/dfs.cpp.o.d"
+  "/root/repo/src/mapreduce/job.cpp" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/job.cpp.o" "gcc" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/job.cpp.o.d"
+  "/root/repo/src/mapreduce/job_conf.cpp" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/job_conf.cpp.o" "gcc" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/job_conf.cpp.o.d"
+  "/root/repo/src/mapreduce/shuffle.cpp" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/shuffle.cpp.o" "gcc" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/shuffle.cpp.o.d"
+  "/root/repo/src/mapreduce/virtual_cluster.cpp" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/virtual_cluster.cpp.o" "gcc" "src/mapreduce/CMakeFiles/dasc_mapreduce.dir/virtual_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_mapreduce.dir/dfs.cpp.o"
+  "CMakeFiles/dasc_mapreduce.dir/dfs.cpp.o.d"
+  "CMakeFiles/dasc_mapreduce.dir/job.cpp.o"
+  "CMakeFiles/dasc_mapreduce.dir/job.cpp.o.d"
+  "CMakeFiles/dasc_mapreduce.dir/job_conf.cpp.o"
+  "CMakeFiles/dasc_mapreduce.dir/job_conf.cpp.o.d"
+  "CMakeFiles/dasc_mapreduce.dir/shuffle.cpp.o"
+  "CMakeFiles/dasc_mapreduce.dir/shuffle.cpp.o.d"
+  "CMakeFiles/dasc_mapreduce.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/dasc_mapreduce.dir/virtual_cluster.cpp.o.d"
+  "libdasc_mapreduce.a"
+  "libdasc_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

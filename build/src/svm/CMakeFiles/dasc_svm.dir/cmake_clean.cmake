@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_svm.dir/kernel_svm.cpp.o"
+  "CMakeFiles/dasc_svm.dir/kernel_svm.cpp.o.d"
+  "CMakeFiles/dasc_svm.dir/rbf_classifier.cpp.o"
+  "CMakeFiles/dasc_svm.dir/rbf_classifier.cpp.o.d"
+  "libdasc_svm.a"
+  "libdasc_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_text.dir/porter_stemmer.cpp.o"
+  "CMakeFiles/dasc_text.dir/porter_stemmer.cpp.o.d"
+  "CMakeFiles/dasc_text.dir/stopwords.cpp.o"
+  "CMakeFiles/dasc_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/dasc_text.dir/tfidf.cpp.o"
+  "CMakeFiles/dasc_text.dir/tfidf.cpp.o.d"
+  "CMakeFiles/dasc_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/dasc_text.dir/tokenizer.cpp.o.d"
+  "libdasc_text.a"
+  "libdasc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

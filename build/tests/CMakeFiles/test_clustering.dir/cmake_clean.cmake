@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clustering.dir/clustering/test_clustering_properties.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/test_clustering_properties.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/test_hungarian.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/test_hungarian.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/test_kernel.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/test_kernel.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/test_kernel_pca.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/test_kernel_pca.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/test_kmeans.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/test_metrics.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/test_metrics.cpp.o.d"
+  "CMakeFiles/test_clustering.dir/clustering/test_spectral.cpp.o"
+  "CMakeFiles/test_clustering.dir/clustering/test_spectral.cpp.o.d"
+  "test_clustering"
+  "test_clustering.pdb"
+  "test_clustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_approx_kernel_pca.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_approx_kernel_pca.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_approx_svm.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_approx_svm.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dasc_clusterer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dasc_clusterer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dasc_mapreduce.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dasc_mapreduce.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dasc_streaming.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dasc_streaming.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_kernel_approximator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_kernel_approximator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lowrank_approximator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lowrank_approximator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mapreduce_kmeans.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mapreduce_kmeans.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_dataset_io.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_dataset_io.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_point_set.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_point_set.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_wiki_corpus.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_wiki_corpus.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_wiki_crawler.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_wiki_crawler.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_dense_matrix.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_dense_matrix.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_jacobi_eigen.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_jacobi_eigen.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_lanczos.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_lanczos.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_sparse_csr.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_sparse_csr.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_svd.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_svd.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_symmetric_eigen.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_symmetric_eigen.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_vector_ops.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_vector_ops.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

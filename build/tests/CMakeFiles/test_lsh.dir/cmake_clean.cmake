@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh.dir/lsh/test_bucket_table.cpp.o"
+  "CMakeFiles/test_lsh.dir/lsh/test_bucket_table.cpp.o.d"
+  "CMakeFiles/test_lsh.dir/lsh/test_feature_analysis.cpp.o"
+  "CMakeFiles/test_lsh.dir/lsh/test_feature_analysis.cpp.o.d"
+  "CMakeFiles/test_lsh.dir/lsh/test_hashers.cpp.o"
+  "CMakeFiles/test_lsh.dir/lsh/test_hashers.cpp.o.d"
+  "CMakeFiles/test_lsh.dir/lsh/test_signature.cpp.o"
+  "CMakeFiles/test_lsh.dir/lsh/test_signature.cpp.o.d"
+  "test_lsh"
+  "test_lsh.pdb"
+  "test_lsh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_dfs.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_dfs.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_job.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_job.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_shuffle.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_shuffle.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_virtual_cluster.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_virtual_cluster.cpp.o.d"
+  "test_mapreduce"
+  "test_mapreduce.pdb"
+  "test_mapreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

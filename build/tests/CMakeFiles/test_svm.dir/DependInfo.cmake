@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/svm/test_kernel_svm.cpp" "tests/CMakeFiles/test_svm.dir/svm/test_kernel_svm.cpp.o" "gcc" "tests/CMakeFiles/test_svm.dir/svm/test_kernel_svm.cpp.o.d"
+  "/root/repo/tests/svm/test_rbf_classifier.cpp" "tests/CMakeFiles/test_svm.dir/svm/test_rbf_classifier.cpp.o" "gcc" "tests/CMakeFiles/test_svm.dir/svm/test_rbf_classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dasc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dasc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/dasc_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/dasc_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/dasc_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/dasc_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dasc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dasc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dasc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dasc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text.dir/text/test_porter_fuzz.cpp.o"
+  "CMakeFiles/test_text.dir/text/test_porter_fuzz.cpp.o.d"
+  "CMakeFiles/test_text.dir/text/test_porter_stemmer.cpp.o"
+  "CMakeFiles/test_text.dir/text/test_porter_stemmer.cpp.o.d"
+  "CMakeFiles/test_text.dir/text/test_stopwords.cpp.o"
+  "CMakeFiles/test_text.dir/text/test_stopwords.cpp.o.d"
+  "CMakeFiles/test_text.dir/text/test_tfidf.cpp.o"
+  "CMakeFiles/test_text.dir/text/test_tfidf.cpp.o.d"
+  "CMakeFiles/test_text.dir/text/test_tokenizer.cpp.o"
+  "CMakeFiles/test_text.dir/text/test_tokenizer.cpp.o.d"
+  "test_text"
+  "test_text.pdb"
+  "test_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
