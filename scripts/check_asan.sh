@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under AddressSanitizer + UBSan.
+# Usage: scripts/check_asan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan "$@"

@@ -61,7 +61,7 @@ NystromResult nystrom_cluster(const data::PointSet& points,
       w(a, b) = c(landmarks[a], b);
     }
   }
-  result.kernel_bytes = (n * m + m * m) * sizeof(float);
+  result.kernel_bytes = linalg::gram_entry_bytes(n * m + m * m);
 
   // ---- W^{-1/2} via eigendecomposition with a rank floor. ----
   const linalg::SymmetricEigenResult we = linalg::jacobi_eigen(w);

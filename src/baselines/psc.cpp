@@ -71,7 +71,8 @@ PscResult psc_cluster(const data::PointSet& points, const PscParams& params,
     }
   }
   const linalg::SparseCsr affinity(n, n, std::move(triplets));
-  result.affinity_bytes = affinity.nnz() * (sizeof(float) + sizeof(int));
+  // CSR stores double values plus an int column index per nonzero.
+  result.affinity_bytes = affinity.nnz() * (sizeof(double) + sizeof(int));
 
   // ---- Normalized Laplacian operator D^{-1/2} A D^{-1/2}. ----
   std::vector<double> degree = affinity.row_sums();

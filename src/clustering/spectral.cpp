@@ -98,8 +98,9 @@ SpectralResult spectral_cluster(const data::PointSet& points,
 
   SpectralResult result;
   result.k = std::min(params.k, points.size());
-  // Paper's accounting (Eq. 12): single-precision Gram entries.
-  result.gram_bytes = points.size() * points.size() * sizeof(float);
+  // Eq. 12 accounting at the bytes the Gram actually occupies (doubles).
+  result.gram_bytes =
+      linalg::gram_entry_bytes(points.size() * points.size());
   result.labels = spectral_cluster_gram(gram, result.k, rng, params);
   return result;
 }

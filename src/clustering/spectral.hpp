@@ -30,8 +30,8 @@ struct SpectralParams {
 struct SpectralResult {
   std::vector<int> labels;
   std::size_t k = 0;
-  /// Bytes of the Gram matrix this run materialized (the paper's memory
-  /// metric; counted at single precision like Eq. 12).
+  /// Bytes of the Gram matrix this run materialized (the paper's Eq. 12
+  /// memory metric, at the actual stored element size).
   std::size_t gram_bytes = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -64,6 +65,44 @@ void ThreadPool::worker_loop() {
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+AdmissionGate::AdmissionGate(std::size_t max_tasks, std::size_t max_bytes)
+    : max_tasks_(max_tasks), max_bytes_(max_bytes) {}
+
+void AdmissionGate::acquire(std::size_t bytes) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] {
+    if (tasks_ == 0) return true;  // never starve an oversized request
+    if (max_tasks_ != 0 && tasks_ >= max_tasks_) return false;
+    if (max_bytes_ != 0 && bytes_ + bytes > max_bytes_) return false;
+    return true;
+  });
+  ++tasks_;
+  bytes_ += bytes;
+  peak_tasks_ = std::max(peak_tasks_, tasks_);
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+}
+
+void AdmissionGate::release(std::size_t bytes) {
+  {
+    std::lock_guard lock(mutex_);
+    DASC_EXPECT(tasks_ > 0 && bytes_ >= bytes,
+                "AdmissionGate: release without matching acquire");
+    --tasks_;
+    bytes_ -= bytes;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionGate::peak_bytes() const {
+  std::lock_guard lock(mutex_);
+  return peak_bytes_;
+}
+
+std::size_t AdmissionGate::peak_tasks() const {
+  std::lock_guard lock(mutex_);
+  return peak_tasks_;
 }
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t threads,

@@ -48,6 +48,39 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Counting gate that bounds concurrently-admitted work by task count
+/// and/or bytes. acquire() blocks until both budgets admit the request; a
+/// limit of 0 disables that budget. A request larger than the whole byte
+/// budget is admitted once the gate is empty, so progress is always
+/// possible. High-water marks are tracked for reporting.
+///
+/// The bucket pipeline uses this to cap how many Gram blocks are resident
+/// at once (peak memory O(inflight * max block) instead of O(sum blocks)).
+class AdmissionGate {
+ public:
+  AdmissionGate(std::size_t max_tasks, std::size_t max_bytes);
+
+  /// Block until the request fits in both budgets, then admit it.
+  void acquire(std::size_t bytes);
+  /// Return an admitted request's budget; wakes blocked acquirers.
+  void release(std::size_t bytes);
+
+  /// High-water mark of admitted bytes over the gate's lifetime.
+  std::size_t peak_bytes() const;
+  /// High-water mark of simultaneously admitted tasks.
+  std::size_t peak_tasks() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t max_tasks_ = 0;
+  std::size_t max_bytes_ = 0;
+  std::size_t tasks_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t peak_tasks_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
 /// Run body(i) for i in [begin, end) across the given number of threads.
 /// Exceptions from any iteration are rethrown (first one wins).
 /// threads == 1 runs inline with zero overhead.

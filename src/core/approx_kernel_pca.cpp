@@ -2,9 +2,10 @@
 
 #include <algorithm>
 
+#include "clustering/kernel.hpp"
 #include "clustering/kernel_pca.hpp"
 #include "common/error.hpp"
-#include "common/thread_pool.hpp"
+#include "core/bucket_pipeline.hpp"
 
 namespace dasc::core {
 
@@ -15,24 +16,41 @@ ApproxKpcaResult approx_kernel_pca(const data::PointSet& points,
   DASC_EXPECT(p >= 1, "approx_kernel_pca: p must be positive");
 
   ApproxKpcaResult result;
-  const BlockGram gram = approximate_kernel(points, params, rng,
-                                            &result.stats);
+  const std::vector<lsh::Bucket> buckets =
+      bucket_points(points, params, rng, &result.stats);
+  const double sigma = params.sigma > 0.0
+                           ? params.sigma
+                           : clustering::suggest_bandwidth(points);
 
   result.embedding = linalg::DenseMatrix(points.size(), p, 0.0);
   result.bucket_of_point.assign(points.size(), 0);
 
-  parallel_for(0, gram.num_blocks(), params.threads, [&](std::size_t b) {
-    const auto& indices = gram.bucket(b).indices;
-    const std::size_t local_p = std::min(p, indices.size());
-    const clustering::KernelPcaResult local =
-        clustering::kernel_pca(gram.block(b), local_p);
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      result.bucket_of_point[indices[i]] = b;
-      for (std::size_t c = 0; c < local_p; ++c) {
-        result.embedding(indices[i], c) = local.embedding(i, c);
-      }
-    }
-  });
+  // KPCA draws no per-bucket randomness, but rides the same executor:
+  // blocks are built, reduced, and discarded under the in-flight budget
+  // instead of being materialized all at once.
+  const std::vector<BucketJob> jobs =
+      plan_bucket_jobs(buckets, 0, points.size(), rng);
+  BucketPipelineOptions options;
+  options.sigma = sigma;
+  options.threads = params.threads;
+  options.max_inflight_blocks = params.max_inflight_blocks;
+  options.max_inflight_bytes = params.max_inflight_bytes;
+  const BucketPipelineStats pipeline = run_bucket_pipeline(
+      points, buckets, jobs, options,
+      [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
+          const BucketJob& job) {
+        const auto& indices = bucket.indices;
+        const std::size_t local_p = std::min(p, indices.size());
+        const clustering::KernelPcaResult local =
+            clustering::kernel_pca(block, local_p);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          result.bucket_of_point[indices[i]] = job.index;
+          for (std::size_t c = 0; c < local_p; ++c) {
+            result.embedding(indices[i], c) = local.embedding(i, c);
+          }
+        }
+      });
+  fold_pipeline_stats(pipeline, result.stats);
   return result;
 }
 

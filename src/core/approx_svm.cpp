@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "core/bucket_pipeline.hpp"
 #include "lsh/bucket_table.hpp"
 
 namespace dasc::core {
@@ -40,63 +41,83 @@ ApproxSvm ApproxSvm::train(const data::PointSet& points,
   model.stats_.raw_buckets = table.raw_bucket_count();
   model.stats_.merged_buckets = buckets.size();
   model.stats_.full_gram_bytes =
-      points.size() * points.size() * sizeof(float);
+      linalg::gram_entry_bytes(points.size() * points.size());
+
+  // Per-bucket training rides the shared bucket pipeline: seeds are drawn
+  // up front (so training is deterministic at any thread count), each
+  // bucket's local model trains as an independent gated task, and the RBF
+  // classifier evaluates its own Gram internally (build_blocks off).
+  const std::vector<BucketJob> jobs =
+      plan_bucket_jobs(buckets, 0, points.size(), rng);
+  model.buckets_.resize(buckets.size());
+
+  BucketPipelineOptions options;
+  options.threads = params.dasc.threads;
+  options.max_inflight_blocks = params.dasc.max_inflight_blocks;
+  options.max_inflight_bytes = params.dasc.max_inflight_bytes;
+  options.build_blocks = false;
+  const BucketPipelineStats pipeline = run_bucket_pipeline(
+      points, buckets, jobs, options,
+      [&](linalg::DenseMatrix&& /*block*/, const lsh::Bucket& bucket,
+          const BucketJob& job) {
+        LocalModel local;
+        local.signature = bucket.signature;
+        local.size = bucket.indices.size();
+
+        const data::PointSet subset = points.subset(bucket.indices);
+        local.centroid.assign(points.dim(), 0.0);
+        for (std::size_t i = 0; i < subset.size(); ++i) {
+          const auto p = subset.point(i);
+          for (std::size_t d = 0; d < points.dim(); ++d) {
+            local.centroid[d] += p[d];
+          }
+        }
+        for (double& v : local.centroid) {
+          v /= static_cast<double>(subset.size());
+        }
+        bool single_class = true;
+        for (std::size_t i = 1; i < subset.size(); ++i) {
+          if (subset.label(i) != subset.label(0)) {
+            single_class = false;
+            break;
+          }
+        }
+        if (single_class || subset.size() < 4) {
+          // Too small / degenerate for SVM training: majority vote.
+          std::vector<std::pair<int, int>> counts;
+          for (std::size_t i = 0; i < subset.size(); ++i) {
+            auto it = std::find_if(counts.begin(), counts.end(),
+                                   [&](const auto& entry) {
+                                     return entry.first == subset.label(i);
+                                   });
+            if (it == counts.end()) {
+              counts.emplace_back(subset.label(i), 1);
+            } else {
+              ++it->second;
+            }
+          }
+          local.constant_label =
+              std::max_element(counts.begin(), counts.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.second < b.second;
+                               })
+                  ->first;
+        } else {
+          Rng bucket_rng(job.seed);
+          local.classifier = svm::RbfClassifier::train(
+              subset, params.classifier, bucket_rng);
+        }
+        model.buckets_[job.index] = std::move(local);
+      });
+  fold_pipeline_stats(pipeline, model.stats_);
 
   std::size_t entries = 0;
-  model.buckets_.reserve(buckets.size());
-  for (const auto& bucket : buckets) {
-    LocalModel local;
-    local.signature = bucket.signature;
-    local.size = bucket.indices.size();
+  for (const auto& local : model.buckets_) {
     model.stats_.largest_bucket =
         std::max(model.stats_.largest_bucket, local.size);
-
-    const data::PointSet subset = points.subset(bucket.indices);
-    local.centroid.assign(points.dim(), 0.0);
-    for (std::size_t i = 0; i < subset.size(); ++i) {
-      const auto p = subset.point(i);
-      for (std::size_t d = 0; d < points.dim(); ++d) {
-        local.centroid[d] += p[d];
-      }
-    }
-    for (double& v : local.centroid) {
-      v /= static_cast<double>(subset.size());
-    }
-    bool single_class = true;
-    for (std::size_t i = 1; i < subset.size(); ++i) {
-      if (subset.label(i) != subset.label(0)) {
-        single_class = false;
-        break;
-      }
-    }
-    if (single_class || subset.size() < 4) {
-      // Too small / degenerate for SVM training: majority vote.
-      std::vector<std::pair<int, int>> counts;
-      for (std::size_t i = 0; i < subset.size(); ++i) {
-        auto it = std::find_if(counts.begin(), counts.end(),
-                               [&](const auto& entry) {
-                                 return entry.first == subset.label(i);
-                               });
-        if (it == counts.end()) {
-          counts.emplace_back(subset.label(i), 1);
-        } else {
-          ++it->second;
-        }
-      }
-      local.constant_label =
-          std::max_element(counts.begin(), counts.end(),
-                           [](const auto& a, const auto& b) {
-                             return a.second < b.second;
-                           })
-              ->first;
-    } else {
-      entries += subset.size() * subset.size();
-      local.classifier =
-          svm::RbfClassifier::train(subset, params.classifier, rng);
-    }
-    model.buckets_.push_back(std::move(local));
+    if (local.classifier.has_value()) entries += local.size * local.size;
   }
-  model.stats_.gram_bytes = entries * sizeof(float);
+  model.stats_.gram_bytes = linalg::gram_entry_bytes(entries);
   model.stats_.fill_ratio =
       static_cast<double>(entries) /
       (static_cast<double>(points.size()) *

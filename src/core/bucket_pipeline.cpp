@@ -1,0 +1,171 @@
+#include "core/bucket_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <mutex>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+
+namespace dasc::core {
+
+std::size_t bucket_cluster_count(std::size_t global_k, std::size_t bucket_size,
+                                 std::size_t total_points) {
+  DASC_EXPECT(total_points > 0, "bucket_cluster_count: no points");
+  DASC_EXPECT(bucket_size <= total_points,
+              "bucket_cluster_count: bucket larger than dataset");
+  const double share = static_cast<double>(global_k) *
+                       static_cast<double>(bucket_size) /
+                       static_cast<double>(total_points);
+  // Ceil rather than round: a bucket that straddles categories is better
+  // split one cluster too fine (a purity no-op) than one too coarse (two
+  // categories irrecoverably merged).
+  const auto k = static_cast<std::size_t>(std::max(1.0, std::ceil(share)));
+  return std::min(k, bucket_size);
+}
+
+namespace {
+
+std::vector<BucketJob> plan_jobs_impl(const std::vector<lsh::Bucket>& buckets,
+                                      std::size_t global_k,
+                                      std::size_t total_points, Rng* rng) {
+  std::vector<BucketJob> jobs(buckets.size());
+  // Seeds first, in bucket order: the only RNG consumption, matching the
+  // draw order every pre-pipeline driver used, so labels stay bit-identical
+  // with historical results for the same input seed.
+  if (rng != nullptr) {
+    for (auto& job : jobs) job.seed = (*rng)();
+  }
+  std::size_t next_offset = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    jobs[b].index = b;
+    jobs[b].k_bucket = bucket_cluster_count(
+        global_k, buckets[b].indices.size(), total_points);
+    jobs[b].label_offset = next_offset;
+    next_offset += jobs[b].k_bucket;
+  }
+  return jobs;
+}
+
+}  // namespace
+
+std::vector<BucketJob> plan_bucket_jobs(const std::vector<lsh::Bucket>& buckets,
+                                        std::size_t global_k,
+                                        std::size_t total_points, Rng& rng) {
+  return plan_jobs_impl(buckets, global_k, total_points, &rng);
+}
+
+std::vector<BucketJob> plan_bucket_jobs(const std::vector<lsh::Bucket>& buckets,
+                                        std::size_t global_k,
+                                        std::size_t total_points) {
+  return plan_jobs_impl(buckets, global_k, total_points, nullptr);
+}
+
+std::size_t total_label_count(const std::vector<BucketJob>& jobs) {
+  std::size_t total = 0;
+  for (const auto& job : jobs) total += job.k_bucket;
+  return total;
+}
+
+BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
+                                        const std::vector<lsh::Bucket>& buckets,
+                                        const std::vector<BucketJob>& jobs,
+                                        const BucketPipelineOptions& options,
+                                        const BucketConsumer& consume) {
+  DASC_EXPECT(jobs.size() == buckets.size(),
+              "run_bucket_pipeline: one job per bucket required");
+  DASC_EXPECT(!options.build_blocks || options.sigma > 0.0,
+              "run_bucket_pipeline: sigma required to build blocks");
+  DASC_EXPECT(consume != nullptr, "run_bucket_pipeline: null consumer");
+
+  Stopwatch wall_clock;
+  BucketPipelineStats stats;
+  stats.buckets = buckets.size();
+  if (buckets.empty()) return stats;
+
+  std::vector<std::size_t> block_bytes(buckets.size(), 0);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    DASC_EXPECT(jobs[b].index == b,
+                "run_bucket_pipeline: jobs must parallel the bucket vector");
+    if (options.build_blocks) {
+      const std::size_t n = buckets[b].indices.size();
+      block_bytes[b] = linalg::gram_entry_bytes(n * n);
+    }
+    stats.peak_block_bytes = std::max(stats.peak_block_bytes, block_bytes[b]);
+    stats.total_block_bytes += block_bytes[b];
+  }
+
+  AdmissionGate gate(options.max_inflight_blocks, options.max_inflight_bytes);
+  std::mutex timing_mutex;
+
+  auto run_one = [&](std::size_t b) {
+    gate.acquire(block_bytes[b]);
+    struct Ticket {
+      AdmissionGate& gate;
+      std::size_t bytes;
+      ~Ticket() { gate.release(bytes); }
+    } ticket{gate, block_bytes[b]};
+
+    Stopwatch build_clock;
+    linalg::DenseMatrix block;
+    if (options.build_blocks) {
+      block = clustering::gaussian_gram_subset(points, buckets[b].indices,
+                                               options.sigma);
+    }
+    const double build_s = build_clock.seconds();
+
+    Stopwatch consume_clock;
+    consume(std::move(block), buckets[b], jobs[b]);
+    // Force the block free (if the consumer didn't move it out) before the
+    // admission ticket is returned, so the budget matches live memory.
+    block = linalg::DenseMatrix();
+    const double consume_s = consume_clock.seconds();
+
+    std::lock_guard lock(timing_mutex);
+    stats.build_seconds += build_s;
+    stats.consume_seconds += consume_s;
+  };
+
+  std::size_t threads =
+      options.threads == 0 ? default_threads() : options.threads;
+  threads = std::min(threads, buckets.size());
+
+  if (threads <= 1) {
+    for (std::size_t b = 0; b < buckets.size(); ++b) run_one(b);
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> pending;
+    pending.reserve(buckets.size());
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      pending.push_back(pool.submit([&run_one, b] { run_one(b); }));
+    }
+    std::exception_ptr error;
+    for (auto& fut : pending) {
+      try {
+        fut.get();
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  stats.peak_inflight_bytes = gate.peak_bytes();
+  stats.wall_seconds = wall_clock.seconds();
+  return stats;
+}
+
+void fold_pipeline_stats(const BucketPipelineStats& pipeline,
+                         ApproximatorStats& stats) {
+  stats.peak_block_bytes =
+      std::max(stats.peak_block_bytes, pipeline.peak_block_bytes);
+  stats.peak_inflight_bytes =
+      std::max(stats.peak_inflight_bytes, pipeline.peak_inflight_bytes);
+  stats.gram_seconds += pipeline.build_seconds;
+  stats.consume_seconds += pipeline.consume_seconds;
+}
+
+}  // namespace dasc::core

@@ -1,0 +1,120 @@
+// Fused, bounded-memory executor for per-bucket kernel work — the single
+// orchestration path every DASC consumer rides on (batch spectral
+// clustering, the streaming driver, approximate kernel PCA, approximate
+// SVM training, and the MapReduce reduce stage).
+//
+// The paper's cost claim (Eqs. 11-12) is that LSH bucketing cuts kernel
+// cost from O(N^2) to O(sum Ni^2) in time AND memory — but a driver that
+// materializes every Gram block before consuming any still pays the full
+// sum in peak memory. This executor fuses `build Gram block -> consume ->
+// discard` per bucket and gates block construction behind an in-flight
+// admission budget, so peak Gram memory is O(inflight * max Ni^2):
+// unlimited in-flight reproduces the old batch behaviour, a one-block
+// budget reproduces the streaming driver's bound — with the same labels.
+//
+// Determinism contract: per-bucket seeds, cluster-count shares, and
+// disjoint global label ranges are fixed by plan_bucket_jobs BEFORE any
+// task runs, and every consumer writes only into its own bucket's output
+// slots. Results are therefore bit-identical across thread counts and
+// in-flight budgets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/kernel_approximator.hpp"
+#include "data/point_set.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "lsh/bucket_table.hpp"
+
+namespace dasc::core {
+
+/// Per-bucket cluster-count allocation rule: K_i = max(1, ceil(K * Ni / N))
+/// so the per-bucket totals track the requested global K.
+std::size_t bucket_cluster_count(std::size_t global_k, std::size_t bucket_size,
+                                 std::size_t total_points);
+
+/// Pre-planned work for one bucket: everything order-sensitive (seed,
+/// cluster share, label range) is fixed here, before any task executes.
+struct BucketJob {
+  std::size_t index = 0;         ///< bucket ordinal in the input vector
+  std::uint64_t seed = 0;        ///< deterministic per-bucket RNG seed
+  std::size_t k_bucket = 1;      ///< bucket_cluster_count allocation
+  std::size_t label_offset = 0;  ///< first global label id for this bucket
+};
+
+/// Plan jobs for `buckets`: draws one seed per bucket from `rng` in bucket
+/// order (the only RNG consumption), allocates k_bucket via
+/// bucket_cluster_count against `global_k`, and assigns disjoint label
+/// offsets by prefix sum. global_k == 0 yields one label per bucket.
+std::vector<BucketJob> plan_bucket_jobs(const std::vector<lsh::Bucket>& buckets,
+                                        std::size_t global_k,
+                                        std::size_t total_points, Rng& rng);
+
+/// Seedless variant for consumers that never draw randomness per bucket
+/// (e.g. materializing blocks): all seeds are zero, offsets as above.
+std::vector<BucketJob> plan_bucket_jobs(const std::vector<lsh::Bucket>& buckets,
+                                        std::size_t global_k,
+                                        std::size_t total_points);
+
+/// Total global labels allocated by a job plan (sum of k_bucket).
+std::size_t total_label_count(const std::vector<BucketJob>& jobs);
+
+struct BucketPipelineOptions {
+  /// Gaussian kernel bandwidth for block construction; must be positive
+  /// when build_blocks is set.
+  double sigma = 0.0;
+  /// Worker threads (0 = host concurrency). 1 runs inline, pool-free.
+  std::size_t threads = 0;
+  /// Max Gram blocks resident at once (0 = unlimited).
+  std::size_t max_inflight_blocks = 0;
+  /// Max resident Gram bytes (0 = unlimited; an oversized single block is
+  /// admitted alone rather than deadlocking).
+  std::size_t max_inflight_bytes = 0;
+  /// When false the consumer receives an empty matrix and no kernel is
+  /// evaluated — for consumers that compute their own kernels per bucket
+  /// (approximate SVM) but still want the planned seeds/offsets and the
+  /// gated, pooled execution.
+  bool build_blocks = true;
+};
+
+/// Byte/timing observations from one pipeline run.
+struct BucketPipelineStats {
+  std::size_t buckets = 0;              ///< tasks executed
+  std::size_t peak_block_bytes = 0;     ///< largest single block built
+  std::size_t peak_inflight_bytes = 0;  ///< high-water of resident blocks
+  std::size_t total_block_bytes = 0;    ///< sum over all blocks built
+  double build_seconds = 0.0;           ///< summed per-bucket Gram time
+  double consume_seconds = 0.0;         ///< summed per-bucket consumer time
+  double wall_seconds = 0.0;            ///< end-to-end run time
+};
+
+/// Per-bucket consumer. The block is handed over by value (rvalue): the
+/// consumer may inspect it and let it die (streaming working set) or move
+/// it out (batch materialization). It is destroyed — and its budget
+/// released — when the consumer returns, unless moved out.
+using BucketConsumer =
+    std::function<void(linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
+                       const BucketJob& job)>;
+
+/// Run `consume` once per bucket, each task doing `build Gram block (over
+/// bucket.indices at options.sigma) -> consume -> discard`, on a worker
+/// pool gated by the in-flight budget. Tasks may complete in any order;
+/// the determinism contract above makes results order-independent.
+/// Consumer exceptions are rethrown (first one wins) after all tasks
+/// settle.
+BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
+                                        const std::vector<lsh::Bucket>& buckets,
+                                        const std::vector<BucketJob>& jobs,
+                                        const BucketPipelineOptions& options,
+                                        const BucketConsumer& consume);
+
+/// Fold a pipeline run's observations into the shared stats block
+/// (peak bytes maximized, timings accumulated).
+void fold_pipeline_stats(const BucketPipelineStats& pipeline,
+                         ApproximatorStats& stats);
+
+}  // namespace dasc::core

@@ -1,30 +1,13 @@
 #include "core/dasc_clusterer.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <mutex>
 
+#include "clustering/kernel.hpp"
 #include "clustering/spectral.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
-#include "common/thread_pool.hpp"
 
 namespace dasc::core {
-
-std::size_t bucket_cluster_count(std::size_t global_k, std::size_t bucket_size,
-                                 std::size_t total_points) {
-  DASC_EXPECT(total_points > 0, "bucket_cluster_count: no points");
-  DASC_EXPECT(bucket_size <= total_points,
-              "bucket_cluster_count: bucket larger than dataset");
-  const double share = static_cast<double>(global_k) *
-                       static_cast<double>(bucket_size) /
-                       static_cast<double>(total_points);
-  // Ceil rather than round: a bucket that straddles categories is better
-  // split one cluster too fine (a purity no-op) than one too coarse (two
-  // categories irrecoverably merged).
-  const auto k = static_cast<std::size_t>(std::max(1.0, std::ceil(share)));
-  return std::min(k, bucket_size);
-}
 
 std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
                                 std::size_t k_bucket,
@@ -48,39 +31,43 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
   DascResult result;
   result.requested_k = resolve_cluster_count(params, points.size());
 
-  const BlockGram gram = approximate_kernel(points, params, rng,
-                                            &result.stats);
+  // Steps 1-2: bucket membership only; Gram blocks are built lazily by the
+  // pipeline so peak memory obeys the in-flight budget instead of paying
+  // the full sum-Ni^2 up front.
+  const std::vector<lsh::Bucket> buckets =
+      bucket_points(points, params, rng, &result.stats);
+  const double sigma = params.sigma > 0.0
+                           ? params.sigma
+                           : clustering::suggest_bandwidth(points);
 
-  Stopwatch cluster_clock;
+  const std::vector<BucketJob> jobs =
+      plan_bucket_jobs(buckets, result.requested_k, points.size(), rng);
+  result.num_clusters = total_label_count(jobs);
   result.labels.assign(points.size(), 0);
 
-  // Per-bucket seeds derived up front so the parallel loop stays
-  // deterministic regardless of execution order.
-  std::vector<std::uint64_t> seeds(gram.num_blocks());
-  for (auto& s : seeds) s = rng();
-
-  // Each bucket's local labels are offset into a disjoint global range.
-  std::vector<std::size_t> k_per_bucket(gram.num_blocks());
-  std::vector<std::size_t> offsets(gram.num_blocks(), 0);
-  std::size_t next_offset = 0;
-  for (std::size_t b = 0; b < gram.num_blocks(); ++b) {
-    k_per_bucket[b] = bucket_cluster_count(
-        result.requested_k, gram.bucket(b).indices.size(), points.size());
-    offsets[b] = next_offset;
-    next_offset += k_per_bucket[b];
-  }
-  result.num_clusters = next_offset;
-
-  parallel_for(0, gram.num_blocks(), params.threads, [&](std::size_t b) {
-    Rng bucket_rng(seeds[b]);
-    const std::vector<int> local = cluster_bucket(
-        gram.block(b), k_per_bucket[b], params.dense_cutoff, bucket_rng);
-    const auto& indices = gram.bucket(b).indices;
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      result.labels[indices[i]] =
-          static_cast<int>(offsets[b]) + local[i];
-    }
-  });
+  // Steps 3-4 fused per bucket on the shared executor. Each consumer
+  // writes only its own bucket's (disjoint) label slots, so any execution
+  // order produces the same labels.
+  Stopwatch cluster_clock;
+  BucketPipelineOptions options;
+  options.sigma = sigma;
+  options.threads = params.threads;
+  options.max_inflight_blocks = params.max_inflight_blocks;
+  options.max_inflight_bytes = params.max_inflight_bytes;
+  const BucketPipelineStats pipeline = run_bucket_pipeline(
+      points, buckets, jobs, options,
+      [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
+          const BucketJob& job) {
+        Rng bucket_rng(job.seed);
+        const std::vector<int> local = cluster_bucket(
+            block, job.k_bucket, params.dense_cutoff, bucket_rng);
+        const auto& indices = bucket.indices;
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          result.labels[indices[i]] =
+              static_cast<int>(job.label_offset) + local[i];
+        }
+      });
+  fold_pipeline_stats(pipeline, result.stats);
 
   result.cluster_seconds = cluster_clock.seconds();
   result.total_seconds = total_clock.seconds();

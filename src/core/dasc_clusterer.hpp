@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/bucket_pipeline.hpp"
 #include "core/dasc_params.hpp"
 #include "core/kernel_approximator.hpp"
 #include "data/point_set.hpp"
@@ -24,7 +25,10 @@ struct DascResult {
   std::size_t requested_k = 0;
 
   ApproximatorStats stats;
-  double cluster_seconds = 0.0;  ///< per-bucket spectral + K-means time
+  /// Wall time of the fused pipeline phase (per-bucket Gram build +
+  /// spectral + K-means); stats.gram_seconds / stats.consume_seconds hold
+  /// the summed per-bucket split.
+  double cluster_seconds = 0.0;
   double total_seconds = 0.0;
 };
 
@@ -38,12 +42,10 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
 
 /// Spectral clustering of one precomputed bucket block; returns local
 /// labels in [0, k_bucket). Exposed for the MapReduce reducer and tests.
+/// (The allocation rule bucket_cluster_count lives in bucket_pipeline.hpp,
+/// re-exported through the include above.)
 std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
                                 std::size_t k_bucket, std::size_t dense_cutoff,
                                 Rng& rng);
-
-/// The per-bucket cluster-count allocation rule.
-std::size_t bucket_cluster_count(std::size_t global_k, std::size_t bucket_size,
-                                 std::size_t total_points);
 
 }  // namespace dasc::core

@@ -7,6 +7,7 @@
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "core/bucket_pipeline.hpp"
 #include "core/dasc_clusterer.hpp"
 #include "data/dataset_io.hpp"
 #include "lsh/bucket_table.hpp"
@@ -65,7 +66,10 @@ class IdentityMapper final : public mapreduce::Mapper {
   }
 };
 
-/// Algorithm 2 plus the spectral step: one bucket per reduce group.
+/// Algorithm 2 plus the spectral step: one bucket per reduce group. The
+/// Gram build + cluster + discard runs through the shared bucket pipeline
+/// (one task, one-block budget), so the reduce stage exercises the exact
+/// orchestration path of the in-process drivers.
 class BucketClusterReducer final : public mapreduce::Reducer {
  public:
   BucketClusterReducer(double sigma, std::size_t global_k,
@@ -81,33 +85,41 @@ class BucketClusterReducer final : public mapreduce::Reducer {
               mapreduce::Emitter& out) override {
     const std::size_t n = values.size();
     std::vector<std::size_t> indices(n);
-    std::vector<std::vector<double>> points(n);
+    data::PointSet group;
     for (std::size_t i = 0; i < n; ++i) {
       auto [index, point] = decode_member(values[i]);
+      if (i == 0) group = data::PointSet(n, point.size());
+      DASC_EXPECT(point.size() == group.dim(),
+                  "BucketClusterReducer: ragged bucket records");
       indices[i] = index;
-      points[i] = std::move(point);
+      std::copy(point.begin(), point.end(), group.point(i).begin());
     }
 
-    // Algorithm 2: the bucket's sub-similarity matrix (Eq. 1).
-    linalg::DenseMatrix gram(n, n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      gram(i, i) = 1.0;
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double v = clustering::gaussian_kernel(
-            std::span<const double>(points[i]),
-            std::span<const double>(points[j]), sigma_);
-        gram(i, j) = v;
-        gram(j, i) = v;
-      }
-    }
-
-    const std::size_t k_bucket =
-        bucket_cluster_count(global_k_, n, total_points_);
-    // Seed derived from the bucket key so results are independent of which
+    // One pipeline task over the whole reduce group: build the bucket's
+    // sub-similarity matrix (Algorithm 2, Eq. 1), cluster, discard. Seed
+    // derived from the bucket key so results are independent of which
     // reduce task processes the bucket.
-    Rng rng(seed_ ^ std::hash<std::string>{}(key));
-    const std::vector<int> local =
-        cluster_bucket(gram, k_bucket, dense_cutoff_, rng);
+    lsh::Bucket bucket;
+    bucket.indices.resize(n);
+    for (std::size_t i = 0; i < n; ++i) bucket.indices[i] = i;
+    BucketJob job;
+    job.index = 0;
+    job.seed = seed_ ^ std::hash<std::string>{}(key);
+    job.k_bucket = bucket_cluster_count(global_k_, n, total_points_);
+    job.label_offset = 0;
+
+    BucketPipelineOptions options;
+    options.sigma = sigma_;
+    options.threads = 1;  // the reducer is already one parallel task
+    options.max_inflight_blocks = 1;
+    std::vector<int> local;
+    run_bucket_pipeline(
+        group, {bucket}, {job}, options,
+        [&](linalg::DenseMatrix&& block, const lsh::Bucket& /*bucket*/,
+            const BucketJob& task) {
+          Rng rng(task.seed);
+          local = cluster_bucket(block, task.k_bucket, dense_cutoff_, rng);
+        });
 
     for (std::size_t i = 0; i < n; ++i) {
       out.emit(std::to_string(indices[i]),
@@ -295,8 +307,8 @@ void finish_pipeline(const data::PointSet& points,
     result.stats.largest_bucket =
         std::max(result.stats.largest_bucket, bucket.indices.size());
   }
-  result.stats.gram_bytes = gram_entries * sizeof(float);
-  result.stats.full_gram_bytes = n * n * sizeof(float);
+  result.stats.gram_bytes = linalg::gram_entry_bytes(gram_entries);
+  result.stats.full_gram_bytes = linalg::gram_entry_bytes(n * n);
   result.stats.fill_ratio = static_cast<double>(gram_entries) /
                             (static_cast<double>(n) * static_cast<double>(n));
 

@@ -45,6 +45,17 @@ struct DascParams {
   /// principle its hash design already follows.
   std::size_t max_bucket_points = 0;
 
+  /// Bucket-pipeline admission budget: maximum Gram blocks resident at
+  /// once (0 = unlimited). With the budget set, peak Gram memory is
+  /// O(budget * max Ni^2) instead of O(sum Ni^2); 1 reproduces the
+  /// streaming driver's one-block bound. Labels are identical for every
+  /// setting (the pipeline fixes seeds and label offsets up front).
+  std::size_t max_inflight_blocks = 0;
+  /// Companion byte budget on resident Gram blocks (0 = unlimited). A
+  /// single block larger than the budget is still admitted when it is
+  /// alone, so the pipeline cannot deadlock.
+  std::size_t max_inflight_bytes = 0;
+
   /// Dense eigensolver below this bucket size, Lanczos above.
   std::size_t dense_cutoff = 128;
   /// Worker threads for per-bucket processing (0 = host concurrency).

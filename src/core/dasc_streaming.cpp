@@ -4,6 +4,7 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "core/bucket_pipeline.hpp"
 
 namespace dasc::core {
 
@@ -22,40 +23,36 @@ StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
                            ? params.sigma
                            : clustering::suggest_bandwidth(points);
 
-  // Per-bucket seeds drawn up front, exactly like the batch driver, so the
-  // streaming pass produces identical labels for the same input seed.
-  std::vector<std::uint64_t> seeds(buckets.size());
-  for (auto& s : seeds) s = rng();
-
+  // Same seed draws and label offsets as the batch driver, so streaming
+  // produces identical labels for the same input seed.
+  const std::vector<BucketJob> jobs =
+      plan_bucket_jobs(buckets, result.requested_k, points.size(), rng);
+  result.num_clusters = total_label_count(jobs);
   result.labels.assign(points.size(), 0);
-  std::size_t next_offset = 0;
 
-  // Steps 3-4 fused per bucket: build the block, cluster it, discard it.
-  // Only one block Gram is ever alive.
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
-    const auto& indices = buckets[b].indices;
-    const std::size_t k_bucket = bucket_cluster_count(
-        result.requested_k, indices.size(), points.size());
-
-    std::vector<int> local;
-    {
-      const linalg::DenseMatrix block =
-          clustering::gaussian_gram_subset(points, indices, sigma);
-      result.peak_block_bytes =
-          std::max(result.peak_block_bytes,
-                   indices.size() * indices.size() * sizeof(float));
-      Rng bucket_rng(seeds[b]);
-      local = cluster_bucket(block, k_bucket, params.dense_cutoff,
-                             bucket_rng);
-    }  // block Gram freed before the next bucket loads
-
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      result.labels[indices[i]] =
-          static_cast<int>(next_offset) + local[i];
-    }
-    next_offset += k_bucket;
-  }
-  result.num_clusters = next_offset;
+  // Steps 3-4 fused per bucket: the streaming driver IS the bucket
+  // pipeline at a one-block in-flight budget — setup may parallelize, but
+  // only one block Gram is ever alive.
+  BucketPipelineOptions options;
+  options.sigma = sigma;
+  options.threads = params.threads;
+  options.max_inflight_blocks = 1;
+  options.max_inflight_bytes = params.max_inflight_bytes;
+  const BucketPipelineStats pipeline = run_bucket_pipeline(
+      points, buckets, jobs, options,
+      [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
+          const BucketJob& job) {
+        Rng bucket_rng(job.seed);
+        const std::vector<int> local = cluster_bucket(
+            block, job.k_bucket, params.dense_cutoff, bucket_rng);
+        const auto& indices = bucket.indices;
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          result.labels[indices[i]] =
+              static_cast<int>(job.label_offset) + local[i];
+        }
+      });
+  fold_pipeline_stats(pipeline, result.stats);
+  result.peak_block_bytes = pipeline.peak_block_bytes;
   return result;
 }
 

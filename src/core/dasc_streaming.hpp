@@ -4,12 +4,14 @@
 // the buckets "incrementally processed ... Thus, DASC can handle huge
 // datasets".
 //
-// Unlike dasc_cluster, which materializes every bucket's Gram block at
-// once, this driver holds at most ONE bucket's Gram matrix in memory at a
-// time: signatures stream over the input, bucket membership is the only
-// full-dataset state, and each bucket is loaded, clustered, and discarded
-// in turn. Peak tracked matrix memory is therefore O(max_i Ni^2) instead of
-// O(sum_i Ni^2) — the tests assert this through MemoryTracker.
+// This driver is the bucket-pipeline executor (core/bucket_pipeline.hpp)
+// run at a one-block in-flight budget: bucket membership is the only
+// full-dataset state, and each bucket's Gram block is loaded, clustered,
+// and discarded before the next is admitted. Peak tracked matrix memory is
+// therefore O(max_i Ni^2) instead of O(sum_i Ni^2) — the tests assert this
+// through MemoryTracker. Setup (bucketing, planning) may parallelize;
+// blocks serialize on the admission gate, and labels are identical to
+// dasc_cluster for the same seed at every thread count.
 #pragma once
 
 #include <cstddef>
@@ -27,8 +29,8 @@ struct StreamingDascResult {
   std::size_t num_clusters = 0;
   std::size_t requested_k = 0;
   ApproximatorStats stats;
-  /// Largest single Gram block materialized (bytes, float accounting) —
-  /// the streaming driver's actual working-set bound.
+  /// Largest single Gram block materialized (actual double-precision
+  /// bytes) — the streaming driver's working-set bound.
   std::size_t peak_block_bytes = 0;
 };
 

@@ -7,7 +7,7 @@
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
-#include "common/thread_pool.hpp"
+#include "core/bucket_pipeline.hpp"
 #include "data/wiki_corpus.hpp"
 #include "lsh/minhash.hpp"
 #include "lsh/simhash.hpp"
@@ -219,8 +219,9 @@ std::vector<lsh::Bucket> bucket_points(const data::PointSet& points,
     for (const auto& bucket : buckets) {
       entries += bucket.indices.size() * bucket.indices.size();
     }
-    stats->gram_bytes = entries * sizeof(float);
-    stats->full_gram_bytes = points.size() * points.size() * sizeof(float);
+    stats->gram_bytes = linalg::gram_entry_bytes(entries);
+    stats->full_gram_bytes =
+        linalg::gram_entry_bytes(points.size() * points.size());
     stats->fill_ratio = static_cast<double>(entries) /
                         (static_cast<double>(points.size()) *
                          static_cast<double>(points.size()));
@@ -238,17 +239,28 @@ BlockGram approximate_kernel(const data::PointSet& points,
                            ? params.sigma
                            : clustering::suggest_bandwidth(points);
 
+  // Materializing every block is the point of this API (Fnorm analysis,
+  // BlockGram consumers), so the in-flight budget is left unlimited; the
+  // bucket pipeline still supplies the build loop.
   std::vector<linalg::DenseMatrix> blocks(buckets.size());
-  parallel_for(0, buckets.size(), params.threads, [&](std::size_t b) {
-    blocks[b] = clustering::gaussian_gram_subset(
-        points, buckets[b].indices, sigma);
-  });
+  BucketPipelineOptions options;
+  options.sigma = sigma;
+  options.threads = params.threads;
+  const std::vector<BucketJob> jobs =
+      plan_bucket_jobs(buckets, 0, points.size());
+  run_bucket_pipeline(points, buckets, jobs, options,
+                      [&blocks](linalg::DenseMatrix&& block,
+                                const lsh::Bucket& /*bucket*/,
+                                const BucketJob& job) {
+                        blocks[job.index] = std::move(block);
+                      });
 
   BlockGram gram(std::move(buckets), std::move(blocks), points.size());
   if (stats != nullptr) {
     stats->gram_seconds = clock.seconds();
     stats->gram_bytes = gram.gram_bytes();
-    stats->full_gram_bytes = points.size() * points.size() * sizeof(float);
+    stats->full_gram_bytes =
+        linalg::gram_entry_bytes(points.size() * points.size());
     stats->fill_ratio =
         static_cast<double>(gram.stored_entries()) /
         (static_cast<double>(points.size()) *

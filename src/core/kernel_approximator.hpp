@@ -37,8 +37,11 @@ class BlockGram {
   /// Stored kernel entries (sum Ni^2).
   std::size_t stored_entries() const;
 
-  /// The paper's memory metric (Eq. 12): stored entries at float precision.
-  std::size_t gram_bytes() const { return stored_entries() * sizeof(float); }
+  /// The paper's memory metric (Eq. 12) at the precision blocks are
+  /// actually stored in (double-precision DenseMatrix entries).
+  std::size_t gram_bytes() const {
+    return linalg::gram_entry_bytes(stored_entries());
+  }
 
   /// Frobenius norm over stored blocks; equals the Frobenius norm of the
   /// implied N x N block-diagonal matrix (absent entries are zero).
@@ -60,11 +63,18 @@ struct ApproximatorStats {
   std::size_t raw_buckets = 0;      ///< unique signatures T
   std::size_t merged_buckets = 0;   ///< buckets after P-bit merging
   std::size_t largest_bucket = 0;
-  std::size_t gram_bytes = 0;       ///< approximated storage (Eq. 12 units)
-  std::size_t full_gram_bytes = 0;  ///< N^2 * sizeof(float) for comparison
-  double fill_ratio = 0.0;          ///< stored entries / N^2
+  /// Approximated Gram storage (Eq. 12 metric at actual element bytes).
+  std::size_t gram_bytes = 0;
+  /// N^2 entries at the same element size, for comparison.
+  std::size_t full_gram_bytes = 0;
+  double fill_ratio = 0.0;  ///< stored entries / N^2
   double hash_seconds = 0.0;
-  double gram_seconds = 0.0;
+  double gram_seconds = 0.0;  ///< summed per-bucket Gram-block build time
+
+  // Bucket-pipeline observations (zero when no pipeline ran).
+  std::size_t peak_block_bytes = 0;     ///< largest single Gram block built
+  std::size_t peak_inflight_bytes = 0;  ///< high-water of resident blocks
+  double consume_seconds = 0.0;         ///< summed per-bucket consumer time
 };
 
 /// Steps 1-3 of DASC: hash, bucket/merge, per-bucket Gram matrices.

@@ -31,10 +31,11 @@ class LowRankGram {
   /// ||F F^T||_F, computed from the rank x rank matrix F^T F.
   double frobenius_norm() const;
 
-  /// Stored entries (N * rank) and the Eq. 12-style byte count.
+  /// Stored entries (N * rank) and the Eq. 12-style byte count at the
+  /// factor's actual element size.
   std::size_t stored_entries() const { return factor_.size(); }
   std::size_t gram_bytes() const {
-    return stored_entries() * sizeof(float);
+    return linalg::gram_entry_bytes(stored_entries());
   }
 
   /// Materialize K~ (tests / Fnorm comparisons only).

@@ -13,6 +13,14 @@
 
 namespace dasc::linalg {
 
+/// Actual bytes of `entries` kernel/Gram values stored at DenseMatrix's
+/// element precision. The single source of truth for every Gram-memory
+/// statistic: blocks are double-precision, so reporting them at float
+/// precision (the paper's Eq. 12 units) would understate real usage 2x.
+constexpr std::size_t gram_entry_bytes(std::size_t entries) {
+  return entries * sizeof(double);
+}
+
 /// Row-major dense matrix of doubles.
 class DenseMatrix {
  public:

@@ -36,10 +36,10 @@ class RbfClassifier {
   std::size_t num_classes() const { return classes_.size(); }
   double sigma() const { return sigma_; }
 
-  /// Training-set bytes the model's Gram matrix needed (float entries) —
-  /// the quantity the DASC approximation shrinks.
+  /// Training-set bytes the model's Gram matrix needed (actual element
+  /// size) — the quantity the DASC approximation shrinks.
   std::size_t gram_bytes() const {
-    return training_.size() * training_.size() * sizeof(float);
+    return linalg::gram_entry_bytes(training_.size() * training_.size());
   }
 
  private:

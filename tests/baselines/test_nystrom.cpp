@@ -5,6 +5,7 @@
 #include "clustering/metrics.hpp"
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
+#include "linalg/dense_matrix.hpp"
 
 namespace dasc::baselines {
 namespace {
@@ -44,7 +45,7 @@ TEST(Nystrom, KernelBytesScaleWithLandmarks) {
   dasc::Rng rng2(515);
   const NystromResult large = nystrom_cluster(points, params, rng2);
   EXPECT_LT(small.kernel_bytes, large.kernel_bytes);
-  EXPECT_EQ(small.kernel_bytes, (200u * 20u + 20u * 20u) * sizeof(float));
+  EXPECT_EQ(small.kernel_bytes, linalg::gram_entry_bytes(200u * 20u + 20u * 20u));
 }
 
 TEST(Nystrom, MemoryBelowFullGramForModestLandmarks) {
@@ -54,7 +55,7 @@ TEST(Nystrom, MemoryBelowFullGramForModestLandmarks) {
   params.k = 4;
   dasc::Rng rng(517);
   const NystromResult result = nystrom_cluster(points, params, rng);
-  EXPECT_LT(result.kernel_bytes, 400u * 400u * sizeof(float));
+  EXPECT_LT(result.kernel_bytes, linalg::gram_entry_bytes(400u * 400u));
 }
 
 TEST(Nystrom, LandmarksClampedToDatasetAndK) {

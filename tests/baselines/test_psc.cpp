@@ -5,6 +5,7 @@
 #include "clustering/metrics.hpp"
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
+#include "linalg/dense_matrix.hpp"
 
 namespace dasc::baselines {
 namespace {
@@ -52,7 +53,7 @@ TEST(Psc, SparseMemorySmallerThanDense) {
   params.k = 4;
   dasc::Rng rng(416);
   const PscResult result = psc_cluster(points, params, rng);
-  const std::size_t dense_bytes = 400u * 400u * sizeof(float);
+  const std::size_t dense_bytes = linalg::gram_entry_bytes(400u * 400u);
   EXPECT_LT(result.affinity_bytes, dense_bytes);
   EXPECT_GT(result.affinity_bytes, 0u);
 }

@@ -62,7 +62,7 @@ TEST(SpectralCluster, SeparatesGaussianBlobs) {
   dasc::Rng rng(94);
   const SpectralResult result = spectral_cluster(points, params, rng);
   EXPECT_GT(clustering_accuracy(result.labels, points.labels()), 0.95);
-  EXPECT_EQ(result.gram_bytes, 150u * 150u * sizeof(float));
+  EXPECT_EQ(result.gram_bytes, linalg::gram_entry_bytes(150u * 150u));
 }
 
 TEST(SpectralCluster, SeparatesConcentricRings) {

@@ -98,5 +98,64 @@ TEST(ParallelFor, MoreThreadsThanWorkStillCorrect) {
   EXPECT_EQ(counter.load(), 3);
 }
 
+TEST(AdmissionGate, UnlimitedGateTracksPeaks) {
+  AdmissionGate gate(0, 0);
+  gate.acquire(100);
+  gate.acquire(300);
+  EXPECT_EQ(gate.peak_tasks(), 2u);
+  EXPECT_EQ(gate.peak_bytes(), 400u);
+  gate.release(100);
+  gate.release(300);
+  gate.acquire(50);
+  gate.release(50);
+  // Peaks are lifetime high-water marks, not current occupancy.
+  EXPECT_EQ(gate.peak_tasks(), 2u);
+  EXPECT_EQ(gate.peak_bytes(), 400u);
+}
+
+TEST(AdmissionGate, TaskBudgetSerializesWorkers) {
+  // With a one-task budget, concurrent acquirers must never overlap.
+  AdmissionGate gate(1, 0);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  parallel_for(0, 32, 8, [&](std::size_t) {
+    gate.acquire(10);
+    if (inside.fetch_add(1) != 0) overlapped = true;
+    inside.fetch_sub(1);
+    gate.release(10);
+  });
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_EQ(gate.peak_tasks(), 1u);
+  EXPECT_EQ(gate.peak_bytes(), 10u);
+}
+
+TEST(AdmissionGate, ByteBudgetCapsResidentBytes) {
+  AdmissionGate gate(0, 100);
+  std::atomic<bool> over_budget{false};
+  std::atomic<std::size_t> resident{0};
+  parallel_for(0, 24, 6, [&](std::size_t) {
+    gate.acquire(60);  // any two requests exceed the 100-byte budget
+    if (resident.fetch_add(60) + 60 > 100) over_budget = true;
+    resident.fetch_sub(60);
+    gate.release(60);
+  });
+  EXPECT_FALSE(over_budget.load());
+  EXPECT_EQ(gate.peak_bytes(), 60u);
+}
+
+TEST(AdmissionGate, OversizedRequestAdmittedWhenEmpty) {
+  // A single request larger than the whole byte budget must not deadlock:
+  // it is admitted alone once the gate drains.
+  AdmissionGate gate(0, 100);
+  gate.acquire(500);
+  EXPECT_EQ(gate.peak_bytes(), 500u);
+  gate.release(500);
+}
+
+TEST(AdmissionGate, ReleaseWithoutAcquireThrows) {
+  AdmissionGate gate(2, 0);
+  EXPECT_THROW(gate.release(1), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace dasc

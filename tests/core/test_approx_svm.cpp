@@ -43,8 +43,8 @@ TEST(ApproxSvm, UsesLessKernelMemoryThanExact) {
   params.dasc.m = 10;
   Rng rng(3);
   const ApproxSvm model = ApproxSvm::train(points, params, rng);
-  EXPECT_LT(model.gram_bytes(), points.size() * points.size() *
-                                    sizeof(float));
+  EXPECT_LT(model.gram_bytes(),
+            linalg::gram_entry_bytes(points.size() * points.size()));
   EXPECT_GT(model.num_buckets(), 1u);
 }
 

@@ -52,16 +52,13 @@ TEST(StreamingDasc, PeakMatrixMemoryIsBoundedByLargestBlock) {
       dasc_cluster_streaming(points, params, rng);
   const std::size_t peak_delta = MemoryTracker::peak() - before;
 
-  // Tracked peak (double-precision blocks) must stay well under the total
-  // approximated Gram footprint whenever the data spreads over several
-  // buckets of comparable size.
+  // Tracked peak must stay well under the total approximated Gram
+  // footprint whenever the data spreads over several buckets of
+  // comparable size. (gram_bytes now reports actual double bytes.)
   ASSERT_GT(result.stats.merged_buckets, 2u);
-  const std::size_t total_gram_doubles =
-      result.stats.gram_bytes / sizeof(float) * sizeof(double);
-  EXPECT_LT(peak_delta, total_gram_doubles);
+  EXPECT_LT(peak_delta, result.stats.gram_bytes);
   // And it must be at least the largest single block.
-  EXPECT_GE(peak_delta,
-            result.peak_block_bytes / sizeof(float) * sizeof(double));
+  EXPECT_GE(peak_delta, result.peak_block_bytes);
 }
 
 TEST(StreamingDasc, PeakBlockBytesReported) {
@@ -72,8 +69,8 @@ TEST(StreamingDasc, PeakBlockBytesReported) {
   const StreamingDascResult result =
       dasc_cluster_streaming(points, params, rng);
   EXPECT_EQ(result.peak_block_bytes,
-            result.stats.largest_bucket * result.stats.largest_bucket *
-                sizeof(float));
+            linalg::gram_entry_bytes(result.stats.largest_bucket *
+                                     result.stats.largest_bucket));
 }
 
 TEST(StreamingDasc, WorksWithBalancingCap) {
@@ -85,7 +82,7 @@ TEST(StreamingDasc, WorksWithBalancingCap) {
   dasc::Rng rng(12);
   const StreamingDascResult result =
       dasc_cluster_streaming(points, params, rng);
-  EXPECT_LE(result.peak_block_bytes, 64u * 64u * sizeof(float));
+  EXPECT_LE(result.peak_block_bytes, linalg::gram_entry_bytes(64u * 64u));
   EXPECT_GT(clustering::clustering_purity(result.labels, points.labels()),
             0.9);
 }

@@ -118,7 +118,7 @@ TEST(ApproximateKernel, StatsReflectCompression) {
   const BlockGram gram = approximate_kernel(points, params, rng, &stats);
 
   EXPECT_EQ(stats.gram_bytes, gram.gram_bytes());
-  EXPECT_EQ(stats.full_gram_bytes, 400u * 400u * sizeof(float));
+  EXPECT_EQ(stats.full_gram_bytes, linalg::gram_entry_bytes(400u * 400u));
   EXPECT_LT(stats.gram_bytes, stats.full_gram_bytes);
   EXPECT_GT(stats.fill_ratio, 0.0);
   EXPECT_LT(stats.fill_ratio, 1.0);
@@ -220,6 +220,32 @@ TEST(BalanceBuckets, SplitsAlongWidestDimension) {
   const auto& low = balanced[0].indices[0] == 0 ? balanced[0] : balanced[1];
   for (std::size_t pos = 0; pos < 10; ++pos) {
     EXPECT_EQ(low.indices[pos], pos);
+  }
+}
+
+TEST(BalanceBuckets, OutputIsLargestFirstAndStable) {
+  // The executor plans label offsets from the bucket order, so the order
+  // contract matters: sizes non-increasing, and the order (including ties)
+  // identical on every call with the same input.
+  const data::PointSet points = blobs(300, 3, 121);
+  DascParams params;
+  params.m = 2;  // coarse hash: some buckets exceed the cap and split
+  params.p = 2;
+  dasc::Rng rng(10);
+  auto run = [&points](std::vector<lsh::Bucket> input) {
+    return balance_buckets(points, std::move(input), 40);
+  };
+  dasc::Rng rng2(10);
+  const auto first = run(bucket_points(points, params, rng));
+  const auto second = run(bucket_points(points, params, rng2));
+
+  ASSERT_FALSE(first.empty());
+  for (std::size_t b = 1; b < first.size(); ++b) {
+    EXPECT_GE(first[b - 1].indices.size(), first[b].indices.size());
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t b = 0; b < first.size(); ++b) {
+    EXPECT_EQ(first[b].indices, second[b].indices);
   }
 }
 

@@ -64,7 +64,7 @@ TEST(LowRankGram, FactorFootprintIsLinearInN) {
       nystrom_approximate_kernel(points, 10, 0.5, rng);
   EXPECT_LE(approx.rank(), 10u);
   EXPECT_EQ(approx.stored_entries(), 100u * approx.rank());
-  EXPECT_LT(approx.gram_bytes(), 100u * 100u * sizeof(float));
+  EXPECT_LT(approx.gram_bytes(), linalg::gram_entry_bytes(100u * 100u));
 }
 
 TEST(LowRankGram, ApproximationIsPsd) {

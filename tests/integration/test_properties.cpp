@@ -67,7 +67,7 @@ TEST_P(DascGrid, StatsAccountingConsistent) {
     entries += bucket.indices.size() * bucket.indices.size();
     largest = std::max(largest, bucket.indices.size());
   }
-  EXPECT_EQ(stats.gram_bytes, entries * sizeof(float));
+  EXPECT_EQ(stats.gram_bytes, linalg::gram_entry_bytes(entries));
   EXPECT_EQ(stats.largest_bucket, largest);
   EXPECT_GT(stats.fill_ratio, 0.0);
   EXPECT_LE(stats.fill_ratio, 1.0 + 1e-12);

@@ -62,7 +62,7 @@ TEST(RbfClassifier, SigmaAutoAndReporting) {
   Rng rng(828);
   const RbfClassifier model = RbfClassifier::train(points, {}, rng);
   EXPECT_GT(model.sigma(), 0.0);
-  EXPECT_EQ(model.gram_bytes(), 60u * 60u * sizeof(float));
+  EXPECT_EQ(model.gram_bytes(), linalg::gram_entry_bytes(60u * 60u));
 }
 
 TEST(RbfClassifier, RejectsBadInputs) {
