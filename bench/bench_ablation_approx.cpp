@@ -18,6 +18,7 @@
 
 int main() {
   using namespace dasc;
+  MetricsRegistry registry;
   bench::banner(
       "Ablation: LSH block-diagonal vs Nystrom low-rank approximation");
 
@@ -45,6 +46,7 @@ int main() {
     params.m = 11;
     params.sigma = sigma;
     params.max_bucket_points = cap;
+    params.metrics = &registry;
     Rng r1(1);
     Stopwatch lsh_clock;
     core::ApproximatorStats stats;
@@ -74,6 +76,18 @@ int main() {
                     static_cast<double>(lowrank.gram_bytes()))
                     .c_str(),
                 nyst_ratio, bench::format_seconds(nyst_seconds).c_str());
+
+    const std::string suffix = ".cap" + std::to_string(cap);
+    registry.timer("ablation.lsh_time" + suffix).record_seconds(lsh_seconds);
+    registry.timer("ablation.nystrom_time" + suffix)
+        .record_seconds(nyst_seconds);
+    bench::set_ppm(registry, "ablation.lsh_fnorm_ppm" + suffix, lsh_ratio);
+    bench::set_ppm(registry, "ablation.nystrom_fnorm_ppm" + suffix,
+                   nyst_ratio);
+    registry.gauge("ablation.lsh_bytes" + suffix)
+        .set(static_cast<std::int64_t>(block.gram_bytes()));
+    registry.gauge("ablation.nystrom_bytes" + suffix)
+        .set(static_cast<std::int64_t>(lowrank.gram_bytes()));
   }
 
   std::printf(
@@ -83,5 +97,6 @@ int main() {
       "independent buckets, and never touch far pairs — the property the\n"
       "paper's distributed design needs. The paper's claim to combine the\n"
       "two categories = LSH partitioning + per-bucket eigen-solves.\n");
+  bench::write_metrics_json(registry, "ablation_approx");
   return 0;
 }

@@ -6,6 +6,8 @@
 // Reported counters: accuracy and Gram compression for each setting.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+
 #include "clustering/metrics.hpp"
 #include "core/dasc_clusterer.hpp"
 #include "data/wiki_corpus.hpp"
@@ -101,4 +103,6 @@ BENCHMARK(BM_BalancingCap)->Arg(0)->Arg(512)->Arg(128)->Arg(32)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dasc::bench::gbench_main("ablation_dasc", argc, argv);
+}

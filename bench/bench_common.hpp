@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/metrics.hpp"
+
 namespace dasc::bench {
 
 /// Print a section banner matching the paper artifact being reproduced.
@@ -35,6 +37,25 @@ inline std::string format_seconds(double seconds) {
     std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
   }
   return buffer;
+}
+
+/// Record a dimensionless ratio (accuracy, Fnorm retention, collision
+/// probability) as an integer parts-per-million gauge — the JSON schema's
+/// gauges are integers.
+inline void set_ppm(MetricsRegistry& registry, const std::string& name,
+                    double ratio) {
+  registry.gauge(name).set(static_cast<std::int64_t>(ratio * 1e6 + 0.5));
+}
+
+/// Write `registry` as BENCH_<name>.json in the working directory (the
+/// artifact CI's bench-smoke job validates with scripts/check_bench_json.py)
+/// and return the path.
+inline std::string write_metrics_json(const MetricsRegistry& registry,
+                                      const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  metrics::write_json(registry, path);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace dasc::bench

@@ -12,6 +12,7 @@
 
 int main() {
   using namespace dasc;
+  MetricsRegistry registry;
   bench::banner("Figure 1(a): processing time (log2 hours) DASC vs SC");
   std::printf("%8s %12s %12s %14s %14s %10s\n", "log2(N)", "DASC(hrs)",
               "SC(hrs)", "log2 DASC", "log2 SC", "speedup");
@@ -25,6 +26,10 @@ int main() {
     std::printf("%8.0f %12.4f %12.2f %14.2f %14.2f %9.1fx\n", exp,
                 dasc_hours, sc_hours, std::log2(dasc_hours),
                 std::log2(sc_hours), sc_hours / dasc_hours);
+    const std::string suffix = ".n2e" + std::to_string(int(exp));
+    registry.timer("fig1.dasc_time" + suffix)
+        .record_seconds(dasc_hours * 3600.0);
+    registry.timer("fig1.sc_time" + suffix).record_seconds(sc_hours * 3600.0);
   }
 
   bench::banner("Figure 1(b): memory usage (log2 KB) DASC vs SC");
@@ -39,10 +44,16 @@ int main() {
                 bench::format_bytes(dasc_kb * 1024.0).c_str(),
                 bench::format_bytes(sc_kb * 1024.0).c_str(),
                 std::log2(dasc_kb), std::log2(sc_kb), sc_kb / dasc_kb);
+    const std::string suffix = ".n2e" + std::to_string(int(exp));
+    registry.gauge("fig1.dasc_mem_kb" + suffix)
+        .set(static_cast<std::int64_t>(dasc_kb));
+    registry.gauge("fig1.sc_mem_kb" + suffix)
+        .set(static_cast<std::int64_t>(sc_kb));
   }
 
   std::printf(
       "\nShape check (paper): both DASC curves grow sub-quadratically; the\n"
       "DASC-vs-SC gap widens as N doubles because B grows with N.\n");
+  bench::write_metrics_json(registry, "fig1_scalability");
   return 0;
 }

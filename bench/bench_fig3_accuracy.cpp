@@ -19,6 +19,7 @@
 
 int main() {
   using namespace dasc;
+  MetricsRegistry registry;
   bench::banner(
       "Figure 3: clustering accuracy on the Wikipedia-like corpus");
   std::printf(
@@ -39,6 +40,7 @@ int main() {
 
     core::DascParams dasc_params;
     dasc_params.k = k;
+    dasc_params.metrics = &registry;  // stage timers ride along in the JSON
     Rng r1(1);
     const double dasc_acc = clustering::clustering_purity(
         core::dasc_cluster(points, dasc_params, r1).labels, points.labels());
@@ -74,11 +76,19 @@ int main() {
       std::printf("%8zu %6zu %8.4f %8s %8.4f %8.4f\n", exp, k, dasc_acc,
                   "(DNF)", psc_acc, nyst_acc);
     }
+    const std::string suffix = ".n2e" + std::to_string(exp);
+    bench::set_ppm(registry, "fig3.accuracy_ppm.dasc" + suffix, dasc_acc);
+    if (sc_acc >= 0.0) {
+      bench::set_ppm(registry, "fig3.accuracy_ppm.sc" + suffix, sc_acc);
+    }
+    bench::set_ppm(registry, "fig3.accuracy_ppm.psc" + suffix, psc_acc);
+    bench::set_ppm(registry, "fig3.accuracy_ppm.nystrom" + suffix, nyst_acc);
   }
 
   std::printf(
       "\nShape check (paper): DASC tracks SC closely (within a few percent)\n"
       "and stays at/above PSC and NYST across sizes; all spectral variants\n"
       "stay high (paper reports >90%% on document summaries).\n");
+  bench::write_metrics_json(registry, "fig3_accuracy");
   return 0;
 }

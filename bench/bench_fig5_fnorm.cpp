@@ -18,6 +18,7 @@
 
 int main() {
   using namespace dasc;
+  MetricsRegistry registry;
   bench::banner("Figure 5: Fnorm(approx) / Fnorm(full) vs bucket count");
 
   const std::vector<std::size_t> sizes{512, 1024, 2048, 4096};
@@ -55,10 +56,16 @@ int main() {
       core::DascParams params;
       params.m = m;
       params.sigma = sigmas[i];
+      params.metrics = &registry;
       Rng rng(42);
       const core::BlockGram approx =
           core::approximate_kernel(datasets[i], params, rng);
-      std::printf(" %9.4f", approx.frobenius_norm() / full_norms[i]);
+      const double ratio = approx.frobenius_norm() / full_norms[i];
+      std::printf(" %9.4f", ratio);
+      bench::set_ppm(registry,
+                     "fig5.fnorm_ppm.n" + std::to_string(sizes[i]) + ".m" +
+                         std::to_string(m),
+                     ratio);
     }
     std::printf("\n");
   }
@@ -67,5 +74,6 @@ int main() {
       "\nShape check (paper): ratios stay high (little information lost);\n"
       "increasing the bucket count decreases the ratio; larger datasets\n"
       "tolerate more buckets before the ratio starts to drop.\n");
+  bench::write_metrics_json(registry, "fig5_fnorm");
   return 0;
 }

@@ -19,6 +19,7 @@
 
 int main() {
   using namespace dasc;
+  MetricsRegistry registry;
   bench::banner(
       "Figure 6(a,b): processing time and Gram memory, 5-node cluster");
   std::printf("%8s | %12s %12s %12s | %12s %12s %12s\n", "log2(N)",
@@ -41,6 +42,7 @@ int main() {
     // "data-dependent hashing yields balanced partitioning" remark.
     core::MapReduceDascParams dasc_params;
     dasc_params.dasc.k = k;
+    dasc_params.dasc.metrics = &registry;
     dasc_params.dasc.m = 12;
     dasc_params.dasc.max_bucket_points = 64;  // the paper's Fig. 6b memory implies tiny buckets
     dasc_params.conf.num_nodes = 5;
@@ -89,6 +91,21 @@ int main() {
                 cell(dasc_time).c_str(), cell(sc_time).c_str(),
                 cell(psc_time).c_str(), mem_cell(dasc_mem).c_str(),
                 mem_cell(sc_mem).c_str(), mem_cell(psc_mem).c_str());
+
+    const std::string suffix = ".n2e" + std::to_string(exp);
+    registry.timer("fig6.dasc_time" + suffix).record_seconds(dasc_time);
+    registry.gauge("fig6.dasc_mem_bytes" + suffix)
+        .set(static_cast<std::int64_t>(dasc_mem));
+    if (sc_time >= 0.0) {
+      registry.timer("fig6.sc_time" + suffix).record_seconds(sc_time);
+      registry.gauge("fig6.sc_mem_bytes" + suffix)
+          .set(static_cast<std::int64_t>(sc_mem));
+    }
+    if (psc_time >= 0.0) {
+      registry.timer("fig6.psc_time" + suffix).record_seconds(psc_time);
+      registry.gauge("fig6.psc_mem_bytes" + suffix)
+          .set(static_cast<std::int64_t>(psc_mem));
+    }
   }
 
   std::printf(
@@ -97,5 +114,6 @@ int main() {
       "magnitude below SC and visibly below sparse PSC, and the gap widens\n"
       "with N ((DNF) marks sizes the baseline could not run, as in the\n"
       "paper's truncated curves).\n");
+  bench::write_metrics_json(registry, "fig6_time_memory");
   return 0;
 }

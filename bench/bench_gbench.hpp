@@ -1,0 +1,52 @@
+// google-benchmark harness glue: a reporter that mirrors every finished
+// run into a MetricsRegistry, and a BENCHMARK_MAIN() replacement that
+// writes the registry as BENCH_<name>.json next to the console output.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace dasc::bench {
+
+/// Console reporter that additionally records each run: one timer sample
+/// per benchmark run (its accumulated real time) plus an
+/// "<name>.iterations" counter. Aggregate/error runs are skipped.
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit MetricsReporter(MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      registry_->timer(name).record_seconds(run.real_accumulated_time);
+      registry_->counter(name + ".iterations")
+          .add(static_cast<std::int64_t>(run.iterations));
+    }
+  }
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs the registered
+/// benchmarks through MetricsReporter and writes BENCH_<name>.json.
+inline int gbench_main(const std::string& name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MetricsRegistry registry;
+  MetricsReporter reporter(&registry);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  write_metrics_json(registry, name);
+  return 0;
+}
+
+}  // namespace dasc::bench

@@ -2,6 +2,8 @@
 // in the spectral step) and assignment-step scaling.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+
 #include "clustering/kmeans.hpp"
 #include "common/rng.hpp"
 #include "data/synthetic.hpp"
@@ -66,4 +68,6 @@ BENCHMARK(BM_KMeansByClusterCount)->Arg(2)->Arg(8)->Arg(32)->Arg(128)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dasc::bench::gbench_main("micro_kmeans", argc, argv);
+}

@@ -3,6 +3,8 @@
 // spectral step's dense_cutoff), plus Gram construction throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+
 #include "clustering/kernel.hpp"
 #include "common/rng.hpp"
 #include "data/synthetic.hpp"
@@ -77,4 +79,6 @@ BENCHMARK(BM_GramConstruction)->Arg(128)->Arg(256)->Arg(512)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dasc::bench::gbench_main("micro_linalg", argc, argv);
+}

@@ -3,6 +3,7 @@
 // O(T*M) bit-flip enumeration that Eq. 6 enables for P = M-1).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "common/rng.hpp"
 #include "data/synthetic.hpp"
 #include "lsh/bucket_table.hpp"
@@ -97,4 +98,6 @@ BENCHMARK(BM_MergeBitFlip)->Arg(8)->Arg(12)->Arg(16)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dasc::bench::gbench_main("micro_lsh", argc, argv);
+}

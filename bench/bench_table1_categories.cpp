@@ -12,6 +12,7 @@
 
 int main() {
   using namespace dasc;
+  MetricsRegistry registry;
   bench::banner("Table 1: Wikipedia dataset size vs number of categories");
 
   // The paper's measured counts, for side-by-side comparison.
@@ -44,6 +45,13 @@ int main() {
     }
     std::printf("%10zu %12zu %12zu %14zu\n", n, paper_counts[row], fit,
                 realized);
+    const std::string suffix = ".n" + std::to_string(n);
+    registry.gauge("table1.paper_k" + suffix)
+        .set(static_cast<std::int64_t>(paper_counts[row]));
+    registry.gauge("table1.fit_k" + suffix)
+        .set(static_cast<std::int64_t>(fit));
+    registry.gauge("table1.realized_k" + suffix)
+        .set(static_cast<std::int64_t>(realized));
   }
 
   std::printf(
@@ -51,5 +59,6 @@ int main() {
       "measured counts within a small factor across three orders of\n"
       "magnitude, and the corpus generator instantiates the fit exactly\n"
       "(rows where K <= sampled N).\n");
+  bench::write_metrics_json(registry, "table1_categories");
   return 0;
 }

@@ -20,6 +20,7 @@
 
 int main() {
   using namespace dasc;
+  MetricsRegistry registry;
   bench::banner("Table 3: DASC elasticity on 16/32/64 virtual nodes");
 
   // Print the Table 2 configuration these runs model.
@@ -45,6 +46,7 @@ int main() {
 
   core::MapReduceDascParams params;
   params.dasc.k = data::wiki_category_count(n);
+  params.dasc.metrics = &registry;
   params.dasc.m = 12;  // the paper's Wikipedia-scale hash width
   params.dasc.max_bucket_points = 256;  // balanced partitioning (Sec. 5.1)
   params.conf.num_nodes = 64;
@@ -80,7 +82,12 @@ int main() {
                     static_cast<double>(result.stats.gram_bytes))
                     .c_str(),
                 bench::format_seconds(time).c_str(), base_time / time);
+    registry.timer("table3.time.nodes" + std::to_string(nodes))
+        .record_seconds(time);
   }
+  bench::set_ppm(registry, "table3.accuracy_ppm", accuracy);
+  registry.gauge("table3.gram_bytes")
+      .set(static_cast<std::int64_t>(result.stats.gram_bytes));
 
   std::printf(
       "\nShape check (paper, Table 3): accuracy and memory stay constant\n"
@@ -88,5 +95,6 @@ int main() {
       "(paper: 78.85 -> 40.75 -> 20.3 hrs for 16 -> 32 -> 64 nodes; the\n"
       "scaled-down workload flattens somewhat at 64 nodes because far\n"
       "fewer tasks remain per slot than in the paper's 3.55M-doc run).\n");
+  bench::write_metrics_json(registry, "table3_elasticity");
   return 0;
 }

@@ -7,18 +7,25 @@
 // last column. Without arguments it generates a demo dataset, clusters it,
 // and prints a summary — so the binary is also runnable unattended.
 //
-// Flags (simple key=value):
-//   k=<int>       clusters (default: auto, Eq. 15 fit)
-//   m=<int>       signature bits (default: auto rule)
-//   cap=<int>     max bucket size, 0 = off (default 0)
-//   sigma=<float> kernel bandwidth (default: median heuristic)
-//   seed=<int>    RNG seed (default 42)
+// Flags (accepted as key=value, --key=value, or --key value):
+//   k=<int>                    clusters (default: auto, Eq. 15 fit)
+//   m=<int>                    signature bits (default: auto rule)
+//   cap=<int>                  max bucket size, 0 = off (default 0)
+//   sigma=<float>              kernel bandwidth (default: median heuristic)
+//   seed=<int>                 RNG seed (default 42)
+//   threads=<int>              worker threads, 0 = hardware (default 0)
+//   max-inflight-blocks=<int>  Gram blocks resident at once, 0 = off
+//   max-inflight-bytes=<int>   byte budget for resident blocks, 0 = off
+//   metrics-out=<path>         write per-stage metrics JSON (see DESIGN.md
+//                              section 7 for the schema and stage names)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "clustering/metrics.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/metrics.hpp"
 #include "core/dasc_clusterer.hpp"
 #include "data/dataset_io.hpp"
 #include "data/synthetic.hpp"
@@ -28,24 +35,39 @@ namespace {
 struct Options {
   std::string input;
   std::string output;
+  std::string metrics_out;
   dasc::core::DascParams params;
 };
 
 Options parse(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const std::size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
+    std::string arg = argv[i];
+    const bool dashed = arg.rfind("--", 0) == 0;
+    if (dashed) arg = arg.substr(2);
+
+    std::size_t eq = arg.find('=');
+    std::string key;
+    std::string value;
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (dashed && i + 1 < argc) {
+      // --key value form.
+      key = arg;
+      value = argv[++i];
+    } else if (!dashed) {
       if (options.input.empty()) {
         options.input = arg;
       } else {
         options.output = arg;
       }
       continue;
+    } else {
+      std::fprintf(stderr, "option missing value: --%s\n", arg.c_str());
+      std::exit(2);
     }
-    const std::string key = arg.substr(0, eq);
-    const std::string value = arg.substr(eq + 1);
+
     if (key == "k") {
       options.params.k = std::stoul(value);
     } else if (key == "m") {
@@ -56,8 +78,16 @@ Options parse(int argc, char** argv) {
       options.params.sigma = std::stod(value);
     } else if (key == "seed") {
       options.params.seed = std::stoull(value);
+    } else if (key == "threads") {
+      options.params.threads = std::stoul(value);
+    } else if (key == "max-inflight-blocks") {
+      options.params.max_inflight_blocks = std::stoul(value);
+    } else if (key == "max-inflight-bytes") {
+      options.params.max_inflight_bytes = std::stoul(value);
+    } else if (key == "metrics-out") {
+      options.metrics_out = value;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       std::exit(2);
     }
   }
@@ -93,6 +123,11 @@ int main(int argc, char** argv) {
   }
 
   core::DascParams params = options.params;
+  MetricsRegistry registry;
+  if (!options.metrics_out.empty()) {
+    params.metrics = &registry;
+    MemoryTracker::reset_peak();
+  }
   Rng rng(params.seed);
   core::DascResult result;
   try {
@@ -129,6 +164,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote labelled CSV to %s\n", options.output.c_str());
+  }
+
+  if (!options.metrics_out.empty()) {
+    registry.gauge("memory.tracked_peak_bytes")
+        .set_max(static_cast<std::int64_t>(MemoryTracker::peak()));
+    try {
+      metrics::write_json(registry, options.metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   options.metrics_out.c_str(), e.what());
+      return 1;
+    }
+    std::printf("wrote metrics JSON to %s\n", options.metrics_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate metrics JSON emitted by dasc_tool --metrics-out and the
+BENCH_<name>.json bench artifacts (schema documented in DESIGN.md section 7
+and src/common/metrics.hpp).
+
+Schema:
+  {
+    "counters":  {name: int, ...},
+    "timers_ms": {name: {"count": int, "total_ms": float}, ...},
+    "gauges":    {name: int, ...}
+  }
+
+Usage:
+  check_bench_json.py FILE [FILE...]
+      [--require-timer NAME]...       timer NAME present with count > 0
+      [--require-counter NAME]...     counter NAME present with value > 0
+      [--require-gauge NAME]...       gauge NAME present
+      [--require-gauge-le NAME MAX]'  gauge NAME present and <= MAX
+
+Exits nonzero (with a message per failure) when any file is invalid or a
+requirement is unmet. Requirements are checked against every FILE given.
+Stdlib only — runs on a bare CI image.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_schema(path, data, errors):
+    if not isinstance(data, dict):
+        fail(errors, f"{path}: top level is not an object")
+        return
+    expected = {"counters", "timers_ms", "gauges"}
+    if set(data.keys()) != expected:
+        fail(errors,
+             f"{path}: keys {sorted(data.keys())} != {sorted(expected)}")
+        return
+    for section in ("counters", "gauges"):
+        values = data[section]
+        if not isinstance(values, dict):
+            fail(errors, f"{path}: {section} is not an object")
+            continue
+        for name, value in values.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(errors,
+                     f"{path}: {section}[{name!r}] = {value!r} is not an int")
+    timers = data["timers_ms"]
+    if not isinstance(timers, dict):
+        fail(errors, f"{path}: timers_ms is not an object")
+        return
+    for name, snap in timers.items():
+        if (not isinstance(snap, dict)
+                or set(snap.keys()) != {"count", "total_ms"}):
+            fail(errors, f"{path}: timers_ms[{name!r}] = {snap!r} is not "
+                         "{{count, total_ms}}")
+            continue
+        if not isinstance(snap["count"], int) or isinstance(
+                snap["count"], bool):
+            fail(errors, f"{path}: timers_ms[{name!r}].count is not an int")
+        if not isinstance(snap["total_ms"], (int, float)) or isinstance(
+                snap["total_ms"], bool):
+            fail(errors,
+                 f"{path}: timers_ms[{name!r}].total_ms is not a number")
+
+
+def check_requirements(path, data, args, errors):
+    timers = data.get("timers_ms", {})
+    counters = data.get("counters", {})
+    gauges = data.get("gauges", {})
+    for name in args.require_timer:
+        snap = timers.get(name)
+        if snap is None:
+            fail(errors, f"{path}: missing required timer {name!r}")
+        elif snap.get("count", 0) <= 0:
+            fail(errors, f"{path}: timer {name!r} has count {snap['count']}")
+    for name in args.require_counter:
+        value = counters.get(name)
+        if value is None:
+            fail(errors, f"{path}: missing required counter {name!r}")
+        elif value <= 0:
+            fail(errors, f"{path}: counter {name!r} = {value}, expected > 0")
+    for name in args.require_gauge:
+        if name not in gauges:
+            fail(errors, f"{path}: missing required gauge {name!r}")
+    for name, limit in args.require_gauge_le:
+        value = gauges.get(name)
+        if value is None:
+            fail(errors, f"{path}: missing required gauge {name!r}")
+        elif value > int(limit):
+            fail(errors, f"{path}: gauge {name!r} = {value} > {limit}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument("--require-timer", action="append", default=[],
+                        metavar="NAME")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME")
+    parser.add_argument("--require-gauge", action="append", default=[],
+                        metavar="NAME")
+    parser.add_argument("--require-gauge-le", action="append", default=[],
+                        nargs=2, metavar=("NAME", "MAX"))
+    args = parser.parse_args(argv)
+
+    errors = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(errors, f"{path}: {exc}")
+            continue
+        check_schema(path, data, errors)
+        check_requirements(path, data, args, errors)
+        if not errors:
+            counts = (len(data.get("counters", {})),
+                      len(data.get("timers_ms", {})),
+                      len(data.get("gauges", {})))
+            print(f"{path}: OK ({counts[0]} counters, {counts[1]} timers, "
+                  f"{counts[2]} gauges)")
+
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

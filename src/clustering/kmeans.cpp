@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "linalg/vector_ops.hpp"
 
@@ -75,6 +76,7 @@ KMeansResult kmeans(const data::PointSet& points, const KMeansParams& params,
   DASC_EXPECT(k >= 1 && k <= n, "kmeans: k must be in [1, N]");
   DASC_EXPECT(params.max_iterations >= 1, "kmeans: need >= 1 iteration");
 
+  ScopedTimer lloyd_timer(params.metrics, "kmeans.lloyd");
   KMeansResult result;
   result.centroids = params.init == KMeansInit::kPlusPlus
                          ? init_plus_plus(points, k, rng)
@@ -159,6 +161,12 @@ KMeansResult kmeans(const data::PointSet& points, const KMeansParams& params,
         points.point(i),
         std::span<const double>(
             result.centroids[static_cast<std::size_t>(result.labels[i])]));
+  }
+
+  if (params.metrics != nullptr) {
+    params.metrics->counter("kmeans.runs").add(1);
+    params.metrics->counter("kmeans.iterations")
+        .add(static_cast<std::int64_t>(result.iterations));
   }
   return result;
 }

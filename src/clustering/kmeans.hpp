@@ -8,6 +8,10 @@
 #include "common/rng.hpp"
 #include "data/point_set.hpp"
 
+namespace dasc {
+class MetricsRegistry;
+}
+
 namespace dasc::clustering {
 
 enum class KMeansInit {
@@ -21,6 +25,9 @@ struct KMeansParams {
   double tolerance = 1e-6;  ///< stop when centroid movement^2 falls below
   KMeansInit init = KMeansInit::kPlusPlus;
   std::size_t threads = 0;  ///< assignment-step parallelism (0 = auto)
+  /// Optional sink for the `kmeans.lloyd` timer and `kmeans.runs` /
+  /// `kmeans.iterations` counters (null = off).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct KMeansResult {

@@ -5,6 +5,7 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "linalg/lanczos.hpp"
 #include "linalg/symmetric_eigen.hpp"
 #include "linalg/vector_ops.hpp"
@@ -73,8 +74,17 @@ std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
   const std::size_t effective_k = std::min(k, n);
   if (effective_k <= 1) return std::vector<int>(n, 0);
 
-  const linalg::DenseMatrix embedding =
-      spectral_embedding(gram, effective_k, params.dense_cutoff);
+  linalg::DenseMatrix embedding;
+  {
+    ScopedTimer eigen_timer(params.metrics, "spectral.eigensolve");
+    embedding = spectral_embedding(gram, effective_k, params.dense_cutoff);
+  }
+  if (params.metrics != nullptr) {
+    params.metrics
+        ->counter(n <= params.dense_cutoff ? "eigensolve.dense"
+                                           : "eigensolve.lanczos")
+        .add(1);
+  }
 
   data::PointSet rows(n, effective_k);
   for (std::size_t i = 0; i < n; ++i) {
@@ -84,6 +94,7 @@ std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
 
   KMeansParams km = params.kmeans;
   km.k = effective_k;
+  km.metrics = params.metrics;
   return kmeans(rows, km, rng).labels;
 }
 

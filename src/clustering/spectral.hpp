@@ -25,6 +25,9 @@ struct SpectralParams {
   /// Below this size the dense eigensolver is used; above it, Lanczos.
   std::size_t dense_cutoff = 128;
   KMeansParams kmeans;  ///< k field is overwritten with `k`
+  /// Optional sink for the `spectral.eigensolve` timer and solver-path
+  /// counters; also forwarded to the K-means step (null = off).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct SpectralResult {

@@ -72,14 +72,23 @@ AdmissionGate::AdmissionGate(std::size_t max_tasks, std::size_t max_bytes)
 
 void AdmissionGate::acquire(std::size_t bytes) {
   std::unique_lock lock(mutex_);
+  bool waited = false;
   cv_.wait(lock, [&] {
     if (tasks_ == 0) return true;  // never starve an oversized request
-    if (max_tasks_ != 0 && tasks_ >= max_tasks_) return false;
-    if (max_bytes_ != 0 && bytes_ + bytes > max_bytes_) return false;
+    if (max_tasks_ != 0 && tasks_ >= max_tasks_) {
+      waited = true;
+      return false;
+    }
+    if (max_bytes_ != 0 && bytes_ + bytes > max_bytes_) {
+      waited = true;
+      return false;
+    }
     return true;
   });
   ++tasks_;
   bytes_ += bytes;
+  ++admitted_;
+  if (waited) ++queued_;
   peak_tasks_ = std::max(peak_tasks_, tasks_);
   peak_bytes_ = std::max(peak_bytes_, bytes_);
 }
@@ -103,6 +112,16 @@ std::size_t AdmissionGate::peak_bytes() const {
 std::size_t AdmissionGate::peak_tasks() const {
   std::lock_guard lock(mutex_);
   return peak_tasks_;
+}
+
+std::size_t AdmissionGate::admitted() const {
+  std::lock_guard lock(mutex_);
+  return admitted_;
+}
+
+std::size_t AdmissionGate::queued() const {
+  std::lock_guard lock(mutex_);
+  return queued_;
 }
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t threads,

@@ -69,6 +69,10 @@ class AdmissionGate {
   std::size_t peak_bytes() const;
   /// High-water mark of simultaneously admitted tasks.
   std::size_t peak_tasks() const;
+  /// Total requests admitted so far.
+  std::size_t admitted() const;
+  /// Requests that had to wait for budget before admission.
+  std::size_t queued() const;
 
  private:
   mutable std::mutex mutex_;
@@ -79,6 +83,8 @@ class AdmissionGate {
   std::size_t bytes_ = 0;
   std::size_t peak_tasks_ = 0;
   std::size_t peak_bytes_ = 0;
+  std::size_t admitted_ = 0;
+  std::size_t queued_ = 0;
 };
 
 /// Run body(i) for i in [begin, end) across the given number of threads.

@@ -35,6 +35,7 @@ ApproxKpcaResult approx_kernel_pca(const data::PointSet& points,
   options.threads = params.threads;
   options.max_inflight_blocks = params.max_inflight_blocks;
   options.max_inflight_bytes = params.max_inflight_bytes;
+  options.metrics = params.metrics;
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,

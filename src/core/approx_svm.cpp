@@ -25,11 +25,12 @@ ApproxSvm ApproxSvm::train(const data::PointSet& points,
   // Bucket with the already-fitted hasher so routing uses the exact same
   // signatures (bucket_points would refit with fresh randomness).
   const lsh::BucketTable table =
-      lsh::BucketTable::build(points, *model.hasher_);
+      lsh::BucketTable::build(points, *model.hasher_, params.dasc.metrics);
   const std::size_t p = resolve_merge_bits(params.dasc, m);
   const lsh::MergeStrategy strategy =
       p == m ? lsh::MergeStrategy::kNone : params.dasc.merge;
-  std::vector<lsh::Bucket> buckets = table.merged_buckets(p, strategy);
+  std::vector<lsh::Bucket> buckets =
+      table.merged_buckets(p, strategy, params.dasc.metrics);
   if (params.dasc.max_bucket_points > 0) {
     buckets = balance_buckets(
         points, std::move(buckets),
@@ -56,6 +57,7 @@ ApproxSvm ApproxSvm::train(const data::PointSet& points,
   options.max_inflight_blocks = params.dasc.max_inflight_blocks;
   options.max_inflight_bytes = params.dasc.max_inflight_bytes;
   options.build_blocks = false;
+  options.metrics = params.dasc.metrics;
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& /*block*/, const lsh::Bucket& bucket,

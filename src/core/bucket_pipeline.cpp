@@ -7,6 +7,7 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 
@@ -82,6 +83,7 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
   DASC_EXPECT(consume != nullptr, "run_bucket_pipeline: null consumer");
 
   Stopwatch wall_clock;
+  ScopedTimer wall_timer(options.metrics, "pipeline.wall");
   BucketPipelineStats stats;
   stats.buckets = buckets.size();
   if (buckets.empty()) return stats;
@@ -112,13 +114,17 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
     Stopwatch build_clock;
     linalg::DenseMatrix block;
     if (options.build_blocks) {
+      ScopedTimer build_timer(options.metrics, "pipeline.gram_build");
       block = clustering::gaussian_gram_subset(points, buckets[b].indices,
                                                options.sigma);
     }
     const double build_s = build_clock.seconds();
 
     Stopwatch consume_clock;
-    consume(std::move(block), buckets[b], jobs[b]);
+    {
+      ScopedTimer consume_timer(options.metrics, "pipeline.consume");
+      consume(std::move(block), buckets[b], jobs[b]);
+    }
     // Force the block free (if the consumer didn't move it out) before the
     // admission ticket is returned, so the budget matches live memory.
     block = linalg::DenseMatrix();
@@ -155,6 +161,26 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
 
   stats.peak_inflight_bytes = gate.peak_bytes();
   stats.wall_seconds = wall_clock.seconds();
+
+  if (options.metrics != nullptr) {
+    MetricsRegistry& registry = *options.metrics;
+    registry.counter("pipeline.buckets")
+        .add(static_cast<std::int64_t>(stats.buckets));
+    registry.counter("pipeline.blocks_admitted")
+        .add(static_cast<std::int64_t>(gate.admitted()));
+    registry.counter("pipeline.gram_bytes_built")
+        .add(static_cast<std::int64_t>(stats.total_block_bytes));
+    // How often the admission budget actually blocked a task. This varies
+    // with scheduling, so it is a gauge, not a regression-gated counter.
+    registry.gauge("pipeline.blocks_queued")
+        .set_max(static_cast<std::int64_t>(gate.queued()));
+    registry.gauge("pipeline.peak_inflight_bytes")
+        .set_max(static_cast<std::int64_t>(stats.peak_inflight_bytes));
+    registry.gauge("pipeline.peak_inflight_blocks")
+        .set_max(static_cast<std::int64_t>(gate.peak_tasks()));
+    registry.gauge("pipeline.peak_block_bytes")
+        .set_max(static_cast<std::int64_t>(stats.peak_block_bytes));
+  }
   return stats;
 }
 

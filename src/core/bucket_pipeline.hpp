@@ -30,6 +30,10 @@
 #include "linalg/dense_matrix.hpp"
 #include "lsh/bucket_table.hpp"
 
+namespace dasc {
+class MetricsRegistry;
+}
+
 namespace dasc::core {
 
 /// Per-bucket cluster-count allocation rule: K_i = max(1, ceil(K * Ni / N))
@@ -79,6 +83,10 @@ struct BucketPipelineOptions {
   /// (approximate SVM) but still want the planned seeds/offsets and the
   /// gated, pooled execution.
   bool build_blocks = true;
+  /// Optional metrics sink: the run reports `pipeline.gram_build` /
+  /// `pipeline.consume` / `pipeline.wall` timers, bucket and AdmissionGate
+  /// admission counters, and peak-byte gauges (null = off).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Byte/timing observations from one pipeline run.

@@ -10,8 +10,8 @@
 namespace dasc::core {
 
 std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
-                                std::size_t k_bucket,
-                                std::size_t dense_cutoff, Rng& rng) {
+                                std::size_t k_bucket, std::size_t dense_cutoff,
+                                Rng& rng, MetricsRegistry* metrics) {
   const std::size_t n = block.rows();
   DASC_EXPECT(block.cols() == n, "cluster_bucket: block must be square");
   if (n == 0) return {};
@@ -19,6 +19,7 @@ std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
 
   clustering::SpectralParams params;
   params.dense_cutoff = dense_cutoff;
+  params.metrics = metrics;
   return clustering::spectral_cluster_gram(block, std::min(k_bucket, n), rng,
                                            params);
 }
@@ -54,13 +55,15 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
   options.threads = params.threads;
   options.max_inflight_blocks = params.max_inflight_blocks;
   options.max_inflight_bytes = params.max_inflight_bytes;
+  options.metrics = params.metrics;
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
           const BucketJob& job) {
         Rng bucket_rng(job.seed);
-        const std::vector<int> local = cluster_bucket(
-            block, job.k_bucket, params.dense_cutoff, bucket_rng);
+        const std::vector<int> local =
+            cluster_bucket(block, job.k_bucket, params.dense_cutoff,
+                           bucket_rng, params.metrics);
         const auto& indices = bucket.indices;
         for (std::size_t i = 0; i < indices.size(); ++i) {
           result.labels[indices[i]] =

@@ -43,9 +43,10 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
 /// Spectral clustering of one precomputed bucket block; returns local
 /// labels in [0, k_bucket). Exposed for the MapReduce reducer and tests.
 /// (The allocation rule bucket_cluster_count lives in bucket_pipeline.hpp,
-/// re-exported through the include above.)
+/// re-exported through the include above.) With `metrics`, the eigensolve
+/// and K-means stages report their timers/counters into it.
 std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
                                 std::size_t k_bucket, std::size_t dense_cutoff,
-                                Rng& rng);
+                                Rng& rng, MetricsRegistry* metrics = nullptr);
 
 }  // namespace dasc::core

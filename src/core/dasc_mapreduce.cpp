@@ -6,6 +6,7 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "core/bucket_pipeline.hpp"
 #include "core/dasc_clusterer.hpp"
@@ -74,12 +75,13 @@ class BucketClusterReducer final : public mapreduce::Reducer {
  public:
   BucketClusterReducer(double sigma, std::size_t global_k,
                        std::size_t total_points, std::size_t dense_cutoff,
-                       std::uint64_t seed)
+                       std::uint64_t seed, MetricsRegistry* metrics)
       : sigma_(sigma),
         global_k_(global_k),
         total_points_(total_points),
         dense_cutoff_(dense_cutoff),
-        seed_(seed) {}
+        seed_(seed),
+        metrics_(metrics) {}
 
   void reduce(const std::string& key, const std::vector<std::string>& values,
               mapreduce::Emitter& out) override {
@@ -112,13 +114,15 @@ class BucketClusterReducer final : public mapreduce::Reducer {
     options.sigma = sigma_;
     options.threads = 1;  // the reducer is already one parallel task
     options.max_inflight_blocks = 1;
+    options.metrics = metrics_;
     std::vector<int> local;
     run_bucket_pipeline(
         group, {bucket}, {job}, options,
         [&](linalg::DenseMatrix&& block, const lsh::Bucket& /*bucket*/,
             const BucketJob& task) {
           Rng rng(task.seed);
-          local = cluster_bucket(block, task.k_bucket, dense_cutoff_, rng);
+          local = cluster_bucket(block, task.k_bucket, dense_cutoff_, rng,
+                                 metrics_);
         });
 
     for (std::size_t i = 0; i < n; ++i) {
@@ -133,6 +137,7 @@ class BucketClusterReducer final : public mapreduce::Reducer {
   std::size_t total_points_;
   std::size_t dense_cutoff_;
   std::uint64_t seed_;
+  MetricsRegistry* metrics_;
 };
 
 }  // namespace
@@ -158,6 +163,7 @@ mapreduce::JobSpec make_stage1_spec(const MapReduceDascParams& params,
   lsh_spec.reducer_factory = [] {
     return std::make_unique<IdentityReducer>();
   };
+  lsh_spec.metrics = params.dasc.metrics;
   return lsh_spec;
 }
 
@@ -276,11 +282,13 @@ void finish_pipeline(const data::PointSet& points,
     member_payload[index] = std::move(record.value);
   }
   const lsh::BucketTable table =
-      lsh::BucketTable::from_signatures(signatures, m);
+      lsh::BucketTable::from_signatures(signatures, m, params.dasc.metrics);
   const lsh::MergeStrategy strategy =
       p == m ? lsh::MergeStrategy::kNone : params.dasc.merge;
-  std::vector<lsh::Bucket> merged = table.merged_buckets(p, strategy);
+  std::vector<lsh::Bucket> merged =
+      table.merged_buckets(p, strategy, params.dasc.metrics);
   if (params.dasc.max_bucket_points > 0) {
+    ScopedTimer balance_timer(params.dasc.metrics, "lsh.bucketing");
     merged = balance_buckets(
         points, std::move(merged),
         std::max<std::size_t>(params.dasc.max_bucket_points, 2));
@@ -323,10 +331,12 @@ void finish_pipeline(const data::PointSet& points,
   const std::size_t global_k = result.requested_k;
   const std::size_t dense_cutoff = params.dasc.dense_cutoff;
   const std::uint64_t seed = params.dasc.seed;
+  MetricsRegistry* metrics = params.dasc.metrics;
   cluster_spec.reducer_factory = [=] {
     return std::make_unique<BucketClusterReducer>(sigma, global_k, n,
-                                                  dense_cutoff, seed);
+                                                  dense_cutoff, seed, metrics);
   };
+  cluster_spec.metrics = params.dasc.metrics;
   result.cluster_job = mapreduce::run_job(cluster_spec, stage2_input);
 
   // ---- Densify cluster keys into labels. ----

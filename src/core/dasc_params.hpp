@@ -9,6 +9,10 @@
 #include "lsh/bucket_table.hpp"
 #include "lsh/random_projection.hpp"
 
+namespace dasc {
+class MetricsRegistry;
+}
+
 namespace dasc::core {
 
 /// Which LSH family produces the signatures (Section 3.2 surveys all
@@ -61,6 +65,12 @@ struct DascParams {
   /// Worker threads for per-bucket processing (0 = host concurrency).
   std::size_t threads = 0;
   std::uint64_t seed = 42;
+
+  /// Optional per-stage metrics sink (see common/metrics.hpp). Every DASC
+  /// consumer reports signatures/bucketing/gram/eigensolve/kmeans timers,
+  /// deterministic work counters, and AdmissionGate gauges into it; null
+  /// disables all instrumentation.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Resolve m for a dataset of size n (params.m or the paper's auto rule).

@@ -38,13 +38,15 @@ StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
   options.threads = params.threads;
   options.max_inflight_blocks = 1;
   options.max_inflight_bytes = params.max_inflight_bytes;
+  options.metrics = params.metrics;
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
           const BucketJob& job) {
         Rng bucket_rng(job.seed);
-        const std::vector<int> local = cluster_bucket(
-            block, job.k_bucket, params.dense_cutoff, bucket_rng);
+        const std::vector<int> local =
+            cluster_bucket(block, job.k_bucket, params.dense_cutoff,
+                           bucket_rng, params.metrics);
         const auto& indices = bucket.indices;
         for (std::size_t i = 0; i < indices.size(); ++i) {
           result.labels[indices[i]] =

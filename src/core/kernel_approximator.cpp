@@ -6,6 +6,7 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "core/bucket_pipeline.hpp"
 #include "data/wiki_corpus.hpp"
@@ -195,11 +196,14 @@ std::vector<lsh::Bucket> bucket_points(const data::PointSet& points,
   const std::unique_ptr<lsh::LshHasher> hasher =
       make_hasher(points, params, m, rng);
 
-  const lsh::BucketTable table = lsh::BucketTable::build(points, *hasher);
+  const lsh::BucketTable table =
+      lsh::BucketTable::build(points, *hasher, params.metrics);
   const lsh::MergeStrategy strategy =
       p == m ? lsh::MergeStrategy::kNone : params.merge;
-  std::vector<lsh::Bucket> buckets = table.merged_buckets(p, strategy);
+  std::vector<lsh::Bucket> buckets =
+      table.merged_buckets(p, strategy, params.metrics);
   if (params.max_bucket_points > 0) {
+    ScopedTimer balance_timer(params.metrics, "lsh.bucketing");
     buckets = balance_buckets(points, std::move(buckets),
                               std::max<std::size_t>(params.max_bucket_points,
                                                     2));
@@ -246,6 +250,7 @@ BlockGram approximate_kernel(const data::PointSet& points,
   BucketPipelineOptions options;
   options.sigma = sigma;
   options.threads = params.threads;
+  options.metrics = params.metrics;
   const std::vector<BucketJob> jobs =
       plan_bucket_jobs(buckets, 0, points.size());
   run_bucket_pipeline(points, buckets, jobs, options,

@@ -5,26 +5,37 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace dasc::lsh {
 
 BucketTable BucketTable::build(const data::PointSet& points,
-                               const LshHasher& hasher) {
+                               const LshHasher& hasher,
+                               MetricsRegistry* metrics) {
   DASC_EXPECT(!points.empty(), "BucketTable: empty dataset");
   DASC_EXPECT(points.dim() == hasher.input_dim(),
               "BucketTable: hasher dimensionality mismatch");
   std::vector<Signature> signatures(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    signatures[i] = hasher.hash(points.point(i));
+  {
+    ScopedTimer timer(metrics, "lsh.signatures");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      signatures[i] = hasher.hash(points.point(i));
+    }
   }
-  return from_signatures(signatures, hasher.bits());
+  if (metrics != nullptr) {
+    metrics->counter("lsh.points_hashed")
+        .add(static_cast<std::int64_t>(points.size()));
+  }
+  return from_signatures(signatures, hasher.bits(), metrics);
 }
 
 BucketTable BucketTable::from_signatures(
-    const std::vector<Signature>& signatures, std::size_t m) {
+    const std::vector<Signature>& signatures, std::size_t m,
+    MetricsRegistry* metrics) {
   DASC_EXPECT(!signatures.empty(), "BucketTable: no signatures");
   DASC_EXPECT(m >= 1 && m <= kMaxSignatureBits, "BucketTable: bad width");
 
+  ScopedTimer timer(metrics, "lsh.bucketing");
   std::unordered_map<Signature, std::size_t, SignatureHash> ids;
   BucketTable table;
   table.m_ = m;
@@ -36,6 +47,10 @@ BucketTable BucketTable::from_signatures(
     if (inserted) table.raw_.push_back({sig, {}});
     table.raw_[it->second].indices.push_back(i);
   }
+  if (metrics != nullptr) {
+    metrics->counter("lsh.raw_buckets")
+        .add(static_cast<std::int64_t>(table.raw_.size()));
+  }
   return table;
 }
 
@@ -44,8 +59,9 @@ std::vector<Bucket> BucketTable::raw_buckets() const {
 }
 
 std::vector<Bucket> BucketTable::merged_buckets(
-    std::size_t p, MergeStrategy strategy) const {
+    std::size_t p, MergeStrategy strategy, MetricsRegistry* metrics) const {
   DASC_EXPECT(p <= m_, "merged_buckets: p must be <= m");
+  ScopedTimer merge_timer(metrics, "lsh.bucketing");
   const std::size_t t = raw_.size();
 
   // Star merging: raw buckets are visited largest-first; each either joins
@@ -128,6 +144,10 @@ std::vector<Bucket> BucketTable::merged_buckets(
                    [](const Bucket& x, const Bucket& y) {
                      return x.indices.size() > y.indices.size();
                    });
+  if (metrics != nullptr) {
+    metrics->counter("lsh.merged_buckets")
+        .add(static_cast<std::int64_t>(out.size()));
+  }
   return out;
 }
 

@@ -14,6 +14,10 @@
 #include "lsh/hasher.hpp"
 #include "lsh/signature.hpp"
 
+namespace dasc {
+class MetricsRegistry;
+}
+
 namespace dasc::lsh {
 
 /// One merged group of points.
@@ -34,13 +38,18 @@ enum class MergeStrategy {
 /// Hash table from signatures to member points.
 class BucketTable {
  public:
-  /// Hash every point and group by signature.
+  /// Hash every point and group by signature. With `metrics`, hashing time
+  /// reports into the `lsh.signatures` timer and grouping into
+  /// `lsh.bucketing` (plus `lsh.points_hashed` / `lsh.raw_buckets`
+  /// counters).
   static BucketTable build(const data::PointSet& points,
-                           const LshHasher& hasher);
+                           const LshHasher& hasher,
+                           MetricsRegistry* metrics = nullptr);
 
   /// Build from precomputed signatures (the MapReduce path).
   static BucketTable from_signatures(const std::vector<Signature>& signatures,
-                                     std::size_t m);
+                                     std::size_t m,
+                                     MetricsRegistry* metrics = nullptr);
 
   /// Number of distinct raw signatures T.
   std::size_t raw_bucket_count() const { return raw_.size(); }
@@ -52,9 +61,10 @@ class BucketTable {
   /// the .cpp for why the merge is deliberately not transitive) and return
   /// the final groups sorted by decreasing size. p == m means no merging.
   /// kBitFlip requires p == m-1 and produces the identical grouping to
-  /// kPairwise at lower cost.
-  std::vector<Bucket> merged_buckets(std::size_t p,
-                                     MergeStrategy strategy) const;
+  /// kPairwise at lower cost. With `metrics`, merge time reports into the
+  /// `lsh.bucketing` timer and the group count into `lsh.merged_buckets`.
+  std::vector<Bucket> merged_buckets(std::size_t p, MergeStrategy strategy,
+                                     MetricsRegistry* metrics = nullptr) const;
 
   /// Raw (unmerged) buckets, sorted by decreasing size.
   std::vector<Bucket> raw_buckets() const;

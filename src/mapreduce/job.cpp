@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "mapreduce/shuffle.hpp"
@@ -114,10 +115,13 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
   result.counters.combine_output_records = combine_out.load();
 
   // ---- Shuffle ----
-  std::vector<std::vector<Record>> partitions =
-      partition_outputs(map_outputs, spec.conf.num_reducers);
-  map_outputs.clear();
-  result.counters.shuffle_bytes = shuffle_bytes(partitions);
+  std::vector<std::vector<Record>> partitions;
+  {
+    ScopedTimer shuffle_timer(spec.metrics, "mapreduce.shuffle");
+    partitions = partition_outputs(map_outputs, spec.conf.num_reducers);
+    map_outputs.clear();
+    result.counters.shuffle_bytes = shuffle_bytes(partitions);
+  }
 
   // ---- Reduce phase ----
   result.reduce_task_seconds.assign(partitions.size(), 0.0);
@@ -170,6 +174,36 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
   result.simulated_seconds =
       result.map_makespan_seconds + result.reduce_makespan_seconds;
   result.real_seconds = total_clock.seconds();
+
+  if (spec.metrics != nullptr) {
+    MetricsRegistry& registry = *spec.metrics;
+    // One timer sample per task, so count tracks task counts and total the
+    // summed per-task work (not the parallel wall time).
+    MetricsRegistry::Timer& map_timer = registry.timer("mapreduce.map");
+    for (double seconds : result.map_task_seconds) {
+      map_timer.record_seconds(seconds);
+    }
+    MetricsRegistry::Timer& reduce_timer = registry.timer("mapreduce.reduce");
+    for (double seconds : result.reduce_task_seconds) {
+      reduce_timer.record_seconds(seconds);
+    }
+    registry.counter("mapreduce.jobs").add(1);
+    const Counters& counters = result.counters;
+    registry.counter("mapreduce.map_input_records")
+        .add(static_cast<std::int64_t>(counters.map_input_records));
+    registry.counter("mapreduce.map_output_records")
+        .add(static_cast<std::int64_t>(counters.map_output_records));
+    registry.counter("mapreduce.reduce_input_groups")
+        .add(static_cast<std::int64_t>(counters.reduce_input_groups));
+    registry.counter("mapreduce.reduce_input_records")
+        .add(static_cast<std::int64_t>(counters.reduce_input_records));
+    registry.counter("mapreduce.reduce_output_records")
+        .add(static_cast<std::int64_t>(counters.reduce_output_records));
+    registry.counter("mapreduce.shuffle_bytes")
+        .add(static_cast<std::int64_t>(counters.shuffle_bytes));
+    registry.counter("mapreduce.failed_task_attempts")
+        .add(static_cast<std::int64_t>(counters.failed_task_attempts));
+  }
 
   DASC_LOG(kInfo) << spec.conf.job_name << ": done; simulated "
                   << result.simulated_seconds << "s (map "

@@ -17,6 +17,10 @@
 #include "mapreduce/job_conf.hpp"
 #include "mapreduce/types.hpp"
 
+namespace dasc {
+class MetricsRegistry;
+}  // namespace dasc
+
 namespace dasc::mapreduce {
 
 /// A complete job description. Factories are invoked once per task, so
@@ -27,6 +31,9 @@ struct JobSpec {
   std::function<std::unique_ptr<Reducer>()> reducer_factory;
   /// Optional combiner (run per map task when conf.enable_combiner).
   std::function<std::unique_ptr<Reducer>()> combiner_factory;
+  /// Optional sink for `mapreduce.{map,shuffle,reduce}` timers and the
+  /// `mapreduce.*` record counters (null = off).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct JobResult {

@@ -1,0 +1,220 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace dasc {
+namespace {
+
+TEST(MetricsRegistry, CounterTimerGaugeBasics) {
+  MetricsRegistry registry;
+  registry.counter("events").add();
+  registry.counter("events").add(41);
+  EXPECT_EQ(registry.counter_value("events"), 42);
+
+  registry.timer("stage").record_nanos(1'500'000);  // 1.5 ms
+  registry.timer("stage").record_seconds(0.0005);   // +0.5 ms
+  EXPECT_EQ(registry.timer_count("stage"), 2);
+  EXPECT_NEAR(registry.timer_total_ms("stage"), 2.0, 1e-9);
+
+  registry.gauge("peak").set(10);
+  registry.gauge("peak").set_max(7);  // lower: keeps 10
+  EXPECT_EQ(registry.gauge_value("peak"), 10);
+  registry.gauge("peak").set_max(25);
+  EXPECT_EQ(registry.gauge_value("peak"), 25);
+}
+
+TEST(MetricsRegistry, MissingNamesReadZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter_value("absent"), 0);
+  EXPECT_EQ(registry.timer_count("absent"), 0);
+  EXPECT_EQ(registry.timer_total_ms("absent"), 0.0);
+  EXPECT_EQ(registry.gauge_value("absent"), 0);
+  EXPECT_TRUE(registry.counters_snapshot().empty());
+}
+
+TEST(MetricsRegistry, InstrumentReferencesAreStable) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter& counter = registry.counter("c");
+  // Creating many more instruments must not invalidate the reference.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("c" + std::to_string(i));
+  }
+  counter.add(5);
+  EXPECT_EQ(registry.counter_value("c"), 5);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesFromPoolThreads) {
+  MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10'000;
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Mix find-or-create races with hot-path updates.
+        registry.counter("shared").add();
+        registry.timer("shared").record_nanos(1000);
+        registry.gauge("shared").set_max(
+            static_cast<std::int64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter_value("shared"),
+            static_cast<std::int64_t>(kThreads * kPerThread));
+  EXPECT_EQ(registry.timer_count("shared"),
+            static_cast<std::int64_t>(kThreads * kPerThread));
+  EXPECT_NEAR(registry.timer_total_ms("shared"),
+              kThreads * kPerThread * 1e-3, 1e-6);
+  EXPECT_EQ(registry.gauge_value("shared"),
+            static_cast<std::int64_t>(kThreads * kPerThread - 1));
+}
+
+TEST(MetricsRegistry, ParallelForInstrumentation) {
+  // The shape every pipeline stage uses: one ScopedTimer per task on the
+  // shared pool, counters accumulated across tasks.
+  MetricsRegistry registry;
+  parallel_for(0, 64, 4, [&](std::size_t /*i*/) {
+    ScopedTimer timer(&registry, "stage");
+    registry.counter("tasks").add();
+  });
+  EXPECT_EQ(registry.counter_value("tasks"), 64);
+  EXPECT_EQ(registry.timer_count("stage"), 64);
+  EXPECT_GE(registry.timer_total_ms("stage"), 0.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsReferences) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter& counter = registry.counter("c");
+  counter.add(3);
+  registry.timer("t").record_nanos(42);
+  registry.gauge("g").set(9);
+
+  registry.reset();
+  EXPECT_EQ(registry.counter_value("c"), 0);
+  EXPECT_EQ(registry.timer_count("t"), 0);
+  EXPECT_EQ(registry.timer_total_ms("t"), 0.0);
+  EXPECT_EQ(registry.gauge_value("g"), 0);
+
+  counter.add(1);  // the old reference still feeds the same instrument
+  EXPECT_EQ(registry.counter_value("c"), 1);
+}
+
+TEST(ScopedTimer, RecordsOneSamplePerScope) {
+  MetricsRegistry registry;
+  {
+    ScopedTimer timer(&registry, "scope");
+  }
+  EXPECT_EQ(registry.timer_count("scope"), 1);
+  EXPECT_GE(registry.timer_total_ms("scope"), 0.0);
+}
+
+TEST(ScopedTimer, NestedScopesAccumulateIndependently) {
+  MetricsRegistry registry;
+  {
+    ScopedTimer outer(&registry, "outer");
+    {
+      ScopedTimer inner(&registry, "inner");
+    }
+    {
+      ScopedTimer inner(&registry, "inner");
+    }
+  }
+  EXPECT_EQ(registry.timer_count("outer"), 1);
+  EXPECT_EQ(registry.timer_count("inner"), 2);
+  // The outer scope strictly contains both inner scopes.
+  EXPECT_GE(registry.timer_total_ms("outer"),
+            registry.timer_total_ms("inner"));
+}
+
+TEST(ScopedTimer, StopIsIdempotent) {
+  MetricsRegistry registry;
+  ScopedTimer timer(&registry, "once");
+  timer.stop();
+  timer.stop();  // second stop and destructor must not double-record
+  EXPECT_EQ(registry.timer_count("once"), 1);
+}
+
+TEST(ScopedTimer, NullRegistryIsSafe) {
+  ScopedTimer named(nullptr, "ignored");
+  ScopedTimer direct(static_cast<MetricsRegistry::Timer*>(nullptr));
+  named.stop();
+  direct.stop();  // must not crash or record anywhere
+}
+
+TEST(MetricsJson, EmptyRegistrySchema) {
+  MetricsRegistry registry;
+  EXPECT_EQ(metrics::to_json(registry),
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"timers_ms\": {},\n"
+            "  \"gauges\": {}\n"
+            "}\n");
+}
+
+TEST(MetricsJson, StableSortedOutput) {
+  MetricsRegistry registry;
+  // Insert out of order; the JSON must come out key-sorted.
+  registry.counter("zeta").add(2);
+  registry.counter("alpha").add(1);
+  registry.timer("stage").record_nanos(1'500'000);
+  registry.gauge("peak").set(77);
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"alpha\": 1,\n"
+      "    \"zeta\": 2\n"
+      "  },\n"
+      "  \"timers_ms\": {\n"
+      "    \"stage\": {\"count\": 1, \"total_ms\": 1.500}\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"peak\": 77\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(metrics::to_json(registry), expected);
+  // Byte-stable: serializing twice yields the identical string.
+  EXPECT_EQ(metrics::to_json(registry), expected);
+}
+
+TEST(MetricsJson, EscapesAwkwardNames) {
+  MetricsRegistry registry;
+  registry.counter("quote\"back\\slash").add(1);
+  const std::string json = metrics::to_json(registry);
+  EXPECT_NE(json.find("\"quote\\\"back\\\\slash\": 1"), std::string::npos);
+}
+
+TEST(MetricsJson, WriteJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("n").add(3);
+  const std::string path =
+      testing::TempDir() + "/dasc_metrics_roundtrip.json";
+  metrics::write_json(registry, path);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, metrics::to_json(registry));
+}
+
+TEST(MetricsJson, WriteJsonThrowsOnBadPath) {
+  MetricsRegistry registry;
+  EXPECT_THROW(metrics::write_json(registry, "/no/such/dir/metrics.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dasc
