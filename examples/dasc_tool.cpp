@@ -18,6 +18,10 @@
 //   max-inflight-bytes=<int>   byte budget for resident blocks, 0 = off
 //   metrics-out=<path>         write per-stage metrics JSON (see DESIGN.md
 //                              section 7 for the schema and stage names)
+//   model-out=<path>           also persist the fitted serving artifact
+//                              (DESIGN.md section 8) for serve_tool
+//   model-in=<path>            skip fitting: load a persisted artifact and
+//                              label the input via out-of-sample assignment
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,6 +33,8 @@
 #include "core/dasc_clusterer.hpp"
 #include "data/dataset_io.hpp"
 #include "data/synthetic.hpp"
+#include "serving/assigner.hpp"
+#include "serving/model_artifact.hpp"
 
 namespace {
 
@@ -36,6 +42,8 @@ struct Options {
   std::string input;
   std::string output;
   std::string metrics_out;
+  std::string model_out;
+  std::string model_in;
   dasc::core::DascParams params;
 };
 
@@ -86,6 +94,10 @@ Options parse(int argc, char** argv) {
       options.params.max_inflight_bytes = std::stoul(value);
     } else if (key == "metrics-out") {
       options.metrics_out = value;
+    } else if (key == "model-out") {
+      options.model_out = value;
+    } else if (key == "model-in") {
+      options.model_in = value;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       std::exit(2);
@@ -131,7 +143,24 @@ int main(int argc, char** argv) {
   Rng rng(params.seed);
   core::DascResult result;
   try {
-    result = core::dasc_cluster(points, params, rng);
+    if (!options.model_in.empty()) {
+      // Serve mode: no fitting — label the input against a saved model.
+      const serving::Assigner assigner(
+          serving::load_model(options.model_in));
+      result.labels = assigner.assign_batch(points, params.threads);
+      result.num_clusters = assigner.num_clusters();
+      result.requested_k =
+          static_cast<std::size_t>(assigner.model().requested_k);
+      std::printf("assigned %zu points against model %s\n", points.size(),
+                  options.model_in.c_str());
+    } else if (!options.model_out.empty()) {
+      serving::FitResult fit = serving::fit_model(points, params, rng);
+      serving::save_model(fit.model, options.model_out);
+      std::printf("wrote model artifact to %s\n", options.model_out.c_str());
+      result = std::move(fit.offline);
+    } else {
+      result = core::dasc_cluster(points, params, rng);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "clustering failed: %s\n", e.what());
     return 1;
@@ -139,13 +168,15 @@ int main(int argc, char** argv) {
 
   std::printf("clustered into %zu clusters (requested K = %zu)\n",
               result.num_clusters, result.requested_k);
-  std::printf("buckets: %zu raw -> %zu merged; largest %zu points\n",
-              result.stats.raw_buckets, result.stats.merged_buckets,
-              result.stats.largest_bucket);
-  std::printf("gram bytes: %zu of %zu full (%.2f%%)\n",
-              result.stats.gram_bytes, result.stats.full_gram_bytes,
-              100.0 * result.stats.fill_ratio);
-  std::printf("time: %.3fs\n", result.total_seconds);
+  if (options.model_in.empty()) {
+    std::printf("buckets: %zu raw -> %zu merged; largest %zu points\n",
+                result.stats.raw_buckets, result.stats.merged_buckets,
+                result.stats.largest_bucket);
+    std::printf("gram bytes: %zu of %zu full (%.2f%%)\n",
+                result.stats.gram_bytes, result.stats.full_gram_bytes,
+                100.0 * result.stats.fill_ratio);
+    std::printf("time: %.3fs\n", result.total_seconds);
+  }
 
   if (points.has_labels()) {
     std::printf("purity vs provided labels: %.1f%%\n",

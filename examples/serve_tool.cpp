@@ -1,0 +1,264 @@
+// serve_tool: fit once, persist the model artifact, and serve assignment
+// queries through the micro-batching server.
+//
+//   $ ./serve_tool [train.csv] --model-out model.bin
+//   $ ./serve_tool --model-in model.bin --queries queries.csv --out out.csv
+//
+// Without arguments the tool runs a self-contained round trip on a demo
+// mixture: fit, save the artifact, reload it from disk, serve every
+// training point back through the server, and verify the served labels are
+// bit-identical to the offline pipeline (exit 1 on any mismatch) — the
+// serving parity gate CI runs.
+//
+// Flags (accepted as key=value, --key=value, or --key value):
+//   k=<int>             clusters (default: auto)
+//   m=<int>             signature bits (default: auto rule)
+//   cap=<int>           max bucket size, 0 = off (default 0)
+//   sigma=<float>       kernel bandwidth (default: median heuristic)
+//   seed=<int>          RNG seed (default 42)
+//   threads=<int>       server worker threads, 0 = hardware (default 0)
+//   batch=<int>         max requests per micro-batch (default 64)
+//   linger-us=<int>     micro-batch fill wait in microseconds (default 0)
+//   landmarks=<int>     per-bucket landmark cap, 0 = keep all (default 0;
+//                       subsampling breaks the training-parity guarantee)
+//   model-out=<path>    where to persist the fitted artifact
+//                       (default: serve_tool_model.bin in the CWD)
+//   model-in=<path>     load this artifact instead of fitting
+//   queries=<path>      CSV of query points (default: the training points)
+//   out=<path>          write queries with served labels appended
+//   metrics-out=<path>  write serving metrics JSON (DESIGN.md section 8)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "data/dataset_io.hpp"
+#include "data/synthetic.hpp"
+#include "serving/assigner.hpp"
+#include "serving/model_artifact.hpp"
+#include "serving/server.hpp"
+
+namespace {
+
+struct Options {
+  std::string input;
+  std::string queries;
+  std::string output;
+  std::string metrics_out;
+  std::string model_out = "serve_tool_model.bin";
+  std::string model_in;
+  std::size_t batch = 64;
+  std::size_t linger_us = 0;
+  std::size_t landmarks = 0;
+  std::size_t threads = 0;
+  dasc::core::DascParams params;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const bool dashed = arg.rfind("--", 0) == 0;
+    if (dashed) arg = arg.substr(2);
+
+    std::size_t eq = arg.find('=');
+    std::string key;
+    std::string value;
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (dashed && i + 1 < argc) {
+      key = arg;
+      value = argv[++i];
+    } else if (!dashed) {
+      options.input = arg;
+      continue;
+    } else {
+      std::fprintf(stderr, "option missing value: --%s\n", arg.c_str());
+      std::exit(2);
+    }
+
+    if (key == "k") {
+      options.params.k = std::stoul(value);
+    } else if (key == "m") {
+      options.params.m = std::stoul(value);
+    } else if (key == "cap") {
+      options.params.max_bucket_points = std::stoul(value);
+    } else if (key == "sigma") {
+      options.params.sigma = std::stod(value);
+    } else if (key == "seed") {
+      options.params.seed = std::stoull(value);
+    } else if (key == "threads") {
+      options.threads = std::stoul(value);
+    } else if (key == "batch") {
+      options.batch = std::stoul(value);
+    } else if (key == "linger-us") {
+      options.linger_us = std::stoul(value);
+    } else if (key == "landmarks") {
+      options.landmarks = std::stoul(value);
+    } else if (key == "model-out") {
+      options.model_out = value;
+    } else if (key == "model-in") {
+      options.model_in = value;
+    } else if (key == "queries") {
+      options.queries = value;
+    } else if (key == "out") {
+      options.output = value;
+    } else if (key == "metrics-out") {
+      options.metrics_out = value;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+dasc::data::PointSet demo_mixture() {
+  dasc::Rng data_rng(11);
+  dasc::data::MixtureParams mix;
+  mix.n = 1500;
+  mix.dim = 16;
+  mix.k = 4;
+  mix.cluster_stddev = 0.04;
+  return dasc::data::make_gaussian_mixture(mix, data_rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  const Options options = parse(argc, argv);
+
+  // Phase 1: obtain a model artifact on disk — either fit-and-save or reuse
+  // a previously persisted one.
+  data::PointSet train;
+  std::vector<int> offline_labels;
+  std::string model_path = options.model_in;
+  bool fitted = false;
+  if (model_path.empty()) {
+    if (options.input.empty()) {
+      std::printf("no input file; fitting a 1500-point demo mixture\n");
+      train = demo_mixture();
+    } else {
+      try {
+        train = data::load_csv(options.input, /*labelled=*/false);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "failed to load %s: %s\n",
+                     options.input.c_str(), e.what());
+        return 1;
+      }
+      std::printf("loaded %zu training points of dimension %zu from %s\n",
+                  train.size(), train.dim(), options.input.c_str());
+    }
+
+    Rng rng(options.params.seed);
+    serving::FitOptions fit_options;
+    fit_options.max_landmarks = options.landmarks;
+    serving::FitResult fit;
+    try {
+      fit = serving::fit_model(train, options.params, rng, fit_options);
+      serving::save_model(fit.model, options.model_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fit/save failed: %s\n", e.what());
+      return 1;
+    }
+    offline_labels = std::move(fit.offline.labels);
+    model_path = options.model_out;
+    fitted = true;
+    std::printf("fitted %zu clusters over %zu buckets; artifact: %s\n",
+                fit.offline.num_clusters, fit.model.buckets.size(),
+                model_path.c_str());
+  }
+
+  // Phase 2: load the artifact back from disk (even right after fitting —
+  // the served model is always the persisted bytes) and serve queries.
+  data::PointSet queries;
+  bool queries_are_training = false;
+  if (!options.queries.empty()) {
+    try {
+      queries = data::load_csv(options.queries, /*labelled=*/false);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load %s: %s\n",
+                   options.queries.c_str(), e.what());
+      return 1;
+    }
+    std::printf("serving %zu queries from %s\n", queries.size(),
+                options.queries.c_str());
+  } else if (fitted) {
+    queries = std::move(train);
+    queries_are_training = true;
+    std::printf("no query file; serving the %zu training points back\n",
+                queries.size());
+  } else {
+    queries = demo_mixture();
+    std::printf("no query file; serving the demo mixture (%zu points)\n",
+                queries.size());
+  }
+
+  MetricsRegistry registry;
+  std::vector<int> served;
+  try {
+    const serving::Assigner assigner(serving::load_model(model_path));
+    serving::ServerOptions server_options;
+    server_options.threads = options.threads;
+    server_options.max_batch_size = options.batch;
+    server_options.max_linger = std::chrono::microseconds(options.linger_us);
+    server_options.metrics = &registry;
+    serving::Server server(assigner, server_options);
+    served = server.assign_all(queries);
+    server.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serving failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("served %lld requests in %lld batches (%.3f ms assign time)\n",
+              static_cast<long long>(
+                  registry.counter_value("serving.requests")),
+              static_cast<long long>(registry.gauge_value("serving.batches")),
+              registry.timer_total_ms("serving.assign_batch"));
+
+  if (!options.output.empty()) {
+    queries.set_labels(served);
+    try {
+      data::save_csv(queries, options.output);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   options.output.c_str(), e.what());
+      return 1;
+    }
+    std::printf("wrote labelled CSV to %s\n", options.output.c_str());
+  }
+
+  if (!options.metrics_out.empty()) {
+    try {
+      metrics::write_json(registry, options.metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   options.metrics_out.c_str(), e.what());
+      return 1;
+    }
+    std::printf("wrote metrics JSON to %s\n", options.metrics_out.c_str());
+  }
+
+  // Parity gate: served labels for the training set must be bit-identical
+  // to the offline pipeline's labels.
+  if (fitted && queries_are_training) {
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      if (served[i] != offline_labels[i]) ++mismatches;
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "PARITY FAILURE: %zu of %zu served labels differ from "
+                   "the offline pipeline\n",
+                   mismatches, served.size());
+      return 1;
+    }
+    std::printf("parity OK: all %zu served labels match the offline "
+                "pipeline\n",
+                served.size());
+  }
+  return 0;
+}

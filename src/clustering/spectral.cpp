@@ -12,22 +12,26 @@
 
 namespace dasc::clustering {
 
-linalg::DenseMatrix spectral_embedding(const linalg::DenseMatrix& gram,
-                                       std::size_t k,
-                                       std::size_t dense_cutoff) {
+SpectralEmbeddingDetail spectral_embedding_detail(
+    const linalg::DenseMatrix& gram, std::size_t k,
+    std::size_t dense_cutoff) {
   DASC_EXPECT(gram.rows() == gram.cols(),
               "spectral_embedding: gram must be square");
   const std::size_t n = gram.rows();
   DASC_EXPECT(k >= 1 && k <= n, "spectral_embedding: k must be in [1, N]");
 
+  SpectralEmbeddingDetail detail;
+
   // A = gram with zero diagonal (NJW); degrees and normalized Laplacian.
   linalg::DenseMatrix laplacian = gram;
   for (std::size_t i = 0; i < n; ++i) laplacian(i, i) = 0.0;
 
+  detail.degrees.assign(n, 0.0);
   std::vector<double> inv_sqrt_degree(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double degree = 0.0;
     for (std::size_t j = 0; j < n; ++j) degree += laplacian(i, j);
+    detail.degrees[i] = degree;
     inv_sqrt_degree[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -38,11 +42,13 @@ linalg::DenseMatrix spectral_embedding(const linalg::DenseMatrix& gram,
 
   // Top-k eigenvectors of L (largest eigenvalues).
   linalg::DenseMatrix embedding(n, k, 0.0);
+  detail.eigenvalues.assign(k, 0.0);
   if (n <= dense_cutoff) {
     const linalg::SymmetricEigenResult eigen =
         linalg::symmetric_eigen(laplacian);
     for (std::size_t col = 0; col < k; ++col) {
       const std::size_t src = n - 1 - col;  // eigenvalues ascend
+      detail.eigenvalues[col] = eigen.eigenvalues[src];
       for (std::size_t row = 0; row < n; ++row) {
         embedding(row, col) = eigen.eigenvectors(row, src);
       }
@@ -53,31 +59,44 @@ linalg::DenseMatrix spectral_embedding(const linalg::DenseMatrix& gram,
     DASC_ENSURE(eigen.eigenvectors.cols() == k,
                 "spectral_embedding: Lanczos returned too few vectors");
     for (std::size_t col = 0; col < k; ++col) {
+      detail.eigenvalues[col] = eigen.eigenvalues[col];
       for (std::size_t row = 0; row < n; ++row) {
         embedding(row, col) = eigen.eigenvectors(row, col);
       }
     }
   }
+  detail.eigenvectors = embedding;
 
   // Row-normalize to the unit sphere (Y_ij = X_ij / ||X_i||).
   for (std::size_t row = 0; row < n; ++row) {
     linalg::normalize(embedding.row(row));
   }
-  return embedding;
+  detail.embedding = std::move(embedding);
+  return detail;
 }
 
-std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
-                                       std::size_t k, Rng& rng,
-                                       const SpectralParams& params) {
-  const std::size_t n = gram.rows();
-  if (n == 0) return {};
-  const std::size_t effective_k = std::min(k, n);
-  if (effective_k <= 1) return std::vector<int>(n, 0);
+linalg::DenseMatrix spectral_embedding(const linalg::DenseMatrix& gram,
+                                       std::size_t k,
+                                       std::size_t dense_cutoff) {
+  return spectral_embedding_detail(gram, k, dense_cutoff).embedding;
+}
 
-  linalg::DenseMatrix embedding;
+SpectralGramDetail spectral_cluster_gram_detail(
+    const linalg::DenseMatrix& gram, std::size_t k, Rng& rng,
+    const SpectralParams& params) {
+  SpectralGramDetail detail;
+  const std::size_t n = gram.rows();
+  if (n == 0) return detail;
+  const std::size_t effective_k = std::min(k, n);
+  if (effective_k <= 1) {
+    detail.labels.assign(n, 0);
+    return detail;
+  }
+
   {
     ScopedTimer eigen_timer(params.metrics, "spectral.eigensolve");
-    embedding = spectral_embedding(gram, effective_k, params.dense_cutoff);
+    detail.spectral =
+        spectral_embedding_detail(gram, effective_k, params.dense_cutoff);
   }
   if (params.metrics != nullptr) {
     params.metrics
@@ -86,6 +105,7 @@ std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
         .add(1);
   }
 
+  const linalg::DenseMatrix& embedding = detail.spectral.embedding;
   data::PointSet rows(n, effective_k);
   for (std::size_t i = 0; i < n; ++i) {
     const auto src = embedding.row(i);
@@ -95,7 +115,17 @@ std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
   KMeansParams km = params.kmeans;
   km.k = effective_k;
   km.metrics = params.metrics;
-  return kmeans(rows, km, rng).labels;
+  KMeansResult clusters = kmeans(rows, km, rng);
+  detail.labels = std::move(clusters.labels);
+  detail.centroids = std::move(clusters.centroids);
+  detail.k = effective_k;
+  return detail;
+}
+
+std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
+                                       std::size_t k, Rng& rng,
+                                       const SpectralParams& params) {
+  return spectral_cluster_gram_detail(gram, k, rng, params).labels;
 }
 
 SpectralResult spectral_cluster(const data::PointSet& points,

@@ -38,11 +38,45 @@ struct SpectralResult {
   std::size_t gram_bytes = 0;
 };
 
+/// Everything the eigensolve produces, exposed so a fitted model can be
+/// persisted and extended to out-of-sample points (Nystrom-style): the
+/// row-normalized embedding the clustering consumes, plus the raw
+/// eigenpairs and affinity degrees the extension formula needs.
+struct SpectralEmbeddingDetail {
+  /// Row-normalized top-k eigenvectors (what spectral_embedding returns).
+  linalg::DenseMatrix embedding;
+  /// Raw (pre-normalization) eigenvectors, n x k.
+  linalg::DenseMatrix eigenvectors;
+  /// Matching eigenvalues of the normalized Laplacian, descending.
+  std::vector<double> eigenvalues;
+  /// Affinity row sums of the zero-diagonal Gram (degrees d_i).
+  std::vector<double> degrees;
+};
+
+/// Full fitted state of one spectral clustering run over a Gram matrix.
+/// `k == 0` marks the trivial path (empty input or effective k <= 1):
+/// labels are all zero and no spectral state was computed.
+struct SpectralGramDetail {
+  std::vector<int> labels;
+  std::size_t k = 0;  ///< effective cluster count; 0 = trivial path
+  SpectralEmbeddingDetail spectral;
+  /// K-means centroids in embedding space (k rows of dimension k).
+  std::vector<std::vector<double>> centroids;
+};
+
 /// Full spectral clustering over an explicit Gram/affinity matrix.
 /// The matrix diagonal is ignored (treated as zero, per NJW).
 std::vector<int> spectral_cluster_gram(const linalg::DenseMatrix& gram,
                                        std::size_t k, Rng& rng,
                                        const SpectralParams& params = {});
+
+/// spectral_cluster_gram, additionally returning the fitted state (raw
+/// eigenpairs, degrees, K-means centroids). The labels are bit-identical
+/// to spectral_cluster_gram for the same inputs: the plain entry point is
+/// a wrapper over this one.
+SpectralGramDetail spectral_cluster_gram_detail(
+    const linalg::DenseMatrix& gram, std::size_t k, Rng& rng,
+    const SpectralParams& params = {});
 
 /// Build the full Gaussian Gram matrix and cluster (the paper's SC
 /// baseline; O(N^2) time and space).
@@ -54,5 +88,11 @@ SpectralResult spectral_cluster(const data::PointSet& points,
 linalg::DenseMatrix spectral_embedding(const linalg::DenseMatrix& gram,
                                        std::size_t k,
                                        std::size_t dense_cutoff);
+
+/// spectral_embedding plus the raw eigenpairs and degrees. The embedding
+/// member is bit-identical to spectral_embedding's return value (the plain
+/// entry point is a wrapper over this one).
+SpectralEmbeddingDetail spectral_embedding_detail(
+    const linalg::DenseMatrix& gram, std::size_t k, std::size_t dense_cutoff);
 
 }  // namespace dasc::clustering

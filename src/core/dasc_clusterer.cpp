@@ -9,19 +9,30 @@
 
 namespace dasc::core {
 
-std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
-                                std::size_t k_bucket, std::size_t dense_cutoff,
-                                Rng& rng, MetricsRegistry* metrics) {
+clustering::SpectralGramDetail fit_bucket(const linalg::DenseMatrix& block,
+                                          std::size_t k_bucket,
+                                          std::size_t dense_cutoff, Rng& rng,
+                                          MetricsRegistry* metrics) {
   const std::size_t n = block.rows();
   DASC_EXPECT(block.cols() == n, "cluster_bucket: block must be square");
-  if (n == 0) return {};
-  if (k_bucket <= 1 || n <= 2) return std::vector<int>(n, 0);
+  clustering::SpectralGramDetail fit;
+  if (n == 0) return fit;
+  if (k_bucket <= 1 || n <= 2) {
+    fit.labels.assign(n, 0);
+    return fit;
+  }
 
   clustering::SpectralParams params;
   params.dense_cutoff = dense_cutoff;
   params.metrics = metrics;
-  return clustering::spectral_cluster_gram(block, std::min(k_bucket, n), rng,
-                                           params);
+  return clustering::spectral_cluster_gram_detail(block, std::min(k_bucket, n),
+                                                  rng, params);
+}
+
+std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
+                                std::size_t k_bucket, std::size_t dense_cutoff,
+                                Rng& rng, MetricsRegistry* metrics) {
+  return fit_bucket(block, k_bucket, dense_cutoff, rng, metrics).labels;
 }
 
 DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,

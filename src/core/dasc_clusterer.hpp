@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "clustering/spectral.hpp"
 #include "common/rng.hpp"
 #include "core/bucket_pipeline.hpp"
 #include "core/dasc_params.hpp"
@@ -48,5 +49,16 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
 std::vector<int> cluster_bucket(const linalg::DenseMatrix& block,
                                 std::size_t k_bucket, std::size_t dense_cutoff,
                                 Rng& rng, MetricsRegistry* metrics = nullptr);
+
+/// cluster_bucket, additionally returning the fitted per-bucket state
+/// (raw eigenpairs, degrees, K-means centroids) that the serving subsystem
+/// persists for out-of-sample assignment. Labels are bit-identical to
+/// cluster_bucket for the same inputs: the plain entry point is a wrapper
+/// over this one. `detail.k == 0` marks the trivial path (k_bucket <= 1 or
+/// <= 2 points): labels are all zero and no spectral state exists.
+clustering::SpectralGramDetail fit_bucket(const linalg::DenseMatrix& block,
+                                          std::size_t k_bucket,
+                                          std::size_t dense_cutoff, Rng& rng,
+                                          MetricsRegistry* metrics = nullptr);
 
 }  // namespace dasc::core

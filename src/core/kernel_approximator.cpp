@@ -185,15 +185,15 @@ std::vector<lsh::Bucket> balance_buckets(const data::PointSet& points,
   return out;
 }
 
-std::vector<lsh::Bucket> bucket_points(const data::PointSet& points,
-                                       const DascParams& params, Rng& rng,
-                                       ApproximatorStats* stats) {
+std::vector<lsh::Bucket> bucket_points(
+    const data::PointSet& points, const DascParams& params, Rng& rng,
+    ApproximatorStats* stats, std::unique_ptr<lsh::LshHasher>* hasher_out) {
   DASC_EXPECT(!points.empty(), "bucket_points: empty dataset");
   Stopwatch clock;
 
   const std::size_t m = resolve_signature_bits(params, points.size());
   const std::size_t p = resolve_merge_bits(params, m);
-  const std::unique_ptr<lsh::LshHasher> hasher =
+  std::unique_ptr<lsh::LshHasher> hasher =
       make_hasher(points, params, m, rng);
 
   const lsh::BucketTable table =
@@ -230,6 +230,7 @@ std::vector<lsh::Bucket> bucket_points(const data::PointSet& points,
                         (static_cast<double>(points.size()) *
                          static_cast<double>(points.size()));
   }
+  if (hasher_out != nullptr) *hasher_out = std::move(hasher);
   return buckets;
 }
 

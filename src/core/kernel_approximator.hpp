@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -85,10 +86,14 @@ BlockGram approximate_kernel(const data::PointSet& points,
 
 /// Steps 1-2 only: the bucketing, without materializing kernel blocks.
 /// Useful for consumers that stream blocks (and for Fig. 5's bucket sweep).
-/// Applies the params.max_bucket_points balancing cap when set.
-std::vector<lsh::Bucket> bucket_points(const data::PointSet& points,
-                                       const DascParams& params, Rng& rng,
-                                       ApproximatorStats* stats = nullptr);
+/// Applies the params.max_bucket_points balancing cap when set. With
+/// `hasher_out`, the fitted LSH hasher is handed to the caller (the serving
+/// subsystem persists its parameters to re-hash unseen query points); the
+/// RNG stream is identical either way.
+std::vector<lsh::Bucket> bucket_points(
+    const data::PointSet& points, const DascParams& params, Rng& rng,
+    ApproximatorStats* stats = nullptr,
+    std::unique_ptr<lsh::LshHasher>* hasher_out = nullptr);
 
 /// Data-dependent rebalancing (paper Section 5.1): recursively split every
 /// bucket larger than `max_points` at the median of its widest dimension.

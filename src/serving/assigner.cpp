@@ -1,0 +1,206 @@
+#include "serving/assigner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "clustering/kernel.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dasc::serving {
+
+namespace {
+
+// Eigenvalues below this are treated as a null direction of the Nystrom
+// extension rather than divided through.
+constexpr double kEigenvalueFloor = 1e-12;
+
+}  // namespace
+
+Assigner::Assigner(ModelArtifact model)
+    : model_(std::move(model)),
+      hasher_(std::vector<std::size_t>(model_.hash_dims.begin(),
+                                       model_.hash_dims.end()),
+              model_.hash_thresholds, model_.dim) {
+  DASC_EXPECT(!model_.buckets.empty(), "Assigner: model has no buckets");
+  DASC_EXPECT(model_.sigma > 0.0, "Assigner: model sigma must be positive");
+  // save_model emits routes sorted, but hand-built artifacts may not be.
+  std::sort(model_.routes.begin(), model_.routes.end(),
+            [](const RouteEntry& a, const RouteEntry& b) {
+              return a.signature != b.signature ? a.signature < b.signature
+                                                : a.bucket < b.bucket;
+            });
+  for (const RouteEntry& route : model_.routes) {
+    DASC_EXPECT(route.bucket < model_.buckets.size(),
+                "Assigner: route entry points past the bucket table");
+  }
+}
+
+std::vector<std::uint32_t> Assigner::candidate_buckets(std::uint64_t signature,
+                                                       RoutePath* route) const {
+  const auto& routes = model_.routes;
+  auto gather = [&routes](std::uint64_t sig, std::vector<std::uint32_t>* out) {
+    auto it = std::lower_bound(routes.begin(), routes.end(), sig,
+                               [](const RouteEntry& e, std::uint64_t value) {
+                                 return e.signature < value;
+                               });
+    for (; it != routes.end() && it->signature == sig; ++it) {
+      out->push_back(it->bucket);
+    }
+  };
+
+  std::vector<std::uint32_t> candidates;
+  gather(signature, &candidates);
+  if (!candidates.empty()) {
+    *route = RoutePath::kExact;
+    return candidates;
+  }
+
+  // Eq. 6 fallback: accept buckets whose fitted signatures differ from the
+  // query's in exactly one bit.
+  for (std::size_t bit = 0; bit < model_.signature_bits; ++bit) {
+    gather(signature ^ (std::uint64_t{1} << bit), &candidates);
+  }
+  if (!candidates.empty()) {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    *route = RoutePath::kHamming;
+    return candidates;
+  }
+
+  // Last resort: every bucket at minimum Hamming distance from the query's
+  // signature to its representative signature.
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (std::size_t b = 0; b < model_.buckets.size(); ++b) {
+    const std::size_t dist = lsh::hamming_distance(
+        lsh::Signature{signature}, model_.buckets[b].signature);
+    if (dist < best) {
+      best = dist;
+      candidates.clear();
+    }
+    if (dist == best) candidates.push_back(static_cast<std::uint32_t>(b));
+  }
+  *route = RoutePath::kScan;
+  return candidates;
+}
+
+AssignOutcome Assigner::assign_detailed(std::span<const double> query) const {
+  DASC_EXPECT(query.size() == model_.dim,
+              "Assigner: query dimensionality mismatch");
+  AssignOutcome out;
+  const std::uint64_t signature = hasher_.hash(query).bits;
+  const std::vector<std::uint32_t> candidates =
+      candidate_buckets(signature, &out.route);
+  DASC_ENSURE(!candidates.empty(), "Assigner: routing found no bucket");
+
+  // Nearest stored landmark across the candidates. Candidates and landmarks
+  // are visited in ascending order with a strict improvement test, so ties
+  // resolve to the lowest (bucket, landmark) pair deterministically.
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::uint32_t best_bucket = candidates.front();
+  std::size_t best_landmark = 0;
+  for (std::uint32_t b : candidates) {
+    const BucketModel& bucket = model_.buckets[b];
+    for (std::size_t j = 0; j < bucket.landmarks.rows(); ++j) {
+      const double dist =
+          linalg::squared_distance(query, bucket.landmarks.row(j));
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_bucket = b;
+        best_landmark = j;
+      }
+    }
+  }
+  out.bucket = best_bucket;
+  const BucketModel& bucket = model_.buckets[best_bucket];
+
+  if (best_dist == 0.0) {
+    // The query is a stored training point: reuse its offline label. This
+    // is what makes served training labels bit-identical to the offline
+    // pipeline (nearest-centroid alone cannot guarantee that, since Lloyd
+    // labels predate the final centroid update).
+    out.path = AssignPath::kExactLandmark;
+    out.label = bucket.landmark_labels[best_landmark];
+    return out;
+  }
+
+  if (bucket.k_eff == 0) {
+    // Trivial bucket: every member got the same label.
+    out.path = AssignPath::kNearestLandmark;
+    out.label = bucket.landmark_labels[best_landmark];
+    return out;
+  }
+
+  // Nystrom out-of-sample extension (NJW normalization):
+  //   v_k(q) = (1/lambda_k) sum_j k(q, x_j) / sqrt(d_q d_j) V_jk,
+  // with d_q the query's affinity degree against the landmarks, rescaled
+  // when landmarks subsample the bucket.
+  const std::size_t num_landmarks = bucket.landmarks.rows();
+  std::vector<double> affinity(num_landmarks);
+  double query_degree = 0.0;
+  for (std::size_t j = 0; j < num_landmarks; ++j) {
+    affinity[j] = clustering::gaussian_kernel(query, bucket.landmarks.row(j),
+                                              model_.sigma);
+    query_degree += affinity[j];
+  }
+  if (num_landmarks < bucket.member_count) {
+    query_degree *= static_cast<double>(bucket.member_count) /
+                    static_cast<double>(num_landmarks);
+  }
+  if (!(query_degree > 0.0)) {
+    out.path = AssignPath::kNearestLandmark;
+    out.label = bucket.landmark_labels[best_landmark];
+    return out;
+  }
+
+  const std::size_t k = bucket.k_eff;
+  std::vector<double> embedding(k, 0.0);
+  for (std::size_t col = 0; col < k; ++col) {
+    const double lambda = bucket.eigenvalues[col];
+    if (std::abs(lambda) < kEigenvalueFloor) continue;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < num_landmarks; ++j) {
+      const double degree = bucket.degrees[j];
+      if (!(degree > 0.0)) continue;
+      acc += affinity[j] / std::sqrt(query_degree * degree) *
+             bucket.eigenvectors(j, col);
+    }
+    embedding[col] = acc / lambda;
+  }
+  const double norm = linalg::norm2(embedding);
+  if (norm > 0.0) {
+    for (double& v : embedding) v /= norm;
+  }
+
+  std::size_t best_centroid = 0;
+  double best_centroid_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < bucket.centroids.rows(); ++c) {
+    const double dist =
+        linalg::squared_distance(embedding, bucket.centroids.row(c));
+    if (dist < best_centroid_dist) {
+      best_centroid_dist = dist;
+      best_centroid = c;
+    }
+  }
+  out.path = AssignPath::kNystrom;
+  out.label = static_cast<int>(bucket.label_offset + best_centroid);
+  return out;
+}
+
+int Assigner::assign(std::span<const double> query) const {
+  return assign_detailed(query).label;
+}
+
+std::vector<int> Assigner::assign_batch(const data::PointSet& queries,
+                                        std::size_t threads) const {
+  std::vector<int> labels(queries.size(), 0);
+  parallel_for(0, queries.size(), threads,
+               [&](std::size_t i) { labels[i] = assign(queries.point(i)); });
+  return labels;
+}
+
+}  // namespace dasc::serving

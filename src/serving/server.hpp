@@ -1,0 +1,88 @@
+// Thread-safe serving loop over an Assigner: callers submit query points
+// into a bounded request queue, worker threads drain it in micro-batches
+// (up to max_batch_size requests, waiting at most max_linger for a batch to
+// fill), and each request resolves a future with its cluster label.
+//
+// Labels are a pure function of the model and the query, so they are
+// bit-identical across worker counts, batch sizes, and linger settings —
+// batching changes throughput and latency only. Determinism-sensitive
+// metrics (request/path counters) are exact work counts; scheduling-shaped
+// observations (batch count, batch-size and queue-depth high-water marks)
+// are exported as gauges per the repo's metrics convention.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "data/point_set.hpp"
+#include "serving/assigner.hpp"
+
+namespace dasc::serving {
+
+struct ServerOptions {
+  /// Worker threads draining the queue; 0 = hardware default.
+  std::size_t threads = 0;
+  /// Upper bound on requests assigned per micro-batch.
+  std::size_t max_batch_size = 64;
+  /// How long a worker waits for a partial batch to fill before serving it.
+  std::chrono::microseconds max_linger{0};
+  /// Optional instrumentation sink (see DESIGN.md section 8 for names).
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Micro-batching request server. The Assigner must outlive the Server.
+class Server {
+ public:
+  explicit Server(const Assigner& assigner, const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue one query; the future resolves with its cluster label (or
+  /// rethrows the assignment error). Throws InvalidArgument after
+  /// shutdown() or on a dimensionality mismatch.
+  std::future<int> submit(std::vector<double> query);
+
+  /// Convenience closed loop: submit every point, wait for all labels.
+  std::vector<int> assign_all(const data::PointSet& queries);
+
+  /// Stop accepting, serve everything already queued, join workers, and
+  /// flush high-water gauges to metrics. Idempotent; also run by ~Server.
+  void shutdown();
+
+  std::size_t threads() const { return workers_.size(); }
+
+ private:
+  struct Request {
+    std::vector<double> point;
+    std::promise<int> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void serve_batch(std::vector<Request>& batch);
+
+  const Assigner& assigner_;
+  ServerOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::size_t peak_queue_depth_ = 0;
+  std::size_t peak_batch_size_ = 0;
+  std::size_t batches_served_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dasc::serving

@@ -145,6 +145,50 @@ TEST(BucketTable, MergedSignatureComesFromLargestConstituent) {
   EXPECT_EQ(buckets[0].signature.bits, 0b00u);
 }
 
+TEST(BucketTable, Eq6IdenticalSignaturesStayOneBucket) {
+  // A == B makes Eq. 6's ANS = (A xor B) & (A xor B - 1) evaluate on
+  // A xor B == 0; identical signatures are one raw bucket and must remain
+  // exactly one merged bucket under either strategy.
+  const auto table = BucketTable::from_signatures(
+      signatures_from_bits({0b101, 0b101, 0b101}), 3);
+  for (const auto strategy :
+       {MergeStrategy::kPairwise, MergeStrategy::kBitFlip}) {
+    const auto buckets = table.merged_buckets(2, strategy);
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_EQ(buckets[0].indices.size(), 3u);
+    EXPECT_EQ(buckets[0].signature.bits, 0b101u);
+  }
+}
+
+TEST(BucketTable, Eq6AllZeroSignatureMergesItsOneBitNeighbors) {
+  // The all-zero signature exercises the A xor B - 1 underflow edge of
+  // Eq. 6: 0b000 absorbs each signature exactly one bit away.
+  const auto table = BucketTable::from_signatures(
+      signatures_from_bits({0b000, 0b001, 0b100}), 3);
+  for (const auto strategy :
+       {MergeStrategy::kPairwise, MergeStrategy::kBitFlip}) {
+    const auto buckets = table.merged_buckets(2, strategy);
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_EQ(buckets[0].indices.size(), 3u);
+    expect_partition(buckets, 3);
+  }
+}
+
+TEST(BucketTable, Eq6ExactlyTwoBitDifferenceDoesNotMerge) {
+  // 0b000 vs 0b011 share P = 1 of M = 3 bits-worth of distance — two bits
+  // differ, so Eq. 6 must reject the merge even though the signatures are
+  // "close"; only <= 1 differing bit qualifies.
+  const auto table = BucketTable::from_signatures(
+      signatures_from_bits({0b000, 0b011}), 3);
+  for (const auto strategy :
+       {MergeStrategy::kPairwise, MergeStrategy::kBitFlip}) {
+    const auto buckets = table.merged_buckets(2, strategy);
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_EQ(buckets[0].indices.size(), 1u);
+    EXPECT_EQ(buckets[1].indices.size(), 1u);
+  }
+}
+
 TEST(BucketTable, RejectsSignaturesAboveWidth) {
   EXPECT_THROW(
       BucketTable::from_signatures(signatures_from_bits({0b100}), 2),

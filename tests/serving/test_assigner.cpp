@@ -1,0 +1,177 @@
+#include "serving/assigner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "core/dasc_params.hpp"
+#include "data/synthetic.hpp"
+#include "serving/model_artifact.hpp"
+
+namespace dasc::serving {
+namespace {
+
+data::PointSet demo_points(std::size_t n = 400) {
+  data::MixtureParams mix;
+  mix.n = n;
+  mix.dim = 8;
+  mix.k = 4;
+  mix.cluster_stddev = 0.03;
+  Rng rng(11);
+  return data::make_gaussian_mixture(mix, rng);
+}
+
+core::DascParams demo_params() {
+  core::DascParams params;
+  params.k = 4;
+  params.threads = 1;
+  return params;
+}
+
+TEST(AssignerTest, TrainingPointsReproduceOfflineLabels) {
+  const data::PointSet points = demo_points();
+  Rng rng(7);
+  const FitResult fit = fit_model(points, demo_params(), rng);
+  const Assigner assigner(fit.model);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(assigner.assign(points.point(i)), fit.offline.labels[i])
+        << "training point " << i;
+  }
+}
+
+TEST(AssignerTest, TrainingParityHoldsUnderBucketCap) {
+  // The balancing cap splits buckets that share a signature, which is the
+  // hard case for routing: an exact-signature route maps to several buckets.
+  const data::PointSet points = demo_points();
+  core::DascParams params = demo_params();
+  params.max_bucket_points = 48;
+  Rng rng(7);
+  const FitResult fit = fit_model(points, params, rng);
+  const Assigner assigner(fit.model);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(assigner.assign(points.point(i)), fit.offline.labels[i])
+        << "training point " << i;
+  }
+}
+
+TEST(AssignerTest, BatchMatchesSingleAcrossThreadCounts) {
+  const data::PointSet points = demo_points(200);
+  Rng rng(7);
+  const FitResult fit = fit_model(points, demo_params(), rng);
+  const Assigner assigner(fit.model);
+
+  std::vector<int> single(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    single[i] = assigner.assign(points.point(i));
+  }
+  EXPECT_EQ(assigner.assign_batch(points, 1), single);
+  EXPECT_EQ(assigner.assign_batch(points, 4), single);
+}
+
+TEST(AssignerTest, NearbyQueriesFollowTheirCluster) {
+  const data::PointSet points = demo_points();
+  Rng rng(7);
+  const FitResult fit = fit_model(points, demo_params(), rng);
+  const Assigner assigner(fit.model);
+
+  // Out-of-sample queries: tiny perturbations of training points should
+  // overwhelmingly keep the source point's label (well-separated mixture).
+  std::size_t agree = 0;
+  const std::size_t probes = 100;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const std::size_t src = i * points.size() / probes;
+    std::vector<double> query(points.point(src).begin(),
+                              points.point(src).end());
+    for (double& v : query) v += 1e-7;
+    if (assigner.assign(query) == fit.offline.labels[src]) ++agree;
+  }
+  EXPECT_GE(agree, probes * 9 / 10);
+}
+
+TEST(AssignerTest, AssignedLabelsAreInRange) {
+  const data::PointSet points = demo_points();
+  Rng rng(7);
+  const FitResult fit = fit_model(points, demo_params(), rng);
+  const Assigner assigner(fit.model);
+  Rng query_rng(99);
+  const data::PointSet queries = data::make_uniform(50, 8, query_rng);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const int label = assigner.assign(queries.point(i));
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(fit.model.num_clusters));
+  }
+}
+
+TEST(AssignerTest, DimensionMismatchThrows) {
+  const data::PointSet points = demo_points(100);
+  Rng rng(7);
+  const FitResult fit = fit_model(points, demo_params(), rng);
+  const Assigner assigner(fit.model);
+  const std::vector<double> bad(3, 0.0);
+  EXPECT_THROW(assigner.assign(bad), InvalidArgument);
+}
+
+// Hand-built one-dimensional artifact exercising every routing path.
+// Signature bits (Eq. 5): bit0 = (x <= 0.25), bit1 = (x <= 0.5),
+// bit2 = (x <= 0.75). The only fitted route is signature 0b111 (x <= 0.25).
+ModelArtifact tiny_artifact() {
+  ModelArtifact model;
+  model.dim = 1;
+  model.train_points = 1;
+  model.num_clusters = 1;
+  model.requested_k = 1;
+  model.signature_bits = 3;
+  model.merge_bits = 2;
+  model.sigma = 1.0;
+  model.hash_dims = {0, 0, 0};
+  model.hash_thresholds = {0.25, 0.5, 0.75};
+  model.routes = {{0b111, 0}};
+
+  BucketModel bucket;
+  bucket.signature = lsh::Signature{0b111};
+  bucket.label_offset = 0;
+  bucket.member_count = 1;
+  bucket.landmarks = linalg::DenseMatrix(1, 1);
+  bucket.landmarks(0, 0) = 0.1;
+  bucket.landmark_labels = {0};
+  bucket.degrees = {0.0};
+  bucket.k_eff = 0;  // trivial bucket: one member, one label
+  model.buckets.push_back(std::move(bucket));
+  return model;
+}
+
+TEST(AssignerTest, ExactRouteAndExactLandmark) {
+  const Assigner assigner(tiny_artifact());
+  const std::vector<double> query = {0.1};  // signature 0b111, stored point
+  const AssignOutcome outcome = assigner.assign_detailed(query);
+  EXPECT_EQ(outcome.route, RoutePath::kExact);
+  EXPECT_EQ(outcome.path, AssignPath::kExactLandmark);
+  EXPECT_EQ(outcome.label, 0);
+}
+
+TEST(AssignerTest, OneBitHammingFallback) {
+  const Assigner assigner(tiny_artifact());
+  // x = 0.4: signature 0b110, one bit away from the fitted 0b111 (Eq. 6).
+  const std::vector<double> query = {0.4};
+  const AssignOutcome outcome = assigner.assign_detailed(query);
+  EXPECT_EQ(outcome.route, RoutePath::kHamming);
+  EXPECT_EQ(outcome.path, AssignPath::kNearestLandmark);
+  EXPECT_EQ(outcome.label, 0);
+}
+
+TEST(AssignerTest, ScanFallbackWhenNoRouteIsNear) {
+  const Assigner assigner(tiny_artifact());
+  // x = 0.9: signature 0b000, three bits from the only route; no single
+  // bit flip reaches it, so routing degrades to the signature scan.
+  const std::vector<double> query = {0.9};
+  const AssignOutcome outcome = assigner.assign_detailed(query);
+  EXPECT_EQ(outcome.route, RoutePath::kScan);
+  EXPECT_EQ(outcome.label, 0);
+}
+
+}  // namespace
+}  // namespace dasc::serving

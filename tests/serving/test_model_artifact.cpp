@@ -1,0 +1,240 @@
+#include "serving/model_artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/dasc_params.hpp"
+#include "data/synthetic.hpp"
+
+namespace dasc::serving {
+namespace {
+
+data::PointSet demo_points() {
+  data::MixtureParams mix;
+  mix.n = 300;
+  mix.dim = 8;
+  mix.k = 3;
+  mix.cluster_stddev = 0.04;
+  Rng rng(11);
+  return data::make_gaussian_mixture(mix, rng);
+}
+
+core::DascParams demo_params() {
+  core::DascParams params;
+  params.k = 3;
+  params.threads = 1;
+  return params;
+}
+
+FitResult demo_fit() {
+  const data::PointSet points = demo_points();
+  Rng rng(7);
+  return fit_model(points, demo_params(), rng);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "dasc_artifact_" + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(ModelArtifactTest, FitPopulatesModel) {
+  const FitResult fit = demo_fit();
+  const ModelArtifact& model = fit.model;
+  EXPECT_EQ(model.dim, 8u);
+  EXPECT_EQ(model.train_points, 300u);
+  EXPECT_GT(model.sigma, 0.0);
+  EXPECT_EQ(model.hash_dims.size(), model.signature_bits);
+  EXPECT_EQ(model.hash_thresholds.size(), model.signature_bits);
+  EXPECT_FALSE(model.buckets.empty());
+  EXPECT_FALSE(model.routes.empty());
+  EXPECT_EQ(model.num_clusters,
+            static_cast<std::uint64_t>(fit.offline.num_clusters));
+
+  std::uint64_t members = 0;
+  for (const BucketModel& bucket : model.buckets) {
+    members += bucket.member_count;
+    // Full landmarks by default: every member retained.
+    EXPECT_EQ(bucket.landmarks.rows(), bucket.member_count);
+    EXPECT_EQ(bucket.landmark_labels.size(), bucket.member_count);
+    EXPECT_EQ(bucket.degrees.size(), bucket.member_count);
+    if (bucket.k_eff > 0) {
+      EXPECT_EQ(bucket.eigenvalues.size(), bucket.k_eff);
+      EXPECT_EQ(bucket.eigenvectors.rows(), bucket.landmarks.rows());
+      EXPECT_EQ(bucket.eigenvectors.cols(), bucket.k_eff);
+      EXPECT_EQ(bucket.centroids.rows(), bucket.k_eff);
+      EXPECT_EQ(bucket.centroids.cols(), bucket.k_eff);
+    }
+  }
+  EXPECT_EQ(members, model.train_points);
+}
+
+TEST(ModelArtifactTest, FitOfflineLabelsMatchDascCluster) {
+  const data::PointSet points = demo_points();
+  Rng rng_fit(7);
+  const FitResult fit = fit_model(points, demo_params(), rng_fit);
+  Rng rng_offline(7);
+  const core::DascResult offline =
+      core::dasc_cluster(points, demo_params(), rng_offline);
+  EXPECT_EQ(fit.offline.labels, offline.labels);
+  EXPECT_EQ(fit.offline.num_clusters, offline.num_clusters);
+}
+
+TEST(ModelArtifactTest, RoundTripPreservesEveryField) {
+  const FitResult fit = demo_fit();
+  const std::string path = temp_path("roundtrip.bin");
+  save_model(fit.model, path);
+  const ModelArtifact loaded = load_model(path);
+
+  const ModelArtifact& model = fit.model;
+  EXPECT_EQ(loaded.dim, model.dim);
+  EXPECT_EQ(loaded.train_points, model.train_points);
+  EXPECT_EQ(loaded.num_clusters, model.num_clusters);
+  EXPECT_EQ(loaded.requested_k, model.requested_k);
+  EXPECT_EQ(loaded.signature_bits, model.signature_bits);
+  EXPECT_EQ(loaded.merge_bits, model.merge_bits);
+  EXPECT_EQ(loaded.sigma, model.sigma);
+  EXPECT_EQ(loaded.hash_dims, model.hash_dims);
+  EXPECT_EQ(loaded.hash_thresholds, model.hash_thresholds);
+  EXPECT_EQ(loaded.routes, model.routes);
+  ASSERT_EQ(loaded.buckets.size(), model.buckets.size());
+  for (std::size_t b = 0; b < model.buckets.size(); ++b) {
+    const BucketModel& want = model.buckets[b];
+    const BucketModel& got = loaded.buckets[b];
+    EXPECT_EQ(got.signature, want.signature);
+    EXPECT_EQ(got.label_offset, want.label_offset);
+    EXPECT_EQ(got.member_count, want.member_count);
+    EXPECT_EQ(got.landmark_labels, want.landmark_labels);
+    EXPECT_EQ(got.degrees, want.degrees);
+    EXPECT_EQ(got.k_eff, want.k_eff);
+    EXPECT_EQ(got.eigenvalues, want.eigenvalues);
+    ASSERT_EQ(got.landmarks.rows(), want.landmarks.rows());
+    ASSERT_EQ(got.landmarks.cols(), want.landmarks.cols());
+    for (std::size_t i = 0; i < want.landmarks.rows(); ++i) {
+      for (std::size_t j = 0; j < want.landmarks.cols(); ++j) {
+        EXPECT_EQ(got.landmarks(i, j), want.landmarks(i, j));
+      }
+    }
+    ASSERT_EQ(got.eigenvectors.rows(), want.eigenvectors.rows());
+    ASSERT_EQ(got.eigenvectors.cols(), want.eigenvectors.cols());
+    for (std::size_t i = 0; i < want.eigenvectors.rows(); ++i) {
+      for (std::size_t j = 0; j < want.eigenvectors.cols(); ++j) {
+        EXPECT_EQ(got.eigenvectors(i, j), want.eigenvectors(i, j));
+      }
+    }
+    ASSERT_EQ(got.centroids.rows(), want.centroids.rows());
+    for (std::size_t i = 0; i < want.centroids.rows(); ++i) {
+      for (std::size_t j = 0; j < want.centroids.cols(); ++j) {
+        EXPECT_EQ(got.centroids(i, j), want.centroids(i, j));
+      }
+    }
+  }
+}
+
+TEST(ModelArtifactTest, SaveLoadSaveIsByteIdentical) {
+  const FitResult fit = demo_fit();
+  const std::string first = temp_path("first.bin");
+  const std::string second = temp_path("second.bin");
+  save_model(fit.model, first);
+  save_model(load_model(first), second);
+  EXPECT_EQ(read_bytes(first), read_bytes(second));
+}
+
+TEST(ModelArtifactTest, MissingFileThrowsIoError) {
+  EXPECT_THROW(load_model(temp_path("does_not_exist.bin")), IoError);
+}
+
+TEST(ModelArtifactTest, TruncatedFileThrowsIoError) {
+  const FitResult fit = demo_fit();
+  const std::string path = temp_path("full.bin");
+  save_model(fit.model, path);
+  const std::string bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  const std::string truncated = temp_path("truncated.bin");
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{9}, std::size_t{40}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    write_bytes(truncated, bytes.substr(0, keep));
+    EXPECT_THROW(load_model(truncated), IoError) << "keep=" << keep;
+  }
+}
+
+TEST(ModelArtifactTest, CorruptedPayloadFailsCrc) {
+  const FitResult fit = demo_fit();
+  const std::string path = temp_path("crc.bin");
+  save_model(fit.model, path);
+  std::string bytes = read_bytes(path);
+  // Flip one bit in the middle of a section payload; the CRC must notice.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  write_bytes(path, bytes);
+  try {
+    load_model(path);
+    FAIL() << "corrupted artifact loaded";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelArtifactTest, FutureVersionThrowsIoError) {
+  const FitResult fit = demo_fit();
+  const std::string path = temp_path("version.bin");
+  save_model(fit.model, path);
+  std::string bytes = read_bytes(path);
+  // Version is the little-endian u32 straight after the 8-byte magic.
+  bytes[8] = static_cast<char>(kFormatVersion + 1);
+  write_bytes(path, bytes);
+  try {
+    load_model(path);
+    FAIL() << "future-versioned artifact loaded";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelArtifactTest, BadMagicThrowsIoError) {
+  const std::string path = temp_path("magic.bin");
+  write_bytes(path, "NOTADASCMODELFILE_________________");
+  EXPECT_THROW(load_model(path), IoError);
+}
+
+TEST(ModelArtifactTest, FitRejectsNonProjectionFamily) {
+  const data::PointSet points = demo_points();
+  core::DascParams params = demo_params();
+  params.family = core::HashFamily::kSimHash;
+  Rng rng(7);
+  EXPECT_THROW(fit_model(points, params, rng), InvalidArgument);
+}
+
+TEST(ModelArtifactTest, LandmarkSubsamplingCapsArtifact) {
+  const data::PointSet points = demo_points();
+  Rng rng(7);
+  FitOptions options;
+  options.max_landmarks = 16;
+  const FitResult fit = fit_model(points, demo_params(), rng, options);
+  for (const BucketModel& bucket : fit.model.buckets) {
+    EXPECT_LE(bucket.landmarks.rows(), 16u);
+    EXPECT_LE(bucket.landmarks.rows(), bucket.member_count);
+  }
+}
+
+}  // namespace
+}  // namespace dasc::serving
