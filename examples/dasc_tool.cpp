@@ -22,12 +22,21 @@
 //                              (DESIGN.md section 8) for serve_tool
 //   model-in=<path>            skip fitting: load a persisted artifact and
 //                              label the input via out-of-sample assignment
+//   fault-plan=<plan>          deterministic fault injection, e.g.
+//                              "seed=7;alloc.gram_block:nth=3:max=2" (see
+//                              common/fault_injection.hpp for the grammar
+//                              and DESIGN.md section 9 for semantics)
+//   bucket-attempts=<int>      attempts per pipeline bucket (default 1;
+//                              raise alongside fault-plan so injected
+//                              failures are retried)
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "clustering/metrics.hpp"
+#include "common/fault_injection.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/metrics.hpp"
 #include "core/dasc_clusterer.hpp"
@@ -44,6 +53,7 @@ struct Options {
   std::string metrics_out;
   std::string model_out;
   std::string model_in;
+  std::string fault_plan;
   dasc::core::DascParams params;
 };
 
@@ -98,6 +108,10 @@ Options parse(int argc, char** argv) {
       options.model_out = value;
     } else if (key == "model-in") {
       options.model_in = value;
+    } else if (key == "fault-plan") {
+      options.fault_plan = value;
+    } else if (key == "bucket-attempts") {
+      options.params.max_bucket_attempts = std::stoul(value);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       std::exit(2);
@@ -140,6 +154,17 @@ int main(int argc, char** argv) {
     params.metrics = &registry;
     MemoryTracker::reset_peak();
   }
+  std::optional<FaultInjector> injector;
+  if (!options.fault_plan.empty()) {
+    try {
+      injector.emplace(FaultPlan::parse(options.fault_plan), &registry);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad fault plan: %s\n", e.what());
+      return 2;
+    }
+    params.faults = &*injector;
+    std::printf("fault plan: %s\n", injector->plan().to_string().c_str());
+  }
   Rng rng(params.seed);
   core::DascResult result;
   try {
@@ -176,6 +201,11 @@ int main(int argc, char** argv) {
                 result.stats.gram_bytes, result.stats.full_gram_bytes,
                 100.0 * result.stats.fill_ratio);
     std::printf("time: %.3fs\n", result.total_seconds);
+  }
+
+  if (injector.has_value()) {
+    std::printf("faults injected: %llu (survived; labels are fault-free)\n",
+                static_cast<unsigned long long>(injector->total_fired()));
   }
 
   if (points.has_labels()) {

@@ -1,0 +1,47 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace dasc {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Crc32& Crc32::update(std::string_view bytes) {
+  const auto& table = crc_table();
+  for (unsigned char byte : bytes) {
+    state_ = table[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+  }
+  return *this;
+}
+
+std::uint32_t crc32(std::string_view bytes) {
+  return Crc32().update(bytes).value();
+}
+
+std::uint32_t crc32_lines(const std::vector<std::string>& lines) {
+  Crc32 crc;
+  for (const auto& line : lines) {
+    crc.update(line);
+    crc.update("\n");
+  }
+  return crc.value();
+}
+
+}  // namespace dasc

@@ -1,0 +1,34 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// One shared implementation guards every integrity check in the system:
+// model-artifact sections (serving/model_artifact), DFS block reads, and
+// shuffle fetch transfers (the fault-tolerance layer re-reads a replica /
+// re-fetches a segment when verification fails).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dasc {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  Crc32& update(std::string_view bytes);
+  /// Finalized checksum of everything updated so far (non-destructive).
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte string.
+std::uint32_t crc32(std::string_view bytes);
+
+/// CRC-32 of a line sequence, newline-terminated per line (the DFS block
+/// checksum: sensitive to both content and line structure).
+std::uint32_t crc32_lines(const std::vector<std::string>& lines);
+
+}  // namespace dasc

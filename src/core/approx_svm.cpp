@@ -58,6 +58,8 @@ ApproxSvm ApproxSvm::train(const data::PointSet& points,
   options.max_inflight_bytes = params.dasc.max_inflight_bytes;
   options.build_blocks = false;
   options.metrics = params.dasc.metrics;
+  options.faults = params.dasc.faults;
+  options.max_bucket_attempts = params.dasc.max_bucket_attempts;
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& /*block*/, const lsh::Bucket& bucket,

@@ -7,6 +7,8 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
@@ -81,6 +83,8 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
   DASC_EXPECT(!options.build_blocks || options.sigma > 0.0,
               "run_bucket_pipeline: sigma required to build blocks");
   DASC_EXPECT(consume != nullptr, "run_bucket_pipeline: null consumer");
+  DASC_EXPECT(options.max_bucket_attempts >= 1,
+              "run_bucket_pipeline: max_bucket_attempts must be >= 1");
 
   Stopwatch wall_clock;
   ScopedTimer wall_timer(options.metrics, "pipeline.wall");
@@ -111,28 +115,60 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
       ~Ticket() { gate.release(bytes); }
     } ticket{gate, block_bytes[b]};
 
-    Stopwatch build_clock;
-    linalg::DenseMatrix block;
-    if (options.build_blocks) {
-      ScopedTimer build_timer(options.metrics, "pipeline.gram_build");
-      block = clustering::gaussian_gram_subset(points, buckets[b].indices,
-                                               options.sigma);
-    }
-    const double build_s = build_clock.seconds();
+    // Per-bucket retry: re-attempts rebuild the block and re-run the
+    // consumer; the disjoint-label-slot contract makes that idempotent.
+    for (std::size_t attempt = 1;; ++attempt) {
+      try {
+        if (options.faults != nullptr) {
+          options.faults->maybe_throw("alloc.gram_block");
+        }
+        Stopwatch build_clock;
+        linalg::DenseMatrix block;
+        if (options.build_blocks) {
+          ScopedTimer build_timer(options.metrics, "pipeline.gram_build");
+          block = clustering::gaussian_gram_subset(points, buckets[b].indices,
+                                                   options.sigma);
+        }
+        const double build_s = build_clock.seconds();
 
-    Stopwatch consume_clock;
-    {
-      ScopedTimer consume_timer(options.metrics, "pipeline.consume");
-      consume(std::move(block), buckets[b], jobs[b]);
-    }
-    // Force the block free (if the consumer didn't move it out) before the
-    // admission ticket is returned, so the budget matches live memory.
-    block = linalg::DenseMatrix();
-    const double consume_s = consume_clock.seconds();
+        Stopwatch consume_clock;
+        {
+          ScopedTimer consume_timer(options.metrics, "pipeline.consume");
+          consume(std::move(block), buckets[b], jobs[b]);
+        }
+        // Force the block free (if the consumer didn't move it out) before
+        // the admission ticket is returned, so the budget matches live
+        // memory.
+        block = linalg::DenseMatrix();
+        const double consume_s = consume_clock.seconds();
 
-    std::lock_guard lock(timing_mutex);
-    stats.build_seconds += build_s;
-    stats.consume_seconds += consume_s;
+        std::lock_guard lock(timing_mutex);
+        stats.build_seconds += build_s;
+        stats.consume_seconds += consume_s;
+        return;
+      } catch (...) {
+        if (attempt < options.max_bucket_attempts) {
+          if (options.metrics != nullptr) {
+            options.metrics->counter("retry.bucket_attempts").add();
+          }
+          DASC_LOG(kWarn) << "bucket pipeline: bucket " << b << " attempt "
+                          << attempt << " failed; retrying";
+          continue;
+        }
+        if (!options.degrade_on_failure) throw;
+        // Graceful degradation: record the bucket as failed (reported to
+        // the caller and counted) instead of poisoning the whole run.
+        if (options.metrics != nullptr) {
+          options.metrics->counter("fault.buckets_failed").add();
+        }
+        DASC_LOG(kWarn) << "bucket pipeline: bucket " << b
+                        << " failed after " << options.max_bucket_attempts
+                        << " attempts; degrading";
+        std::lock_guard lock(timing_mutex);
+        stats.failed_buckets.push_back(b);
+        return;
+      }
+    }
   };
 
   std::size_t threads =
@@ -161,6 +197,8 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
 
   stats.peak_inflight_bytes = gate.peak_bytes();
   stats.wall_seconds = wall_clock.seconds();
+  // Completion order is scheduling-dependent; report failures sorted.
+  std::sort(stats.failed_buckets.begin(), stats.failed_buckets.end());
 
   if (options.metrics != nullptr) {
     MetricsRegistry& registry = *options.metrics;

@@ -31,6 +31,7 @@
 #include "lsh/bucket_table.hpp"
 
 namespace dasc {
+class FaultInjector;
 class MetricsRegistry;
 }
 
@@ -87,6 +88,21 @@ struct BucketPipelineOptions {
   /// `pipeline.consume` / `pipeline.wall` timers, bucket and AdmissionGate
   /// admission counters, and peak-byte gauges (null = off).
   MetricsRegistry* metrics = nullptr;
+  /// Optional fault source (site `alloc.gram_block`, checked before each
+  /// bucket attempt). Null = off.
+  FaultInjector* faults = nullptr;
+  /// Attempts per bucket before it counts as failed (1 = fail fast). Each
+  /// re-attempt rebuilds the Gram block and re-runs the consumer; the
+  /// consumer's commit must therefore be idempotent per bucket, which the
+  /// disjoint-label-slot contract already guarantees. Counts
+  /// `retry.bucket_attempts` per re-attempt.
+  std::size_t max_bucket_attempts = 1;
+  /// When true, a bucket that exhausts its attempts is recorded in
+  /// BucketPipelineStats::failed_buckets (and `fault.buckets_failed`)
+  /// instead of failing the whole run — graceful degradation: the caller
+  /// decides whether partial labels are acceptable. When false the first
+  /// exhausted bucket's error is rethrown.
+  bool degrade_on_failure = false;
 };
 
 /// Byte/timing observations from one pipeline run.
@@ -98,6 +114,9 @@ struct BucketPipelineStats {
   double build_seconds = 0.0;           ///< summed per-bucket Gram time
   double consume_seconds = 0.0;         ///< summed per-bucket consumer time
   double wall_seconds = 0.0;            ///< end-to-end run time
+  /// Buckets that exhausted max_bucket_attempts under degrade_on_failure,
+  /// in ascending index order — reported, never silently dropped.
+  std::vector<std::size_t> failed_buckets;
 };
 
 /// Per-bucket consumer. The block is handed over by value (rvalue): the

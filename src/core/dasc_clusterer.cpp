@@ -67,6 +67,8 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
   options.max_inflight_blocks = params.max_inflight_blocks;
   options.max_inflight_bytes = params.max_inflight_bytes;
   options.metrics = params.metrics;
+  options.faults = params.faults;
+  options.max_bucket_attempts = params.max_bucket_attempts;
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,

@@ -75,13 +75,16 @@ class BucketClusterReducer final : public mapreduce::Reducer {
  public:
   BucketClusterReducer(double sigma, std::size_t global_k,
                        std::size_t total_points, std::size_t dense_cutoff,
-                       std::uint64_t seed, MetricsRegistry* metrics)
+                       std::uint64_t seed, MetricsRegistry* metrics,
+                       FaultInjector* faults, std::size_t max_bucket_attempts)
       : sigma_(sigma),
         global_k_(global_k),
         total_points_(total_points),
         dense_cutoff_(dense_cutoff),
         seed_(seed),
-        metrics_(metrics) {}
+        metrics_(metrics),
+        faults_(faults),
+        max_bucket_attempts_(max_bucket_attempts) {}
 
   void reduce(const std::string& key, const std::vector<std::string>& values,
               mapreduce::Emitter& out) override {
@@ -115,6 +118,8 @@ class BucketClusterReducer final : public mapreduce::Reducer {
     options.threads = 1;  // the reducer is already one parallel task
     options.max_inflight_blocks = 1;
     options.metrics = metrics_;
+    options.faults = faults_;
+    options.max_bucket_attempts = max_bucket_attempts_;
     std::vector<int> local;
     run_bucket_pipeline(
         group, {bucket}, {job}, options,
@@ -138,6 +143,8 @@ class BucketClusterReducer final : public mapreduce::Reducer {
   std::size_t dense_cutoff_;
   std::uint64_t seed_;
   MetricsRegistry* metrics_;
+  FaultInjector* faults_;
+  std::size_t max_bucket_attempts_;
 };
 
 }  // namespace
@@ -164,6 +171,7 @@ mapreduce::JobSpec make_stage1_spec(const MapReduceDascParams& params,
     return std::make_unique<IdentityReducer>();
   };
   lsh_spec.metrics = params.dasc.metrics;
+  lsh_spec.faults = params.dasc.faults;
   return lsh_spec;
 }
 
@@ -332,11 +340,15 @@ void finish_pipeline(const data::PointSet& points,
   const std::size_t dense_cutoff = params.dasc.dense_cutoff;
   const std::uint64_t seed = params.dasc.seed;
   MetricsRegistry* metrics = params.dasc.metrics;
+  FaultInjector* faults = params.dasc.faults;
+  const std::size_t max_bucket_attempts = params.dasc.max_bucket_attempts;
   cluster_spec.reducer_factory = [=] {
     return std::make_unique<BucketClusterReducer>(sigma, global_k, n,
-                                                  dense_cutoff, seed, metrics);
+                                                  dense_cutoff, seed, metrics,
+                                                  faults, max_bucket_attempts);
   };
   cluster_spec.metrics = params.dasc.metrics;
+  cluster_spec.faults = params.dasc.faults;
   result.cluster_job = mapreduce::run_job(cluster_spec, stage2_input);
 
   // ---- Densify cluster keys into labels. ----

@@ -10,6 +10,7 @@
 #include "lsh/random_projection.hpp"
 
 namespace dasc {
+class FaultInjector;
 class MetricsRegistry;
 }
 
@@ -71,6 +72,17 @@ struct DascParams {
   /// deterministic work counters, and AdmissionGate gauges into it; null
   /// disables all instrumentation.
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional fault source (see common/fault_injection.hpp), threaded —
+  /// like the metrics sink — into every consumer's bucket pipeline (site
+  /// `alloc.gram_block`) and, for the MapReduce driver, its job specs
+  /// (`map.task`, `reduce.task`, `shuffle.fetch`). For a fixed seed,
+  /// labels are bit-identical with and without faults as long as every
+  /// bucket/task eventually succeeds. Null = off.
+  FaultInjector* faults = nullptr;
+  /// Attempts per bucket in the pipeline before its error propagates
+  /// (1 = fail fast; see BucketPipelineOptions::max_bucket_attempts).
+  std::size_t max_bucket_attempts = 1;
 };
 
 /// Resolve m for a dataset of size n (params.m or the paper's auto rule).

@@ -39,6 +39,8 @@ StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
   options.max_inflight_blocks = 1;
   options.max_inflight_bytes = params.max_inflight_bytes;
   options.metrics = params.metrics;
+  options.faults = params.faults;
+  options.max_bucket_attempts = params.max_bucket_attempts;
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,

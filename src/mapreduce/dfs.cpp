@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace dasc::mapreduce {
 
-Dfs::Dfs(const DfsConfig& config) : config_(config), placement_rng_(config.seed) {
+Dfs::Dfs(const DfsConfig& config)
+    : config_(config), placement_rng_(config.seed) {
   DASC_EXPECT(config.num_nodes >= 1, "Dfs: need at least one node");
   DASC_EXPECT(config.replication >= 1, "Dfs: replication must be >= 1");
   DASC_EXPECT(config.block_size_bytes >= 1, "Dfs: block size must be >= 1");
@@ -42,6 +47,7 @@ void Dfs::append_locked(File& file, const std::vector<std::string>& lines) {
         lines.begin() + static_cast<std::ptrdiff_t>(start),
         lines.begin() + static_cast<std::ptrdiff_t>(end));
     block.size_bytes = bytes;
+    block.checksum = crc32_lines(*block.lines);
     block.replica_nodes = place_replicas();
     file.blocks.push_back(std::move(block));
     start = end;
@@ -62,13 +68,53 @@ void Dfs::append(const std::string& path,
   append_locked(files_[path], lines);
 }
 
+std::vector<std::string> Dfs::verified_read_locked(
+    const Block& block, const std::string& path) const {
+  if (config_.faults == nullptr) return *block.lines;
+  for (std::size_t attempt = 1;; ++attempt) {
+    const FaultInjector::Outcome outcome = config_.faults->check("dfs.read");
+    bool ok = outcome != FaultInjector::Outcome::kError;
+    std::vector<std::string> lines;
+    if (ok) {
+      lines = *block.lines;
+      if (outcome == FaultInjector::Outcome::kCorruption) {
+        // Flip one payload byte in transit; the CRC check below catches it
+        // (an empty payload has nothing to flip — fail the attempt).
+        bool flipped = false;
+        for (auto& line : lines) {
+          if (!line.empty()) {
+            line.front() = static_cast<char>(line.front() ^ 0x1);
+            flipped = true;
+            break;
+          }
+        }
+        ok = flipped ? crc32_lines(lines) == block.checksum : false;
+      } else {
+        ok = crc32_lines(lines) == block.checksum;
+      }
+    }
+    if (ok) return lines;
+    if (attempt >= config_.read_attempts) {
+      throw IoError("Dfs: block read failed after " +
+                    std::to_string(config_.read_attempts) + " attempts: " +
+                    path);
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("retry.dfs_read").add();
+    }
+    DASC_LOG(kWarn) << "Dfs: re-reading block of " << path << " (attempt "
+                    << attempt << " failed verification)";
+  }
+}
+
 std::vector<std::string> Dfs::read_file(const std::string& path) const {
   std::lock_guard lock(mutex_);
   const auto it = files_.find(path);
   if (it == files_.end()) throw IoError("Dfs: no such file: " + path);
   std::vector<std::string> lines;
   for (const auto& block : it->second.blocks) {
-    lines.insert(lines.end(), block.lines->begin(), block.lines->end());
+    const std::vector<std::string> payload = verified_read_locked(block, path);
+    lines.insert(lines.end(), payload.begin(), payload.end());
   }
   return lines;
 }
@@ -79,7 +125,7 @@ std::vector<std::string> Dfs::read_block(const std::string& path,
   const auto it = files_.find(path);
   if (it == files_.end()) throw IoError("Dfs: no such file: " + path);
   DASC_EXPECT(block < it->second.blocks.size(), "Dfs: block out of range");
-  return *it->second.blocks[block].lines;
+  return verified_read_locked(it->second.blocks[block], path);
 }
 
 bool Dfs::exists(const std::string& path) const {

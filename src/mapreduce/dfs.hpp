@@ -16,6 +16,11 @@
 
 #include "common/rng.hpp"
 
+namespace dasc {
+class FaultInjector;
+class MetricsRegistry;
+}  // namespace dasc
+
 namespace dasc::mapreduce {
 
 struct DfsConfig {
@@ -23,6 +28,15 @@ struct DfsConfig {
   std::size_t replication = 3;        ///< replicas per block (Table 2)
   std::size_t block_size_bytes = 64 * 1024;  ///< small blocks: more splits
   std::uint64_t seed = 99;            ///< placement randomization
+  /// Attempts per block read before IoError — HDFS clients fall back to
+  /// another replica when a checksum mismatch is detected.
+  std::size_t read_attempts = 3;
+  /// Optional fault source (site `dfs.read`): kError fails an attempt,
+  /// kCorruption flips payload bytes for the CRC check to catch. Null = no
+  /// faults and no per-read verification cost.
+  FaultInjector* faults = nullptr;
+  /// Counts `retry.dfs_read` per re-read (null = off).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Location metadata of one block.
@@ -71,6 +85,7 @@ class Dfs {
   struct Block {
     std::shared_ptr<const std::vector<std::string>> lines;
     std::size_t size_bytes = 0;
+    std::uint32_t checksum = 0;  ///< crc32_lines of the payload at write
     std::vector<std::size_t> replica_nodes;
   };
   struct File {
@@ -79,6 +94,11 @@ class Dfs {
 
   std::vector<std::size_t> place_replicas();
   void append_locked(File& file, const std::vector<std::string>& lines);
+  /// Fetch one block's payload, injecting `dfs.read` faults and verifying
+  /// the stored CRC when an injector is attached; re-reads (as if from
+  /// another replica) up to config.read_attempts times.
+  std::vector<std::string> verified_read_locked(const Block& block,
+                                                const std::string& path) const;
 
   DfsConfig config_;
   mutable std::mutex mutex_;

@@ -1,9 +1,15 @@
 #include "mapreduce/job.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
 #include <mutex>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
@@ -20,23 +26,167 @@ struct Split {
   std::vector<Record> records;
 };
 
-/// Run one task body up to `attempts` times (Hadoop task-attempt retry);
-/// increments `failed_attempts` per retried failure and rethrows the last
-/// error when every attempt failed.
-template <typename Body>
-void run_with_retries(std::size_t attempts,
-                      std::atomic<std::uint64_t>& failed_attempts,
-                      const Body& body) {
-  for (std::size_t attempt = 1;; ++attempt) {
-    try {
-      body();
-      return;
-    } catch (...) {
-      if (attempt >= attempts) throw;
-      failed_attempts.fetch_add(1, std::memory_order_relaxed);
-      DASC_LOG(kWarn) << "task attempt " << attempt << " failed; retrying";
-    }
+/// Backoff before task attempt `attempt + 1`: base * 2^(attempt-1) ms,
+/// capped at max.
+double backoff_ms(const JobConf& conf, std::size_t attempt) {
+  const double ms = conf.retry_backoff_base_ms *
+                    std::pow(2.0, static_cast<double>(attempt - 1));
+  return std::min(ms, conf.retry_backoff_max_ms);
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A task attempt: does the work, returns the closure that applies its
+/// side effects (output slot + counters). Only the attempt that wins a
+/// task's commit race runs its closure, so retried and speculative
+/// attempts are idempotent — a discarded attempt leaves no trace, like
+/// Hadoop discarding a failed attempt's output.
+using TaskBody = std::function<std::function<void()>(std::size_t)>;
+
+/// One phase of task attempts with Hadoop-style fault tolerance:
+///   - fault injection at `fault_site` before each attempt (JobSpec.faults),
+///   - per-task retry up to conf.max_task_attempts, sleeping a capped
+///     exponential backoff between attempts (`retry.backoff` timer; the
+///     phase `retry_counter` counts retried attempts),
+///   - commit-once idempotence via the TaskBody contract above,
+///   - optional speculative re-execution: once at least half the tasks
+///     have committed, any task slower than speculative_slowdown x the
+///     median committed duration (and speculative_min_ms) gets one backup
+///     attempt; first commit wins (`retry.speculative_launches` gauge).
+/// The committing attempt's duration lands in task_seconds (a backup that
+/// wins shortens the task, which is the point of speculation). The first
+/// permanent task failure is rethrown after every task settles.
+void run_task_phase(const JobSpec& spec, std::size_t num_tasks,
+                    std::string_view fault_site, const char* retry_counter,
+                    std::atomic<std::uint64_t>& failed_attempts,
+                    std::atomic<std::uint64_t>& speculative_launches,
+                    std::vector<double>& task_seconds, const TaskBody& body) {
+  const JobConf& conf = spec.conf;
+  if (num_tasks == 0) return;
+
+  const auto committed = std::make_unique<std::atomic<bool>[]>(num_tasks);
+  const auto speculated = std::make_unique<std::atomic<bool>[]>(num_tasks);
+  const auto start_ns =
+      std::make_unique<std::atomic<std::int64_t>[]>(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    committed[t].store(false, std::memory_order_relaxed);
+    speculated[t].store(false, std::memory_order_relaxed);
+    start_ns[t].store(0, std::memory_order_relaxed);
   }
+
+  std::atomic<std::size_t> settled{0};
+  std::mutex commit_mutex;
+  std::vector<double> committed_durations;
+  std::exception_ptr first_error;
+
+  // Run one attempt; returns true when this attempt committed the task.
+  auto attempt_once = [&](std::size_t task, const Stopwatch& clock) {
+    if (spec.faults != nullptr) spec.faults->maybe_throw(fault_site);
+    const std::function<void()> commit = body(task);
+    if (committed[task].exchange(true, std::memory_order_acq_rel)) {
+      return false;  // another attempt already won this task
+    }
+    commit();
+    const double seconds = clock.seconds();
+    task_seconds[task] = seconds;
+    std::lock_guard lock(commit_mutex);
+    committed_durations.push_back(seconds);
+    return true;
+  };
+
+  auto run_primary = [&](std::size_t task) {
+    Stopwatch clock;
+    start_ns[task].store(steady_now_ns(), std::memory_order_release);
+    for (std::size_t attempt = 1;; ++attempt) {
+      try {
+        attempt_once(task, clock);
+        break;
+      } catch (...) {
+        if (committed[task].load(std::memory_order_acquire)) break;
+        if (attempt >= conf.max_task_attempts) {
+          std::lock_guard lock(commit_mutex);
+          if (!first_error) first_error = std::current_exception();
+          break;
+        }
+        failed_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (spec.metrics != nullptr) {
+          spec.metrics->counter(retry_counter).add();
+        }
+        const double sleep_ms = backoff_ms(conf, attempt);
+        if (spec.metrics != nullptr) {
+          spec.metrics->timer("retry.backoff")
+              .record_seconds(sleep_ms / 1000.0);
+        }
+        if (sleep_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(sleep_ms));
+        }
+        DASC_LOG(kWarn) << conf.job_name << ": task attempt " << attempt
+                        << " failed; retrying";
+      }
+    }
+    settled.fetch_add(1, std::memory_order_release);
+  };
+
+  // Backup attempts are best-effort: a failure here is ignored because the
+  // primary is still retrying on its own schedule.
+  auto run_backup = [&](std::size_t task) {
+    Stopwatch clock;
+    try {
+      attempt_once(task, clock);
+    } catch (...) {
+    }
+  };
+
+  std::size_t threads =
+      conf.physical_threads == 0 ? default_threads() : conf.physical_threads;
+  threads = std::max<std::size_t>(1, std::min(threads, num_tasks));
+  const bool speculate = conf.enable_speculation && num_tasks > 1;
+
+  if (threads <= 1 && !speculate) {
+    for (std::size_t t = 0; t < num_tasks; ++t) run_primary(t);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      pool.submit([&run_primary, t] { run_primary(t); });
+    }
+    while (speculate &&
+           settled.load(std::memory_order_acquire) < num_tasks) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::vector<double> durations;
+      {
+        std::lock_guard lock(commit_mutex);
+        if (committed_durations.size() * 2 < num_tasks) continue;
+        durations = committed_durations;
+      }
+      auto mid = durations.begin() +
+                 static_cast<std::ptrdiff_t>(durations.size() / 2);
+      std::nth_element(durations.begin(), mid, durations.end());
+      const double threshold = std::max(conf.speculative_slowdown * *mid,
+                                        conf.speculative_min_ms / 1000.0);
+      const std::int64_t now = steady_now_ns();
+      for (std::size_t t = 0; t < num_tasks; ++t) {
+        const std::int64_t started =
+            start_ns[t].load(std::memory_order_acquire);
+        if (started == 0 || committed[t].load(std::memory_order_acquire)) {
+          continue;
+        }
+        if (static_cast<double>(now - started) * 1e-9 <= threshold) continue;
+        if (speculated[t].exchange(true, std::memory_order_acq_rel)) continue;
+        speculative_launches.fetch_add(1, std::memory_order_relaxed);
+        DASC_LOG(kInfo) << conf.job_name
+                        << ": launching speculative attempt for task " << t;
+        pool.submit([&run_backup, t] { run_backup(t); });
+      }
+    }
+    pool.wait_idle();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
@@ -64,49 +214,56 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
   const bool use_combiner =
       spec.conf.enable_combiner && spec.combiner_factory != nullptr;
   std::atomic<std::uint64_t> failed_attempts{0};
+  std::atomic<std::uint64_t> speculative_launches{0};
 
-  parallel_for(
-      0, splits.size(), spec.conf.physical_threads, [&](std::size_t task) {
-        Stopwatch clock;
-        run_with_retries(spec.conf.max_task_attempts, failed_attempts, [&] {
-          const std::unique_ptr<Mapper> mapper = spec.mapper_factory();
-          VectorEmitter emitter;
-          for (const auto& record : splits[task].records) {
-            mapper->map(record.key, record.value, emitter);
+  // Attempts other than the committing one may run to completion (a retry
+  // racing a speculative backup), so tasks re-group from a kept partition
+  // instead of destructively moving it.
+  const bool reattempts_possible = spec.faults != nullptr ||
+                                   spec.conf.enable_speculation ||
+                                   spec.conf.max_task_attempts > 1;
+
+  run_task_phase(
+      spec, splits.size(), "map.task", "retry.map_attempts", failed_attempts,
+      speculative_launches, result.map_task_seconds,
+      [&](std::size_t task) -> std::function<void()> {
+        const std::unique_ptr<Mapper> mapper = spec.mapper_factory();
+        VectorEmitter emitter;
+        for (const auto& record : splits[task].records) {
+          mapper->map(record.key, record.value, emitter);
+        }
+        const std::uint64_t emitted = emitter.records().size();
+
+        std::vector<Record> output;
+        std::uint64_t combined_count = 0;
+        if (use_combiner) {
+          // Combine within the task: sort/group local output and fold it
+          // before it hits the shuffle.
+          const std::unique_ptr<Reducer> combiner = spec.combiner_factory();
+          VectorEmitter combined;
+          for (auto& group : sort_and_group(std::move(emitter.records()))) {
+            combiner->reduce(group.key, group.values, combined);
           }
-          const std::uint64_t emitted = emitter.records().size();
+          combined_count = combined.records().size();
+          output = std::move(combined.records());
+        } else {
+          output = std::move(emitter.records());
+        }
 
-          std::vector<Record> output;
-          std::uint64_t combined_count = 0;
-          if (use_combiner) {
-            // Combine within the task: sort/group local output and fold it
-            // before it hits the shuffle.
-            const std::unique_ptr<Reducer> combiner =
-                spec.combiner_factory();
-            VectorEmitter combined;
-            for (auto& group :
-                 sort_and_group(std::move(emitter.records()))) {
-              combiner->reduce(group.key, group.values, combined);
-            }
-            combined_count = combined.records().size();
-            output = std::move(combined.records());
-          } else {
-            output = std::move(emitter.records());
-          }
-
-          // Commit only on success, so a retried attempt never
-          // double-counts (Hadoop discards failed attempts' output).
+        // The commit closure runs only for the attempt that wins the task,
+        // so a retried or speculative attempt never double-counts (Hadoop
+        // discards failed attempts' output).
+        return [&, task, emitted, combined_count,
+                output = std::move(output)]() mutable {
           map_in.fetch_add(splits[task].records.size(),
                            std::memory_order_relaxed);
           map_out.fetch_add(emitted, std::memory_order_relaxed);
           if (use_combiner) {
             combine_in.fetch_add(emitted, std::memory_order_relaxed);
-            combine_out.fetch_add(combined_count,
-                                  std::memory_order_relaxed);
+            combine_out.fetch_add(combined_count, std::memory_order_relaxed);
           }
           map_outputs[task] = std::move(output);
-        });
-        result.map_task_seconds[task] = clock.seconds();
+        };
       });
 
   result.counters.map_input_records = map_in.load();
@@ -114,11 +271,13 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
   result.counters.combine_input_records = combine_in.load();
   result.counters.combine_output_records = combine_out.load();
 
-  // ---- Shuffle ----
+  // ---- Shuffle (checksum-verified transfers when faults are on) ----
   std::vector<std::vector<Record>> partitions;
   {
     ScopedTimer shuffle_timer(spec.metrics, "mapreduce.shuffle");
-    partitions = partition_outputs(map_outputs, spec.conf.num_reducers);
+    partitions =
+        fetch_and_partition(map_outputs, spec.conf.num_reducers, spec.faults,
+                            spec.conf.max_fetch_attempts, spec.metrics);
     map_outputs.clear();
     result.counters.shuffle_bytes = shuffle_bytes(partitions);
   }
@@ -130,27 +289,27 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
   std::atomic<std::uint64_t> reduce_in{0};
   std::atomic<std::uint64_t> reduce_out{0};
 
-  parallel_for(
-      0, partitions.size(), spec.conf.physical_threads,
-      [&](std::size_t task) {
-        Stopwatch clock;
-        // Group once; retries re-run the reducer over the same groups.
-        const auto groups = sort_and_group(std::move(partitions[task]));
-        run_with_retries(spec.conf.max_task_attempts, failed_attempts, [&] {
-          const std::unique_ptr<Reducer> reducer = spec.reducer_factory();
-          VectorEmitter emitter;
-          std::uint64_t in_records = 0;
-          for (const auto& group : groups) {
-            in_records += group.values.size();
-            reducer->reduce(group.key, group.values, emitter);
-          }
-          reduce_groups.fetch_add(groups.size(), std::memory_order_relaxed);
+  run_task_phase(
+      spec, partitions.size(), "reduce.task", "retry.reduce_attempts",
+      failed_attempts, speculative_launches, result.reduce_task_seconds,
+      [&](std::size_t task) -> std::function<void()> {
+        const std::vector<KeyGroup> groups =
+            reattempts_possible ? sort_and_group(partitions[task])
+                                : sort_and_group(std::move(partitions[task]));
+        const std::unique_ptr<Reducer> reducer = spec.reducer_factory();
+        VectorEmitter emitter;
+        std::uint64_t in_records = 0;
+        for (const auto& group : groups) {
+          in_records += group.values.size();
+          reducer->reduce(group.key, group.values, emitter);
+        }
+        return [&, task, num_groups = groups.size(), in_records,
+                out = std::move(emitter.records())]() mutable {
+          reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
           reduce_in.fetch_add(in_records, std::memory_order_relaxed);
-          reduce_out.fetch_add(emitter.records().size(),
-                               std::memory_order_relaxed);
-          reduce_outputs[task] = std::move(emitter.records());
-        });
-        result.reduce_task_seconds[task] = clock.seconds();
+          reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
+          reduce_outputs[task] = std::move(out);
+        };
       });
 
   result.counters.reduce_input_groups = reduce_groups.load();
@@ -203,6 +362,10 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
         .add(static_cast<std::int64_t>(counters.shuffle_bytes));
     registry.counter("mapreduce.failed_task_attempts")
         .add(static_cast<std::int64_t>(counters.failed_task_attempts));
+    // Backup launches depend on scheduling (which tasks look slow when),
+    // so this is a gauge, not a regression-gated counter.
+    registry.gauge("retry.speculative_launches")
+        .set_max(static_cast<std::int64_t>(speculative_launches.load()));
   }
 
   DASC_LOG(kInfo) << spec.conf.job_name << ": done; simulated "

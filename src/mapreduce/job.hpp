@@ -18,6 +18,7 @@
 #include "mapreduce/types.hpp"
 
 namespace dasc {
+class FaultInjector;
 class MetricsRegistry;
 }  // namespace dasc
 
@@ -34,6 +35,14 @@ struct JobSpec {
   /// Optional sink for `mapreduce.{map,shuffle,reduce}` timers and the
   /// `mapreduce.*` record counters (null = off).
   MetricsRegistry* metrics = nullptr;
+  /// Optional fault source (sites `map.task`, `reduce.task`,
+  /// `shuffle.fetch`). Task attempts are committed exactly once, retried
+  /// with capped exponential backoff up to conf.max_task_attempts, and —
+  /// when conf.enable_speculation — speculatively re-executed for
+  /// stragglers; shuffle transfers are checksum-verified and re-fetched.
+  /// For a fixed plan seed, job output is bit-identical with and without
+  /// faults as long as every task eventually succeeds. Null = off.
+  FaultInjector* faults = nullptr;
 };
 
 struct JobResult {

@@ -39,6 +39,22 @@ struct JobConf {
   /// Attempts per task before the job fails (Hadoop retries failed task
   /// attempts; 1 = fail fast).
   std::size_t max_task_attempts = 1;
+  /// Capped exponential backoff between task attempts: attempt n sleeps
+  /// min(base * 2^(n-1), max) milliseconds. base 0 disables sleeping (the
+  /// retry is still counted and timed).
+  double retry_backoff_base_ms = 0.0;
+  double retry_backoff_max_ms = 100.0;
+  /// Attempts per shuffle fetch before the job fails (only exercised when a
+  /// FaultInjector is attached; checksum-verified transfers re-fetch).
+  std::size_t max_fetch_attempts = 4;
+  /// Launch duplicate attempts for straggling tasks (Hadoop speculative
+  /// execution): once half the phase has finished, a task whose elapsed
+  /// time exceeds `speculative_slowdown` x the median completed duration
+  /// (and `speculative_min_ms`) gets one backup attempt; the first attempt
+  /// to finish commits, the other is discarded.
+  bool enable_speculation = false;
+  double speculative_slowdown = 4.0;
+  double speculative_min_ms = 5.0;
   /// Human-readable job name for logging.
   std::string job_name = "job";
 

@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace dasc::mapreduce {
+
+namespace {
+
+/// CRC over one map output's serialized records (the transfer checksum).
+std::uint32_t records_crc(const std::vector<Record>& records) {
+  Crc32 crc;
+  for (const auto& record : records) {
+    crc.update(record.key).update("\t").update(record.value).update("\n");
+  }
+  return crc.value();
+}
+
+}  // namespace
 
 std::size_t partition_for_key(const std::string& key,
                               std::size_t num_partitions) {
@@ -21,6 +38,65 @@ std::vector<std::vector<Record>> partition_outputs(
     for (const auto& record : task_output) {
       partitions[partition_for_key(record.key, num_partitions)].push_back(
           record);
+    }
+  }
+  return partitions;
+}
+
+std::vector<std::vector<Record>> fetch_and_partition(
+    const std::vector<std::vector<Record>>& outputs,
+    std::size_t num_partitions, FaultInjector* faults,
+    std::size_t max_attempts, MetricsRegistry* metrics) {
+  if (faults == nullptr) return partition_outputs(outputs, num_partitions);
+  DASC_EXPECT(max_attempts >= 1, "fetch_and_partition: need >= 1 attempt");
+
+  std::vector<std::vector<Record>> partitions(num_partitions);
+  for (std::size_t task = 0; task < outputs.size(); ++task) {
+    const std::uint32_t expected = records_crc(outputs[task]);
+    for (std::size_t attempt = 1;; ++attempt) {
+      const FaultInjector::Outcome outcome = faults->check("shuffle.fetch");
+      bool ok = outcome != FaultInjector::Outcome::kError;
+      std::vector<Record> fetched;
+      if (ok) {
+        fetched = outputs[task];
+        if (outcome == FaultInjector::Outcome::kCorruption) {
+          // Flip one byte of the transfer; the CRC check catches it. An
+          // empty transfer has nothing to flip — fail the attempt.
+          bool flipped = false;
+          for (auto& record : fetched) {
+            if (!record.value.empty()) {
+              record.value.front() =
+                  static_cast<char>(record.value.front() ^ 0x1);
+              flipped = true;
+              break;
+            }
+            if (!record.key.empty()) {
+              record.key.front() =
+                  static_cast<char>(record.key.front() ^ 0x1);
+              flipped = true;
+              break;
+            }
+          }
+          ok = flipped && records_crc(fetched) == expected;
+        } else {
+          ok = records_crc(fetched) == expected;
+        }
+      }
+      if (ok) {
+        for (auto& record : fetched) {
+          partitions[partition_for_key(record.key, num_partitions)].push_back(
+              std::move(record));
+        }
+        break;
+      }
+      if (attempt >= max_attempts) {
+        throw IoError("shuffle: fetch of map output " + std::to_string(task) +
+                      " failed after " + std::to_string(max_attempts) +
+                      " attempts");
+      }
+      if (metrics != nullptr) metrics->counter("retry.shuffle_fetch").add();
+      DASC_LOG(kWarn) << "shuffle: re-fetching map output " << task
+                      << " (attempt " << attempt << " failed verification)";
     }
   }
   return partitions;

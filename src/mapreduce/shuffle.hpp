@@ -8,6 +8,11 @@
 
 #include "mapreduce/types.hpp"
 
+namespace dasc {
+class FaultInjector;
+class MetricsRegistry;
+}  // namespace dasc
+
 namespace dasc::mapreduce {
 
 /// Default Hadoop-style partitioner: hash(key) mod num_partitions.
@@ -26,6 +31,19 @@ struct KeyGroup {
 std::vector<std::vector<Record>> partition_outputs(
     const std::vector<std::vector<Record>>& outputs,
     std::size_t num_partitions);
+
+/// Checksummed shuffle transfer: each map output is served with a CRC-32
+/// over its serialized records; fetching copies the payload (optionally
+/// corrupted or failed by the injector at site `shuffle.fetch`), verifies
+/// the CRC, and re-fetches on mismatch up to `max_attempts` times per map
+/// output — counting `retry.shuffle_fetch` per re-fetch and throwing
+/// IoError when a transfer never verifies. With no injector this is
+/// exactly partition_outputs (no copy, no CRC cost). Same result layout as
+/// partition_outputs for any run that completes.
+std::vector<std::vector<Record>> fetch_and_partition(
+    const std::vector<std::vector<Record>>& outputs,
+    std::size_t num_partitions, FaultInjector* faults,
+    std::size_t max_attempts, MetricsRegistry* metrics);
 
 /// Sort one partition's records by key and group equal keys.
 std::vector<KeyGroup> sort_and_group(std::vector<Record> partition);

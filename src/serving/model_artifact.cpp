@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "clustering/kernel.hpp"
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "core/bucket_pipeline.hpp"
@@ -29,29 +30,8 @@ enum SectionId : std::uint32_t {
 };
 constexpr std::uint32_t kSectionCount = 4;
 
-// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t crc32(const std::string& bytes) {
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (unsigned char byte : bytes) {
-    crc = crc_table()[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+using dasc::crc32;  // shared CRC-32 (common/checksum.hpp); the artifact
+                    // format predates it, and the bytes are identical
 
 /// Append-only little-endian byte sink.
 class Writer {
@@ -476,6 +456,8 @@ FitResult fit_model(const data::PointSet& points,
   pipeline_options.max_inflight_blocks = params.max_inflight_blocks;
   pipeline_options.max_inflight_bytes = params.max_inflight_bytes;
   pipeline_options.metrics = params.metrics;
+  pipeline_options.faults = params.faults;
+  pipeline_options.max_bucket_attempts = params.max_bucket_attempts;
   const core::BucketPipelineStats pipeline = core::run_bucket_pipeline(
       points, buckets, jobs, pipeline_options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/thread_pool.hpp"
 
 namespace dasc::serving {
@@ -60,7 +61,9 @@ void Server::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
+      // Stopping: leave when drained, or immediately when rejecting (the
+      // shutdown caller settles whatever is still queued).
+      if (queue_.empty() || rejecting_) return;
       if (options_.max_linger.count() > 0 && !stopping_ &&
           queue_.size() < options_.max_batch_size) {
         cv_.wait_for(lock, options_.max_linger, [this] {
@@ -89,6 +92,9 @@ void Server::serve_batch(std::vector<Request>& batch) {
     ScopedTimer batch_timer(metrics, "serving.assign_batch");
     for (Request& request : batch) {
       try {
+        if (options_.faults != nullptr) {
+          options_.faults->maybe_throw("serving.assign");
+        }
         const AssignOutcome outcome =
             assigner_.assign_detailed(request.point);
         if (metrics != nullptr) {
@@ -131,16 +137,35 @@ void Server::serve_batch(std::vector<Request>& batch) {
   }
 }
 
-void Server::shutdown() {
+void Server::shutdown(DrainMode mode) {
+  // Serialize shutdown callers: without this, two concurrent calls would
+  // race on workers_ (one joining while the other clears).
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    if (mode == DrainMode::kReject) rejecting_ = true;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+
+  // Under kReject, settle every queued request with a typed error so no
+  // future is ever stranded (in-flight batches were finished by the
+  // workers before they joined).
+  std::deque<Request> rejected;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rejecting_) rejected.swap(queue_);
+    rejected_requests_ += rejected.size();
+  }
+  for (Request& request : rejected) {
+    request.promise.set_exception(std::make_exception_ptr(
+        ServerStoppedError("Server: shut down before request was served")));
+  }
+
   if (options_.metrics != nullptr) {
     options_.metrics->gauge("serving.peak_queue_depth")
         .set_max(static_cast<std::int64_t>(peak_queue_depth_));
@@ -148,6 +173,9 @@ void Server::shutdown() {
         .set_max(static_cast<std::int64_t>(peak_batch_size_));
     options_.metrics->gauge("serving.batches")
         .set_max(static_cast<std::int64_t>(batches_served_));
+    // Timing-shaped (how much was still queued), hence a gauge.
+    options_.metrics->gauge("serving.rejected_on_shutdown")
+        .set_max(static_cast<std::int64_t>(rejected_requests_));
   }
 }
 

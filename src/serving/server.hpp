@@ -18,12 +18,17 @@
 #include <future>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "data/point_set.hpp"
 #include "serving/assigner.hpp"
+
+namespace dasc {
+class FaultInjector;
+}  // namespace dasc
 
 namespace dasc::serving {
 
@@ -36,6 +41,18 @@ struct ServerOptions {
   std::chrono::microseconds max_linger{0};
   /// Optional instrumentation sink (see DESIGN.md section 8 for names).
   MetricsRegistry* metrics = nullptr;
+  /// Optional fault source (site `serving.assign`, checked per request):
+  /// kError/kCorruption reject that request's future with
+  /// FaultInjectedError; kStall delays the batch (slow-assigner
+  /// simulation). Null = off.
+  FaultInjector* faults = nullptr;
+};
+
+/// Rejected-request error: the server was shut down with DrainMode::kReject
+/// while the request was still queued.
+class ServerStoppedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Micro-batching request server. The Assigner must outlive the Server.
@@ -55,9 +72,16 @@ class Server {
   /// Convenience closed loop: submit every point, wait for all labels.
   std::vector<int> assign_all(const data::PointSet& queries);
 
-  /// Stop accepting, serve everything already queued, join workers, and
-  /// flush high-water gauges to metrics. Idempotent; also run by ~Server.
-  void shutdown();
+  /// What happens to requests still queued at shutdown: kDrain serves
+  /// them, kReject fails their futures with ServerStoppedError. Either
+  /// way every outstanding future resolves — shutdown never strands a
+  /// waiter or deadlocks, even mid-batch.
+  enum class DrainMode { kDrain, kReject };
+
+  /// Stop accepting, settle the queue per `mode`, join workers, and flush
+  /// high-water gauges to metrics. Idempotent and safe to call
+  /// concurrently; also run by ~Server (kDrain).
+  void shutdown(DrainMode mode = DrainMode::kDrain);
 
   std::size_t threads() const { return workers_.size(); }
 
@@ -78,10 +102,15 @@ class Server {
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
+  bool rejecting_ = false;
   std::size_t peak_queue_depth_ = 0;
   std::size_t peak_batch_size_ = 0;
   std::size_t batches_served_ = 0;
+  std::size_t rejected_requests_ = 0;
 
+  /// Serializes shutdown() callers: exactly one joins/clears workers_,
+  /// concurrent and repeated calls wait for it and return.
+  std::mutex shutdown_mutex_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,136 @@
+// MetricsRegistry under concurrent writers: JSON export and snapshots must
+// be safe to call while worker threads are hammering counters, timers, and
+// gauges — and the final values after the writers join must be exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace dasc {
+namespace {
+
+TEST(MetricsConcurrentExport, ExportWhileWritersAreActive) {
+  MetricsRegistry registry;
+  constexpr std::size_t kWriters = 4;
+  constexpr std::int64_t kIterations = 20000;
+
+  // Pre-create every instrument so the export loop below can assert their
+  // presence from its very first document (creation itself is exercised by
+  // WritersRacingInstrumentCreation).
+  registry.counter("export.shared");
+  registry.timer("export.latency");
+  registry.gauge("export.depth");
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    registry.counter("export.writer." + std::to_string(w));
+  }
+
+  std::atomic<bool> start{false};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, &start, &done, w] {
+      while (!start.load()) std::this_thread::yield();
+      auto& shared = registry.counter("export.shared");
+      auto& own = registry.counter("export.writer." + std::to_string(w));
+      auto& latency = registry.timer("export.latency");
+      auto& depth = registry.gauge("export.depth");
+      for (std::int64_t i = 0; i < kIterations; ++i) {
+        shared.add();
+        own.add();
+        latency.record_nanos(100);
+        depth.set_max(i);
+      }
+      done.fetch_add(1);
+    });
+  }
+
+  // Export continuously while the writers run. Every export must be a
+  // well-formed document over some consistent-at-read instrument states —
+  // no crash, no torn names, monotone counter reads.
+  start.store(true);
+  std::int64_t last_shared = 0;
+  std::size_t exports = 0;
+  while (done.load() < kWriters) {
+    const std::string json = metrics::to_json(registry);
+    EXPECT_FALSE(json.empty());
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("export.shared"), std::string::npos);
+    const auto counters = registry.counters_snapshot();
+    const auto it = counters.find("export.shared");
+    ASSERT_NE(it, counters.end());
+    EXPECT_GE(it->second, last_shared);  // counters only grow
+    last_shared = it->second;
+    ++exports;
+  }
+  for (auto& writer : writers) writer.join();
+  EXPECT_GT(exports, 0u);
+
+  // After the join every instrument is exact.
+  EXPECT_EQ(registry.counter_value("export.shared"),
+            static_cast<std::int64_t>(kWriters) * kIterations);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(registry.counter_value("export.writer." + std::to_string(w)),
+              kIterations);
+  }
+  EXPECT_EQ(registry.timer_count("export.latency"),
+            kWriters * static_cast<std::size_t>(kIterations));
+  EXPECT_EQ(registry.gauge_value("export.depth"), kIterations - 1);
+
+  // And the exported document reflects those exact values.
+  const std::string final_json = metrics::to_json(registry);
+  EXPECT_NE(final_json.find("\"export.shared\": " +
+                            std::to_string(static_cast<std::int64_t>(kWriters) *
+                                           kIterations)),
+            std::string::npos)
+      << final_json;
+}
+
+TEST(MetricsConcurrentExport, ConcurrentReadersAgreeAfterQuiescence) {
+  MetricsRegistry registry;
+  registry.counter("quiesce.count").add(42);
+  registry.timer("quiesce.time").record_nanos(5'000'000);
+  registry.gauge("quiesce.peak").set_max(7);
+
+  std::vector<std::string> documents(8);
+  std::vector<std::thread> readers;
+  readers.reserve(documents.size());
+  for (auto& document : documents) {
+    readers.emplace_back(
+        [&registry, &document] { document = metrics::to_json(registry); });
+  }
+  for (auto& reader : readers) reader.join();
+  for (const auto& document : documents) {
+    EXPECT_EQ(document, documents.front());
+  }
+}
+
+TEST(MetricsConcurrentExport, WritersRacingInstrumentCreation) {
+  // First touch of a name creates the instrument; many threads racing on
+  // the SAME new names must agree on one instance per name.
+  MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::int64_t kNames = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (std::int64_t name = 0; name < kNames; ++name) {
+        registry.counter("race." + std::to_string(name)).add();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::int64_t name = 0; name < kNames; ++name) {
+    EXPECT_EQ(registry.counter_value("race." + std::to_string(name)),
+              static_cast<std::int64_t>(kThreads));
+  }
+}
+
+}  // namespace
+}  // namespace dasc

@@ -1,0 +1,199 @@
+// Chaos test matrix (the headline invariant of the fault-injection layer):
+// for every fault site x trigger x consumer combination, a run that
+// survives its injected faults produces labels BIT-IDENTICAL to the
+// fault-free run with the same seed, and the retry counters account for
+// every injected fault exactly.
+//
+// Probability-triggered cases run with threads=1 so the per-site call
+// sequence — and therefore which attempts fail — is fully deterministic;
+// nth-triggered cases are index-pure and deterministic at any thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.hpp"
+#include "common/metrics.hpp"
+#include "core/dasc_clusterer.hpp"
+#include "core/dasc_mapreduce.hpp"
+#include "core/dasc_streaming.hpp"
+#include "data/dataset_io.hpp"
+#include "data/synthetic.hpp"
+#include "mapreduce/dfs.hpp"
+#include "serving/model_artifact.hpp"
+
+namespace dasc {
+namespace {
+
+enum class Consumer {
+  kBatch,         ///< core::dasc_cluster
+  kStreaming,     ///< core::dasc_cluster_streaming
+  kServingFit,    ///< serving::fit_model (offline labels)
+  kMapReduce,     ///< core::dasc_cluster_mapreduce
+  kMapReduceDfs,  ///< DFS-backed MapReduce driver (exercises dfs.read)
+};
+
+struct ChaosCase {
+  const char* name;     ///< gtest parameter name ([A-Za-z0-9_] only)
+  Consumer consumer;
+  const char* site;     ///< fault site the plan targets
+  const char* counter;  ///< retry counter that must account for the faults
+  const char* plan;     ///< fault-plan text
+};
+
+const ChaosCase kCases[] = {
+    // alloc.gram_block (bucket pipeline) across every pipeline consumer.
+    {"BatchGramNth", Consumer::kBatch, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=3;alloc.gram_block:nth=2:max=3"},
+    {"BatchGramProb", Consumer::kBatch, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=3;alloc.gram_block:prob=0.3"},
+    {"StreamingGramNth", Consumer::kStreaming, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=4;alloc.gram_block:nth=3:max=2"},
+    {"ServingFitGramNth", Consumer::kServingFit, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=5;alloc.gram_block:nth=2:max=2"},
+    {"MapReduceGramNth", Consumer::kMapReduce, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=6;alloc.gram_block:nth=2:max=2"},
+    // The virtual cluster's own sites, through the MapReduce driver.
+    {"MapTaskNth", Consumer::kMapReduce, "map.task", "retry.map_attempts",
+     "seed=7;map.task:nth=2:max=3"},
+    {"MapTaskProb", Consumer::kMapReduce, "map.task", "retry.map_attempts",
+     "seed=7;map.task:prob=0.25"},
+    {"ReduceTaskNth", Consumer::kMapReduce, "reduce.task",
+     "retry.reduce_attempts", "seed=8;reduce.task:nth=1:max=3"},
+    {"ShuffleFetchNth", Consumer::kMapReduce, "shuffle.fetch",
+     "retry.shuffle_fetch", "seed=9;shuffle.fetch:nth=2:max=4"},
+    {"ShuffleCorruptNth", Consumer::kMapReduce, "shuffle.fetch",
+     "retry.shuffle_fetch", "seed=9;shuffle.fetch:nth=3:max=3:kind=corrupt"},
+    {"DfsReadCorruptNth", Consumer::kMapReduceDfs, "dfs.read",
+     "retry.dfs_read", "seed=10;dfs.read:nth=4:max=4:kind=corrupt"},
+    {"DfsReadErrorProb", Consumer::kMapReduceDfs, "dfs.read",
+     "retry.dfs_read", "seed=10;dfs.read:prob=0.2"},
+    // Multi-site storm: every MapReduce-path site at once.
+    {"MapReduceStorm", Consumer::kMapReduce, "", "",
+     "seed=11;map.task:nth=3:max=2;reduce.task:nth=2:max=2;"
+     "shuffle.fetch:nth=2:max=2:kind=corrupt;alloc.gram_block:nth=5:max=2"},
+};
+
+data::PointSet chaos_points() {
+  dasc::Rng rng(310);
+  data::MixtureParams params;
+  params.n = 240;
+  params.dim = 8;
+  params.k = 4;
+  params.cluster_stddev = 0.03;
+  return data::make_gaussian_mixture(params, rng);
+}
+
+core::DascParams chaos_params(FaultInjector* faults,
+                              MetricsRegistry* metrics) {
+  core::DascParams params;
+  params.k = 4;
+  params.m = 6;
+  params.threads = 1;  // deterministic call order for probability triggers
+  params.max_bucket_attempts = 10;  // headroom: every bucket must succeed
+  params.faults = faults;
+  params.metrics = metrics;
+  return params;
+}
+
+/// Run one consumer end-to-end and return its labels.
+std::vector<int> run_consumer(Consumer consumer, const data::PointSet& points,
+                              FaultInjector* faults,
+                              MetricsRegistry* metrics) {
+  const core::DascParams params = chaos_params(faults, metrics);
+  Rng rng(77);
+  switch (consumer) {
+    case Consumer::kBatch:
+      return core::dasc_cluster(points, params, rng).labels;
+    case Consumer::kStreaming:
+      return core::dasc_cluster_streaming(points, params, rng).labels;
+    case Consumer::kServingFit:
+      return serving::fit_model(points, params, rng).offline.labels;
+    case Consumer::kMapReduce:
+    case Consumer::kMapReduceDfs: {
+      core::MapReduceDascParams mr;
+      mr.dasc = params;
+      mr.conf.num_reducers = 3;
+      mr.conf.split_records = 60;  // several map tasks -> several fetches
+      mr.conf.physical_threads = 1;
+      mr.conf.max_task_attempts = 10;
+      mr.conf.max_fetch_attempts = 10;
+      if (consumer == Consumer::kMapReduce) {
+        return core::dasc_cluster_mapreduce(points, mr, rng).labels;
+      }
+      mapreduce::DfsConfig dfs_config;
+      dfs_config.block_size_bytes = 2048;  // several blocks -> several reads
+      dfs_config.read_attempts = 10;
+      dfs_config.faults = faults;
+      dfs_config.metrics = metrics;
+      mapreduce::Dfs dfs(dfs_config);
+      std::vector<std::string> lines;
+      lines.reserve(points.size());
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        lines.push_back(data::point_to_record(points.point(i)));
+      }
+      dfs.write_file("/chaos/points", lines);
+      return core::dasc_cluster_mapreduce_dfs(dfs, "/chaos/points",
+                                              "/chaos/out", mr, rng)
+          .labels;
+    }
+  }
+  return {};
+}
+
+class ChaosMatrix : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
+  const ChaosCase& test_case = GetParam();
+  const data::PointSet points = chaos_points();
+
+  const std::vector<int> clean =
+      run_consumer(test_case.consumer, points, nullptr, nullptr);
+  ASSERT_FALSE(clean.empty());
+
+  MetricsRegistry registry;
+  FaultInjector injector(FaultPlan::parse(test_case.plan), &registry);
+  const std::vector<int> faulted =
+      run_consumer(test_case.consumer, points, &injector, &registry);
+
+  // The invariant: the run survived, so the labels are exactly the
+  // fault-free labels.
+  EXPECT_EQ(faulted, clean);
+
+  // The case must have actually injected something...
+  EXPECT_GT(injector.total_fired(), 0u) << "plan never fired: "
+                                        << test_case.plan;
+  EXPECT_GT(registry.counter_value("fault.injected"), 0);
+
+  // ...and the retry machinery must account for every fault: each injected
+  // fault failed exactly one attempt, and (since the run succeeded) each
+  // failed attempt was retried exactly once.
+  if (test_case.site[0] != '\0') {
+    const auto fired =
+        static_cast<std::int64_t>(injector.fired(test_case.site));
+    EXPECT_EQ(registry.counter_value(
+                  std::string("fault.injected.") + test_case.site),
+              fired);
+    EXPECT_EQ(registry.counter_value(test_case.counter), fired);
+  }
+
+  // Determinism of the injection itself: replaying the identical plan
+  // against the identical consumer fires the identical fault count and
+  // yields the identical labels again.
+  MetricsRegistry replay_registry;
+  FaultInjector replay(FaultPlan::parse(test_case.plan), &replay_registry);
+  const std::vector<int> replayed =
+      run_consumer(test_case.consumer, points, &replay, &replay_registry);
+  EXPECT_EQ(replayed, clean);
+  EXPECT_EQ(replay.total_fired(), injector.total_fired());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSitesAndConsumers, ChaosMatrix,
+                         ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<ChaosCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace dasc

@@ -1,0 +1,216 @@
+// Unit tests of the deterministic fault-injection layer: plan grammar,
+// trigger semantics (nth-call vs probability), caps, fault kinds, metrics
+// emission, and thread-safety of the per-site counters.
+#include "common/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace dasc {
+namespace {
+
+TEST(FaultPlan, ParsesFullGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=7;map.task:nth=3:max=2;dfs.read:prob=0.25:kind=corrupt;"
+      "shuffle.fetch:nth=1:kind=stall:stall_ms=5");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.faults.size(), 3u);
+
+  EXPECT_EQ(plan.faults[0].site, "map.task");
+  EXPECT_EQ(plan.faults[0].every_nth, 3u);
+  EXPECT_EQ(plan.faults[0].max_faults, 2u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kError);
+
+  EXPECT_EQ(plan.faults[1].site, "dfs.read");
+  EXPECT_DOUBLE_EQ(plan.faults[1].probability, 0.25);
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::kCorruption);
+
+  EXPECT_EQ(plan.faults[2].site, "shuffle.fetch");
+  EXPECT_EQ(plan.faults[2].kind, FaultKind::kStall);
+  EXPECT_EQ(plan.faults[2].stall_ms, 5u);
+}
+
+TEST(FaultPlan, ToStringRoundTrips) {
+  const std::string text =
+      "seed=42;map.task:nth=3:max=2;alloc.gram_block:kind=stall:stall_ms=2";
+  const FaultPlan plan =
+      FaultPlan::parse("seed=42;map.task:nth=3:max=2;"
+                       "alloc.gram_block:nth=1:kind=stall:stall_ms=2");
+  const FaultPlan reparsed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  ASSERT_EQ(reparsed.faults.size(), plan.faults.size());
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    EXPECT_EQ(reparsed.faults[i].site, plan.faults[i].site);
+    EXPECT_EQ(reparsed.faults[i].every_nth, plan.faults[i].every_nth);
+    EXPECT_DOUBLE_EQ(reparsed.faults[i].probability,
+                     plan.faults[i].probability);
+    EXPECT_EQ(reparsed.faults[i].max_faults, plan.faults[i].max_faults);
+    EXPECT_EQ(reparsed.faults[i].kind, plan.faults[i].kind);
+    EXPECT_EQ(reparsed.faults[i].stall_ms, plan.faults[i].stall_ms);
+  }
+  EXPECT_EQ(FaultPlan::parse(plan.to_string()).to_string(), plan.to_string());
+  (void)text;
+}
+
+TEST(FaultPlan, RejectsMalformedEntries) {
+  EXPECT_THROW(FaultPlan::parse("map.task"), InvalidArgument);  // no trigger
+  EXPECT_THROW(FaultPlan::parse("map.task:nth=2:prob=0.5"),
+               InvalidArgument);  // both triggers
+  EXPECT_THROW(FaultPlan::parse("map.task:prob=1.5"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("map.task:nth=abc"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("map.task:kind=banana"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse("map.task:frequency=2"), InvalidArgument);
+  EXPECT_THROW(FaultPlan::parse(":nth=2"), InvalidArgument);  // empty site
+}
+
+TEST(FaultPlan, EmptyTextYieldsEmptyPlan) {
+  const FaultPlan plan = FaultPlan::parse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed, 0u);
+}
+
+TEST(FaultInjector, NthTriggerFiresOnExactCalls) {
+  FaultInjector injector(FaultPlan::parse("x:nth=3"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(injector.check("x") == FaultInjector::Outcome::kError);
+  }
+  const std::vector<bool> expected = {false, false, true, false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(injector.calls("x"), 9u);
+  EXPECT_EQ(injector.fired("x"), 3u);
+}
+
+TEST(FaultInjector, MaxFaultsCapsNthTrigger) {
+  FaultInjector injector(FaultPlan::parse("x:nth=2:max=2"));
+  std::size_t fires = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (injector.check("x") != FaultInjector::Outcome::kNone) ++fires;
+  }
+  EXPECT_EQ(fires, 2u);
+  EXPECT_EQ(injector.total_fired(), 2u);
+}
+
+TEST(FaultInjector, UnknownSitesAreFree) {
+  FaultInjector injector(FaultPlan::parse("x:nth=1"));
+  EXPECT_EQ(injector.check("y"), FaultInjector::Outcome::kNone);
+  EXPECT_EQ(injector.calls("y"), 0u);
+  EXPECT_EQ(injector.fired("y"), 0u);
+  EXPECT_NO_THROW(injector.maybe_throw("y"));
+}
+
+TEST(FaultInjector, ProbabilityIsPureFunctionOfSeedAndIndex) {
+  const FaultPlan plan = FaultPlan::parse("seed=5;x:prob=0.5");
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.check("x"), b.check("x")) << "call " << i;
+  }
+  EXPECT_EQ(a.fired("x"), b.fired("x"));
+  EXPECT_GT(a.fired("x"), 0u);
+  EXPECT_LT(a.fired("x"), 256u);
+
+  // A different seed produces a different firing pattern (w.h.p. for 256
+  // Bernoulli(0.5) draws; this is deterministic given the fixed seeds).
+  FaultInjector c(FaultPlan::parse("seed=6;x:prob=0.5"));
+  std::size_t diffs = 0;
+  FaultInjector a2(plan);
+  for (int i = 0; i < 256; ++i) {
+    if (a2.check("x") != c.check("x")) ++diffs;
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+TEST(FaultInjector, ProbabilityEmpiricalRateIsSane) {
+  FaultInjector injector(FaultPlan::parse("seed=9;x:prob=0.3"));
+  const std::size_t calls = 4000;
+  for (std::size_t i = 0; i < calls; ++i) injector.check("x");
+  const double rate =
+      static_cast<double>(injector.fired("x")) / static_cast<double>(calls);
+  EXPECT_GT(rate, 0.25);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(FaultInjector, ProbabilityCapBoundsTotalFires) {
+  FaultInjector injector(FaultPlan::parse("seed=9;x:prob=0.5:max=3"));
+  for (int i = 0; i < 200; ++i) injector.check("x");
+  EXPECT_EQ(injector.fired("x"), 3u);
+}
+
+TEST(FaultInjector, StallSleepsButDoesNotFail) {
+  FaultInjector injector(
+      FaultPlan::parse("x:nth=1:max=1:kind=stall:stall_ms=1"));
+  EXPECT_EQ(injector.check("x"), FaultInjector::Outcome::kNone);
+  EXPECT_EQ(injector.fired("x"), 1u);  // the stall still counts as a fire
+  EXPECT_NO_THROW(injector.maybe_throw("x"));
+}
+
+TEST(FaultInjector, MaybeThrowRaisesTypedErrorForErrorAndCorruption) {
+  FaultInjector error_injector(FaultPlan::parse("x:nth=1:max=1"));
+  EXPECT_THROW(error_injector.maybe_throw("x"), FaultInjectedError);
+
+  FaultInjector corrupt_injector(
+      FaultPlan::parse("x:nth=1:max=1:kind=corrupt"));
+  // Payload-free call sites must treat corruption as failure.
+  EXPECT_THROW(corrupt_injector.maybe_throw("x"), FaultInjectedError);
+}
+
+TEST(FaultInjector, CorruptionOutcomeIsReportedToPayloadCallers) {
+  FaultInjector injector(FaultPlan::parse("x:nth=2:kind=corrupt"));
+  EXPECT_EQ(injector.check("x"), FaultInjector::Outcome::kNone);
+  EXPECT_EQ(injector.check("x"), FaultInjector::Outcome::kCorruption);
+}
+
+TEST(FaultInjector, EmitsFaultMetrics) {
+  MetricsRegistry registry;
+  FaultInjector injector(FaultPlan::parse("x:nth=2;y:nth=1:max=1"),
+                         &registry);
+  for (int i = 0; i < 4; ++i) injector.check("x");
+  injector.check("y");
+  EXPECT_EQ(registry.counter_value("fault.injected"), 3);
+  EXPECT_EQ(registry.counter_value("fault.injected.x"), 2);
+  EXPECT_EQ(registry.counter_value("fault.injected.y"), 1);
+}
+
+TEST(FaultInjector, NthFireCountIsExactUnderConcurrency) {
+  // The nth trigger is a pure function of the atomic call index, so the
+  // total fire count is exact no matter how threads interleave.
+  FaultInjector injector(FaultPlan::parse("x:nth=5"));
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kCallsPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&injector] {
+      for (std::size_t i = 0; i < kCallsPerThread; ++i) injector.check("x");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(injector.calls("x"), kThreads * kCallsPerThread);
+  EXPECT_EQ(injector.fired("x"), kThreads * kCallsPerThread / 5);
+}
+
+TEST(FaultInjector, MultipleSpecsOnOneSiteAllEvaluate) {
+  // First matching spec wins per call; a stall spec ahead of an error spec
+  // delays some calls and fails others.
+  FaultInjector injector(FaultPlan::parse("x:nth=2;x:nth=3"));
+  // Call 6 matches both specs; the first one (nth=2) decides the outcome,
+  // and the site fires once for it.
+  std::size_t errors = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (injector.check("x") == FaultInjector::Outcome::kError) ++errors;
+  }
+  // nth=2 fires on 2,4,6; nth=3 fires on 3 (6 is consumed by nth=2 first).
+  EXPECT_EQ(errors, 4u);
+  EXPECT_EQ(injector.fired("x"), 4u);
+}
+
+}  // namespace
+}  // namespace dasc

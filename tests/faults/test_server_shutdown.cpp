@@ -1,0 +1,220 @@
+// Regression tests for Server shutdown with queued requests (the serving
+// half of the fault-injection PR): shutdown must either drain the queue or
+// reject it with a typed error — it must never strand a future or
+// deadlock, even while a worker is stalled mid-batch — and a fault during
+// fit_model must surface as a typed failure (or be retried away).
+#include "serving/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/dasc_params.hpp"
+#include "data/synthetic.hpp"
+#include "serving/model_artifact.hpp"
+
+namespace dasc::serving {
+namespace {
+
+data::PointSet demo_points() {
+  data::MixtureParams mix;
+  mix.n = 300;
+  mix.dim = 8;
+  mix.k = 4;
+  mix.cluster_stddev = 0.03;
+  Rng rng(11);
+  return data::make_gaussian_mixture(mix, rng);
+}
+
+FitResult demo_fit(const data::PointSet& points) {
+  core::DascParams params;
+  params.k = 4;
+  params.threads = 1;
+  Rng rng(7);
+  return fit_model(points, params, rng);
+}
+
+std::vector<double> query(const data::PointSet& points, std::size_t i) {
+  const auto point = points.point(i);
+  return std::vector<double>(point.begin(), point.end());
+}
+
+TEST(ServerShutdown, RejectSettlesQueuedFuturesWithTypedError) {
+  const data::PointSet points = demo_points();
+  const FitResult fit = demo_fit(points);
+  const Assigner assigner(fit.model);
+
+  // One worker, one-request batches, and a 300ms stall on the first
+  // assignment: requests pile up behind the stalled batch, exactly the
+  // state that used to strand futures at shutdown.
+  FaultInjector injector(FaultPlan::parse(
+      "serving.assign:nth=1:max=1:kind=stall:stall_ms=300"));
+  MetricsRegistry registry;
+  ServerOptions options;
+  options.threads = 1;
+  options.max_batch_size = 1;
+  options.metrics = &registry;
+  options.faults = &injector;
+  Server server(assigner, options);
+
+  constexpr std::size_t kRequests = 10;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kRequests);
+  futures.push_back(server.submit(query(points, 0)));
+  // Wait until the worker has dequeued request 0 and entered the stall, so
+  // shutdown provably races an in-flight batch, not an idle server.
+  while (injector.calls("serving.assign") == 0) std::this_thread::yield();
+  for (std::size_t i = 1; i < kRequests; ++i) {
+    futures.push_back(server.submit(query(points, i)));
+  }
+  server.shutdown(Server::DrainMode::kReject);
+
+  // Every future settles: in-flight requests with their label, queued ones
+  // with ServerStoppedError. Nothing hangs, nothing is stranded.
+  std::size_t served = 0;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    try {
+      EXPECT_EQ(futures[i].get(), fit.offline.labels[i]);
+      ++served;
+    } catch (const ServerStoppedError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(served + rejected, kRequests);
+  // The stalled batch was in flight, so at least it was served; the stall
+  // outlives the submissions, so at least one later request was rejected.
+  EXPECT_GE(served, 1u);
+  EXPECT_GE(rejected, 1u);
+  EXPECT_EQ(registry.gauge_value("serving.rejected_on_shutdown"),
+            static_cast<std::int64_t>(rejected));
+}
+
+TEST(ServerShutdown, DrainServesEverythingQueued) {
+  const data::PointSet points = demo_points();
+  const FitResult fit = demo_fit(points);
+  const Assigner assigner(fit.model);
+
+  FaultInjector injector(FaultPlan::parse(
+      "serving.assign:nth=1:max=1:kind=stall:stall_ms=100"));
+  ServerOptions options;
+  options.threads = 1;
+  options.max_batch_size = 1;
+  options.faults = &injector;
+  Server server(assigner, options);
+
+  constexpr std::size_t kRequests = 10;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(server.submit(query(points, i)));
+  }
+  server.shutdown(Server::DrainMode::kDrain);
+
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(futures[i].get(), fit.offline.labels[i]) << "request " << i;
+  }
+}
+
+TEST(ServerShutdown, IdempotentAndSafeUnderConcurrentCallers) {
+  const data::PointSet points = demo_points();
+  const FitResult fit = demo_fit(points);
+  const Assigner assigner(fit.model);
+
+  ServerOptions options;
+  options.threads = 2;
+  Server server(assigner, options);
+  auto future = server.submit(query(points, 0));
+
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&server] {
+      server.shutdown(Server::DrainMode::kReject);
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  server.shutdown();  // and again, after the fact
+
+  // The one submitted request settled one way or the other.
+  try {
+    EXPECT_EQ(future.get(), fit.offline.labels[0]);
+  } catch (const ServerStoppedError&) {
+  }
+  EXPECT_THROW(server.submit(query(points, 1)), InvalidArgument);
+}
+
+TEST(ServerShutdown, AssignFaultRejectsOnlyThatRequest) {
+  const data::PointSet points = demo_points();
+  const FitResult fit = demo_fit(points);
+  const Assigner assigner(fit.model);
+
+  // One worker + one-request batches make service order the submission
+  // order, so the nth=3 fault lands deterministically on request index 2.
+  FaultInjector injector(
+      FaultPlan::parse("serving.assign:nth=3:max=1"));
+  ServerOptions options;
+  options.threads = 1;
+  options.max_batch_size = 1;
+  options.faults = &injector;
+  Server server(assigner, options);
+
+  std::vector<std::future<int>> futures;
+  for (std::size_t i = 0; i < 5; ++i) {
+    futures.push_back(server.submit(query(points, i)));
+  }
+  server.shutdown(Server::DrainMode::kDrain);
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (i == 2) {
+      EXPECT_THROW(futures[i].get(), FaultInjectedError);
+    } else {
+      EXPECT_EQ(futures[i].get(), fit.offline.labels[i]) << "request " << i;
+    }
+  }
+}
+
+TEST(ServerShutdown, FaultDuringFitModelFailsFastWithTypedError) {
+  const data::PointSet points = demo_points();
+  core::DascParams params;
+  params.k = 4;
+  params.threads = 1;
+
+  FaultInjector injector(FaultPlan::parse("alloc.gram_block:nth=1"));
+  params.faults = &injector;  // max_bucket_attempts defaults to 1: fail fast
+  Rng rng(7);
+  EXPECT_THROW(fit_model(points, params, rng), FaultInjectedError);
+}
+
+TEST(ServerShutdown, RetriedFitModelServesFaultFreeLabels) {
+  const data::PointSet points = demo_points();
+  const FitResult clean = demo_fit(points);
+
+  core::DascParams params;
+  params.k = 4;
+  params.threads = 1;
+  MetricsRegistry registry;
+  FaultInjector injector(FaultPlan::parse("alloc.gram_block:nth=1:max=2"));
+  params.faults = &injector;
+  params.max_bucket_attempts = 4;
+  params.metrics = &registry;
+  Rng rng(7);
+  const FitResult faulted = fit_model(points, params, rng);
+
+  EXPECT_EQ(faulted.offline.labels, clean.offline.labels);
+  EXPECT_EQ(registry.counter_value("retry.bucket_attempts"), 2);
+
+  // The model fitted under faults serves the same labels as the clean one.
+  const Assigner assigner(faulted.model);
+  Server server(assigner);
+  EXPECT_EQ(server.assign_all(points), clean.offline.labels);
+}
+
+}  // namespace
+}  // namespace dasc::serving

@@ -1,0 +1,210 @@
+// Property-style randomized tests of the Eq. (6) bucket-merging claim:
+// across many random signature sets, the O(T*M) bit-flip neighbour merge
+// produces exactly the partition of the paper's O(T^2) pairwise pass, both
+// agree with a brute-force Hamming-distance-<=-1 reference, and the
+// partition is independent of the order the signatures arrive in.
+#include "lsh/bucket_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lsh/signature.hpp"
+
+namespace dasc::lsh {
+namespace {
+
+std::vector<Signature> random_signatures(Rng& rng, std::size_t n,
+                                         std::size_t m) {
+  std::vector<Signature> signatures(n);
+  for (auto& sig : signatures) {
+    sig.bits = rng() & ((m == 64) ? ~std::uint64_t{0}
+                                  : ((std::uint64_t{1} << m) - 1));
+  }
+  return signatures;
+}
+
+/// Brute-force re-statement of the star merge with the match test spelled
+/// out as "Hamming distance <= 1" — no Eq. (6) bit trick, no neighbour
+/// enumeration. Mirrors the documented semantics: raw buckets largest
+/// first (ties by signature value), each joins the FIRST existing group
+/// whose representative is within distance 1, indices sorted, groups by
+/// decreasing size.
+std::vector<Bucket> reference_merge(const std::vector<Signature>& signatures) {
+  struct Raw {
+    Signature signature;
+    std::vector<std::size_t> indices;
+  };
+  std::vector<Raw> raw;
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    auto it = std::find_if(raw.begin(), raw.end(), [&](const Raw& r) {
+      return r.signature == signatures[i];
+    });
+    if (it == raw.end()) {
+      raw.push_back({signatures[i], {i}});
+    } else {
+      it->indices.push_back(i);
+    }
+  }
+  std::sort(raw.begin(), raw.end(), [](const Raw& a, const Raw& b) {
+    if (a.indices.size() != b.indices.size()) {
+      return a.indices.size() > b.indices.size();
+    }
+    return a.signature.bits < b.signature.bits;
+  });
+
+  std::vector<Bucket> out;
+  for (const Raw& r : raw) {
+    Bucket* group = nullptr;
+    for (Bucket& candidate : out) {
+      if (hamming_distance(candidate.signature, r.signature) <= 1) {
+        group = &candidate;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      out.push_back({r.signature, r.indices});
+    } else {
+      group->indices.insert(group->indices.end(), r.indices.begin(),
+                            r.indices.end());
+    }
+  }
+  for (auto& bucket : out) {
+    std::sort(bucket.indices.begin(), bucket.indices.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Bucket& x, const Bucket& y) {
+                     return x.indices.size() > y.indices.size();
+                   });
+  return out;
+}
+
+/// A partition as a canonical set of member-index sets (representative
+/// signatures and bucket ordering abstracted away).
+std::set<std::vector<std::size_t>> as_partition(
+    const std::vector<Bucket>& buckets) {
+  std::set<std::vector<std::size_t>> partition;
+  for (const Bucket& bucket : buckets) {
+    partition.insert(bucket.indices);
+  }
+  return partition;
+}
+
+TEST(BucketMergeProperty, Eq6TrickEqualsHammingTest) {
+  Rng rng(8101);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Signature a{rng()};
+    // Mix far pairs with engineered near pairs so both outcomes are hit.
+    Signature b{rng()};
+    if (trial % 3 == 0) b = a;
+    if (trial % 3 == 1) b.bits = a.bits ^ (1ULL << rng.uniform_index(64));
+    EXPECT_EQ(differ_by_at_most_one_bit(a, b), hamming_distance(a, b) <= 1)
+        << "a=" << a.bits << " b=" << b.bits;
+  }
+}
+
+TEST(BucketMergeProperty, BitFlipEqualsPairwiseAcrossRandomSets) {
+  // Small m keeps the signature space dense, so merges actually happen.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(9000 + seed);
+    const std::size_t m = 3 + seed % 8;          // 3..10 bits
+    const std::size_t n = 20 + 11 * (seed % 9);  // 20..108 points
+    const auto signatures = random_signatures(rng, n, m);
+    const BucketTable table = BucketTable::from_signatures(signatures, m);
+
+    const auto pairwise = table.merged_buckets(m - 1, MergeStrategy::kPairwise);
+    const auto bitflip = table.merged_buckets(m - 1, MergeStrategy::kBitFlip);
+
+    // Not just the same partition: the same buckets in the same order with
+    // the same representative signatures.
+    ASSERT_EQ(pairwise.size(), bitflip.size()) << "seed=" << seed;
+    for (std::size_t b = 0; b < pairwise.size(); ++b) {
+      EXPECT_EQ(pairwise[b].signature, bitflip[b].signature)
+          << "seed=" << seed << " bucket=" << b;
+      EXPECT_EQ(pairwise[b].indices, bitflip[b].indices)
+          << "seed=" << seed << " bucket=" << b;
+    }
+  }
+}
+
+TEST(BucketMergeProperty, MergeEqualsBruteForceHammingReference) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(17000 + seed);
+    const std::size_t m = 4 + seed % 7;  // 4..10 bits
+    const std::size_t n = 15 + 13 * (seed % 8);
+    const auto signatures = random_signatures(rng, n, m);
+    const BucketTable table = BucketTable::from_signatures(signatures, m);
+
+    const auto reference = reference_merge(signatures);
+    for (const MergeStrategy strategy :
+         {MergeStrategy::kPairwise, MergeStrategy::kBitFlip}) {
+      const auto merged = table.merged_buckets(m - 1, strategy);
+      ASSERT_EQ(merged.size(), reference.size()) << "seed=" << seed;
+      for (std::size_t b = 0; b < merged.size(); ++b) {
+        EXPECT_EQ(merged[b].indices, reference[b].indices)
+            << "seed=" << seed << " bucket=" << b;
+      }
+    }
+  }
+}
+
+TEST(BucketMergeProperty, MergedBucketsFormAPartition) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(23000 + seed);
+    const std::size_t m = 3 + seed % 9;
+    const std::size_t n = 10 + 17 * (seed % 7);
+    const auto signatures = random_signatures(rng, n, m);
+    const BucketTable table = BucketTable::from_signatures(signatures, m);
+
+    for (const std::size_t p : {m, m - 1}) {
+      const auto strategy =
+          p == m ? MergeStrategy::kNone : MergeStrategy::kPairwise;
+      const auto buckets = table.merged_buckets(p, strategy);
+      std::vector<std::size_t> seen;
+      for (const Bucket& bucket : buckets) {
+        seen.insert(seen.end(), bucket.indices.begin(), bucket.indices.end());
+      }
+      std::sort(seen.begin(), seen.end());
+      std::vector<std::size_t> expected(n);
+      std::iota(expected.begin(), expected.end(), 0);
+      EXPECT_EQ(seen, expected) << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(BucketMergeProperty, PartitionIsIndependentOfArrivalOrder) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(31000 + seed);
+    const std::size_t m = 4 + seed % 6;
+    const std::size_t n = 30 + 9 * (seed % 10);
+    const auto signatures = random_signatures(rng, n, m);
+
+    // A random permutation of the arrival order.
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.uniform_index(i)]);
+    }
+    std::vector<Signature> shuffled(n);
+    for (std::size_t i = 0; i < n; ++i) shuffled[i] = signatures[perm[i]];
+
+    const auto base = BucketTable::from_signatures(signatures, m)
+                          .merged_buckets(m - 1, MergeStrategy::kPairwise);
+    auto permuted = BucketTable::from_signatures(shuffled, m)
+                        .merged_buckets(m - 1, MergeStrategy::kPairwise);
+    // Map the permuted run's indices back to original point ids.
+    for (Bucket& bucket : permuted) {
+      for (std::size_t& index : bucket.indices) index = perm[index];
+      std::sort(bucket.indices.begin(), bucket.indices.end());
+    }
+    EXPECT_EQ(as_partition(permuted), as_partition(base)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dasc::lsh
