@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,13 +39,19 @@ class MetricsReporter : public benchmark::ConsoleReporter {
 
 /// Drop-in replacement for BENCHMARK_MAIN(): runs the registered
 /// benchmarks through MetricsReporter and writes BENCH_<name>.json.
-inline int gbench_main(const std::string& name, int argc, char** argv) {
+/// `post`, when given, runs after the benchmarks and may record extra
+/// counters/gauges (e.g. machine-independent speedup ratios) into the
+/// registry before it is written.
+inline int gbench_main(
+    const std::string& name, int argc, char** argv,
+    const std::function<void(MetricsRegistry&)>& post = nullptr) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   MetricsRegistry registry;
   MetricsReporter reporter(&registry);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (post) post(registry);
   write_metrics_json(registry, name);
   return 0;
 }

@@ -29,6 +29,11 @@
 //   bucket-attempts=<int>      attempts per pipeline bucket (default 1;
 //                              raise alongside fault-plan so injected
 //                              failures are retried)
+//   simd=<level>               linalg dispatch level: auto (default),
+//                              scalar, sse2, or avx2. Labels are
+//                              bit-identical at every level (DESIGN.md
+//                              section 10); the DASC_SIMD env variable is
+//                              the equivalent process-wide override.
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -112,6 +117,14 @@ Options parse(int argc, char** argv) {
       options.fault_plan = value;
     } else if (key == "bucket-attempts") {
       options.params.max_bucket_attempts = std::stoul(value);
+    } else if (key == "simd") {
+      const auto level = dasc::linalg::simd::parse_level(value);
+      if (!level) {
+        std::fprintf(stderr, "simd=%s: expected auto, scalar, sse2, or avx2\n",
+                     value.c_str());
+        std::exit(2);
+      }
+      options.params.simd_level = *level;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       std::exit(2);
@@ -165,6 +178,9 @@ int main(int argc, char** argv) {
     params.faults = &*injector;
     std::printf("fault plan: %s\n", injector->plan().to_string().c_str());
   }
+  // Serve mode never reaches the fitting entry points, so install the
+  // dispatch level here for both paths.
+  core::apply_simd_level(params);
   Rng rng(params.seed);
   core::DascResult result;
   try {

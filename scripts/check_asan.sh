@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan "$@"
+
+# Deflake gate: the SIMD differential suite asserts bitwise invariants that
+# must hold on every run, so hammer it until-fail under the sanitizers.
+ctest --preset asan --tests-regex 'SimdDifferential' --repeat until-fail:3
+

@@ -15,7 +15,17 @@ Usage:
       [--require-timer NAME]...       timer NAME present with count > 0
       [--require-counter NAME]...     counter NAME present with value > 0
       [--require-gauge NAME]...       gauge NAME present
-      [--require-gauge-le NAME MAX]'  gauge NAME present and <= MAX
+      [--require-gauge-le NAME MAX]   gauge NAME present and <= MAX
+      [--require-gauge-ge NAME MIN]   gauge NAME present and >= MIN
+      [--baseline FILE]               committed reference BENCH json
+      [--max-regress PCT]             with --baseline: fail when any timer
+                                      shared with the baseline is more than
+                                      PCT percent slower per iteration
+                                      (default 15)
+
+Per-iteration time for the regression gate is timers_ms[name].total_ms
+divided by the matching "<name>.iterations" counter when present (the
+gbench reporter records both), else by timers_ms[name].count.
 
 Exits nonzero (with a message per failure) when any file is invalid or a
 requirement is unmet. Requirements are checked against every FILE given.
@@ -93,6 +103,44 @@ def check_requirements(path, data, args, errors):
             fail(errors, f"{path}: missing required gauge {name!r}")
         elif value > int(limit):
             fail(errors, f"{path}: gauge {name!r} = {value} > {limit}")
+    for name, floor in args.require_gauge_ge:
+        value = gauges.get(name)
+        if value is None:
+            fail(errors, f"{path}: missing required gauge {name!r}")
+        elif value < int(floor):
+            fail(errors, f"{path}: gauge {name!r} = {value} < {floor}")
+
+
+def per_iteration_ms(data, name):
+    """Timer total_ms normalized by the gbench iteration counter."""
+    snap = data.get("timers_ms", {}).get(name)
+    if snap is None:
+        return None
+    iterations = data.get("counters", {}).get(f"{name}.iterations")
+    divisor = iterations if iterations else snap.get("count", 0)
+    if not divisor or divisor <= 0:
+        return None
+    return snap["total_ms"] / divisor
+
+
+def check_regression(path, data, baseline, max_regress, errors):
+    compared = 0
+    for name in sorted(baseline.get("timers_ms", {})):
+        base_ms = per_iteration_ms(baseline, name)
+        cur_ms = per_iteration_ms(data, name)
+        if base_ms is None or cur_ms is None or base_ms <= 0:
+            continue
+        compared += 1
+        regress = 100.0 * (cur_ms / base_ms - 1.0)
+        if regress > max_regress:
+            fail(errors,
+                 f"{path}: timer {name!r} regressed {regress:.1f}% "
+                 f"({cur_ms:.6g} ms/iter vs baseline {base_ms:.6g}; "
+                 f"limit {max_regress}%)")
+    if compared == 0:
+        fail(errors, f"{path}: no timers overlap the baseline")
+    else:
+        print(f"{path}: {compared} timers within {max_regress}% of baseline")
 
 
 def main(argv):
@@ -106,9 +154,21 @@ def main(argv):
                         metavar="NAME")
     parser.add_argument("--require-gauge-le", action="append", default=[],
                         nargs=2, metavar=("NAME", "MAX"))
+    parser.add_argument("--require-gauge-ge", action="append", default=[],
+                        nargs=2, metavar=("NAME", "MIN"))
+    parser.add_argument("--baseline", metavar="FILE")
+    parser.add_argument("--max-regress", type=float, default=15.0,
+                        metavar="PCT")
     args = parser.parse_args(argv)
 
     errors = []
+    baseline = None
+    if args.baseline is not None:
+        try:
+            with open(args.baseline, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(errors, f"{args.baseline}: {exc}")
     for path in args.files:
         try:
             with open(path, encoding="utf-8") as handle:
@@ -118,6 +178,8 @@ def main(argv):
             continue
         check_schema(path, data, errors)
         check_requirements(path, data, args, errors)
+        if baseline is not None:
+            check_regression(path, data, baseline, args.max_regress, errors)
         if not errors:
             counts = (len(data.get("counters", {})),
                       len(data.get("timers_ms", {})),

@@ -5,7 +5,10 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "linalg/simd_ops.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace dasc::clustering {
@@ -13,28 +16,46 @@ namespace dasc::clustering {
 double gaussian_kernel(std::span<const double> x, std::span<const double> y,
                        double sigma) {
   DASC_EXPECT(sigma > 0.0, "gaussian_kernel: sigma must be positive");
-  return std::exp(-linalg::squared_distance(x, y) / (2.0 * sigma * sigma));
+  DASC_EXPECT(x.size() == y.size(), "gaussian_kernel: size mismatch");
+  // Same rounding sequence as the batched Gram path: canonical squared
+  // distance, one IEEE division, one std::exp.
+  return std::exp(-(linalg::simd::squared_distance(x, y) /
+                    gaussian_denom(sigma)));
 }
 
 double suggest_bandwidth(const data::PointSet& points) {
   DASC_EXPECT(!points.empty(), "suggest_bandwidth: empty dataset");
   const std::size_t n = points.size();
-  // Deterministic strided sample of up to ~2048 pairs.
+  if (n < 2) return 1.0;
+
+  constexpr std::size_t kTargetPairs = 2048;
+  // Fixed internal seed: the sample depends only on the dataset, never on
+  // caller RNG state, and the index-pair draw is uniform over {i < j} for
+  // every n (the old strided flat-index walk overflowed n*n for huge n and
+  // sampled a biased wedge whenever the stride divided n).
+  Rng rng(0xDA5CBA7Dull);
+
   std::vector<double> distances;
-  const std::size_t target_pairs = 2048;
-  const std::size_t stride = std::max<std::size_t>(1, n * n / target_pairs);
-  for (std::size_t flat = 0; flat < n * n; flat += stride) {
-    const std::size_t i = flat / n;
-    const std::size_t j = flat % n;
-    if (i >= j) continue;
-    distances.push_back(
-        std::sqrt(linalg::squared_distance(points.point(i), points.point(j))));
+  if (n <= 64) {
+    // Small datasets: the full set of pairs fits the budget; enumerate.
+    distances.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        distances.push_back(std::sqrt(
+            linalg::squared_distance(points.point(i), points.point(j))));
+      }
+    }
+  } else {
+    distances.reserve(kTargetPairs);
+    while (distances.size() < kTargetPairs) {
+      const std::size_t i = rng.uniform_index(n);
+      std::size_t j = rng.uniform_index(n - 1);
+      if (j >= i) ++j;  // uniform over unordered distinct pairs
+      distances.push_back(std::sqrt(
+          linalg::squared_distance(points.point(i), points.point(j))));
+    }
   }
-  if (distances.empty() && n >= 2) {
-    distances.push_back(std::sqrt(
-        linalg::squared_distance(points.point(0), points.point(n - 1))));
-  }
-  if (distances.empty()) return 1.0;
+
   auto mid =
       distances.begin() + static_cast<std::ptrdiff_t>(distances.size() / 2);
   std::nth_element(distances.begin(), mid, distances.end());
@@ -42,43 +63,111 @@ double suggest_bandwidth(const data::PointSet& points) {
   return median > 0.0 ? median : 1.0;
 }
 
-linalg::DenseMatrix gaussian_gram(const data::PointSet& points, double sigma,
-                                  std::size_t threads) {
-  DASC_EXPECT(sigma > 0.0, "gaussian_gram: sigma must be positive");
-  const std::size_t n = points.size();
-  linalg::DenseMatrix gram(n, n, 0.0);
-  parallel_for(0, n, threads, [&](std::size_t i) {
-    gram(i, i) = 1.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = gaussian_kernel(points.point(i), points.point(j),
-                                       sigma);
-      gram(i, j) = v;
+namespace {
+
+/// Rows per panel: two panels (the i-rows and the j-rows) should sit in
+/// roughly half an L2 (128 KiB budget), clamped to keep the exp batches
+/// long enough to amortize and short enough to stay in L1.
+std::size_t panel_rows(std::size_t dim) {
+  const std::size_t row_bytes = std::max<std::size_t>(1, dim) * sizeof(double);
+  const std::size_t t = (128 * 1024) / (2 * row_bytes);
+  return std::clamp<std::size_t>(t, 8, 256);
+}
+
+/// Fill the strict upper triangle of rows [i0, i1) of `gram` with Gaussian
+/// weights, tiling columns so each j-panel stays cache-resident across the
+/// panel's rows. Squared distances land directly in the Gram row, then the
+/// whole segment is exponentiated in place through the shared batch.
+template <typename RowAt>
+void fill_upper_panels(linalg::DenseMatrix& gram, const RowAt& row_at,
+                       std::size_t i0, std::size_t i1, std::size_t n,
+                       double denom, std::size_t tile) {
+  const auto& kernels = linalg::simd::active();
+  for (std::size_t jt = i0; jt < n; jt += tile) {
+    const std::size_t jt_end = std::min(jt + tile, n);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::size_t j0 = std::max(i + 1, jt);
+      if (j0 >= jt_end) continue;
+      const std::span<const double> xi = row_at(i);
+      double* out = &gram(i, j0);
+      for (std::size_t j = j0; j < jt_end; ++j) {
+        const std::span<const double> xj = row_at(j);
+        out[j - j0] =
+            kernels.squared_distance(xi.data(), xj.data(), xi.size());
+      }
+      const std::span<double> seg(out, jt_end - j0);
+      linalg::simd::gaussian_from_d2(seg, denom, seg);
     }
-  });
-  // Mirror the upper triangle (written race-free per row above).
+  }
+}
+
+/// Deterministic panel-pair count for the metrics counter (must match what
+/// fill_upper_panels visits, independent of threading).
+std::size_t count_panels(std::size_t n, std::size_t tile) {
+  const std::size_t tiles = (n + tile - 1) / tile;
+  // i-tile t spans column tiles t..tiles-1.
+  return tiles * (tiles + 1) / 2;
+}
+
+void record_panel_metrics(MetricsRegistry* metrics, std::size_t n,
+                          std::size_t tile) {
+  if (metrics == nullptr || n == 0) return;
+  metrics->counter("gram.panels")
+      .add(static_cast<std::int64_t>(count_panels(n, tile)));
+  metrics->gauge("gram.panel_rows").set_max(static_cast<std::int64_t>(tile));
+}
+
+void mirror_upper(linalg::DenseMatrix& gram) {
+  const std::size_t n = gram.rows();
   for (std::size_t i = 0; i < n; ++i) {
+    gram(i, i) = 1.0;
     for (std::size_t j = i + 1; j < n; ++j) gram(j, i) = gram(i, j);
   }
+}
+
+}  // namespace
+
+linalg::DenseMatrix gaussian_gram(const data::PointSet& points, double sigma,
+                                  std::size_t threads,
+                                  MetricsRegistry* metrics) {
+  DASC_EXPECT(sigma > 0.0, "gaussian_gram: sigma must be positive");
+  const std::size_t n = points.size();
+  const double denom = gaussian_denom(sigma);
+  const std::size_t tile = panel_rows(points.dim());
+  linalg::DenseMatrix gram(n, n, 0.0);
+
+  const std::size_t tiles = (n + tile - 1) / tile;
+  parallel_for(0, tiles, threads, [&](std::size_t ti) {
+    const std::size_t i0 = ti * tile;
+    const std::size_t i1 = std::min(i0 + tile, n);
+    fill_upper_panels(
+        gram, [&](std::size_t i) { return points.point(i); }, i0, i1, n,
+        denom, tile);
+  });
+  mirror_upper(gram);
+  record_panel_metrics(metrics, n, tile);
   return gram;
 }
 
 linalg::DenseMatrix gaussian_gram_subset(
     const data::PointSet& points, std::span<const std::size_t> indices,
-    double sigma) {
+    double sigma, MetricsRegistry* metrics) {
   DASC_EXPECT(sigma > 0.0, "gaussian_gram_subset: sigma must be positive");
   const std::size_t n = indices.size();
-  linalg::DenseMatrix gram(n, n, 0.0);
   for (std::size_t a = 0; a < n; ++a) {
     DASC_EXPECT(indices[a] < points.size(),
                 "gaussian_gram_subset: index out of range");
-    gram(a, a) = 1.0;
-    for (std::size_t b = a + 1; b < n; ++b) {
-      const double v = gaussian_kernel(points.point(indices[a]),
-                                       points.point(indices[b]), sigma);
-      gram(a, b) = v;
-      gram(b, a) = v;
-    }
   }
+  const double denom = gaussian_denom(sigma);
+  const std::size_t tile = panel_rows(points.dim());
+  linalg::DenseMatrix gram(n, n, 0.0);
+  for (std::size_t i0 = 0; i0 < n; i0 += tile) {
+    fill_upper_panels(
+        gram, [&](std::size_t a) { return points.point(indices[a]); }, i0,
+        std::min(i0 + tile, n), n, denom, tile);
+  }
+  mirror_upper(gram);
+  record_panel_metrics(metrics, n, tile);
   return gram;
 }
 

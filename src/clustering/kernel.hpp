@@ -1,5 +1,12 @@
 // Gaussian (RBF) kernel and Gram-matrix construction (paper Eq. 1):
 //   S_lm = exp(-||X_l - X_m||^2 / (2 sigma^2)).
+//
+// Gram construction is panelized: points are tiled into L2-sized row
+// panels, only the upper triangle is evaluated (then mirrored), squared
+// distances run on the runtime-dispatched SIMD kernels, and the exponents
+// of each panel row are batched through one shared std::exp loop
+// (linalg::simd::gaussian_from_d2). Every entry is bit-identical to a
+// pointwise gaussian_kernel() call and across dispatch levels.
 #pragma once
 
 #include <cstddef>
@@ -8,26 +15,38 @@
 #include "data/point_set.hpp"
 #include "linalg/dense_matrix.hpp"
 
+namespace dasc {
+class MetricsRegistry;
+}
+
 namespace dasc::clustering {
+
+/// The Gaussian denominator 2 sigma^2, shared by the pointwise kernel and
+/// the batched Gram path so both round identically.
+inline double gaussian_denom(double sigma) { return 2.0 * sigma * sigma; }
 
 /// Gaussian kernel value between two points. sigma must be positive.
 double gaussian_kernel(std::span<const double> x, std::span<const double> y,
                        double sigma);
 
-/// Heuristic bandwidth: median pairwise distance over a bounded sample of
-/// point pairs (deterministic given the dataset). Never returns <= 0 for a
+/// Heuristic bandwidth: median pairwise distance over a bounded,
+/// deterministically sampled set of index pairs (fixed internal seed, so
+/// the result depends only on the dataset). Never returns <= 0 for a
 /// dataset with at least two distinct points; degenerate datasets get 1.0.
 double suggest_bandwidth(const data::PointSet& points);
 
 /// Full N x N Gram matrix (the paper's exact baseline). The diagonal is 1.
-/// `threads` parallelizes row construction (0 = hardware default).
+/// `threads` parallelizes panel construction (0 = hardware default).
+/// `metrics` (optional) receives the `gram.panels` counter and
+/// `gram.panel_rows` gauge.
 linalg::DenseMatrix gaussian_gram(const data::PointSet& points, double sigma,
-                                  std::size_t threads = 0);
+                                  std::size_t threads = 0,
+                                  MetricsRegistry* metrics = nullptr);
 
 /// Gram matrix restricted to `indices` (one LSH bucket): entry (a, b) is
 /// the kernel between points indices[a] and indices[b].
 linalg::DenseMatrix gaussian_gram_subset(
     const data::PointSet& points, std::span<const std::size_t> indices,
-    double sigma);
+    double sigma, MetricsRegistry* metrics = nullptr);
 
 }  // namespace dasc::clustering

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "linalg/lanczos.hpp"
+#include "linalg/simd_ops.hpp"
 #include "linalg/symmetric_eigen.hpp"
 #include "linalg/vector_ops.hpp"
 
@@ -29,15 +30,15 @@ SpectralEmbeddingDetail spectral_embedding_detail(
   detail.degrees.assign(n, 0.0);
   std::vector<double> inv_sqrt_degree(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    double degree = 0.0;
-    for (std::size_t j = 0; j < n; ++j) degree += laplacian(i, j);
+    const double degree = linalg::simd::reduce_add(laplacian.row(i));
     detail.degrees[i] = degree;
     inv_sqrt_degree[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
   }
+  // Row i of D^{-1/2} S D^{-1/2}: scale by inv_sqrt_degree[i] *
+  // inv_sqrt_degree[j] elementwise through the dispatched kernel.
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      laplacian(i, j) *= inv_sqrt_degree[i] * inv_sqrt_degree[j];
-    }
+    linalg::simd::diag_scale(laplacian.row(i), inv_sqrt_degree[i],
+                             inv_sqrt_degree);
   }
 
   // Top-k eigenvectors of L (largest eigenvalues).

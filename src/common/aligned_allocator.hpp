@@ -1,0 +1,53 @@
+// Cache-line-aligned storage for the SIMD hot paths.
+//
+// The vectorized kernels use unaligned loads, so alignment is purely a
+// performance matter — but a large one: a 32-byte load that straddles a
+// cache line costs extra cycles, and the default allocator only guarantees
+// 16-byte alignment, which makes half of all 4-wide double loads
+// straddlers on a cold buffer. Backing the row-major containers with
+// 64-byte-aligned storage puts every row on a cache-line boundary whenever
+// the row stride is a multiple of 8 doubles, which is what the Gram and
+// embedding benchmarks measure (bench_micro_linalg).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dasc {
+
+/// Minimal allocator returning Alignment-byte-aligned storage.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T),
+                "Alignment must satisfy the element type");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// 64-byte (cache-line) aligned double vector: the storage behind
+/// DenseMatrix and PointSet.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace dasc

@@ -127,7 +127,8 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
         if (options.build_blocks) {
           ScopedTimer build_timer(options.metrics, "pipeline.gram_build");
           block = clustering::gaussian_gram_subset(points, buckets[b].indices,
-                                                   options.sigma);
+                                                   options.sigma,
+                                                   options.metrics);
         }
         const double build_s = build_clock.seconds();
 

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "linalg/simd_ops.hpp"
 #include "lsh/bucket_table.hpp"
 #include "lsh/random_projection.hpp"
 
@@ -61,6 +62,13 @@ struct DascParams {
   /// alone, so the pipeline cannot deadlock.
   std::size_t max_inflight_bytes = 0;
 
+  /// SIMD dispatch level for the linalg kernels (kAuto = best supported,
+  /// or the DASC_SIMD env override). Every level produces bit-identical
+  /// results — the kernels share one canonical reduction order — so this
+  /// knob exists for differential testing and triage, not tuning. Applied
+  /// process-wide at pipeline entry; unsupported levels clamp down.
+  linalg::SimdLevel simd_level = linalg::SimdLevel::kAuto;
+
   /// Dense eigensolver below this bucket size, Lanczos above.
   std::size_t dense_cutoff = 128;
   /// Worker threads for per-bucket processing (0 = host concurrency).
@@ -93,5 +101,10 @@ std::size_t resolve_merge_bits(const DascParams& params, std::size_t m);
 
 /// Resolve the global cluster count for a dataset of size n.
 std::size_t resolve_cluster_count(const DascParams& params, std::size_t n);
+
+/// Install params.simd_level as the process-wide dispatch table and record
+/// the resolved level in the `linalg.simd_level` gauge (scalar=0, sse2=1,
+/// avx2=2). Called by every pipeline entry point; safe to call repeatedly.
+void apply_simd_level(const DascParams& params);
 
 }  // namespace dasc::core

@@ -10,6 +10,7 @@
 #include "common/stopwatch.hpp"
 #include "core/bucket_pipeline.hpp"
 #include "data/wiki_corpus.hpp"
+#include "linalg/simd_ops.hpp"
 #include "lsh/minhash.hpp"
 #include "lsh/simhash.hpp"
 #include "lsh/spectral_hash.hpp"
@@ -39,6 +40,14 @@ std::size_t resolve_cluster_count(const DascParams& params, std::size_t n) {
   if (params.k != 0) return std::min(params.k, n);
   const std::size_t k = data::wiki_category_count(n);
   return std::min(std::max<std::size_t>(k, 2), n);
+}
+
+void apply_simd_level(const DascParams& params) {
+  linalg::simd::set_level(params.simd_level);
+  if (params.metrics != nullptr) {
+    params.metrics->gauge("linalg.simd_level")
+        .set(linalg::simd::level_gauge_value(linalg::simd::active_level()));
+  }
 }
 
 BlockGram::BlockGram(std::vector<lsh::Bucket> buckets,
@@ -189,6 +198,9 @@ std::vector<lsh::Bucket> bucket_points(
     const data::PointSet& points, const DascParams& params, Rng& rng,
     ApproximatorStats* stats, std::unique_ptr<lsh::LshHasher>* hasher_out) {
   DASC_EXPECT(!points.empty(), "bucket_points: empty dataset");
+  // Every DASC consumer funnels through here before touching the linalg
+  // hot paths, so this is where the SIMD knob takes effect.
+  apply_simd_level(params);
   Stopwatch clock;
 
   const std::size_t m = resolve_signature_bits(params, points.size());

@@ -13,7 +13,7 @@ PointSet::PointSet(std::size_t n, std::size_t dim)
 }
 
 PointSet::PointSet(std::size_t n, std::size_t dim, std::vector<double> values)
-    : n_(n), dim_(dim), values_(std::move(values)) {
+    : n_(n), dim_(dim), values_(values.begin(), values.end()) {
   DASC_EXPECT(values_.size() == n * dim,
               "PointSet: values size must equal n * dim");
 }

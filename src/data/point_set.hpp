@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned_allocator.hpp"
+
 namespace dasc::data {
 
 /// N x d row-major point collection, optionally labelled.
@@ -31,7 +33,7 @@ class PointSet {
   double& at(std::size_t i, std::size_t d);
   double at(std::size_t i, std::size_t d) const;
 
-  const std::vector<double>& values() const { return values_; }
+  const AlignedVector& values() const { return values_; }
 
   bool has_labels() const { return !labels_.empty(); }
   const std::vector<int>& labels() const { return labels_; }
@@ -54,7 +56,9 @@ class PointSet {
  private:
   std::size_t n_ = 0;
   std::size_t dim_ = 0;
-  std::vector<double> values_;
+  // Cache-line aligned for the same reason as DenseMatrix::data_: the
+  // Gram build sweeps point rows with 4-wide loads.
+  AlignedVector values_;
   std::vector<int> labels_;
 };
 

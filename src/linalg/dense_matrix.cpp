@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd_ops.hpp"
 
 namespace dasc::linalg {
 
@@ -86,18 +87,15 @@ void DenseMatrix::matvec(std::span<const double> x,
                          std::span<double> y) const {
   DASC_EXPECT(x.size() == cols_, "matvec: x length mismatch");
   DASC_EXPECT(y.size() == rows_, "matvec: y length mismatch");
+  const SimdKernels& kernels = simd::active();
   for (std::size_t i = 0; i < rows_; ++i) {
-    const double* ai = data_.data() + i * cols_;
-    double acc = 0.0;
-    for (std::size_t j = 0; j < cols_; ++j) acc += ai[j] * x[j];
-    y[i] = acc;
+    y[i] = kernels.dot(data_.data() + i * cols_, x.data(), cols_);
   }
 }
 
 double DenseMatrix::frobenius_norm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return std::sqrt(acc);
+  return std::sqrt(simd::active().dot(data_.data(), data_.data(),
+                                      data_.size()));
 }
 
 double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {

@@ -7,8 +7,8 @@
 
 #include <cstddef>
 #include <span>
-#include <vector>
 
+#include "common/aligned_allocator.hpp"
 #include "common/memory_tracker.hpp"
 
 namespace dasc::linalg {
@@ -76,7 +76,9 @@ class DenseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // Cache-line aligned so SIMD row sweeps avoid line-straddling loads
+  // (rows land on 64-byte boundaries whenever cols is a multiple of 8).
+  AlignedVector data_;
   ScopedAllocation tracked_;
 };
 

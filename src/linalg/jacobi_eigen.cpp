@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd_ops.hpp"
 
 namespace dasc::linalg {
 
@@ -15,7 +16,10 @@ SymmetricEigenResult jacobi_eigen(const DenseMatrix& input, int max_sweeps) {
 
   const std::size_t n = input.rows();
   DenseMatrix a = input;
-  DenseMatrix v = DenseMatrix::identity(n);
+  // Accumulate eigenvectors transposed (row t of vt = eigenvector column t)
+  // so each Jacobi rotation touches two contiguous rows instead of two
+  // strided columns.
+  DenseMatrix vt = DenseMatrix::identity(n);
 
   auto off_diag_norm = [&a, n] {
     double acc = 0.0;
@@ -39,24 +43,17 @@ SymmetricEigenResult jacobi_eigen(const DenseMatrix& input, int max_sweeps) {
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
 
+        // Column update stays a strided scalar loop (elementwise, so it is
+        // dispatch-level independent anyway); row updates and the
+        // eigenvector rotations go through the dispatched row-pair kernel.
         for (std::size_t k = 0; k < n; ++k) {
           const double akp = a(k, p);
           const double akq = a(k, q);
           a(k, p) = c * akp - s * akq;
           a(k, q) = s * akp + c * akq;
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double apk = a(p, k);
-          const double aqk = a(q, k);
-          a(p, k) = c * apk - s * aqk;
-          a(q, k) = s * apk + c * aqk;
-        }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double vkp = v(k, p);
-          const double vkq = v(k, q);
-          v(k, p) = c * vkp - s * vkq;
-          v(k, q) = s * vkp + c * vkq;
-        }
+        simd::rotate_rows(a.row(p), a.row(q), c, s);
+        simd::rotate_rows(vt.row(p), vt.row(q), c, s);
       }
     }
   }
@@ -77,7 +74,7 @@ SymmetricEigenResult jacobi_eigen(const DenseMatrix& input, int max_sweeps) {
   for (std::size_t j = 0; j < n; ++j) {
     sorted.eigenvalues[j] = result.eigenvalues[order[j]];
     for (std::size_t i = 0; i < n; ++i) {
-      sorted.eigenvectors(i, j) = v(i, order[j]);
+      sorted.eigenvectors(i, j) = vt(order[j], i);
     }
   }
   return sorted;

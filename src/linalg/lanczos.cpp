@@ -98,28 +98,22 @@ LanczosResult lanczos_pass(const LinearOperator& op, std::size_t k,
   result.eigenvectors = DenseMatrix(n, found);
 
   // tri eigenvalues ascend; take the last `found` in descending order and
-  // lift Ritz vectors back: x = V_basis^T * s.
+  // lift Ritz vectors back: x = V_basis^T * s, accumulated as a sum of
+  // scaled basis rows so the inner loop is a contiguous axpy instead of a
+  // stride-n scan.
+  std::vector<double> col(n);
   for (std::size_t out = 0; out < found; ++out) {
     const std::size_t idx = steps - 1 - out;
     result.eigenvalues[out] = tri.eigenvalues[idx];
-    for (std::size_t row = 0; row < n; ++row) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < steps; ++j) {
-        acc += tri.eigenvectors(j, idx) * basis(j, row);
-      }
-      result.eigenvectors(row, out) = acc;
+    std::fill(col.begin(), col.end(), 0.0);
+    for (std::size_t j = 0; j < steps; ++j) {
+      axpy(tri.eigenvectors(j, idx), basis.row(j), col);
     }
     // Ritz vectors from an orthonormal basis are unit-norm up to round-off;
     // renormalize so downstream row-normalization is well-conditioned.
-    std::vector<double> col(n);
-    for (std::size_t row = 0; row < n; ++row) {
-      col[row] = result.eigenvectors(row, out);
-    }
     const double nrm = norm2(col);
-    if (nrm > 0) {
-      for (std::size_t row = 0; row < n; ++row) {
-        result.eigenvectors(row, out) = col[row] / nrm;
-      }
+    for (std::size_t row = 0; row < n; ++row) {
+      result.eigenvectors(row, out) = nrm > 0 ? col[row] / nrm : col[row];
     }
   }
   return result;

@@ -3,36 +3,33 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd_ops.hpp"
 
+// Thin validating facade over the runtime-dispatched SIMD kernels
+// (linalg/simd_ops.hpp). Every consumer of these routines — Lanczos,
+// K-means scans, row normalization — picks up the active dispatch level
+// automatically; numerics follow the canonical reduction order documented
+// there, identical at every level.
 namespace dasc::linalg {
 
 double dot(std::span<const double> x, std::span<const double> y) {
   DASC_EXPECT(x.size() == y.size(), "dot: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  return simd::dot(x, y);
 }
 
-double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+double norm2(std::span<const double> x) { return std::sqrt(simd::dot(x, x)); }
 
 double squared_distance(std::span<const double> x, std::span<const double> y) {
   DASC_EXPECT(x.size() == y.size(), "squared_distance: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::squared_distance(x, y);
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   DASC_EXPECT(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::axpy(alpha, x, y);
 }
 
-void scale(std::span<double> x, double alpha) {
-  for (double& v : x) v *= alpha;
-}
+void scale(std::span<double> x, double alpha) { simd::scale(x, alpha); }
 
 double normalize(std::span<double> x) {
   const double n = norm2(x);

@@ -11,6 +11,11 @@
 namespace dasc::clustering {
 namespace {
 
+// Golden median for SuggestBandwidth.PinnedSampledMedianRegression,
+// computed once from this repo's deterministic sampler (see that test for
+// why the value is host-independent).
+constexpr double kGoldenSampledMedian = 0.78852774209595178;
+
 TEST(GaussianKernel, KnownValues) {
   const std::vector<double> x{0.0, 0.0};
   const std::vector<double> y{3.0, 4.0};  // distance 5
@@ -50,6 +55,43 @@ TEST(SuggestBandwidth, PositiveAndScaleAware) {
 TEST(SuggestBandwidth, DegenerateDatasetFallsBackToOne) {
   const data::PointSet points(5, 2, std::vector<double>(10, 0.5));
   EXPECT_DOUBLE_EQ(suggest_bandwidth(points), 1.0);
+}
+
+TEST(SuggestBandwidth, SingletonDatasetFallsBackToOne) {
+  const data::PointSet points(1, 3, std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(suggest_bandwidth(points), 1.0);
+}
+
+TEST(SuggestBandwidth, DeterministicAcrossCalls) {
+  // The sampler uses a fixed internal seed, so the suggestion is a pure
+  // function of the dataset — repeated calls and call order cannot drift.
+  dasc::Rng rng(47);
+  const data::PointSet points = data::make_uniform(500, 6, rng);
+  const double first = suggest_bandwidth(points);
+  const double second = suggest_bandwidth(points);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SuggestBandwidth, SmallDatasetUsesExactMedian) {
+  // n <= 64 enumerates all pairs: four collinear points at 0, 1, 2, 3
+  // have pairwise distances {1,1,1,2,2,3}; lower median (index 3 of 6) = 2.
+  data::PointSet points(4, 1, std::vector<double>{0.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(suggest_bandwidth(points), 2.0);
+}
+
+TEST(SuggestBandwidth, PinnedSampledMedianRegression) {
+  // Golden value for the sampled (n > 64) path: every operation in the
+  // pipeline (fixed-seed xoshiro draws, subtract/multiply/add in canonical
+  // lane order, exactly-rounded sqrt, nth_element median) is IEEE
+  // deterministic, so this double is exact on every host. A change means
+  // the sampler's draw sequence or the distance numerics changed.
+  dasc::Rng rng(48);
+  const data::PointSet points = data::make_uniform(300, 4, rng);
+  const double sigma = suggest_bandwidth(points);
+  EXPECT_GT(sigma, 0.0);
+  const double again = suggest_bandwidth(points);
+  EXPECT_EQ(sigma, again);
+  EXPECT_DOUBLE_EQ(sigma, kGoldenSampledMedian);
 }
 
 TEST(GaussianGram, SymmetricWithUnitDiagonal) {

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace dasc::linalg {
 namespace {
@@ -67,6 +70,90 @@ TEST(VectorOps, Copy) {
   std::vector<double> dst(3, 0.0);
   copy(src, dst);
   EXPECT_EQ(src, dst);
+}
+
+// ---- metric-space properties of the scalar reference semantics ----
+// These pin down what the SIMD differential suite measures against: the
+// facade must behave like a true squared Euclidean distance regardless of
+// which dispatch level implements it.
+
+std::vector<double> random_vec(std::size_t n, dasc::Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(-10.0, 10.0);
+  return v;
+}
+
+TEST(VectorOpsProperties, SquaredDistanceToSelfIsZero) {
+  dasc::Rng rng(901);
+  for (std::size_t n : {0, 1, 3, 17, 64, 129}) {
+    const std::vector<double> x = random_vec(n, rng);
+    EXPECT_EQ(squared_distance(std::span<const double>(x),
+                               std::span<const double>(x)),
+              0.0)
+        << "n=" << n;
+  }
+}
+
+TEST(VectorOpsProperties, SquaredDistanceIsSymmetric) {
+  dasc::Rng rng(902);
+  for (std::size_t n : {1, 5, 32, 67, 200}) {
+    const std::vector<double> x = random_vec(n, rng);
+    const std::vector<double> y = random_vec(n, rng);
+    // Bitwise symmetric: (x-y)^2 == (y-x)^2 term by term, and the
+    // canonical reduction order does not depend on operand order.
+    EXPECT_EQ(squared_distance(std::span<const double>(x),
+                               std::span<const double>(y)),
+              squared_distance(std::span<const double>(y),
+                               std::span<const double>(x)))
+        << "n=" << n;
+  }
+}
+
+TEST(VectorOpsProperties, SquaredDistanceIsTranslationInvariant) {
+  dasc::Rng rng(903);
+  for (std::size_t n : {2, 9, 48, 100}) {
+    const std::vector<double> x = random_vec(n, rng);
+    const std::vector<double> y = random_vec(n, rng);
+    const double shift = rng.uniform(-5.0, 5.0);
+    std::vector<double> xs = x;
+    std::vector<double> ys = y;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] += shift;
+      ys[i] += shift;
+    }
+    const double base = squared_distance(std::span<const double>(x),
+                                         std::span<const double>(y));
+    const double shifted = squared_distance(std::span<const double>(xs),
+                                            std::span<const double>(ys));
+    // Exact invariance is impossible in floating point; require agreement
+    // at the conditioning of the inputs.
+    EXPECT_NEAR(shifted, base, 1e-9 * std::max(1.0, base)) << "n=" << n;
+  }
+}
+
+TEST(VectorOpsProperties, CauchySchwarz) {
+  dasc::Rng rng(904);
+  for (std::size_t n : {1, 4, 21, 77, 150}) {
+    const std::vector<double> x = random_vec(n, rng);
+    const std::vector<double> y = random_vec(n, rng);
+    const double lhs = std::abs(dot(std::span<const double>(x),
+                                    std::span<const double>(y)));
+    const double rhs = norm2(x) * norm2(y);
+    EXPECT_LE(lhs, rhs * (1.0 + 1e-12)) << "n=" << n;
+  }
+}
+
+TEST(VectorOpsProperties, DotIsCommutative) {
+  dasc::Rng rng(905);
+  for (std::size_t n : {3, 16, 63, 128}) {
+    const std::vector<double> x = random_vec(n, rng);
+    const std::vector<double> y = random_vec(n, rng);
+    // x[i]*y[i] == y[i]*x[i] bitwise and the lane order is fixed, so the
+    // dot is exactly commutative.
+    EXPECT_EQ(dot(std::span<const double>(x), std::span<const double>(y)),
+              dot(std::span<const double>(y), std::span<const double>(x)))
+        << "n=" << n;
+  }
 }
 
 }  // namespace
