@@ -34,6 +34,14 @@
 //                              bit-identical at every level (DESIGN.md
 //                              section 10); the DASC_SIMD env variable is
 //                              the equivalent process-wide override.
+//   backend=<name>             per-bucket Gram backend policy: auto
+//                              (default; dense below backend-threshold,
+//                              nystrom above), dense, nystrom, or
+//                              rbf_binning (DESIGN.md section 11). The
+//                              per-bucket selections show up in
+//                              metrics-out as backend.selected_* counters.
+//   backend-threshold=<int>    bucket size at which auto switches from
+//                              dense to nystrom (default 4096)
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -117,6 +125,18 @@ Options parse(int argc, char** argv) {
       options.fault_plan = value;
     } else if (key == "bucket-attempts") {
       options.params.max_bucket_attempts = std::stoul(value);
+    } else if (key == "backend") {
+      const auto backend = dasc::core::parse_gram_backend(value);
+      if (!backend) {
+        std::fprintf(stderr,
+                     "backend=%s: expected auto, dense, nystrom, or "
+                     "rbf_binning\n",
+                     value.c_str());
+        std::exit(2);
+      }
+      options.params.gram_backend = *backend;
+    } else if (key == "backend-threshold") {
+      options.params.backend_threshold = std::stoul(value);
     } else if (key == "simd") {
       const auto level = dasc::linalg::simd::parse_level(value);
       if (!level) {

@@ -26,7 +26,15 @@
 //   model-in=<path>     load this artifact instead of fitting
 //   queries=<path>      CSV of query points (default: the training points)
 //   out=<path>          write queries with served labels appended
-//   metrics-out=<path>  write serving metrics JSON (DESIGN.md section 8)
+//   metrics-out=<path>  write serving metrics JSON (DESIGN.md section 8);
+//                       when the tool fits, the fit-side counters —
+//                       including the per-bucket backend.selected_*
+//                       selections — are folded into the same file
+//   backend=<name>      per-bucket Gram backend policy for the fit: auto
+//                       (default), dense, nystrom, or rbf_binning
+//                       (DESIGN.md section 11)
+//   backend-threshold=<int>  bucket size at which auto switches from dense
+//                       to nystrom (default 4096)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -107,6 +115,18 @@ Options parse(int argc, char** argv) {
       options.output = value;
     } else if (key == "metrics-out") {
       options.metrics_out = value;
+    } else if (key == "backend") {
+      const auto backend = dasc::core::parse_gram_backend(value);
+      if (!backend) {
+        std::fprintf(stderr,
+                     "backend=%s: expected auto, dense, nystrom, or "
+                     "rbf_binning\n",
+                     value.c_str());
+        std::exit(2);
+      }
+      options.params.gram_backend = *backend;
+    } else if (key == "backend-threshold") {
+      options.params.backend_threshold = std::stoul(value);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       std::exit(2);
@@ -137,6 +157,7 @@ int main(int argc, char** argv) {
   std::vector<int> offline_labels;
   std::string model_path = options.model_in;
   bool fitted = false;
+  MetricsRegistry registry;  // shared by the fit and serving phases
   if (model_path.empty()) {
     if (options.input.empty()) {
       std::printf("no input file; fitting a 1500-point demo mixture\n");
@@ -156,9 +177,11 @@ int main(int argc, char** argv) {
     Rng rng(options.params.seed);
     serving::FitOptions fit_options;
     fit_options.max_landmarks = options.landmarks;
+    core::DascParams fit_params = options.params;
+    if (!options.metrics_out.empty()) fit_params.metrics = &registry;
     serving::FitResult fit;
     try {
-      fit = serving::fit_model(train, options.params, rng, fit_options);
+      fit = serving::fit_model(train, fit_params, rng, fit_options);
       serving::save_model(fit.model, options.model_out);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "fit/save failed: %s\n", e.what());
@@ -197,7 +220,6 @@ int main(int argc, char** argv) {
                 queries.size());
   }
 
-  MetricsRegistry registry;
   std::vector<int> served;
   try {
     const serving::Assigner assigner(serving::load_model(model_path));

@@ -12,6 +12,7 @@
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "core/bucket_embedder.hpp"
 
 namespace dasc::core {
 
@@ -85,6 +86,9 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
   DASC_EXPECT(consume != nullptr, "run_bucket_pipeline: null consumer");
   DASC_EXPECT(options.max_bucket_attempts >= 1,
               "run_bucket_pipeline: max_bucket_attempts must be >= 1");
+  DASC_EXPECT(options.embedders.empty() ||
+                  options.embedders.size() == buckets.size(),
+              "run_bucket_pipeline: embedder plan must parallel the buckets");
 
   Stopwatch wall_clock;
   ScopedTimer wall_timer(options.metrics, "pipeline.wall");
@@ -92,13 +96,24 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
   stats.buckets = buckets.size();
   if (buckets.empty()) return stats;
 
+  // Whether bucket b's dense Gram block is pre-built here (the historical
+  // path) or the bucket's embedder builds its own factored representation
+  // inside the consumer. Either way the admission charge covers the bytes
+  // the bucket will actually hold resident.
+  auto prebuild_dense = [&](std::size_t b) {
+    return options.build_blocks &&
+           (options.embedders.empty() ||
+            options.embedders[b]->backend() == GramBackend::kDense);
+  };
   std::vector<std::size_t> block_bytes(buckets.size(), 0);
   for (std::size_t b = 0; b < buckets.size(); ++b) {
     DASC_EXPECT(jobs[b].index == b,
                 "run_bucket_pipeline: jobs must parallel the bucket vector");
     if (options.build_blocks) {
       const std::size_t n = buckets[b].indices.size();
-      block_bytes[b] = linalg::gram_entry_bytes(n * n);
+      block_bytes[b] = options.embedders.empty()
+                           ? linalg::gram_entry_bytes(n * n)
+                           : options.embedders[b]->gram_bytes(n, points.dim());
     }
     stats.peak_block_bytes = std::max(stats.peak_block_bytes, block_bytes[b]);
     stats.total_block_bytes += block_bytes[b];
@@ -124,7 +139,7 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
         }
         Stopwatch build_clock;
         linalg::DenseMatrix block;
-        if (options.build_blocks) {
+        if (prebuild_dense(b)) {
           ScopedTimer build_timer(options.metrics, "pipeline.gram_build");
           block = clustering::gaussian_gram_subset(points, buckets[b].indices,
                                                    options.sigma,

@@ -37,6 +37,8 @@ class MetricsRegistry;
 
 namespace dasc::core {
 
+class BucketEmbedder;
+
 /// Per-bucket cluster-count allocation rule: K_i = max(1, ceil(K * Ni / N))
 /// so the per-bucket totals track the requested global K.
 std::size_t bucket_cluster_count(std::size_t global_k, std::size_t bucket_size,
@@ -84,6 +86,15 @@ struct BucketPipelineOptions {
   /// (approximate SVM) but still want the planned seeds/offsets and the
   /// gated, pooled execution.
   bool build_blocks = true;
+  /// Optional per-bucket embedder plan, parallel to the bucket vector
+  /// (EmbedderSet::plan). When set, admission meters each bucket by its
+  /// embedder's gram_bytes — factored backends are charged their actual
+  /// O(Ni * m) footprint instead of Ni^2 — and the dense Gram block is
+  /// pre-built only for buckets on the dense backend; factored buckets
+  /// receive an empty matrix and build their representation inside the
+  /// consumer (still under the admission ticket and the alloc.gram_block
+  /// fault site). Empty = the historical all-dense behaviour.
+  std::vector<const BucketEmbedder*> embedders;
   /// Optional metrics sink: the run reports `pipeline.gram_build` /
   /// `pipeline.consume` / `pipeline.wall` timers, bucket and AdmissionGate
   /// admission counters, and peak-byte gauges (null = off).

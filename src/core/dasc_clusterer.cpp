@@ -6,6 +6,7 @@
 #include "clustering/spectral.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "core/bucket_embedder.hpp"
 
 namespace dasc::core {
 
@@ -57,6 +58,11 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
   result.num_clusters = total_label_count(jobs);
   result.labels.assign(points.size(), 0);
 
+  // Per-bucket backend plan (dense for every bucket under the defaults);
+  // the Eq. 12 stat reflects what the chosen backends actually store.
+  const EmbedderSet embedder_set(params, sigma);
+  result.stats.gram_bytes = embedder_set.total_gram_bytes(buckets, points.dim());
+
   // Steps 3-4 fused per bucket on the shared executor. Each consumer
   // writes only its own bucket's (disjoint) label slots, so any execution
   // order produces the same labels.
@@ -69,18 +75,20 @@ DascResult dasc_cluster(const data::PointSet& points, const DascParams& params,
   options.metrics = params.metrics;
   options.faults = params.faults;
   options.max_bucket_attempts = params.max_bucket_attempts;
+  options.embedders = embedder_set.plan(buckets);
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
           const BucketJob& job) {
         Rng bucket_rng(job.seed);
-        const std::vector<int> local =
-            cluster_bucket(block, job.k_bucket, params.dense_cutoff,
-                           bucket_rng, params.metrics);
+        const BucketEmbedding embedding =
+            options.embedders[job.index]->fit_with_block(
+                points, bucket.indices, job.k_bucket, bucket_rng,
+                /*want_factor=*/false, std::move(block));
         const auto& indices = bucket.indices;
         for (std::size_t i = 0; i < indices.size(); ++i) {
           result.labels[indices[i]] =
-              static_cast<int>(job.label_offset) + local[i];
+              static_cast<int>(job.label_offset) + embedding.fit.labels[i];
         }
       });
   fold_pipeline_stats(pipeline, result.stats);

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
+#include "core/bucket_embedder.hpp"
 #include "core/bucket_pipeline.hpp"
 #include "core/dasc_clusterer.hpp"
 #include "data/dataset_io.hpp"
@@ -73,18 +74,12 @@ class IdentityMapper final : public mapreduce::Mapper {
 /// orchestration path of the in-process drivers.
 class BucketClusterReducer final : public mapreduce::Reducer {
  public:
-  BucketClusterReducer(double sigma, std::size_t global_k,
-                       std::size_t total_points, std::size_t dense_cutoff,
-                       std::uint64_t seed, MetricsRegistry* metrics,
-                       FaultInjector* faults, std::size_t max_bucket_attempts)
-      : sigma_(sigma),
+  BucketClusterReducer(DascParams dasc, double sigma, std::size_t global_k,
+                       std::size_t total_points)
+      : dasc_(dasc),
+        sigma_(sigma),
         global_k_(global_k),
-        total_points_(total_points),
-        dense_cutoff_(dense_cutoff),
-        seed_(seed),
-        metrics_(metrics),
-        faults_(faults),
-        max_bucket_attempts_(max_bucket_attempts) {}
+        total_points_(total_points) {}
 
   void reduce(const std::string& key, const std::vector<std::string>& values,
               mapreduce::Emitter& out) override {
@@ -104,30 +99,35 @@ class BucketClusterReducer final : public mapreduce::Reducer {
     // sub-similarity matrix (Algorithm 2, Eq. 1), cluster, discard. Seed
     // derived from the bucket key so results are independent of which
     // reduce task processes the bucket.
-    lsh::Bucket bucket;
-    bucket.indices.resize(n);
-    for (std::size_t i = 0; i < n; ++i) bucket.indices[i] = i;
+    std::vector<lsh::Bucket> buckets(1);
+    buckets[0].indices.resize(n);
+    for (std::size_t i = 0; i < n; ++i) buckets[0].indices[i] = i;
     BucketJob job;
     job.index = 0;
-    job.seed = seed_ ^ std::hash<std::string>{}(key);
+    job.seed = dasc_.seed ^ std::hash<std::string>{}(key);
     job.k_bucket = bucket_cluster_count(global_k_, n, total_points_);
     job.label_offset = 0;
 
+    const EmbedderSet embedder_set(dasc_, sigma_);
     BucketPipelineOptions options;
     options.sigma = sigma_;
     options.threads = 1;  // the reducer is already one parallel task
     options.max_inflight_blocks = 1;
-    options.metrics = metrics_;
-    options.faults = faults_;
-    options.max_bucket_attempts = max_bucket_attempts_;
+    options.metrics = dasc_.metrics;
+    options.faults = dasc_.faults;
+    options.max_bucket_attempts = dasc_.max_bucket_attempts;
+    options.embedders = embedder_set.plan(buckets);
     std::vector<int> local;
     run_bucket_pipeline(
-        group, {bucket}, {job}, options,
-        [&](linalg::DenseMatrix&& block, const lsh::Bucket& /*bucket*/,
+        group, buckets, {job}, options,
+        [&](linalg::DenseMatrix&& block, const lsh::Bucket& task_bucket,
             const BucketJob& task) {
           Rng rng(task.seed);
-          local = cluster_bucket(block, task.k_bucket, dense_cutoff_, rng,
-                                 metrics_);
+          local = options.embedders[0]
+                      ->fit_with_block(group, task_bucket.indices,
+                                       task.k_bucket, rng,
+                                       /*want_factor=*/false, std::move(block))
+                      .fit.labels;
         });
 
     for (std::size_t i = 0; i < n; ++i) {
@@ -137,14 +137,10 @@ class BucketClusterReducer final : public mapreduce::Reducer {
   }
 
  private:
+  DascParams dasc_;
   double sigma_;
   std::size_t global_k_;
   std::size_t total_points_;
-  std::size_t dense_cutoff_;
-  std::uint64_t seed_;
-  MetricsRegistry* metrics_;
-  FaultInjector* faults_;
-  std::size_t max_bucket_attempts_;
 };
 
 }  // namespace
@@ -323,7 +319,10 @@ void finish_pipeline(const data::PointSet& points,
     result.stats.largest_bucket =
         std::max(result.stats.largest_bucket, bucket.indices.size());
   }
-  result.stats.gram_bytes = linalg::gram_entry_bytes(gram_entries);
+  // Eq. 12 bytes under the run's backend policy (identical to the dense
+  // sum-Ni^2 accounting when every bucket selects the dense backend).
+  result.stats.gram_bytes =
+      EmbedderSet(params.dasc, sigma).total_gram_bytes(merged, points.dim());
   result.stats.full_gram_bytes = linalg::gram_entry_bytes(n * n);
   result.stats.fill_ratio = static_cast<double>(gram_entries) /
                             (static_cast<double>(n) * static_cast<double>(n));
@@ -337,15 +336,9 @@ void finish_pipeline(const data::PointSet& points,
     return std::make_unique<IdentityMapper>();
   };
   const std::size_t global_k = result.requested_k;
-  const std::size_t dense_cutoff = params.dasc.dense_cutoff;
-  const std::uint64_t seed = params.dasc.seed;
-  MetricsRegistry* metrics = params.dasc.metrics;
-  FaultInjector* faults = params.dasc.faults;
-  const std::size_t max_bucket_attempts = params.dasc.max_bucket_attempts;
+  const DascParams dasc = params.dasc;
   cluster_spec.reducer_factory = [=] {
-    return std::make_unique<BucketClusterReducer>(sigma, global_k, n,
-                                                  dense_cutoff, seed, metrics,
-                                                  faults, max_bucket_attempts);
+    return std::make_unique<BucketClusterReducer>(dasc, sigma, global_k, n);
   };
   cluster_spec.metrics = params.dasc.metrics;
   cluster_spec.faults = params.dasc.faults;

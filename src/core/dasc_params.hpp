@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "linalg/simd_ops.hpp"
 #include "lsh/bucket_table.hpp"
@@ -26,6 +28,25 @@ enum class HashFamily {
   /// Data-dependent spectral hashing — the paper's suggested family for
   /// skewed data ("will yield balanced partitioning", Section 5.1).
   kSpectralHash,
+};
+
+/// Per-bucket Gram/embedding backend (see core/bucket_embedder.hpp).
+/// Values are persisted in model artifacts — never renumber.
+enum class GramBackend : std::uint8_t {
+  kDense = 0,       ///< exact dense block + Jacobi/Lanczos eigensolve
+  kNystrom = 1,     ///< landmark factorization F = C W^{-1/2}, m x m solve
+  kRbfBinning = 2,  ///< random binning feature map, feature-space solve
+};
+
+/// How the per-bucket backend is chosen. kAuto follows the size
+/// threshold: dense below it (bit-identical to the historical path),
+/// Nystrom at or above it — so defaults only change behaviour for buckets
+/// the dense path could barely hold anyway.
+enum class GramBackendPolicy : std::uint8_t {
+  kAuto = 0,
+  kDense = 1,
+  kNystrom = 2,
+  kRbfBinning = 3,
 };
 
 struct DascParams {
@@ -69,6 +90,24 @@ struct DascParams {
   /// process-wide at pipeline entry; unsupported levels clamp down.
   linalg::SimdLevel simd_level = linalg::SimdLevel::kAuto;
 
+  /// Per-bucket Gram/embedding backend policy (core/bucket_embedder.hpp).
+  /// kAuto keeps every bucket below backend_threshold on the dense-exact
+  /// path — byte-identical labels, metrics counters, and artifacts versus
+  /// the pre-backend code — and switches buckets at/above the threshold to
+  /// the Nystrom landmark factorization (O(Ni * m) instead of O(Ni^2)).
+  GramBackendPolicy gram_backend = GramBackendPolicy::kAuto;
+  /// Bucket-size threshold for the kAuto policy (points).
+  std::size_t backend_threshold = 4096;
+  /// Landmarks m for the Nystrom backend; 0 = auto
+  /// (clamp(4 * ceil(sqrt(Ni)), 16, Ni)).
+  std::size_t nystrom_landmarks = 0;
+  /// Hashed feature count D for the random-binning backend; 0 = auto
+  /// (same rule as the Nystrom landmark count).
+  std::size_t binning_features = 0;
+  /// Independent binning grids R averaged by the random-binning feature
+  /// map (kernel variance shrinks as 1/R).
+  std::size_t binning_repetitions = 8;
+
   /// Dense eigensolver below this bucket size, Lanczos above.
   std::size_t dense_cutoff = 128;
   /// Worker threads for per-bucket processing (0 = host concurrency).
@@ -101,6 +140,15 @@ std::size_t resolve_merge_bits(const DascParams& params, std::size_t m);
 
 /// Resolve the global cluster count for a dataset of size n.
 std::size_t resolve_cluster_count(const DascParams& params, std::size_t n);
+
+/// Parse a backend-policy name ("auto", "dense", "nystrom", "rbf_binning")
+/// as accepted by the dasc_tool / serve_tool backend= flag; nullopt on an
+/// unknown name.
+std::optional<GramBackendPolicy> parse_gram_backend(std::string_view name);
+
+/// Stable lowercase name of a backend ("dense", "nystrom", "rbf_binning"),
+/// used in metrics keys and tool output.
+const char* gram_backend_name(GramBackend backend);
 
 /// Install params.simd_level as the process-wide dispatch table and record
 /// the resolved level in the `linalg.simd_level` gauge (scalar=0, sse2=1,

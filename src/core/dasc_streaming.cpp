@@ -4,6 +4,7 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "core/bucket_embedder.hpp"
 #include "core/bucket_pipeline.hpp"
 
 namespace dasc::core {
@@ -30,6 +31,9 @@ StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
   result.num_clusters = total_label_count(jobs);
   result.labels.assign(points.size(), 0);
 
+  const EmbedderSet embedder_set(params, sigma);
+  result.stats.gram_bytes = embedder_set.total_gram_bytes(buckets, points.dim());
+
   // Steps 3-4 fused per bucket: the streaming driver IS the bucket
   // pipeline at a one-block in-flight budget — setup may parallelize, but
   // only one block Gram is ever alive.
@@ -41,18 +45,20 @@ StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
   options.metrics = params.metrics;
   options.faults = params.faults;
   options.max_bucket_attempts = params.max_bucket_attempts;
+  options.embedders = embedder_set.plan(buckets);
   const BucketPipelineStats pipeline = run_bucket_pipeline(
       points, buckets, jobs, options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
           const BucketJob& job) {
         Rng bucket_rng(job.seed);
-        const std::vector<int> local =
-            cluster_bucket(block, job.k_bucket, params.dense_cutoff,
-                           bucket_rng, params.metrics);
+        const BucketEmbedding embedding =
+            options.embedders[job.index]->fit_with_block(
+                points, bucket.indices, job.k_bucket, bucket_rng,
+                /*want_factor=*/false, std::move(block));
         const auto& indices = bucket.indices;
         for (std::size_t i = 0; i < indices.size(); ++i) {
           result.labels[indices[i]] =
-              static_cast<int>(job.label_offset) + local[i];
+              static_cast<int>(job.label_offset) + embedding.fit.labels[i];
         }
       });
   fold_pipeline_stats(pipeline, result.stats);

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
+#include "core/bucket_embedder.hpp"
 #include "core/bucket_pipeline.hpp"
 #include "data/wiki_corpus.hpp"
 #include "linalg/simd_ops.hpp"
@@ -81,6 +82,14 @@ std::size_t BlockGram::stored_entries() const {
     entries += bucket.indices.size() * bucket.indices.size();
   }
   return entries;
+}
+
+std::size_t BlockGram::gram_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& bucket : buckets_) {
+    bytes += BucketEmbedder::dense_bytes(bucket.indices.size());
+  }
+  return bytes;
 }
 
 double BlockGram::frobenius_norm() const {
@@ -229,13 +238,17 @@ std::vector<lsh::Bucket> bucket_points(
     stats->largest_bucket =
         buckets.empty() ? 0 : buckets.front().indices.size();
     stats->hash_seconds = clock.seconds();
-    // Gram storage is fully determined by the bucket sizes, so report it
-    // here too (consumers that stream blocks never materialize them).
+    // Dense-backend Gram storage is fully determined by the bucket sizes,
+    // so report it here too (consumers that stream blocks never materialize
+    // them; backend-aware callers overwrite this with the EmbedderSet
+    // total).
     std::size_t entries = 0;
+    std::size_t bytes = 0;
     for (const auto& bucket : buckets) {
       entries += bucket.indices.size() * bucket.indices.size();
+      bytes += BucketEmbedder::dense_bytes(bucket.indices.size());
     }
-    stats->gram_bytes = linalg::gram_entry_bytes(entries);
+    stats->gram_bytes = bytes;
     stats->full_gram_bytes =
         linalg::gram_entry_bytes(points.size() * points.size());
     stats->fill_ratio = static_cast<double>(entries) /

@@ -39,10 +39,9 @@ class BlockGram {
   std::size_t stored_entries() const;
 
   /// The paper's memory metric (Eq. 12) at the precision blocks are
-  /// actually stored in (double-precision DenseMatrix entries).
-  std::size_t gram_bytes() const {
-    return linalg::gram_entry_bytes(stored_entries());
-  }
+  /// actually stored in. Routed through BucketEmbedder::dense_bytes — the
+  /// one accounting rule shared with LowRankGram and pipeline admission.
+  std::size_t gram_bytes() const;
 
   /// Frobenius norm over stored blocks; equals the Frobenius norm of the
   /// implied N x N block-diagonal matrix (absent entries are zero).

@@ -5,12 +5,17 @@
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
+#include "core/bucket_embedder.hpp"
 #include "linalg/jacobi_eigen.hpp"
 
 namespace dasc::core {
 
 LowRankGram::LowRankGram(linalg::DenseMatrix factor, std::size_t landmarks)
     : factor_(std::move(factor)), landmarks_(landmarks) {}
+
+std::size_t LowRankGram::gram_bytes() const {
+  return BucketEmbedder::factor_bytes(factor_.rows(), factor_.cols());
+}
 
 double LowRankGram::frobenius_norm() const {
   // ||F F^T||_F = ||F^T F||_F; the Gram of the factor is rank x rank.

@@ -32,11 +32,11 @@ class LowRankGram {
   double frobenius_norm() const;
 
   /// Stored entries (N * rank) and the Eq. 12-style byte count at the
-  /// factor's actual element size.
+  /// factor's actual element size. Routed through
+  /// BucketEmbedder::factor_bytes — the one accounting rule shared with
+  /// BlockGram and pipeline admission.
   std::size_t stored_entries() const { return factor_.size(); }
-  std::size_t gram_bytes() const {
-    return linalg::gram_entry_bytes(stored_entries());
-  }
+  std::size_t gram_bytes() const;
 
   /// Materialize K~ (tests / Fnorm comparisons only).
   linalg::DenseMatrix to_dense() const;

@@ -8,6 +8,7 @@
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "core/bucket_embedder.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace dasc::serving {
@@ -17,6 +18,69 @@ namespace {
 // Eigenvalues below this are treated as a null direction of the Nystrom
 // extension rather than divided through.
 constexpr double kEigenvalueFloor = 1e-12;
+
+/// Nearest centroid of a bucket to an embedding-space point, scanned in
+/// ascending order so ties resolve deterministically.
+std::size_t nearest_centroid(const BucketModel& bucket,
+                             std::span<const double> embedding) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < bucket.centroids.rows(); ++c) {
+    const double dist =
+        linalg::squared_distance(embedding, bucket.centroids.row(c));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Out-of-sample embedding through a bucket's persisted backend factor:
+/// build the query's representation row f (kernel row against the anchors,
+/// or the binning feature vector), then u = (f . map) / sqrt(f . dvec) —
+/// the identical formula the training-side factored solve applied to its
+/// own rows. Returns false when the factor gives the query zero degree
+/// (caller falls back to the nearest landmark).
+bool factor_embedding(const BucketModel& bucket, std::span<const double> query,
+                      double sigma, std::vector<double>& embedding) {
+  const std::size_t k = bucket.k_eff;
+  double query_degree = 0.0;
+  embedding.assign(k, 0.0);
+  if (bucket.backend == core::GramBackend::kNystrom) {
+    const core::NystromFactor& f = bucket.nystrom;
+    const std::size_t anchors = f.anchors.rows();
+    for (std::size_t j = 0; j < anchors; ++j) {
+      const double affinity =
+          clustering::gaussian_kernel(query, f.anchors.row(j), sigma);
+      query_degree += affinity * f.dvec[j];
+      for (std::size_t col = 0; col < k; ++col) {
+        embedding[col] += affinity * f.map(j, col);
+      }
+    }
+  } else {
+    const core::BinningFactor& f = bucket.binning;
+    std::vector<std::size_t> cols;
+    core::binning_feature_indices(query, f.widths, f.shifts, f.hash_seed,
+                                  f.features, cols);
+    const double weight =
+        1.0 / std::sqrt(static_cast<double>(f.widths.rows()));
+    for (const std::size_t feature : cols) {
+      query_degree += weight * f.dvec[feature];
+      for (std::size_t col = 0; col < k; ++col) {
+        embedding[col] += weight * f.map(feature, col);
+      }
+    }
+  }
+  if (!(query_degree > 0.0)) return false;
+  const double inv_sqrt_degree = 1.0 / std::sqrt(query_degree);
+  for (double& v : embedding) v *= inv_sqrt_degree;
+  const double norm = linalg::norm2(embedding);
+  if (norm > 0.0) {
+    for (double& v : embedding) v /= norm;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -135,6 +199,22 @@ AssignOutcome Assigner::assign_detailed(std::span<const double> query) const {
     return out;
   }
 
+  if (bucket.backend != core::GramBackend::kDense &&
+      (bucket.nystrom.map.rows() > 0 || bucket.binning.map.rows() > 0)) {
+    // The bucket was fitted by an approximate backend: embed the query
+    // through the persisted factor — the same map its training rows used.
+    std::vector<double> embedding;
+    if (!factor_embedding(bucket, query, model_.sigma, embedding)) {
+      out.path = AssignPath::kNearestLandmark;
+      out.label = bucket.landmark_labels[best_landmark];
+      return out;
+    }
+    out.path = AssignPath::kFactor;
+    out.label = static_cast<int>(bucket.label_offset +
+                                 nearest_centroid(bucket, embedding));
+    return out;
+  }
+
   // Nystrom out-of-sample extension (NJW normalization):
   //   v_k(q) = (1/lambda_k) sum_j k(q, x_j) / sqrt(d_q d_j) V_jk,
   // with d_q the query's affinity degree against the landmarks, rescaled
@@ -176,18 +256,9 @@ AssignOutcome Assigner::assign_detailed(std::span<const double> query) const {
     for (double& v : embedding) v /= norm;
   }
 
-  std::size_t best_centroid = 0;
-  double best_centroid_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < bucket.centroids.rows(); ++c) {
-    const double dist =
-        linalg::squared_distance(embedding, bucket.centroids.row(c));
-    if (dist < best_centroid_dist) {
-      best_centroid_dist = dist;
-      best_centroid = c;
-    }
-  }
   out.path = AssignPath::kNystrom;
-  out.label = static_cast<int>(bucket.label_offset + best_centroid);
+  out.label = static_cast<int>(bucket.label_offset +
+                               nearest_centroid(bucket, embedding));
   return out;
 }
 

@@ -9,7 +9,14 @@
 // Training points short-circuit: a query identical to a stored landmark
 // returns that landmark's offline label directly, which (with full
 // landmarks, FitOptions::max_landmarks == 0) makes served labels
-// bit-identical to the offline pipeline for every training point.
+// bit-identical to the offline pipeline for every training point —
+// independent of the bucket's Gram backend.
+//
+// Buckets fitted by an approximate backend (core/bucket_embedder.hpp)
+// carry that backend's factor in the artifact, and out-of-sample queries
+// are embedded through it (AssignPath::kFactor): the same landmark-kernel
+// or random-binning feature map the training embedding used, so serving
+// and training share one geometry per backend.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,8 @@ enum class AssignPath : std::uint8_t {
   kExactLandmark = 0,    ///< query coincides with a stored landmark
   kNystrom = 1,          ///< Nystrom embedding + nearest centroid
   kNearestLandmark = 2,  ///< degenerate bucket (trivial k or zero degree)
+  kFactor = 3,           ///< bucket's persisted backend factor (nystrom /
+                         ///< rbf_binning) + nearest centroid
 };
 
 /// Full provenance of one assignment.

@@ -27,8 +27,13 @@ enum SectionId : std::uint32_t {
   kSectionMeta = 2,
   kSectionRoutes = 3,
   kSectionBuckets = 4,
+  kSectionFactors = 5,  // since format version 2
 };
-constexpr std::uint32_t kSectionCount = 4;
+
+/// Sections a given format version carries, in order.
+std::uint32_t section_count_for(std::uint32_t version) {
+  return version >= 2 ? 5 : 4;
+}
 
 using dasc::crc32;  // shared CRC-32 (common/checksum.hpp); the artifact
                     // format predates it, and the bytes are identical
@@ -36,6 +41,7 @@ using dasc::crc32;  // shared CRC-32 (common/checksum.hpp); the artifact
 /// Append-only little-endian byte sink.
 class Writer {
  public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
   void u32(std::uint32_t v) {
     for (int b = 0; b < 4; ++b) bytes_.push_back(char((v >> (8 * b)) & 0xFF));
   }
@@ -59,6 +65,10 @@ class Reader {
   Reader(const std::string& bytes, const std::string& path)
       : bytes_(bytes), path_(path) {}
 
+  std::uint8_t u8() {
+    require(1, "u8");
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
   std::uint32_t u32() {
     require(4, "u32");
     std::uint32_t v = 0;
@@ -169,6 +179,54 @@ Writer encode_buckets(const ModelArtifact& model) {
   return w;
 }
 
+bool bucket_has_factor(const BucketModel& bucket) {
+  switch (bucket.backend) {
+    case core::GramBackend::kNystrom:
+      return bucket.nystrom.map.rows() > 0;
+    case core::GramBackend::kRbfBinning:
+      return bucket.binning.map.rows() > 0;
+    case core::GramBackend::kDense:
+      break;
+  }
+  return false;
+}
+
+Writer encode_factors(const ModelArtifact& model) {
+  Writer w;
+  w.u64(model.buckets.size());
+  for (const BucketModel& bucket : model.buckets) {
+    w.u8(static_cast<std::uint8_t>(bucket.backend));
+    const bool has_factor = bucket_has_factor(bucket);
+    w.u8(has_factor ? 1 : 0);
+    if (!has_factor) continue;
+    if (bucket.backend == core::GramBackend::kNystrom) {
+      const auto& f = bucket.nystrom;
+      w.u64(f.anchors.rows());
+      w.u64(f.map.cols());
+      for (std::size_t i = 0; i < f.anchors.rows(); ++i) {
+        w.f64_span(f.anchors.row(i));
+      }
+      for (std::size_t i = 0; i < f.map.rows(); ++i) w.f64_span(f.map.row(i));
+      w.f64_span(f.dvec);
+    } else {
+      const auto& f = bucket.binning;
+      w.u64(f.widths.rows());
+      w.u64(f.features);
+      w.u64(f.hash_seed);
+      w.u64(f.map.cols());
+      for (std::size_t i = 0; i < f.widths.rows(); ++i) {
+        w.f64_span(f.widths.row(i));
+      }
+      for (std::size_t i = 0; i < f.shifts.rows(); ++i) {
+        w.f64_span(f.shifts.row(i));
+      }
+      for (std::size_t i = 0; i < f.map.rows(); ++i) w.f64_span(f.map.row(i));
+      w.f64_span(f.dvec);
+    }
+  }
+  return w;
+}
+
 void decode_hasher(Reader& r, ModelArtifact& model) {
   model.dim = r.u64();
   const std::uint64_t bits = r.u64();
@@ -243,25 +301,103 @@ void decode_buckets(Reader& r, ModelArtifact& model) {
   }
 }
 
+void decode_factors(Reader& r, ModelArtifact& model) {
+  const std::uint64_t count = r.u64();
+  if (count != model.buckets.size()) {
+    r.fail("factor section bucket count disagrees with bucket section");
+  }
+  for (BucketModel& bucket : model.buckets) {
+    const std::uint8_t tag = r.u8();
+    if (tag > static_cast<std::uint8_t>(core::GramBackend::kRbfBinning)) {
+      r.fail("unknown Gram backend tag " + std::to_string(tag));
+    }
+    bucket.backend = static_cast<core::GramBackend>(tag);
+    const std::uint8_t has_factor = r.u8();
+    if (has_factor > 1) r.fail("invalid factor-presence flag");
+    if (has_factor == 0) continue;
+    if (bucket.backend == core::GramBackend::kDense) {
+      r.fail("dense bucket carries a factor payload");
+    }
+    if (bucket.k_eff == 0) {
+      r.fail("trivial bucket carries a factor payload");
+    }
+    if (bucket.backend == core::GramBackend::kNystrom) {
+      auto& f = bucket.nystrom;
+      const std::uint64_t anchors = r.u64();
+      const std::uint64_t cols = r.u64();
+      if (anchors == 0) r.fail("nystrom factor has zero anchors");
+      if (cols != bucket.k_eff) {
+        r.fail("nystrom factor width disagrees with bucket k_eff");
+      }
+      f.anchors = linalg::DenseMatrix(anchors, model.dim);
+      for (std::uint64_t i = 0; i < anchors; ++i) {
+        r.f64_fill(f.anchors.row(i));
+      }
+      f.map = linalg::DenseMatrix(anchors, cols);
+      for (std::uint64_t i = 0; i < anchors; ++i) r.f64_fill(f.map.row(i));
+      f.dvec.resize(anchors);
+      r.f64_fill(f.dvec);
+    } else {
+      auto& f = bucket.binning;
+      const std::uint64_t reps = r.u64();
+      f.features = r.u64();
+      f.hash_seed = r.u64();
+      const std::uint64_t cols = r.u64();
+      if (reps == 0) r.fail("binning factor has zero repetitions");
+      if (f.features == 0) r.fail("binning factor has zero features");
+      if (cols != bucket.k_eff) {
+        r.fail("binning factor width disagrees with bucket k_eff");
+      }
+      f.widths = linalg::DenseMatrix(reps, model.dim);
+      for (std::uint64_t i = 0; i < reps; ++i) r.f64_fill(f.widths.row(i));
+      f.shifts = linalg::DenseMatrix(reps, model.dim);
+      for (std::uint64_t i = 0; i < reps; ++i) r.f64_fill(f.shifts.row(i));
+      f.map = linalg::DenseMatrix(f.features, cols);
+      for (std::uint64_t i = 0; i < f.features; ++i) r.f64_fill(f.map.row(i));
+      f.dvec.resize(f.features);
+      r.f64_fill(f.dvec);
+    }
+  }
+}
+
 }  // namespace
 
-void save_model(const ModelArtifact& model, const std::string& path) {
+void save_model(const ModelArtifact& model, const std::string& path,
+                std::uint32_t format_version) {
+  if (format_version == 0 || format_version > kFormatVersion) {
+    throw IoError("model artifact " + path + ": cannot write format version " +
+                  std::to_string(format_version));
+  }
+  if (format_version < 2) {
+    // The legacy layout has no backend/factor encoding; exporting a
+    // factored model as version 1 would silently drop serving state.
+    for (const BucketModel& bucket : model.buckets) {
+      if (bucket.backend != core::GramBackend::kDense ||
+          bucket_has_factor(bucket)) {
+        throw IoError("model artifact " + path +
+                      ": version 1 cannot encode non-dense bucket backends");
+      }
+    }
+  }
+
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw IoError("model artifact " + path + ": cannot open for write");
 
   out.write(kMagic, sizeof(kMagic));
   Writer header;
-  header.u32(kFormatVersion);
-  header.u32(kSectionCount);
+  header.u32(format_version);
+  header.u32(section_count_for(format_version));
   out.write(header.bytes().data(),
             static_cast<std::streamsize>(header.bytes().size()));
 
-  const std::pair<std::uint32_t, Writer> sections[] = {
-      {kSectionHasher, encode_hasher(model)},
-      {kSectionMeta, encode_meta(model)},
-      {kSectionRoutes, encode_routes(model)},
-      {kSectionBuckets, encode_buckets(model)},
-  };
+  std::vector<std::pair<std::uint32_t, Writer>> sections;
+  sections.emplace_back(kSectionHasher, encode_hasher(model));
+  sections.emplace_back(kSectionMeta, encode_meta(model));
+  sections.emplace_back(kSectionRoutes, encode_routes(model));
+  sections.emplace_back(kSectionBuckets, encode_buckets(model));
+  if (format_version >= 2) {
+    sections.emplace_back(kSectionFactors, encode_factors(model));
+  }
   for (const auto& [id, payload] : sections) {
     Writer frame;
     frame.u32(id);
@@ -300,14 +436,15 @@ ModelArtifact load_model(const std::string& path) {
               std::to_string(kFormatVersion));
   }
   const std::uint32_t sections = body.u32();
-  if (sections != kSectionCount) {
-    body.fail("expected " + std::to_string(kSectionCount) +
+  if (sections != section_count_for(version)) {
+    body.fail("expected " + std::to_string(section_count_for(version)) +
               " sections, found " + std::to_string(sections));
   }
 
   ModelArtifact model;
-  const std::uint32_t expected_ids[] = {kSectionHasher, kSectionMeta,
-                                        kSectionRoutes, kSectionBuckets};
+  std::vector<std::uint32_t> expected_ids = {kSectionHasher, kSectionMeta,
+                                             kSectionRoutes, kSectionBuckets};
+  if (version >= 2) expected_ids.push_back(kSectionFactors);
   for (std::uint32_t id : expected_ids) {
     const std::uint32_t got = body.u32();
     if (got != id) {
@@ -337,6 +474,9 @@ ModelArtifact load_model(const std::string& path) {
       case kSectionBuckets:
         decode_buckets(section, model);
         break;
+      case kSectionFactors:
+        decode_factors(section, model);
+        break;
       default:
         body.fail("unknown section id");
     }
@@ -353,8 +493,9 @@ namespace {
 BucketModel build_bucket_model(const data::PointSet& points,
                                const lsh::Bucket& bucket,
                                const core::BucketJob& job,
-                               const clustering::SpectralGramDetail& fit,
+                               core::BucketEmbedding&& embedding,
                                std::size_t max_landmarks) {
+  const clustering::SpectralGramDetail& fit = embedding.fit;
   const std::size_t members = bucket.indices.size();
   const std::size_t dim = points.dim();
 
@@ -362,6 +503,7 @@ BucketModel build_bucket_model(const data::PointSet& points,
   bm.signature = bucket.signature;
   bm.label_offset = job.label_offset;
   bm.member_count = members;
+  bm.backend = embedding.backend;
 
   const std::size_t landmarks =
       (max_landmarks == 0 || max_landmarks >= members) ? members
@@ -397,6 +539,10 @@ BucketModel build_bucket_model(const data::PointSet& points,
       std::copy(fit.centroids[c].begin(), fit.centroids[c].end(),
                 bm.centroids.row(c).begin());
     }
+    // The factored serving state rides along as-is: out-of-sample queries
+    // route through it, training queries stay on the exact-landmark path.
+    bm.nystrom = std::move(embedding.nystrom);
+    bm.binning = std::move(embedding.binning);
   }
   return bm;
 }
@@ -449,6 +595,9 @@ FitResult fit_model(const data::PointSet& points,
   model.hash_thresholds = projection->thresholds();
   model.buckets.resize(buckets.size());
 
+  const core::EmbedderSet embedder_set(params, sigma);
+  result.stats.gram_bytes = embedder_set.total_gram_bytes(buckets, points.dim());
+
   Stopwatch cluster_clock;
   core::BucketPipelineOptions pipeline_options;
   pipeline_options.sigma = sigma;
@@ -458,21 +607,23 @@ FitResult fit_model(const data::PointSet& points,
   pipeline_options.metrics = params.metrics;
   pipeline_options.faults = params.faults;
   pipeline_options.max_bucket_attempts = params.max_bucket_attempts;
+  pipeline_options.embedders = embedder_set.plan(buckets);
   const core::BucketPipelineStats pipeline = core::run_bucket_pipeline(
       points, buckets, jobs, pipeline_options,
       [&](linalg::DenseMatrix&& block, const lsh::Bucket& bucket,
           const core::BucketJob& job) {
         Rng bucket_rng(job.seed);
-        const clustering::SpectralGramDetail fit = core::fit_bucket(
-            block, job.k_bucket, params.dense_cutoff, bucket_rng,
-            params.metrics);
+        core::BucketEmbedding embedding =
+            pipeline_options.embedders[job.index]->fit_with_block(
+                points, bucket.indices, job.k_bucket, bucket_rng,
+                /*want_factor=*/true, std::move(block));
         const auto& indices = bucket.indices;
         for (std::size_t i = 0; i < indices.size(); ++i) {
           result.labels[indices[i]] =
-              static_cast<int>(job.label_offset) + fit.labels[i];
+              static_cast<int>(job.label_offset) + embedding.fit.labels[i];
         }
         model.buckets[job.index] = build_bucket_model(
-            points, bucket, job, fit, options.max_landmarks);
+            points, bucket, job, std::move(embedding), options.max_landmarks);
       });
   core::fold_pipeline_stats(pipeline, result.stats);
   result.cluster_seconds = cluster_clock.seconds();

@@ -9,12 +9,16 @@
 // Nystrom-style out-of-sample embedding), and the K-means centroids in
 // embedding space.
 //
-// Binary format (version 1, little-endian, CRC-guarded):
+// Binary format (version 2, little-endian, CRC-guarded):
 //   magic "DASCMDL1" | u32 version | u32 section_count
 //   then per section: u32 id | u64 payload_bytes | payload | u32 crc32
 // Sections (required, in order): 1 = hasher, 2 = meta, 3 = routes,
-// 4 = buckets. Loads of truncated, corrupted, or newer-versioned files
-// fail with dasc::IoError; save -> load -> save is byte-identical.
+// 4 = buckets, and — since version 2 — 5 = factors (per-bucket Gram
+// backend tag plus the factored serving state of the nystrom /
+// rbf_binning backends). Version-1 files carry four sections and load
+// with every bucket implied dense. Loads of truncated, corrupted, or
+// newer-versioned files fail with dasc::IoError; save -> load -> save is
+// byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/bucket_embedder.hpp"
 #include "core/dasc_clusterer.hpp"
 #include "core/dasc_params.hpp"
 #include "data/point_set.hpp"
@@ -30,8 +35,9 @@
 
 namespace dasc::serving {
 
-/// Current artifact format version; loaders reject anything newer.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Current artifact format version; loaders reject anything newer and
+/// accept anything older (version 1 = pre-backend, all-dense).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Serving state of one merged bucket.
 struct BucketModel {
@@ -58,6 +64,16 @@ struct BucketModel {
   linalg::DenseMatrix eigenvectors;
   /// K-means centroids in row-normalized embedding space (k_eff x k_eff).
   linalg::DenseMatrix centroids;
+
+  /// Gram/embedding backend that fitted this bucket (version-2 artifacts;
+  /// version-1 files imply kDense). Out-of-sample queries are embedded
+  /// through the matching backend's factor below; the exact-landmark fast
+  /// path is backend-independent.
+  core::GramBackend backend = core::GramBackend::kDense;
+  /// Factored serving state; populated only when `backend` is the matching
+  /// approximate backend and the bucket is non-trivial (k_eff > 0).
+  core::NystromFactor nystrom;
+  core::BinningFactor binning;
 };
 
 /// Raw-signature routing entry: a signature observed at fit time and the
@@ -91,7 +107,12 @@ struct ModelArtifact {
 
 /// Write the artifact to `path`. Throws dasc::IoError on I/O failure.
 /// Output bytes are a pure function of the artifact contents.
-void save_model(const ModelArtifact& model, const std::string& path);
+/// `format_version` selects the on-disk layout: version 2 (the default)
+/// persists the per-bucket backend tags and factors; version 1 emits the
+/// legacy four-section layout and throws dasc::IoError unless every
+/// bucket is dense (the factored state has no version-1 encoding).
+void save_model(const ModelArtifact& model, const std::string& path,
+                std::uint32_t format_version = kFormatVersion);
 
 /// Read an artifact written by save_model. Throws dasc::IoError on missing
 /// or truncated files, section CRC mismatches, bad magic, or a format

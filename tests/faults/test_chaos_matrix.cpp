@@ -40,6 +40,11 @@ struct ChaosCase {
   const char* site;     ///< fault site the plan targets
   const char* counter;  ///< retry counter that must account for the faults
   const char* plan;     ///< fault-plan text
+  /// Gram backend the run is forced to (default kAuto = historical dense
+  /// path at this dataset size). Factored backends re-randomize landmark /
+  /// grid draws on every retry from the recreated bucket Rng, which is
+  /// exactly what the bit-identical invariant stresses.
+  core::GramBackendPolicy backend = core::GramBackendPolicy::kAuto;
 };
 
 const ChaosCase kCases[] = {
@@ -73,6 +78,30 @@ const ChaosCase kCases[] = {
     {"MapReduceStorm", Consumer::kMapReduce, "", "",
      "seed=11;map.task:nth=3:max=2;reduce.task:nth=2:max=2;"
      "shuffle.fetch:nth=2:max=2:kind=corrupt;alloc.gram_block:nth=5:max=2"},
+    // Factored backends under the same gram-block faults: the landmark /
+    // binning draws restart from the recreated per-bucket Rng on retry, so
+    // survived runs must still be bit-identical to the fault-free run.
+    {"BatchGramNthNystromBackend", Consumer::kBatch, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=3;alloc.gram_block:nth=2:max=3",
+     core::GramBackendPolicy::kNystrom},
+    {"BatchGramProbNystromBackend", Consumer::kBatch, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=3;alloc.gram_block:prob=0.3",
+     core::GramBackendPolicy::kNystrom},
+    {"StreamingGramNthNystromBackend", Consumer::kStreaming,
+     "alloc.gram_block", "retry.bucket_attempts",
+     "seed=4;alloc.gram_block:nth=3:max=2",
+     core::GramBackendPolicy::kNystrom},
+    {"ServingFitGramNthNystromBackend", Consumer::kServingFit,
+     "alloc.gram_block", "retry.bucket_attempts",
+     "seed=5;alloc.gram_block:nth=2:max=2",
+     core::GramBackendPolicy::kNystrom},
+    {"MapReduceGramNthNystromBackend", Consumer::kMapReduce,
+     "alloc.gram_block", "retry.bucket_attempts",
+     "seed=6;alloc.gram_block:nth=2:max=2",
+     core::GramBackendPolicy::kNystrom},
+    {"BatchGramNthBinningBackend", Consumer::kBatch, "alloc.gram_block",
+     "retry.bucket_attempts", "seed=3;alloc.gram_block:nth=2:max=3",
+     core::GramBackendPolicy::kRbfBinning},
 };
 
 data::PointSet chaos_points() {
@@ -85,8 +114,8 @@ data::PointSet chaos_points() {
   return data::make_gaussian_mixture(params, rng);
 }
 
-core::DascParams chaos_params(FaultInjector* faults,
-                              MetricsRegistry* metrics) {
+core::DascParams chaos_params(FaultInjector* faults, MetricsRegistry* metrics,
+                              core::GramBackendPolicy backend) {
   core::DascParams params;
   params.k = 4;
   params.m = 6;
@@ -94,14 +123,15 @@ core::DascParams chaos_params(FaultInjector* faults,
   params.max_bucket_attempts = 10;  // headroom: every bucket must succeed
   params.faults = faults;
   params.metrics = metrics;
+  params.gram_backend = backend;
   return params;
 }
 
 /// Run one consumer end-to-end and return its labels.
 std::vector<int> run_consumer(Consumer consumer, const data::PointSet& points,
-                              FaultInjector* faults,
-                              MetricsRegistry* metrics) {
-  const core::DascParams params = chaos_params(faults, metrics);
+                              FaultInjector* faults, MetricsRegistry* metrics,
+                              core::GramBackendPolicy backend) {
+  const core::DascParams params = chaos_params(faults, metrics, backend);
   Rng rng(77);
   switch (consumer) {
     case Consumer::kBatch:
@@ -148,14 +178,15 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   const ChaosCase& test_case = GetParam();
   const data::PointSet points = chaos_points();
 
-  const std::vector<int> clean =
-      run_consumer(test_case.consumer, points, nullptr, nullptr);
+  const std::vector<int> clean = run_consumer(test_case.consumer, points,
+                                              nullptr, nullptr,
+                                              test_case.backend);
   ASSERT_FALSE(clean.empty());
 
   MetricsRegistry registry;
   FaultInjector injector(FaultPlan::parse(test_case.plan), &registry);
-  const std::vector<int> faulted =
-      run_consumer(test_case.consumer, points, &injector, &registry);
+  const std::vector<int> faulted = run_consumer(
+      test_case.consumer, points, &injector, &registry, test_case.backend);
 
   // The invariant: the run survived, so the labels are exactly the
   // fault-free labels.
@@ -183,8 +214,9 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   // yields the identical labels again.
   MetricsRegistry replay_registry;
   FaultInjector replay(FaultPlan::parse(test_case.plan), &replay_registry);
-  const std::vector<int> replayed =
-      run_consumer(test_case.consumer, points, &replay, &replay_registry);
+  const std::vector<int> replayed = run_consumer(
+      test_case.consumer, points, &replay, &replay_registry,
+      test_case.backend);
   EXPECT_EQ(replayed, clean);
   EXPECT_EQ(replay.total_fired(), injector.total_fired());
 }

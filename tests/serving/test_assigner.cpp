@@ -173,5 +173,79 @@ TEST(AssignerTest, ScanFallbackWhenNoRouteIsNear) {
   EXPECT_EQ(outcome.label, 0);
 }
 
+// --- Gram backend routing -------------------------------------------------
+
+FitResult backend_fit(core::GramBackendPolicy backend,
+                      const data::PointSet& points) {
+  core::DascParams params = demo_params();
+  params.gram_backend = backend;
+  Rng rng(7);
+  return fit_model(points, params, rng);
+}
+
+TEST(AssignerBackends, FitSaveReloadServeParityPerBackend) {
+  // The acceptance loop of the backend refactor: for every backend,
+  // fit -> save -> reload -> serve must reproduce the offline labels on
+  // every training point (exact-landmark short circuit, backend
+  // independent).
+  const data::PointSet points = demo_points();
+  const core::GramBackendPolicy policies[] = {
+      core::GramBackendPolicy::kDense, core::GramBackendPolicy::kNystrom,
+      core::GramBackendPolicy::kRbfBinning};
+  for (const core::GramBackendPolicy policy : policies) {
+    const FitResult fit = backend_fit(policy, points);
+    const std::string path = testing::TempDir() + "dasc_backend_serve.bin";
+    save_model(fit.model, path);
+    const Assigner assigner(load_model(path));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      ASSERT_EQ(assigner.assign(points.point(i)), fit.offline.labels[i])
+          << "training point " << i << " under backend "
+          << static_cast<int>(policy);
+    }
+  }
+}
+
+TEST(AssignerBackends, OutOfSampleQueriesUseTheFactorPath) {
+  // Perturbed copies of training points are out of sample (no exact
+  // landmark hit); buckets fitted by an approximate backend must embed
+  // them through the persisted factor.
+  const data::PointSet points = demo_points();
+  const FitResult fit =
+      backend_fit(core::GramBackendPolicy::kNystrom, points);
+  const Assigner assigner(fit.model);
+
+  std::size_t factor_paths = 0;
+  std::size_t agree = 0;
+  const std::size_t probes = 100;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const std::size_t src = i * points.size() / probes;
+    std::vector<double> query(points.point(src).begin(),
+                              points.point(src).end());
+    for (double& v : query) v += 1e-7;
+    const AssignOutcome outcome = assigner.assign_detailed(query);
+    if (outcome.path == AssignPath::kFactor) ++factor_paths;
+    if (outcome.label == fit.offline.labels[src]) ++agree;
+  }
+  EXPECT_GT(factor_paths, 0u);
+  EXPECT_GE(agree, probes * 9 / 10);
+}
+
+TEST(AssignerBackends, BinningFactorServesNearbyQueries) {
+  const data::PointSet points = demo_points();
+  const FitResult fit =
+      backend_fit(core::GramBackendPolicy::kRbfBinning, points);
+  const Assigner assigner(fit.model);
+  std::size_t agree = 0;
+  const std::size_t probes = 100;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const std::size_t src = i * points.size() / probes;
+    std::vector<double> query(points.point(src).begin(),
+                              points.point(src).end());
+    for (double& v : query) v += 1e-7;
+    if (assigner.assign(query) == fit.offline.labels[src]) ++agree;
+  }
+  EXPECT_GE(agree, probes * 8 / 10);
+}
+
 }  // namespace
 }  // namespace dasc::serving

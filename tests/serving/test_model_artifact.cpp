@@ -224,6 +224,107 @@ TEST(ModelArtifactTest, FitRejectsNonProjectionFamily) {
   EXPECT_THROW(fit_model(points, params, rng), InvalidArgument);
 }
 
+FitResult backend_fit(core::GramBackendPolicy backend) {
+  const data::PointSet points = demo_points();
+  core::DascParams params = demo_params();
+  params.gram_backend = backend;
+  Rng rng(7);
+  return fit_model(points, params, rng);
+}
+
+bool any_factored_bucket(const ModelArtifact& model) {
+  for (const BucketModel& bucket : model.buckets) {
+    if (bucket.nystrom.map.rows() > 0 || bucket.binning.map.rows() > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ModelArtifactBackends, RoundTripIsByteIdenticalPerBackend) {
+  const core::GramBackendPolicy policies[] = {
+      core::GramBackendPolicy::kDense, core::GramBackendPolicy::kNystrom,
+      core::GramBackendPolicy::kRbfBinning};
+  for (const core::GramBackendPolicy policy : policies) {
+    const FitResult fit = backend_fit(policy);
+    const std::string first = temp_path("backend_first.bin");
+    const std::string second = temp_path("backend_second.bin");
+    save_model(fit.model, first);
+    const ModelArtifact loaded = load_model(first);
+    save_model(loaded, second);
+    EXPECT_EQ(read_bytes(first), read_bytes(second));
+    ASSERT_EQ(loaded.buckets.size(), fit.model.buckets.size());
+    for (std::size_t b = 0; b < loaded.buckets.size(); ++b) {
+      EXPECT_EQ(loaded.buckets[b].backend, fit.model.buckets[b].backend);
+    }
+  }
+  EXPECT_TRUE(
+      any_factored_bucket(backend_fit(core::GramBackendPolicy::kNystrom)
+                              .model));
+}
+
+TEST(ModelArtifactBackends, OldVersionArtifactLoadsWithDenseImplied) {
+  // A dense-only model written as format version 1 (four sections, no
+  // factor section) must still load, with every bucket's backend implied
+  // dense.
+  const FitResult fit = backend_fit(core::GramBackendPolicy::kDense);
+  const std::string path = temp_path("v1.bin");
+  save_model(fit.model, path, /*format_version=*/1);
+  const ModelArtifact loaded = load_model(path);
+  ASSERT_EQ(loaded.buckets.size(), fit.model.buckets.size());
+  for (const BucketModel& bucket : loaded.buckets) {
+    EXPECT_EQ(bucket.backend, core::GramBackend::kDense);
+    EXPECT_EQ(bucket.nystrom.map.rows(), 0u);
+    EXPECT_EQ(bucket.binning.map.rows(), 0u);
+  }
+  EXPECT_EQ(loaded.routes, fit.model.routes);
+}
+
+TEST(ModelArtifactBackends, Version1CannotEncodeFactoredBackends) {
+  // Exporting a factored model in the old format would silently drop the
+  // serving factors; the writer must refuse instead.
+  const FitResult fit = backend_fit(core::GramBackendPolicy::kNystrom);
+  ASSERT_TRUE(any_factored_bucket(fit.model));
+  EXPECT_THROW(save_model(fit.model, temp_path("v1_factored.bin"),
+                          /*format_version=*/1),
+               IoError);
+}
+
+TEST(ModelArtifactBackends, TruncatedFactorSectionThrowsIoError) {
+  // The factor section is the last section of a v2 artifact, so trimming
+  // tail bytes lands inside it.
+  const FitResult fit = backend_fit(core::GramBackendPolicy::kNystrom);
+  const std::string path = temp_path("factor_full.bin");
+  save_model(fit.model, path);
+  const std::string bytes = read_bytes(path);
+  const std::string truncated = temp_path("factor_truncated.bin");
+  for (const std::size_t drop :
+       {std::size_t{1}, std::size_t{8}, std::size_t{64}}) {
+    ASSERT_GT(bytes.size(), drop);
+    write_bytes(truncated, bytes.substr(0, bytes.size() - drop));
+    EXPECT_THROW(load_model(truncated), IoError) << "drop=" << drop;
+  }
+}
+
+TEST(ModelArtifactBackends, CorruptedFactorSectionFailsCrc) {
+  const FitResult fit = backend_fit(core::GramBackendPolicy::kRbfBinning);
+  ASSERT_TRUE(any_factored_bucket(fit.model));
+  const std::string path = temp_path("factor_crc.bin");
+  save_model(fit.model, path);
+  std::string bytes = read_bytes(path);
+  // Flip a bit near the tail: inside the factor section's payload.
+  const std::size_t at = bytes.size() - 32;
+  bytes[at] = static_cast<char>(bytes[at] ^ 0x10);
+  write_bytes(path, bytes);
+  try {
+    load_model(path);
+    FAIL() << "corrupted factor section loaded";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ModelArtifactTest, LandmarkSubsamplingCapsArtifact) {
   const data::PointSet points = demo_points();
   Rng rng(7);
