@@ -16,6 +16,15 @@
 //   threads=<int>              worker threads, 0 = hardware (default 0)
 //   max-inflight-blocks=<int>  Gram blocks resident at once, 0 = off
 //   max-inflight-bytes=<int>   byte budget for resident blocks, 0 = off
+//   spill-budget=<int>         out-of-core spill budget in bytes, 0 = off
+//                              (default). Dense Gram blocks over the
+//                              budget are evicted to CRC-guarded disk
+//                              pages and faulted back; labels are
+//                              bit-identical either way (DESIGN.md
+//                              section 12). spill-budget=1 forces every
+//                              block through disk.
+//   spill-dir=<path>           directory for spill files (default: the
+//                              system temp directory)
 //   metrics-out=<path>         write per-stage metrics JSON (see DESIGN.md
 //                              section 7 for the schema and stage names)
 //   model-out=<path>           also persist the fitted serving artifact
@@ -115,6 +124,10 @@ Options parse(int argc, char** argv) {
       options.params.max_inflight_blocks = std::stoul(value);
     } else if (key == "max-inflight-bytes") {
       options.params.max_inflight_bytes = std::stoul(value);
+    } else if (key == "spill-budget") {
+      options.params.spill_budget_bytes = std::stoul(value);
+    } else if (key == "spill-dir") {
+      options.params.spill_dir = value;
     } else if (key == "metrics-out") {
       options.metrics_out = value;
     } else if (key == "model-out") {

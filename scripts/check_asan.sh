@@ -4,6 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Route compiles through ccache when available (CI caches CCACHE_DIR).
+if command -v ccache >/dev/null 2>&1; then
+  export CMAKE_CXX_COMPILER_LAUNCHER=ccache
+fi
+
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan "$@"

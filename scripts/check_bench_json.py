@@ -84,10 +84,11 @@ def check_requirements(path, data, args, errors):
     gauges = data.get("gauges", {})
     for name in args.require_timer:
         snap = timers.get(name)
-        if snap is None:
+        if not isinstance(snap, dict):
             fail(errors, f"{path}: missing required timer {name!r}")
         elif snap.get("count", 0) <= 0:
-            fail(errors, f"{path}: timer {name!r} has count {snap['count']}")
+            fail(errors, f"{path}: timer {name!r} has count "
+                         f"{snap.get('count', 0)}")
     for name in args.require_counter:
         value = counters.get(name)
         if value is None:
@@ -112,15 +113,24 @@ def check_requirements(path, data, args, errors):
 
 
 def per_iteration_ms(data, name):
-    """Timer total_ms normalized by the gbench iteration counter."""
+    """Timer total_ms normalized by the gbench iteration counter.
+
+    Defensive against malformed inputs (a --baseline file is read from
+    disk without a schema pass having aborted the run): a timer entry
+    that is not an object, or lacks a numeric total_ms, yields None and
+    is skipped by the regression gate instead of raising KeyError.
+    """
     snap = data.get("timers_ms", {}).get(name)
-    if snap is None:
+    if not isinstance(snap, dict):
+        return None
+    total_ms = snap.get("total_ms")
+    if not isinstance(total_ms, (int, float)) or isinstance(total_ms, bool):
         return None
     iterations = data.get("counters", {}).get(f"{name}.iterations")
     divisor = iterations if iterations else snap.get("count", 0)
-    if not divisor or divisor <= 0:
+    if not isinstance(divisor, int) or divisor <= 0:
         return None
-    return snap["total_ms"] / divisor
+    return total_ms / divisor
 
 
 def check_regression(path, data, baseline, max_regress, errors):
@@ -169,6 +179,15 @@ def main(argv):
                 baseline = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
             fail(errors, f"{args.baseline}: {exc}")
+        if baseline is not None:
+            # The baseline must satisfy the same schema as the files under
+            # test: a malformed committed baseline is a failure, not a
+            # traceback (and not a silently-passing regression gate).
+            baseline_errors = []
+            check_schema(args.baseline, baseline, baseline_errors)
+            if baseline_errors:
+                errors.extend(baseline_errors)
+                baseline = None
     for path in args.files:
         try:
             with open(path, encoding="utf-8") as handle:

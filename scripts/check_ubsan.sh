@@ -7,6 +7,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Route compiles through ccache when available (CI caches CCACHE_DIR).
+if command -v ccache >/dev/null 2>&1; then
+  export CMAKE_CXX_COMPILER_LAUNCHER=ccache
+fi
+
 cmake --preset ubsan
 cmake --build --preset ubsan -j "$(nproc)" --target test_linalg test_clustering
 ctest --preset ubsan --tests-regex '^(SimdDifferential|VectorOps|DenseMatrix|SparseCsr|SymmetricEigen|JacobiEigen|Lanczos|Svd|GaussianKernel|GaussianGram|SuggestBandwidth|KMeans|Spectral|KernelPca|Hungarian|Clustering)' "$@"

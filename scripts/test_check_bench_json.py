@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_json.py, run by CI's format-check job.
+
+Exercises the validator as a subprocess the way CI does: well-formed
+files must pass, every failure mode must exit 1 with an 'error:' line on
+stderr, and no input — in particular a malformed --baseline whose timer
+entries are missing values — may ever produce a Python traceback.
+
+Stdlib only — runs on a bare CI image.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_bench_json.py")
+
+GOOD = {
+    "counters": {"pipeline.blocks_spilled": 3, "bench.iterations": 10},
+    "timers_ms": {"spill.page_io": {"count": 56, "total_ms": 4.5},
+                  "bench": {"count": 10, "total_ms": 120.0}},
+    "gauges": {"spill.bytes_written_under_tiny_budget": 6750448},
+}
+
+failures = []
+
+
+def run(args):
+    return subprocess.run([sys.executable, CHECKER] + args,
+                          capture_output=True, text=True)
+
+
+def write(tmpdir, name, payload):
+    path = os.path.join(tmpdir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        if isinstance(payload, str):
+            handle.write(payload)
+        else:
+            json.dump(payload, handle)
+    return path
+
+
+def expect(label, result, exit_code, stderr_has=None):
+    if result.returncode != exit_code:
+        failures.append(f"{label}: exit {result.returncode}, "
+                        f"expected {exit_code}\n{result.stderr}")
+        return
+    if "Traceback" in result.stderr:
+        failures.append(f"{label}: crashed with a traceback instead of a "
+                        f"clean failure\n{result.stderr}")
+        return
+    if stderr_has is not None and stderr_has not in result.stderr:
+        failures.append(f"{label}: stderr missing {stderr_has!r}\n"
+                        f"{result.stderr}")
+        return
+    print(f"ok: {label}")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmpdir:
+        good = write(tmpdir, "good.json", GOOD)
+
+        expect("valid file passes", run([good]), 0)
+        expect("requirements against a valid file pass",
+               run([good,
+                    "--require-timer", "spill.page_io",
+                    "--require-counter", "pipeline.blocks_spilled",
+                    "--require-gauge-ge",
+                    "spill.bytes_written_under_tiny_budget", "1"]), 0)
+        expect("unmet gauge floor fails",
+               run([good, "--require-gauge-ge",
+                    "spill.bytes_written_under_tiny_budget",
+                    "99999999999"]), 1, "error:")
+        expect("missing timer fails",
+               run([good, "--require-timer", "no.such.timer"]), 1,
+               "missing required timer")
+        expect("unreadable file fails",
+               run([os.path.join(tmpdir, "absent.json")]), 1, "error:")
+        expect("non-JSON file fails",
+               run([write(tmpdir, "garbage.json", "not json {")]), 1,
+               "error:")
+
+        # The historical crash: a baseline whose timer entry is missing
+        # total_ms raised KeyError in per_iteration_ms. It must now be a
+        # clean schema failure.
+        broken_baseline = write(
+            tmpdir, "broken_baseline.json",
+            {"counters": {}, "gauges": {},
+             "timers_ms": {"bench": {"count": 10}}})
+        expect("baseline with missing timer value fails cleanly",
+               run([good, "--baseline", broken_baseline]), 1, "error:")
+        expect("absent baseline file fails cleanly",
+               run([good, "--baseline",
+                    os.path.join(tmpdir, "no_baseline.json")]), 1, "error:")
+
+        # Regression gate still works on a well-formed baseline: a 3x
+        # slowdown against a 40ms/iter baseline trips the default 15%.
+        fast_baseline = dict(GOOD)
+        fast_baseline["timers_ms"] = {"bench": {"count": 10,
+                                                "total_ms": 40.0}}
+        expect("regression against a valid baseline fails",
+               run([good, "--baseline",
+                    write(tmpdir, "fast.json", fast_baseline)]), 1,
+               "regressed")
+        expect("no regression against itself",
+               run([good, "--baseline", good]), 0)
+
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    print("all check_bench_json.py self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

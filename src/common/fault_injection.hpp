@@ -2,7 +2,8 @@
 // DASC pipelines.
 //
 // A FaultPlan names instrumented sites (`dfs.read`, `map.task`,
-// `shuffle.fetch`, `reduce.task`, `alloc.gram_block`, `serving.assign`) and
+// `shuffle.fetch`, `reduce.task`, `alloc.gram_block`, `serving.assign`,
+// `spill.page_io`) and
 // attaches triggers: fire on every nth call to the site, or fire per call
 // with a fixed probability. A FaultInjector evaluates the plan thread-safely;
 // probability decisions are a pure function of (plan seed, site, spec

@@ -87,6 +87,11 @@ class MetricsRegistry {
     void set(std::int64_t value) {
       value_.store(value, std::memory_order_relaxed);
     }
+    /// Accumulate into the gauge (byte-traffic style observations that sum
+    /// contributions from many short-lived instruments, e.g. spill I/O).
+    void add(std::int64_t delta) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
     /// Keep the maximum of the current and the observed value.
     void set_max(std::int64_t value) {
       std::int64_t seen = value_.load(std::memory_order_relaxed);

@@ -1,0 +1,525 @@
+#include "common/spool.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <iterator>
+#include <numeric>
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+
+namespace dasc {
+
+namespace {
+
+constexpr std::string_view kPageMagic = "DSPL";
+constexpr std::size_t kPageHeaderBytes = 16;
+constexpr std::string_view kFaultSite = "spill.page_io";
+
+void put_u32(std::string& out, std::uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, sizeof(value));
+  out.append(bytes, sizeof(value));
+}
+
+std::uint32_t get_u32(const char* bytes) {
+  std::uint32_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+std::string next_spool_path(const std::string& dir) {
+  static std::atomic<std::uint64_t> counter{0};
+  namespace fs = std::filesystem;
+  fs::path base = dir.empty() ? fs::temp_directory_path() : fs::path(dir);
+  std::error_code ec;
+  fs::create_directories(base, ec);  // best effort; open failure reports
+  const auto pid =
+      static_cast<unsigned long long>(::getpid());
+  const auto n =
+      static_cast<unsigned long long>(counter.fetch_add(1));
+  return (base / ("dasc-spool-" + std::to_string(pid) + "-" +
+                  std::to_string(n) + ".spl"))
+      .string();
+}
+
+/// One record frame inside a page payload: u32 key length, u32 value
+/// length, key bytes, value bytes.
+struct RecordView {
+  std::string_view key;
+  std::string_view value;
+  std::size_t next = 0;  ///< offset of the following record
+};
+
+RecordView parse_record(std::string_view payload, std::size_t offset) {
+  DASC_ENSURE(offset + 8 <= payload.size(),
+              "spool: truncated record header in page payload");
+  const std::uint32_t klen = get_u32(payload.data() + offset);
+  const std::uint32_t vlen = get_u32(payload.data() + offset + 4);
+  const std::size_t body = offset + 8;
+  DASC_ENSURE(body + klen + vlen <= payload.size(),
+              "spool: truncated record body in page payload");
+  RecordView record;
+  record.key = payload.substr(body, klen);
+  record.value = payload.substr(body + klen, vlen);
+  record.next = body + klen + vlen;
+  return record;
+}
+
+std::size_t framed_size(std::string_view key, std::string_view value) {
+  return 8 + key.size() + value.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpoolPager
+
+SpoolPager::SpoolPager(const SpoolConfig& config)
+    : config_(config), path_(next_spool_path(config.dir)) {
+  DASC_EXPECT(config_.max_attempts >= 1,
+              "spool: max_attempts must be >= 1");
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw IoError("spool: cannot open spill file " + path_);
+  }
+}
+
+SpoolPager::~SpoolPager() {
+  out_.close();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+}
+
+std::size_t SpoolPager::write_page(std::string_view payload) {
+  const std::size_t index = meta_.size();
+  const std::uint32_t payload_bytes =
+      static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+
+  std::string header;
+  header.reserve(kPageHeaderBytes);
+  header.append(kPageMagic);
+  put_u32(header, static_cast<std::uint32_t>(index));
+  put_u32(header, payload_bytes);
+  put_u32(header, crc);
+
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      ScopedTimer io_timer(config_.metrics, "spill.page_io");
+      if (config_.faults != nullptr) {
+        // Both error and corrupt kinds fail the write before anything is
+        // durable: a corrupted write would only be detected on read, which
+        // would double-charge the retry accounting when a page is read
+        // more than once.
+        if (config_.faults->check(kFaultSite) !=
+            FaultInjector::Outcome::kNone) {
+          throw IoError("spool: injected page write failure");
+        }
+      }
+      out_.seekp(static_cast<std::streamoff>(tail_offset_));
+      out_.write(header.data(),
+                 static_cast<std::streamsize>(header.size()));
+      out_.write(payload.data(),
+                 static_cast<std::streamsize>(payload.size()));
+      out_.flush();
+      if (!out_) {
+        out_.clear();
+        throw IoError("spool: page write failed on " + path_);
+      }
+      break;
+    } catch (...) {
+      if (attempt >= config_.max_attempts) {
+        throw IoError("spool: page write failed after " +
+                      std::to_string(config_.max_attempts) +
+                      " attempts on " + path_);
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("retry.spill_page_io").add();
+      }
+      DASC_LOG(kWarn) << "spool: page " << index << " write attempt "
+                      << attempt << " failed; retrying";
+    }
+  }
+
+  PageMeta meta;
+  meta.offset = tail_offset_;
+  meta.payload_bytes = payload_bytes;
+  meta.crc = crc;
+  meta_.push_back(meta);
+  tail_offset_ += kPageHeaderBytes + payload.size();
+
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("spill.bytes_written")
+        .add(static_cast<std::int64_t>(kPageHeaderBytes + payload.size()));
+    config_.metrics->gauge("spill.pages").add(1);
+  }
+  return index;
+}
+
+std::string SpoolPager::read_page(std::size_t index) const {
+  DASC_EXPECT(index < meta_.size(), "spool: page index out of range");
+  const PageMeta& meta = meta_[index];
+
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      ScopedTimer io_timer(config_.metrics, "spill.page_io");
+      FaultInjector::Outcome outcome = FaultInjector::Outcome::kNone;
+      if (config_.faults != nullptr) {
+        outcome = config_.faults->check(kFaultSite);
+      }
+      if (outcome == FaultInjector::Outcome::kError) {
+        throw IoError("spool: injected page read failure");
+      }
+
+      // Each read opens its own stream so sealed spools are safe to
+      // consume from concurrent (speculative) reduce attempts.
+      std::ifstream in(path_, std::ios::binary);
+      if (!in) {
+        throw IoError("spool: cannot reopen spill file " + path_);
+      }
+      in.seekg(static_cast<std::streamoff>(meta.offset));
+      std::string header(kPageHeaderBytes, '\0');
+      in.read(header.data(),
+              static_cast<std::streamsize>(kPageHeaderBytes));
+      std::string payload(meta.payload_bytes, '\0');
+      in.read(payload.data(),
+              static_cast<std::streamsize>(meta.payload_bytes));
+      if (!in) {
+        throw IoError("spool: short page read on " + path_);
+      }
+      if (outcome == FaultInjector::Outcome::kCorruption &&
+          !payload.empty()) {
+        payload[0] = static_cast<char>(payload[0] ^ 0x5A);
+      }
+      if (std::string_view(header).substr(0, 4) != kPageMagic ||
+          get_u32(header.data() + 4) != static_cast<std::uint32_t>(index) ||
+          get_u32(header.data() + 8) != meta.payload_bytes) {
+        throw IoError("spool: page header mismatch on " + path_);
+      }
+      if (crc32(payload) != meta.crc) {
+        throw IoError("spool: page checksum mismatch on " + path_);
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->gauge("spill.bytes_read")
+            .add(static_cast<std::int64_t>(kPageHeaderBytes +
+                                           payload.size()));
+      }
+      return payload;
+    } catch (...) {
+      if (attempt >= config_.max_attempts) {
+        throw IoError("spool: page read failed after " +
+                      std::to_string(config_.max_attempts) +
+                      " attempts on " + path_);
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("retry.spill_page_io").add();
+      }
+      DASC_LOG(kWarn) << "spool: page " << index << " read attempt "
+                      << attempt << " failed; retrying";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpoolBuffer
+
+SpoolBuffer::SpoolBuffer(const SpoolConfig& config) : config_(config) {
+  DASC_EXPECT(config_.page_bytes >= 16,
+              "spool: page_bytes too small to frame any record");
+  DASC_EXPECT(config_.fan_in >= 2, "spool: merge fan_in must be >= 2");
+  DASC_EXPECT(config_.max_attempts >= 1,
+              "spool: max_attempts must be >= 1");
+}
+
+void SpoolBuffer::append(std::string_view key, std::string_view value) {
+  DASC_EXPECT(!finished_, "spool: append after finish");
+  const std::size_t framed = framed_size(key, value);
+  DASC_EXPECT(framed <= config_.page_bytes,
+              "spool: record larger than one spool page; raise page_bytes");
+  if (open_page_.size() + framed > config_.page_bytes) {
+    seal_open_page();
+  }
+  put_u32(open_page_, static_cast<std::uint32_t>(key.size()));
+  put_u32(open_page_, static_cast<std::uint32_t>(value.size()));
+  open_page_.append(key);
+  open_page_.append(value);
+  ++open_records_;
+  ++records_;
+  record_bytes_ += key.size() + value.size() + 2;
+}
+
+void SpoolBuffer::seal_open_page() {
+  if (open_records_ == 0) return;
+  std::string payload = std::move(open_page_);
+  open_page_.clear();
+
+  if (config_.sort_on_seal) {
+    // Stable-sort the page's records by key; rebuilding the payload in
+    // sorted order makes each sealed page a sorted run of length one.
+    std::vector<std::size_t> offsets;
+    offsets.reserve(open_records_);
+    std::size_t cursor = 0;
+    while (cursor < payload.size()) {
+      offsets.push_back(cursor);
+      cursor = parse_record(payload, cursor).next;
+    }
+    std::vector<std::size_t> order(offsets.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return parse_record(payload, offsets[a]).key <
+                              parse_record(payload, offsets[b]).key;
+                     });
+    std::string sorted;
+    sorted.reserve(payload.size());
+    for (std::size_t i : order) {
+      const RecordView record = parse_record(payload, offsets[i]);
+      sorted.append(payload, offsets[i], record.next - offsets[i]);
+    }
+    payload = std::move(sorted);
+  }
+
+  Page page;
+  page.payload_bytes = payload.size();
+  page.record_count = open_records_;
+  page.payload = std::move(payload);
+  const std::size_t page_id = pages_.size();
+  resident_bytes_ += page.payload_bytes;
+  pages_.push_back(std::move(page));
+  if (config_.sort_on_seal) {
+    Run run;
+    run.page_ids.push_back(page_id);
+    run.ordinal = runs_.size();
+    runs_.push_back(std::move(run));
+  }
+  open_records_ = 0;
+  enforce_budget();
+}
+
+void SpoolBuffer::enforce_budget() {
+  if (resident_bytes_ <= config_.budget_bytes) return;
+  // Spill resident pages oldest-first until the budget holds again. Page
+  // content is identical resident or spilled, so the choice cannot affect
+  // observable record order.
+  for (Page& page : pages_) {
+    if (resident_bytes_ <= config_.budget_bytes) break;
+    if (page.payload.empty() || page.spilled) continue;
+    spill_page(page);
+  }
+}
+
+void SpoolBuffer::spill_page(Page& page) {
+  {
+    std::lock_guard lock(pager_mutex_);
+    if (pager_ == nullptr) {
+      pager_ = std::make_unique<SpoolPager>(config_);
+    }
+  }
+  page.pager_index = pager_->write_page(page.payload);
+  page.spilled = true;
+  resident_bytes_ -= page.payload_bytes;
+  page.payload.clear();
+  page.payload.shrink_to_fit();
+}
+
+std::string SpoolBuffer::load_page(const Page& page) const {
+  if (!page.payload.empty()) return page.payload;
+  if (page.payload_bytes == 0) return {};
+  DASC_ENSURE(page.spilled, "spool: page neither resident nor spilled");
+  return pager_->read_page(page.pager_index);
+}
+
+namespace {
+
+/// Streaming cursor over one sorted run: loads pages one at a time and
+/// exposes the current record.
+struct RunCursor {
+  const std::vector<std::size_t>* page_ids = nullptr;
+  std::size_t page_pos = 0;
+  std::string payload;
+  std::size_t offset = 0;
+  std::string_view key;
+  std::string_view value;
+  bool has = false;
+
+  template <typename LoadPage, typename PageDone>
+  void advance(const LoadPage& load, const PageDone& done) {
+    while (true) {
+      if (offset < payload.size()) {
+        const RecordView record = parse_record(payload, offset);
+        key = record.key;
+        value = record.value;
+        offset = record.next;
+        has = true;
+        return;
+      }
+      if (page_pos > 0) done((*page_ids)[page_pos - 1]);
+      if (page_pos >= page_ids->size()) {
+        payload.clear();
+        has = false;
+        return;
+      }
+      payload = load((*page_ids)[page_pos]);
+      offset = 0;
+      ++page_pos;
+    }
+  }
+};
+
+/// K-way merge over cursors ordered by run ordinal: repeatedly visit the
+/// smallest key, tie-broken by cursor position (== run ordinal order),
+/// which reproduces a global stable sort by key.
+template <typename Visit>
+void merge_cursors(std::vector<RunCursor>& cursors, const Visit& visit) {
+  while (true) {
+    std::size_t best = cursors.size();
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (!cursors[i].has) continue;
+      if (best == cursors.size() || cursors[i].key < cursors[best].key) {
+        best = i;
+      }
+    }
+    if (best == cursors.size()) return;
+    visit(best);
+  }
+}
+
+}  // namespace
+
+SpoolBuffer::Run SpoolBuffer::merge_run_group(
+    const std::vector<Run>& group) {
+  auto load = [this](std::size_t page_id) {
+    return load_page(pages_[page_id]);
+  };
+  // Source pages are dead as soon as a cursor moves past them; freeing
+  // them here keeps merge memory bounded by ~fan_in pages.
+  auto free_source = [this](std::size_t page_id) {
+    Page& page = pages_[page_id];
+    if (!page.payload.empty()) {
+      resident_bytes_ -= page.payload_bytes;
+      page.payload.clear();
+      page.payload.shrink_to_fit();
+    }
+  };
+
+  std::vector<RunCursor> cursors(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    cursors[i].page_ids = &group[i].page_ids;
+    cursors[i].advance(load, free_source);
+  }
+
+  Run merged;
+  merged.ordinal = group.front().ordinal;
+  std::string out_payload;
+  std::size_t out_records = 0;
+  auto seal_output = [&] {
+    if (out_records == 0) return;
+    Page page;
+    page.payload_bytes = out_payload.size();
+    page.record_count = out_records;
+    page.payload = std::move(out_payload);
+    out_payload.clear();
+    const std::size_t page_id = pages_.size();
+    resident_bytes_ += page.payload_bytes;
+    pages_.push_back(std::move(page));
+    merged.page_ids.push_back(page_id);
+    out_records = 0;
+    enforce_budget();
+  };
+
+  merge_cursors(cursors, [&](std::size_t best) {
+    RunCursor& cursor = cursors[best];
+    if (out_payload.size() + framed_size(cursor.key, cursor.value) >
+        config_.page_bytes) {
+      seal_output();
+    }
+    put_u32(out_payload, static_cast<std::uint32_t>(cursor.key.size()));
+    put_u32(out_payload, static_cast<std::uint32_t>(cursor.value.size()));
+    out_payload.append(cursor.key);
+    out_payload.append(cursor.value);
+    ++out_records;
+    cursor.advance(load, free_source);
+  });
+  seal_output();
+  return merged;
+}
+
+void SpoolBuffer::merge_runs_down_to_fan_in() {
+  while (runs_.size() > config_.fan_in) {
+    std::vector<Run> next;
+    next.reserve((runs_.size() + config_.fan_in - 1) / config_.fan_in);
+    for (std::size_t i = 0; i < runs_.size(); i += config_.fan_in) {
+      const std::size_t end = std::min(i + config_.fan_in, runs_.size());
+      if (end - i == 1) {
+        next.push_back(std::move(runs_[i]));
+        continue;
+      }
+      std::vector<Run> group(
+          std::make_move_iterator(runs_.begin() +
+                                  static_cast<std::ptrdiff_t>(i)),
+          std::make_move_iterator(runs_.begin() +
+                                  static_cast<std::ptrdiff_t>(end)));
+      next.push_back(merge_run_group(group));
+    }
+    runs_ = std::move(next);
+  }
+}
+
+void SpoolBuffer::finish() {
+  if (finished_) return;
+  seal_open_page();
+  if (config_.sort_on_seal) merge_runs_down_to_fan_in();
+  finished_ = true;
+}
+
+void SpoolBuffer::for_each(const SpoolVisitor& visit) const {
+  DASC_EXPECT(finished_, "spool: for_each before finish");
+  DASC_EXPECT(!config_.sort_on_seal,
+              "spool: for_each is append-order; use for_each_sorted");
+  for (const Page& page : pages_) {
+    const std::string payload = load_page(page);
+    std::size_t offset = 0;
+    while (offset < payload.size()) {
+      const RecordView record = parse_record(payload, offset);
+      visit(record.key, record.value);
+      offset = record.next;
+    }
+  }
+}
+
+void SpoolBuffer::for_each_sorted(const SpoolVisitor& visit) const {
+  DASC_EXPECT(finished_, "spool: for_each_sorted before finish");
+  DASC_EXPECT(config_.sort_on_seal,
+              "spool: for_each_sorted requires sort_on_seal");
+  auto load = [this](std::size_t page_id) {
+    return load_page(pages_[page_id]);
+  };
+  auto keep = [](std::size_t) {};  // const walk: pages stay as they are
+  std::vector<RunCursor> cursors(runs_.size());
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    cursors[i].page_ids = &runs_[i].page_ids;
+    cursors[i].advance(load, keep);
+  }
+  merge_cursors(cursors, [&](std::size_t best) {
+    visit(cursors[best].key, cursors[best].value);
+    cursors[best].advance(load, keep);
+  });
+}
+
+std::size_t SpoolBuffer::pages_spilled() const {
+  return pager_ == nullptr ? 0 : pager_->pages();
+}
+
+std::string SpoolBuffer::file_path() const {
+  return pager_ == nullptr ? std::string() : pager_->file_path();
+}
+
+}  // namespace dasc

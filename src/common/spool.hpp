@@ -1,0 +1,189 @@
+// Out-of-core spool: page-based record buffers with an explicit byte
+// budget and CRC-guarded spill-to-disk pages.
+//
+// The paper's target regime (2^20..2^30 points) does not fit the RAM-
+// resident shuffle map or a full set of dense Gram blocks, so both paths
+// can spill through this layer (DESIGN.md section 12):
+//
+//   SpoolPager   -- the page store. Fixed-size payload pages written to a
+//                   private temp file, each framed by a 16-byte header
+//                   {magic 'DSPL', page index, payload bytes, CRC-32 of
+//                   the payload}. Every write and read is an attempt-loop
+//                   over the fault site `spill.page_io`: injected errors
+//                   fail the attempt, injected corruption flips a payload
+//                   byte so the CRC check catches it, and either way the
+//                   attempt is retried (counter `retry.spill_page_io`)
+//                   up to `max_attempts` before an IoError escapes.
+//   SpoolBuffer  -- record-framed spooling on top of the pager. Records
+//                   append into an open page; a page seals when the next
+//                   record would overflow `page_bytes`, and sealed pages
+//                   spill to disk whenever resident payload exceeds
+//                   `budget_bytes` (budget 0 = spill every sealed page).
+//                   With `sort_on_seal`, each page is stable-sorted by key
+//                   at seal time and finish() externally merges sorted
+//                   runs (fan-in bounded) so that for_each_sorted() visits
+//                   records in exactly the order a global std::stable_sort
+//                   by key would produce -- the determinism contract the
+//                   external shuffle relies on.
+//
+// Determinism: page boundaries depend only on `page_bytes` and the record
+// sequence -- never on the budget, the spill directory, or which pages
+// happen to be resident -- so spilling on vs off cannot change observable
+// record order. The merge tie-breaks equal keys by run ordinal, and runs
+// are numbered in append order, which reproduces stable sort exactly.
+//
+// Metrics: gauges `spill.bytes_written` / `spill.bytes_read` /
+// `spill.pages` accumulate page traffic (header + payload); timer
+// `spill.page_io` samples every I/O attempt.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dasc {
+
+class FaultInjector;
+class MetricsRegistry;
+
+/// Knobs shared by SpoolPager and SpoolBuffer. Defaults give a pure
+/// out-of-core posture: any sealed page spills immediately.
+struct SpoolConfig {
+  /// Directory for spill files; "" = std::filesystem::temp_directory_path().
+  std::string dir;
+  /// Resident payload budget. A sealed page stays in RAM only while total
+  /// sealed resident payload fits the budget; 0 spills every sealed page.
+  std::size_t budget_bytes = 0;
+  /// Payload capacity per page. Record framing larger than this is a
+  /// typed InvalidArgument (the record cannot be spooled at all).
+  std::size_t page_bytes = 256 * 1024;
+  /// Stable-sort each page by key at seal time and merge runs in finish(),
+  /// enabling for_each_sorted(). Off = append-order for_each() only.
+  bool sort_on_seal = false;
+  /// Attempts per page write/read before IoError (fault site
+  /// `spill.page_io`).
+  std::size_t max_attempts = 4;
+  /// Maximum runs merged per external-merge pass in finish().
+  std::size_t fan_in = 8;
+  FaultInjector* faults = nullptr;   ///< optional; null = no injection
+  MetricsRegistry* metrics = nullptr;  ///< optional; null = no metrics
+};
+
+/// Page store over one private temp file ("dasc-spool-<pid>-<n>.spl",
+/// removed on destruction). Writes are exclusive to the owning thread;
+/// read_page is const and thread-safe (each call opens its own stream),
+/// so sealed spools can be consumed by concurrent reduce attempts.
+class SpoolPager {
+ public:
+  explicit SpoolPager(const SpoolConfig& config);
+  ~SpoolPager();
+  SpoolPager(const SpoolPager&) = delete;
+  SpoolPager& operator=(const SpoolPager&) = delete;
+
+  /// Append one page; returns its index. Retries injected `spill.page_io`
+  /// failures; throws IoError when attempts are exhausted.
+  std::size_t write_page(std::string_view payload);
+
+  /// Read page `index` back, verifying its CRC-32. Corrupt or failed
+  /// reads are retried; throws IoError when attempts are exhausted.
+  std::string read_page(std::size_t index) const;
+
+  std::size_t pages() const { return meta_.size(); }
+  const std::string& file_path() const { return path_; }
+
+ private:
+  struct PageMeta {
+    std::uint64_t offset = 0;
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+  };
+
+  SpoolConfig config_;
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t tail_offset_ = 0;
+  std::vector<PageMeta> meta_;
+};
+
+/// One record visited during spool iteration. Views are valid only for
+/// the duration of the visitor call.
+using SpoolVisitor =
+    std::function<void(std::string_view key, std::string_view value)>;
+
+/// Record-framed spool buffer: append -> finish -> iterate.
+class SpoolBuffer {
+ public:
+  explicit SpoolBuffer(const SpoolConfig& config);
+
+  /// Append one record. Throws InvalidArgument if the framed record
+  /// (8-byte length header + key + value) exceeds page_bytes, or if
+  /// called after finish().
+  void append(std::string_view key, std::string_view value);
+
+  /// Seal the open page, enforce the budget, and (with sort_on_seal)
+  /// externally merge sorted runs down to at most fan_in. Idempotent.
+  void finish();
+
+  /// Visit records in append order. Requires finish() and
+  /// !sort_on_seal.
+  void for_each(const SpoolVisitor& visit) const;
+
+  /// Visit records in stable-sorted key order (ties in append order).
+  /// Requires finish() and sort_on_seal. Const and safe to call
+  /// concurrently.
+  void for_each_sorted(const SpoolVisitor& visit) const;
+
+  std::size_t records() const { return records_; }
+  /// Accounting bytes (key + value + 2 per record), matching the RAM
+  /// shuffle's shuffle_bytes convention.
+  std::size_t record_bytes() const { return record_bytes_; }
+  std::size_t pages_spilled() const;
+  std::size_t resident_bytes() const { return resident_bytes_; }
+  bool finished() const { return finished_; }
+  /// Spill file path; empty while nothing has spilled yet.
+  std::string file_path() const;
+
+ private:
+  // One sealed page: payload either resident or behind a pager index.
+  struct Page {
+    std::string payload;             ///< non-empty iff resident
+    std::size_t payload_bytes = 0;   ///< size whether resident or spilled
+    std::size_t pager_index = 0;
+    bool spilled = false;
+    std::size_t record_count = 0;
+  };
+  // A sorted run is a consecutive list of sealed pages whose concatenated
+  // records are in stable key order.
+  struct Run {
+    std::vector<std::size_t> page_ids;
+    std::size_t ordinal = 0;  ///< append-order rank; the merge tie-break
+  };
+
+  void seal_open_page();
+  void enforce_budget();
+  void spill_page(Page& page);
+  std::string load_page(const Page& page) const;
+  void merge_runs_down_to_fan_in();
+  Run merge_run_group(const std::vector<Run>& group);
+
+  SpoolConfig config_;
+  mutable std::mutex pager_mutex_;   // guards lazy pager creation
+  mutable std::unique_ptr<SpoolPager> pager_;
+  std::vector<Page> pages_;
+  std::vector<Run> runs_;
+  std::string open_page_;
+  std::size_t open_records_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::size_t records_ = 0;
+  std::size_t record_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dasc

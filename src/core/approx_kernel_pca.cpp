@@ -35,6 +35,8 @@ ApproxKpcaResult approx_kernel_pca(const data::PointSet& points,
   options.threads = params.threads;
   options.max_inflight_blocks = params.max_inflight_blocks;
   options.max_inflight_bytes = params.max_inflight_bytes;
+  options.spill_budget_bytes = params.spill_budget_bytes;
+  options.spill_dir = params.spill_dir;
   options.metrics = params.metrics;
   options.faults = params.faults;
   options.max_bucket_attempts = params.max_bucket_attempts;

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <string>
 
 #include "clustering/kernel.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/spool.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/bucket_embedder.hpp"
@@ -32,6 +36,47 @@ std::size_t bucket_cluster_count(std::size_t global_k, std::size_t bucket_size,
 }
 
 namespace {
+
+/// A dense Gram block evicted to CRC-guarded spool pages: raw row-major
+/// double bytes chunked at page granularity, which round-trip bit-exactly.
+struct SpilledBlock {
+  std::unique_ptr<SpoolPager> pager;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+SpilledBlock spill_dense_block(const linalg::DenseMatrix& block,
+                               const SpoolConfig& config) {
+  SpilledBlock spilled;
+  spilled.rows = block.rows();
+  spilled.cols = block.cols();
+  spilled.pager = std::make_unique<SpoolPager>(config);
+  const char* bytes = reinterpret_cast<const char*>(block.data());
+  const std::size_t total = block.bytes();
+  for (std::size_t offset = 0; offset < total;
+       offset += config.page_bytes) {
+    const std::size_t chunk = std::min(config.page_bytes, total - offset);
+    spilled.pager->write_page(std::string_view(bytes + offset, chunk));
+  }
+  return spilled;
+}
+
+linalg::DenseMatrix unspill_dense_block(const SpilledBlock& spilled) {
+  linalg::DenseMatrix block(spilled.rows, spilled.cols);
+  char* bytes = reinterpret_cast<char*>(block.data());
+  const std::size_t total = block.bytes();
+  std::size_t offset = 0;
+  for (std::size_t page = 0; page < spilled.pager->pages(); ++page) {
+    const std::string payload = spilled.pager->read_page(page);
+    DASC_ENSURE(offset + payload.size() <= total,
+                "unspill_dense_block: pages overflow the block");
+    std::memcpy(bytes + offset, payload.data(), payload.size());
+    offset += payload.size();
+  }
+  DASC_ENSURE(offset == total,
+              "unspill_dense_block: pages do not cover the block");
+  return block;
+}
 
 std::vector<BucketJob> plan_jobs_impl(const std::vector<lsh::Bucket>& buckets,
                                       std::size_t global_k,
@@ -122,18 +167,45 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
   AdmissionGate gate(options.max_inflight_blocks, options.max_inflight_bytes);
   std::mutex timing_mutex;
 
+  // Gram spill: a pre-built dense block over the spill budget is evicted
+  // to disk pages, its admission ticket released while it is out of core,
+  // then faulted back in for consumption. The decision is a pure function
+  // of the bucket's block size, so it is identical across thread counts.
+  SpoolConfig spill_config;
+  spill_config.dir = options.spill_dir;
+  spill_config.max_attempts =
+      std::max<std::size_t>(spill_config.max_attempts,
+                            options.max_bucket_attempts);
+  spill_config.faults = options.faults;
+  spill_config.metrics = options.metrics;
+  auto spills = [&](std::size_t b) {
+    return options.spill_budget_bytes > 0 && prebuild_dense(b) &&
+           block_bytes[b] > options.spill_budget_bytes;
+  };
+
   auto run_one = [&](std::size_t b) {
     gate.acquire(block_bytes[b]);
+    // The ticket is released manually around the spill window (the bytes
+    // really are off the heap while the block sits on disk); the guard
+    // only covers exits while the ticket is held.
+    bool held = true;
     struct Ticket {
       AdmissionGate& gate;
       std::size_t bytes;
-      ~Ticket() { gate.release(bytes); }
-    } ticket{gate, block_bytes[b]};
+      bool* held;
+      ~Ticket() {
+        if (*held) gate.release(bytes);
+      }
+    } ticket{gate, block_bytes[b], &held};
 
     // Per-bucket retry: re-attempts rebuild the block and re-run the
     // consumer; the disjoint-label-slot contract makes that idempotent.
     for (std::size_t attempt = 1;; ++attempt) {
       try {
+        if (!held) {
+          gate.acquire(block_bytes[b]);
+          held = true;
+        }
         if (options.faults != nullptr) {
           options.faults->maybe_throw("alloc.gram_block");
         }
@@ -147,6 +219,22 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
         }
         const double build_s = build_clock.seconds();
 
+        bool block_was_spilled = false;
+        std::size_t spill_payload_bytes = 0;
+        if (spills(b) && !block.empty()) {
+          spill_payload_bytes = block.bytes();
+          const SpilledBlock spilled = spill_dense_block(block, spill_config);
+          block = linalg::DenseMatrix();  // evicted: free the heap copy
+          gate.release(block_bytes[b]);
+          held = false;
+          // Fault the block back in under a fresh ticket; other buckets
+          // may have used the released budget in between.
+          gate.acquire(block_bytes[b]);
+          held = true;
+          block = unspill_dense_block(spilled);
+          block_was_spilled = true;
+        }
+
         Stopwatch consume_clock;
         {
           ScopedTimer consume_timer(options.metrics, "pipeline.consume");
@@ -158,9 +246,16 @@ BucketPipelineStats run_bucket_pipeline(const data::PointSet& points,
         block = linalg::DenseMatrix();
         const double consume_s = consume_clock.seconds();
 
+        if (block_was_spilled && options.metrics != nullptr) {
+          options.metrics->counter("pipeline.blocks_spilled").add();
+        }
         std::lock_guard lock(timing_mutex);
         stats.build_seconds += build_s;
         stats.consume_seconds += consume_s;
+        if (block_was_spilled) {
+          stats.spilled_blocks += 1;
+          stats.spilled_bytes += spill_payload_bytes;
+        }
         return;
       } catch (...) {
         if (attempt < options.max_bucket_attempts) {

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -81,6 +82,19 @@ struct BucketPipelineOptions {
   /// Max resident Gram bytes (0 = unlimited; an oversized single block is
   /// admitted alone rather than deadlocking).
   std::size_t max_inflight_bytes = 0;
+  /// Out-of-core Gram spill (0 = off). When > 0, a pre-built dense block
+  /// whose bytes exceed this budget is serialized to CRC-guarded spool
+  /// pages (fault site `spill.page_io`, retried up to
+  /// max(4, max_bucket_attempts) per page), freed — releasing its
+  /// admission ticket so other buckets can run — then faulted back in and
+  /// consumed. Raw double pages round-trip bit-exactly and the spill
+  /// decision is a pure function of the bucket's block size, so labels
+  /// are bit-identical with spilling on or off at any thread count.
+  /// Factored (Nystrom / binning) buckets never pre-build a dense block
+  /// and therefore never spill.
+  std::size_t spill_budget_bytes = 0;
+  /// Directory for spill files ("" = the system temp directory).
+  std::string spill_dir;
   /// When false the consumer receives an empty matrix and no kernel is
   /// evaluated — for consumers that compute their own kernels per bucket
   /// (approximate SVM) but still want the planned seeds/offsets and the
@@ -122,6 +136,8 @@ struct BucketPipelineStats {
   std::size_t peak_block_bytes = 0;     ///< largest single block built
   std::size_t peak_inflight_bytes = 0;  ///< high-water of resident blocks
   std::size_t total_block_bytes = 0;    ///< sum over all blocks built
+  std::size_t spilled_blocks = 0;       ///< blocks evicted to disk pages
+  std::size_t spilled_bytes = 0;        ///< payload bytes evicted to disk
   double build_seconds = 0.0;           ///< summed per-bucket Gram time
   double consume_seconds = 0.0;         ///< summed per-bucket consumer time
   double wall_seconds = 0.0;            ///< end-to-end run time

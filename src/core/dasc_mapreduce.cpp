@@ -113,6 +113,8 @@ class BucketClusterReducer final : public mapreduce::Reducer {
     options.sigma = sigma_;
     options.threads = 1;  // the reducer is already one parallel task
     options.max_inflight_blocks = 1;
+    options.spill_budget_bytes = dasc_.spill_budget_bytes;
+    options.spill_dir = dasc_.spill_dir;
     options.metrics = dasc_.metrics;
     options.faults = dasc_.faults;
     options.max_bucket_attempts = dasc_.max_bucket_attempts;
@@ -154,10 +156,22 @@ void finish_pipeline(const data::PointSet& points,
                      std::size_t p, double sigma,
                      MapReduceDascResult& result);
 
+/// The DascParams spill knob covers the whole MapReduce run: when the job
+/// conf leaves spilling unset, inherit the pipeline's budget so the
+/// shuffles and the reduce-side Gram blocks honor one knob.
+mapreduce::JobConf with_spill(mapreduce::JobConf conf,
+                              const DascParams& dasc) {
+  if (conf.spill_budget_bytes == 0) {
+    conf.spill_budget_bytes = dasc.spill_budget_bytes;
+  }
+  if (conf.spill_dir.empty()) conf.spill_dir = dasc.spill_dir;
+  return conf;
+}
+
 mapreduce::JobSpec make_stage1_spec(const MapReduceDascParams& params,
                                     const lsh::RandomProjectionHasher& hasher) {
   mapreduce::JobSpec lsh_spec;
-  lsh_spec.conf = params.conf;
+  lsh_spec.conf = with_spill(params.conf, params.dasc);
   lsh_spec.conf.job_name = "dasc-lsh";
   lsh_spec.conf.enable_combiner = false;
   lsh_spec.mapper_factory = [hasher] {
@@ -329,7 +343,7 @@ void finish_pipeline(const data::PointSet& points,
 
   // ---- Stage 2: per-bucket similarity + spectral clustering. ----
   mapreduce::JobSpec cluster_spec;
-  cluster_spec.conf = params.conf;
+  cluster_spec.conf = with_spill(params.conf, params.dasc);
   cluster_spec.conf.job_name = "dasc-cluster";
   cluster_spec.conf.enable_combiner = false;
   cluster_spec.mapper_factory = [] {

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "linalg/simd_ops.hpp"
@@ -82,6 +83,17 @@ struct DascParams {
   /// single block larger than the budget is still admitted when it is
   /// alone, so the pipeline cannot deadlock.
   std::size_t max_inflight_bytes = 0;
+
+  /// Out-of-core spill budget (0 = stay RAM-resident, the historical
+  /// behaviour). When > 0, built dense Gram blocks larger than the budget
+  /// are evicted to CRC-guarded spool pages on disk and faulted back for
+  /// consumption (DESIGN.md section 12), and the MapReduce driver routes
+  /// its shuffle through spooled external merge sort under the same
+  /// budget. Page I/O retries through fault site `spill.page_io`; labels
+  /// are bit-identical with spilling on or off.
+  std::size_t spill_budget_bytes = 0;
+  /// Directory for spill files ("" = the system temp directory).
+  std::string spill_dir;
 
   /// SIMD dispatch level for the linalg kernels (kAuto = best supported,
   /// or the DASC_SIMD env override). Every level produces bit-identical

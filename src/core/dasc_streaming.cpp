@@ -42,6 +42,8 @@ StreamingDascResult dasc_cluster_streaming(const data::PointSet& points,
   options.threads = params.threads;
   options.max_inflight_blocks = 1;
   options.max_inflight_bytes = params.max_inflight_bytes;
+  options.spill_budget_bytes = params.spill_budget_bytes;
+  options.spill_dir = params.spill_dir;
   options.metrics = params.metrics;
   options.faults = params.faults;
   options.max_bucket_attempts = params.max_bucket_attempts;

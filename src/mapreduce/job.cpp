@@ -12,6 +12,7 @@
 #include "common/fault_injection.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/spool.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "mapreduce/shuffle.hpp"
@@ -272,38 +273,72 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
   result.counters.combine_output_records = combine_out.load();
 
   // ---- Shuffle (checksum-verified transfers when faults are on) ----
+  // With a spill budget the shuffle runs out of core: verified map
+  // outputs stream into per-partition spool buffers (external merge
+  // sort) whose sealed pages spill to disk past the budget. Reduce
+  // groups are bit-identical to the RAM path in either mode.
+  const bool spill_shuffle = spec.conf.spill_budget_bytes > 0;
   std::vector<std::vector<Record>> partitions;
+  std::unique_ptr<SpilledShuffle> spilled;
   {
     ScopedTimer shuffle_timer(spec.metrics, "mapreduce.shuffle");
-    partitions =
-        fetch_and_partition(map_outputs, spec.conf.num_reducers, spec.faults,
-                            spec.conf.max_fetch_attempts, spec.metrics);
+    if (spill_shuffle) {
+      SpoolConfig spool;
+      spool.dir = spec.conf.spill_dir;
+      spool.budget_bytes = spec.conf.spill_budget_bytes;
+      spool.max_attempts =
+          std::max<std::size_t>(spool.max_attempts,
+                                spec.conf.max_fetch_attempts);
+      spilled = std::make_unique<SpilledShuffle>(fetch_and_partition_to_spool(
+          map_outputs, spec.conf.num_reducers, spec.faults,
+          spec.conf.max_fetch_attempts, spec.metrics, spool));
+      result.counters.shuffle_bytes = spilled->total_record_bytes();
+    } else {
+      partitions =
+          fetch_and_partition(map_outputs, spec.conf.num_reducers, spec.faults,
+                              spec.conf.max_fetch_attempts, spec.metrics);
+      result.counters.shuffle_bytes = shuffle_bytes(partitions);
+    }
     map_outputs.clear();
-    result.counters.shuffle_bytes = shuffle_bytes(partitions);
   }
 
   // ---- Reduce phase ----
-  result.reduce_task_seconds.assign(partitions.size(), 0.0);
-  std::vector<std::vector<Record>> reduce_outputs(partitions.size());
+  const std::size_t num_reduce_tasks =
+      spill_shuffle ? spilled->partitions.size() : partitions.size();
+  result.reduce_task_seconds.assign(num_reduce_tasks, 0.0);
+  std::vector<std::vector<Record>> reduce_outputs(num_reduce_tasks);
   std::atomic<std::uint64_t> reduce_groups{0};
   std::atomic<std::uint64_t> reduce_in{0};
   std::atomic<std::uint64_t> reduce_out{0};
 
   run_task_phase(
-      spec, partitions.size(), "reduce.task", "retry.reduce_attempts",
+      spec, num_reduce_tasks, "reduce.task", "retry.reduce_attempts",
       failed_attempts, speculative_launches, result.reduce_task_seconds,
       [&](std::size_t task) -> std::function<void()> {
-        const std::vector<KeyGroup> groups =
-            reattempts_possible ? sort_and_group(partitions[task])
-                                : sort_and_group(std::move(partitions[task]));
         const std::unique_ptr<Reducer> reducer = spec.reducer_factory();
         VectorEmitter emitter;
         std::uint64_t in_records = 0;
-        for (const auto& group : groups) {
-          in_records += group.values.size();
-          reducer->reduce(group.key, group.values, emitter);
+        std::size_t num_groups = 0;
+        if (spill_shuffle) {
+          // Sealed spools are const-readable, so re-attempts and
+          // speculative backups stream the same groups again.
+          spilled->for_each_group(task, [&](const KeyGroup& group) {
+            ++num_groups;
+            in_records += group.values.size();
+            reducer->reduce(group.key, group.values, emitter);
+          });
+        } else {
+          const std::vector<KeyGroup> groups =
+              reattempts_possible
+                  ? sort_and_group(partitions[task])
+                  : sort_and_group(std::move(partitions[task]));
+          num_groups = groups.size();
+          for (const auto& group : groups) {
+            in_records += group.values.size();
+            reducer->reduce(group.key, group.values, emitter);
+          }
         }
-        return [&, task, num_groups = groups.size(), in_records,
+        return [&, task, num_groups, in_records,
                 out = std::move(emitter.records())]() mutable {
           reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
           reduce_in.fetch_add(in_records, std::memory_order_relaxed);

@@ -22,6 +22,56 @@ std::uint32_t records_crc(const std::vector<Record>& records) {
   return crc.value();
 }
 
+/// Fetch one map output with CRC verification and retries — the transfer
+/// loop shared by the RAM and spooled shuffle paths. Returns the verified
+/// copy; throws IoError when the transfer never verifies.
+std::vector<Record> fetch_one_verified(const std::vector<Record>& output,
+                                       std::size_t task,
+                                       FaultInjector* faults,
+                                       std::size_t max_attempts,
+                                       MetricsRegistry* metrics) {
+  const std::uint32_t expected = records_crc(output);
+  for (std::size_t attempt = 1;; ++attempt) {
+    const FaultInjector::Outcome outcome = faults->check("shuffle.fetch");
+    bool ok = outcome != FaultInjector::Outcome::kError;
+    std::vector<Record> fetched;
+    if (ok) {
+      fetched = output;
+      if (outcome == FaultInjector::Outcome::kCorruption) {
+        // Flip one byte of the transfer; the CRC check catches it. An
+        // empty transfer has nothing to flip — fail the attempt.
+        bool flipped = false;
+        for (auto& record : fetched) {
+          if (!record.value.empty()) {
+            record.value.front() =
+                static_cast<char>(record.value.front() ^ 0x1);
+            flipped = true;
+            break;
+          }
+          if (!record.key.empty()) {
+            record.key.front() =
+                static_cast<char>(record.key.front() ^ 0x1);
+            flipped = true;
+            break;
+          }
+        }
+        ok = flipped && records_crc(fetched) == expected;
+      } else {
+        ok = records_crc(fetched) == expected;
+      }
+    }
+    if (ok) return fetched;
+    if (attempt >= max_attempts) {
+      throw IoError("shuffle: fetch of map output " + std::to_string(task) +
+                    " failed after " + std::to_string(max_attempts) +
+                    " attempts");
+    }
+    if (metrics != nullptr) metrics->counter("retry.shuffle_fetch").add();
+    DASC_LOG(kWarn) << "shuffle: re-fetching map output " << task
+                    << " (attempt " << attempt << " failed verification)";
+  }
+}
+
 }  // namespace
 
 std::size_t partition_for_key(const std::string& key,
@@ -52,51 +102,11 @@ std::vector<std::vector<Record>> fetch_and_partition(
 
   std::vector<std::vector<Record>> partitions(num_partitions);
   for (std::size_t task = 0; task < outputs.size(); ++task) {
-    const std::uint32_t expected = records_crc(outputs[task]);
-    for (std::size_t attempt = 1;; ++attempt) {
-      const FaultInjector::Outcome outcome = faults->check("shuffle.fetch");
-      bool ok = outcome != FaultInjector::Outcome::kError;
-      std::vector<Record> fetched;
-      if (ok) {
-        fetched = outputs[task];
-        if (outcome == FaultInjector::Outcome::kCorruption) {
-          // Flip one byte of the transfer; the CRC check catches it. An
-          // empty transfer has nothing to flip — fail the attempt.
-          bool flipped = false;
-          for (auto& record : fetched) {
-            if (!record.value.empty()) {
-              record.value.front() =
-                  static_cast<char>(record.value.front() ^ 0x1);
-              flipped = true;
-              break;
-            }
-            if (!record.key.empty()) {
-              record.key.front() =
-                  static_cast<char>(record.key.front() ^ 0x1);
-              flipped = true;
-              break;
-            }
-          }
-          ok = flipped && records_crc(fetched) == expected;
-        } else {
-          ok = records_crc(fetched) == expected;
-        }
-      }
-      if (ok) {
-        for (auto& record : fetched) {
-          partitions[partition_for_key(record.key, num_partitions)].push_back(
-              std::move(record));
-        }
-        break;
-      }
-      if (attempt >= max_attempts) {
-        throw IoError("shuffle: fetch of map output " + std::to_string(task) +
-                      " failed after " + std::to_string(max_attempts) +
-                      " attempts");
-      }
-      if (metrics != nullptr) metrics->counter("retry.shuffle_fetch").add();
-      DASC_LOG(kWarn) << "shuffle: re-fetching map output " << task
-                      << " (attempt " << attempt << " failed verification)";
+    std::vector<Record> fetched =
+        fetch_one_verified(outputs[task], task, faults, max_attempts, metrics);
+    for (auto& record : fetched) {
+      partitions[partition_for_key(record.key, num_partitions)].push_back(
+          std::move(record));
     }
   }
   return partitions;
@@ -115,6 +125,74 @@ std::vector<KeyGroup> sort_and_group(std::vector<Record> partition) {
     groups.back().values.push_back(std::move(record.value));
   }
   return groups;
+}
+
+void SpilledShuffle::for_each_group(
+    std::size_t partition,
+    const std::function<void(const KeyGroup&)>& fn) const {
+  DASC_EXPECT(partition < partitions.size(),
+              "SpilledShuffle: partition out of range");
+  // The spool's merged stream is the partition stable-sorted by key, so
+  // grouping is a single streaming pass: flush whenever the key changes.
+  KeyGroup group;
+  bool open = false;
+  partitions[partition]->for_each_sorted(
+      [&](std::string_view key, std::string_view value) {
+        if (!open || group.key != key) {
+          if (open) fn(group);
+          group.key.assign(key);
+          group.values.clear();
+          open = true;
+        }
+        group.values.emplace_back(value);
+      });
+  if (open) fn(group);
+}
+
+std::size_t SpilledShuffle::total_record_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& spool : partitions) bytes += spool->record_bytes();
+  return bytes;
+}
+
+SpilledShuffle fetch_and_partition_to_spool(
+    const std::vector<std::vector<Record>>& outputs,
+    std::size_t num_partitions, FaultInjector* faults,
+    std::size_t max_attempts, MetricsRegistry* metrics,
+    const SpoolConfig& spool) {
+  DASC_EXPECT(num_partitions >= 1,
+              "fetch_and_partition_to_spool: need >= 1 partition");
+  DASC_EXPECT(max_attempts >= 1,
+              "fetch_and_partition_to_spool: need >= 1 attempt");
+
+  SpoolConfig config = spool;
+  config.sort_on_seal = true;
+  config.faults = faults;
+  config.metrics = metrics;
+
+  SpilledShuffle shuffle;
+  shuffle.partitions.reserve(num_partitions);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    shuffle.partitions.push_back(std::make_unique<SpoolBuffer>(config));
+  }
+
+  for (std::size_t task = 0; task < outputs.size(); ++task) {
+    if (faults == nullptr) {
+      for (const auto& record : outputs[task]) {
+        shuffle.partitions[partition_for_key(record.key, num_partitions)]
+            ->append(record.key, record.value);
+      }
+      continue;
+    }
+    const std::vector<Record> fetched = fetch_one_verified(
+        outputs[task], task, faults, max_attempts, metrics);
+    for (const auto& record : fetched) {
+      shuffle.partitions[partition_for_key(record.key, num_partitions)]
+          ->append(record.key, record.value);
+    }
+  }
+  for (auto& partition : shuffle.partitions) partition->finish();
+  return shuffle;
 }
 
 std::size_t shuffle_bytes(

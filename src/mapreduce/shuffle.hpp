@@ -3,9 +3,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/spool.hpp"
 #include "mapreduce/types.hpp"
 
 namespace dasc {
@@ -47,6 +50,38 @@ std::vector<std::vector<Record>> fetch_and_partition(
 
 /// Sort one partition's records by key and group equal keys.
 std::vector<KeyGroup> sort_and_group(std::vector<Record> partition);
+
+/// Out-of-core shuffle state: one sort-on-seal spool buffer per reduce
+/// partition. Sealed (finished) shuffles are const-readable, so reduce
+/// re-attempts and speculative backups can stream the same partition
+/// concurrently.
+struct SpilledShuffle {
+  std::vector<std::unique_ptr<SpoolBuffer>> partitions;
+
+  /// Stream partition `partition`'s records grouped by key, in exactly
+  /// the order sort_and_group produces: keys ascending, values in map
+  /// order within each map task and by task across tasks. The KeyGroup
+  /// reference is valid only inside the callback.
+  void for_each_group(std::size_t partition,
+                      const std::function<void(const KeyGroup&)>& fn) const;
+
+  /// Accounting bytes across all partitions (the shuffle_bytes counter).
+  std::size_t total_record_bytes() const;
+};
+
+/// External-merge variant of fetch_and_partition: identical transfer
+/// semantics (CRC-verified fetch per map output with retries at the
+/// `shuffle.fetch` site), but verified records are appended to per-
+/// partition spool buffers in task order instead of a RAM partition map.
+/// `spool` supplies dir/budget/page knobs; sort_on_seal is forced on and
+/// faults/metrics are overridden with the arguments so page I/O shares
+/// the job's injector and registry. Each partition's grouped stream is
+/// bit-identical to sort_and_group over the RAM path for any budget.
+SpilledShuffle fetch_and_partition_to_spool(
+    const std::vector<std::vector<Record>>& outputs,
+    std::size_t num_partitions, FaultInjector* faults,
+    std::size_t max_attempts, MetricsRegistry* metrics,
+    const SpoolConfig& spool);
 
 /// Total serialized bytes of the records (the shuffle-traffic counter).
 std::size_t shuffle_bytes(const std::vector<std::vector<Record>>& partitions);

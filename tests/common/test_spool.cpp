@@ -1,0 +1,252 @@
+// Spool-buffer unit tests: page boundary splits, budget enforcement,
+// stable external merge, typed errors, and CRC detection of on-disk
+// tampering (DESIGN.md section 12).
+#include "common/spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+
+namespace dasc {
+namespace {
+
+using KvList = std::vector<std::pair<std::string, std::string>>;
+
+KvList drain(const SpoolBuffer& spool, bool sorted) {
+  KvList records;
+  const SpoolVisitor visit = [&](std::string_view key,
+                                 std::string_view value) {
+    records.emplace_back(std::string(key), std::string(value));
+  };
+  if (sorted) {
+    spool.for_each_sorted(visit);
+  } else {
+    spool.for_each(visit);
+  }
+  return records;
+}
+
+TEST(SpoolPager, RoundTripsPagesWithChecksums) {
+  SpoolConfig config;
+  SpoolPager pager(config);
+  const std::string a(1000, 'a');
+  const std::string b = "short";
+  EXPECT_EQ(pager.write_page(a), 0u);
+  EXPECT_EQ(pager.write_page(b), 1u);
+  EXPECT_EQ(pager.pages(), 2u);
+  EXPECT_EQ(pager.read_page(1), b);
+  EXPECT_EQ(pager.read_page(0), a);  // out-of-order reads are fine
+  EXPECT_THROW(pager.read_page(2), InvalidArgument);
+}
+
+TEST(SpoolPager, RemovesItsFileOnDestruction) {
+  std::string path;
+  {
+    SpoolConfig config;
+    SpoolPager pager(config);
+    pager.write_page("payload");
+    path = pager.file_path();
+    EXPECT_TRUE(std::ifstream(path).good());
+  }
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(SpoolBuffer, AppendOrderRoundTripAcrossPageBoundaries) {
+  SpoolConfig config;
+  config.page_bytes = 64;  // tiny pages: records straddle many seals
+  KvList expected;
+  SpoolBuffer spool(config);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string value(static_cast<std::size_t>(i % 23), 'v');
+    spool.append(key, value);
+    expected.emplace_back(key, value);
+  }
+  spool.finish();
+  // Zero budget spilled every sealed page.
+  EXPECT_GT(spool.pages_spilled(), 1u);
+  EXPECT_EQ(spool.records(), 200u);
+  EXPECT_EQ(drain(spool, /*sorted=*/false), expected);
+  // Re-reading gives the same answer (pages are immutable once sealed).
+  EXPECT_EQ(drain(spool, /*sorted=*/false), expected);
+}
+
+TEST(SpoolBuffer, BudgetKeepsResidentPagesInRam) {
+  SpoolConfig config;
+  config.page_bytes = 64;
+  config.budget_bytes = 1 << 20;  // everything fits: nothing spills
+  SpoolBuffer spool(config);
+  for (int i = 0; i < 100; ++i) {
+    spool.append("k" + std::to_string(i), "value");
+  }
+  spool.finish();
+  EXPECT_EQ(spool.pages_spilled(), 0u);
+  EXPECT_TRUE(spool.file_path().empty());
+  EXPECT_GT(spool.resident_bytes(), 0u);
+}
+
+TEST(SpoolBuffer, SortedMergeMatchesGlobalStableSort) {
+  SpoolConfig config;
+  config.page_bytes = 96;  // many single-page runs
+  config.sort_on_seal = true;
+  config.fan_in = 2;  // force multi-pass external merge
+  SpoolBuffer spool(config);
+  KvList expected;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    // Few distinct keys -> heavy duplication, the stable-order stress.
+    const std::string key = "k" + std::to_string(rng() % 7);
+    const std::string value = "v" + std::to_string(i);
+    spool.append(key, value);
+    expected.emplace_back(key, value);
+  }
+  spool.finish();
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  EXPECT_EQ(drain(spool, /*sorted=*/true), expected);
+  // The sorted walk is const and repeatable.
+  EXPECT_EQ(drain(spool, /*sorted=*/true), expected);
+}
+
+TEST(SpoolBuffer, SortedMergeIdenticalAcrossBudgets) {
+  // The determinism contract: the budget decides where pages live, never
+  // what they contain or how they merge.
+  KvList reference;
+  for (const std::size_t budget : {std::size_t{0}, std::size_t{256},
+                                   std::size_t{1} << 20}) {
+    SpoolConfig config;
+    config.page_bytes = 128;
+    config.budget_bytes = budget;
+    config.sort_on_seal = true;
+    SpoolBuffer spool(config);
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+      spool.append("key" + std::to_string(rng() % 11),
+                   "payload" + std::to_string(i));
+    }
+    spool.finish();
+    const KvList got = drain(spool, /*sorted=*/true);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference) << "budget=" << budget;
+    }
+  }
+}
+
+TEST(SpoolBuffer, RecordLargerThanPageIsTypedError) {
+  SpoolConfig config;
+  config.page_bytes = 32;
+  SpoolBuffer spool(config);
+  // Framed size is 8 + key + value; 32-byte pages cannot hold this.
+  EXPECT_THROW(spool.append("key", std::string(64, 'x')), InvalidArgument);
+  // A record that exactly fits is accepted.
+  spool.append("k", std::string(23, 'y'));
+  spool.finish();
+  EXPECT_EQ(spool.records(), 1u);
+}
+
+TEST(SpoolBuffer, MisuseIsTypedError) {
+  SpoolConfig config;
+  SpoolBuffer spool(config);
+  spool.append("k", "v");
+  EXPECT_THROW(spool.for_each([](std::string_view, std::string_view) {}),
+               InvalidArgument);  // before finish
+  spool.finish();
+  EXPECT_THROW(spool.append("k2", "v2"), InvalidArgument);  // after finish
+  EXPECT_THROW(
+      spool.for_each_sorted([](std::string_view, std::string_view) {}),
+      InvalidArgument);  // sorted walk without sort_on_seal
+}
+
+TEST(SpoolBuffer, ZeroBudgetAccountingMatchesShuffleConvention) {
+  SpoolConfig config;
+  SpoolBuffer spool(config);
+  spool.append("ab", "cde");  // 2 + 3 + 2 framing = 7
+  spool.finish();
+  EXPECT_EQ(spool.record_bytes(), 7u);
+  EXPECT_EQ(spool.pages_spilled(), 1u);
+}
+
+TEST(SpoolFaults, InjectedPageIoRetriesAndCounts) {
+  MetricsRegistry registry;
+  FaultInjector injector(
+      FaultPlan::parse("seed=3;spill.page_io:nth=2:max=4:kind=corrupt"),
+      &registry);
+  SpoolConfig config;
+  config.page_bytes = 64;
+  config.faults = &injector;
+  config.metrics = &registry;
+  SpoolBuffer spool(config);
+  KvList expected;
+  for (int i = 0; i < 120; ++i) {
+    spool.append("k" + std::to_string(i), "v");
+    expected.emplace_back("k" + std::to_string(i), "v");
+  }
+  spool.finish();
+  EXPECT_EQ(drain(spool, /*sorted=*/false), expected);
+  const auto fired = static_cast<std::int64_t>(injector.fired("spill.page_io"));
+  EXPECT_GT(fired, 0);
+  // Every injected fault failed exactly one attempt, and every failed
+  // attempt was retried exactly once.
+  EXPECT_EQ(registry.counter_value("retry.spill_page_io"), fired);
+  EXPECT_EQ(registry.counter_value("fault.injected.spill.page_io"), fired);
+  EXPECT_GT(registry.gauge_value("spill.bytes_written"), 0);
+  EXPECT_GT(registry.gauge_value("spill.bytes_read"), 0);
+  EXPECT_GT(registry.gauge_value("spill.pages"), 0);
+  EXPECT_GT(registry.timer_count("spill.page_io"), 0);
+}
+
+TEST(SpoolFaults, ExhaustedAttemptsAreIoError) {
+  MetricsRegistry registry;
+  // Every call fails and max_attempts is 2: writes can never succeed.
+  FaultInjector injector(FaultPlan::parse("seed=1;spill.page_io:nth=1"),
+                         &registry);
+  SpoolConfig config;
+  config.max_attempts = 2;
+  config.faults = &injector;
+  config.metrics = &registry;
+  SpoolBuffer spool(config);
+  spool.append("k", "v");
+  EXPECT_THROW(spool.finish(), IoError);
+  EXPECT_EQ(registry.counter_value("retry.spill_page_io"), 1);
+}
+
+TEST(SpoolFaults, OnDiskTamperingIsCaughtByCrc) {
+  SpoolConfig config;
+  SpoolBuffer spool(config);
+  const std::string value(500, 'z');
+  spool.append("key", value);
+  spool.finish();
+  ASSERT_EQ(spool.pages_spilled(), 1u);
+  const std::string path = spool.file_path();
+  ASSERT_FALSE(path.empty());
+  {
+    // Flip one payload byte behind the spool's back (offset 16 skips the
+    // page header).
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(20);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x7F);
+    file.seekp(20);
+    file.write(&byte, 1);
+  }
+  EXPECT_THROW(drain(spool, /*sorted=*/false), IoError);
+}
+
+}  // namespace
+}  // namespace dasc

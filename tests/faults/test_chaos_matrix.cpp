@@ -45,6 +45,10 @@ struct ChaosCase {
   /// grid draws on every retry from the recreated bucket Rng, which is
   /// exactly what the bit-identical invariant stresses.
   core::GramBackendPolicy backend = core::GramBackendPolicy::kAuto;
+  /// Out-of-core spill budget applied to BOTH the clean and the faulted
+  /// run, so spill cases test fault-parity of the spilled execution itself
+  /// (1 forces every dense Gram block and shuffle spool page to disk).
+  std::size_t spill_budget = 0;
 };
 
 const ChaosCase kCases[] = {
@@ -102,6 +106,29 @@ const ChaosCase kCases[] = {
     {"BatchGramNthBinningBackend", Consumer::kBatch, "alloc.gram_block",
      "retry.bucket_attempts", "seed=3;alloc.gram_block:nth=2:max=3",
      core::GramBackendPolicy::kRbfBinning},
+    // spill.page_io (out-of-core page reads/writes) with a 1-byte budget:
+    // every dense Gram block — and, on the MapReduce path, every shuffle
+    // spool page — goes through disk, and the injected I/O failures (error
+    // kind) and CRC-caught corruptions (corrupt kind) must leave the labels
+    // bit-identical to the same spilled run without faults.
+    {"BatchSpillPageIoErrorNth", Consumer::kBatch, "spill.page_io",
+     "retry.spill_page_io", "seed=12;spill.page_io:nth=2:max=4",
+     core::GramBackendPolicy::kAuto, 1},
+    {"BatchSpillPageIoCorruptNth", Consumer::kBatch, "spill.page_io",
+     "retry.spill_page_io", "seed=12;spill.page_io:nth=3:max=5:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 1},
+    {"StreamingSpillPageIoErrorNth", Consumer::kStreaming, "spill.page_io",
+     "retry.spill_page_io", "seed=13;spill.page_io:nth=2:max=3",
+     core::GramBackendPolicy::kAuto, 1},
+    {"MapReduceSpillPageIoCorruptNth", Consumer::kMapReduce, "spill.page_io",
+     "retry.spill_page_io", "seed=14;spill.page_io:nth=3:max=6:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 1},
+    // Spill + shuffle faults at once: page corruption while the shuffle
+    // fetch layer is also corrupting records.
+    {"MapReduceSpillStorm", Consumer::kMapReduce, "", "",
+     "seed=15;spill.page_io:nth=4:max=3;"
+     "shuffle.fetch:nth=2:max=2:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 1},
 };
 
 data::PointSet chaos_points() {
@@ -115,7 +142,8 @@ data::PointSet chaos_points() {
 }
 
 core::DascParams chaos_params(FaultInjector* faults, MetricsRegistry* metrics,
-                              core::GramBackendPolicy backend) {
+                              core::GramBackendPolicy backend,
+                              std::size_t spill_budget) {
   core::DascParams params;
   params.k = 4;
   params.m = 6;
@@ -124,14 +152,17 @@ core::DascParams chaos_params(FaultInjector* faults, MetricsRegistry* metrics,
   params.faults = faults;
   params.metrics = metrics;
   params.gram_backend = backend;
+  params.spill_budget_bytes = spill_budget;
   return params;
 }
 
 /// Run one consumer end-to-end and return its labels.
 std::vector<int> run_consumer(Consumer consumer, const data::PointSet& points,
                               FaultInjector* faults, MetricsRegistry* metrics,
-                              core::GramBackendPolicy backend) {
-  const core::DascParams params = chaos_params(faults, metrics, backend);
+                              core::GramBackendPolicy backend,
+                              std::size_t spill_budget) {
+  const core::DascParams params =
+      chaos_params(faults, metrics, backend, spill_budget);
   Rng rng(77);
   switch (consumer) {
     case Consumer::kBatch:
@@ -178,15 +209,16 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   const ChaosCase& test_case = GetParam();
   const data::PointSet points = chaos_points();
 
-  const std::vector<int> clean = run_consumer(test_case.consumer, points,
-                                              nullptr, nullptr,
-                                              test_case.backend);
+  const std::vector<int> clean =
+      run_consumer(test_case.consumer, points, nullptr, nullptr,
+                   test_case.backend, test_case.spill_budget);
   ASSERT_FALSE(clean.empty());
 
   MetricsRegistry registry;
   FaultInjector injector(FaultPlan::parse(test_case.plan), &registry);
-  const std::vector<int> faulted = run_consumer(
-      test_case.consumer, points, &injector, &registry, test_case.backend);
+  const std::vector<int> faulted =
+      run_consumer(test_case.consumer, points, &injector, &registry,
+                   test_case.backend, test_case.spill_budget);
 
   // The invariant: the run survived, so the labels are exactly the
   // fault-free labels.
@@ -214,9 +246,9 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   // yields the identical labels again.
   MetricsRegistry replay_registry;
   FaultInjector replay(FaultPlan::parse(test_case.plan), &replay_registry);
-  const std::vector<int> replayed = run_consumer(
-      test_case.consumer, points, &replay, &replay_registry,
-      test_case.backend);
+  const std::vector<int> replayed =
+      run_consumer(test_case.consumer, points, &replay, &replay_registry,
+                   test_case.backend, test_case.spill_budget);
   EXPECT_EQ(replayed, clean);
   EXPECT_EQ(replay.total_fired(), injector.total_fired());
 }

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
 
 namespace dasc::mapreduce {
 namespace {
@@ -71,6 +77,99 @@ TEST(ShuffleBytes, CountsKeyValueAndFraming) {
       {{"ab", "cde"}},  // 2 + 3 + 2 framing = 7
       {}};
   EXPECT_EQ(shuffle_bytes(partitions), 7u);
+}
+
+std::vector<std::vector<Record>> synthetic_outputs(std::size_t tasks,
+                                                   std::size_t per_task) {
+  dasc::Rng rng(41);
+  std::vector<std::vector<Record>> outputs(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t i = 0; i < per_task; ++i) {
+      // Few distinct keys so groups span tasks; values record provenance
+      // so stable ordering is observable.
+      outputs[t].push_back({"sig" + std::to_string(rng() % 9),
+                            "t" + std::to_string(t) + "v" +
+                                std::to_string(i)});
+    }
+  }
+  return outputs;
+}
+
+std::vector<KeyGroup> spilled_groups(const SpilledShuffle& shuffle,
+                                     std::size_t partition) {
+  std::vector<KeyGroup> groups;
+  shuffle.for_each_group(partition, [&](const KeyGroup& group) {
+    groups.push_back(group);
+  });
+  return groups;
+}
+
+void expect_same_groups(const std::vector<KeyGroup>& a,
+                        const std::vector<KeyGroup>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    EXPECT_EQ(a[g].key, b[g].key);
+    EXPECT_EQ(a[g].values, b[g].values);
+  }
+}
+
+TEST(SpilledShuffle, GroupsMatchRamPathAcrossBudgetsAndPageSizes) {
+  const auto outputs = synthetic_outputs(5, 40);
+  const std::size_t num_partitions = 3;
+  const auto ram_partitions = partition_outputs(outputs, num_partitions);
+
+  for (const std::size_t budget : {std::size_t{0}, std::size_t{512},
+                                   std::size_t{1} << 22}) {
+    for (const std::size_t page_bytes : {std::size_t{64},
+                                         std::size_t{4096}}) {
+      SpoolConfig spool;
+      spool.budget_bytes = budget;
+      spool.page_bytes = page_bytes;
+      const SpilledShuffle shuffle = fetch_and_partition_to_spool(
+          outputs, num_partitions, nullptr, 4, nullptr, spool);
+      EXPECT_EQ(shuffle.total_record_bytes(),
+                shuffle_bytes(ram_partitions));
+      for (std::size_t p = 0; p < num_partitions; ++p) {
+        expect_same_groups(spilled_groups(shuffle, p),
+                           sort_and_group(ram_partitions[p]));
+      }
+    }
+  }
+}
+
+TEST(SpilledShuffle, GroupsSurviveFetchAndPageFaults) {
+  const auto outputs = synthetic_outputs(4, 30);
+  const std::size_t num_partitions = 2;
+  const auto ram_partitions = partition_outputs(outputs, num_partitions);
+
+  MetricsRegistry registry;
+  FaultInjector injector(
+      FaultPlan::parse("seed=5;shuffle.fetch:nth=2:max=2:kind=corrupt;"
+                       "spill.page_io:nth=3:max=5:kind=corrupt"),
+      &registry);
+  SpoolConfig spool;
+  spool.page_bytes = 128;
+  const SpilledShuffle shuffle = fetch_and_partition_to_spool(
+      outputs, num_partitions, &injector, 6, &registry, spool);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    expect_same_groups(spilled_groups(shuffle, p),
+                       sort_and_group(ram_partitions[p]));
+  }
+  EXPECT_GT(injector.total_fired(), 0u);
+}
+
+TEST(SpilledShuffle, GroupsAreRepeatable) {
+  // Sealed shuffles are const-readable: a reduce re-attempt sees the same
+  // stream again.
+  const auto outputs = synthetic_outputs(3, 25);
+  SpoolConfig spool;
+  spool.page_bytes = 96;
+  const SpilledShuffle shuffle =
+      fetch_and_partition_to_spool(outputs, 2, nullptr, 4, nullptr, spool);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto first = spilled_groups(shuffle, p);
+    expect_same_groups(spilled_groups(shuffle, p), first);
+  }
 }
 
 }  // namespace
