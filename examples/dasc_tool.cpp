@@ -51,6 +51,21 @@
 //                              metrics-out as backend.selected_* counters.
 //   backend-threshold=<int>    bucket size at which auto switches from
 //                              dense to nystrom (default 4096)
+//   engine=<name>              clustering driver: dasc (default; the fused
+//                              in-process pipeline) or mapreduce (the
+//                              two-stage Section 3.3 job pipeline on the
+//                              virtual cluster)
+//   execution-mode=<mode>      mapreduce engine only: in_process (default)
+//                              runs tasks on a thread pool; multi_process
+//                              runs them in forked worker processes over
+//                              the ipc transport (DESIGN.md section 13).
+//                              Labels are byte-identical either way.
+//   workers=<int>              mapreduce engine only: worker processes in
+//                              multi_process mode (default 2)
+//   task-attempts=<int>        mapreduce engine only: attempts per map /
+//                              reduce task (default 1; raise alongside
+//                              fault-plan so killed workers and failed
+//                              tasks are retried to completion)
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -62,6 +77,7 @@
 #include "common/memory_tracker.hpp"
 #include "common/metrics.hpp"
 #include "core/dasc_clusterer.hpp"
+#include "core/dasc_mapreduce.hpp"
 #include "data/dataset_io.hpp"
 #include "data/synthetic.hpp"
 #include "serving/assigner.hpp"
@@ -76,6 +92,11 @@ struct Options {
   std::string model_out;
   std::string model_in;
   std::string fault_plan;
+  bool use_mapreduce = false;
+  dasc::mapreduce::ExecutionMode execution_mode =
+      dasc::mapreduce::ExecutionMode::kInProcess;
+  std::size_t workers = 0;        ///< 0 = JobConf default
+  std::size_t task_attempts = 0;  ///< 0 = JobConf default
   dasc::core::DascParams params;
 };
 
@@ -150,6 +171,25 @@ Options parse(int argc, char** argv) {
       options.params.gram_backend = *backend;
     } else if (key == "backend-threshold") {
       options.params.backend_threshold = std::stoul(value);
+    } else if (key == "engine") {
+      if (value == "mapreduce") {
+        options.use_mapreduce = true;
+      } else if (value != "dasc") {
+        std::fprintf(stderr, "engine=%s: expected dasc or mapreduce\n",
+                     value.c_str());
+        std::exit(2);
+      }
+    } else if (key == "execution-mode") {
+      try {
+        options.execution_mode = dasc::mapreduce::parse_execution_mode(value);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
+    } else if (key == "workers") {
+      options.workers = std::stoul(value);
+    } else if (key == "task-attempts") {
+      options.task_attempts = std::stoul(value);
     } else if (key == "simd") {
       const auto level = dasc::linalg::simd::parse_level(value);
       if (!level) {
@@ -232,6 +272,28 @@ int main(int argc, char** argv) {
       serving::save_model(fit.model, options.model_out);
       std::printf("wrote model artifact to %s\n", options.model_out.c_str());
       result = std::move(fit.offline);
+    } else if (options.use_mapreduce) {
+      core::MapReduceDascParams mr;
+      mr.dasc = params;
+      mr.conf.execution_mode = options.execution_mode;
+      if (options.workers > 0) mr.conf.num_workers = options.workers;
+      if (options.task_attempts > 0) {
+        mr.conf.max_task_attempts = options.task_attempts;
+      }
+      std::printf("mapreduce engine: %s",
+                  mapreduce::to_string(mr.conf.execution_mode));
+      if (mr.conf.execution_mode ==
+          mapreduce::ExecutionMode::kMultiProcess) {
+        std::printf(", %zu workers", mr.conf.num_workers);
+      }
+      std::printf("\n");
+      core::MapReduceDascResult mr_result =
+          core::dasc_cluster_mapreduce(points, mr, rng);
+      result.labels = std::move(mr_result.labels);
+      result.num_clusters = mr_result.num_clusters;
+      result.requested_k = mr_result.requested_k;
+      result.stats = mr_result.stats;
+      result.total_seconds = mr_result.real_seconds;
     } else {
       result = core::dasc_cluster(points, params, rng);
     }

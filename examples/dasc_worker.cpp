@@ -1,0 +1,63 @@
+// dasc_worker: exec-mode worker binary for the multi-process MapReduce
+// runtime (JobConf::worker_binary).
+//
+//   $ ./dasc_worker <socket-path>
+//
+// Connects to the supervisor's AF_UNIX listener, introduces itself
+// (kHello), receives its job setup, reconstructs the *registered* job the
+// supervisor named (arbitrary std::function factories cannot cross an
+// exec boundary — only jobs in the remote_runner registry can run here;
+// "wordcount" is built in), and serves task assignments until kShutdown
+// or supervisor death. See DESIGN.md section 13 for the protocol.
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "ipc/message.hpp"
+#include "ipc/transport.hpp"
+#include "mapreduce/remote_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: dasc_worker <socket-path>\n");
+    return 2;
+  }
+  // A supervisor that died mid-conversation must surface as a send error,
+  // not a fatal signal.
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    const std::unique_ptr<ipc::Transport> transport =
+        ipc::Transport::connect(argv[1]);
+
+    ipc::WireWriter hello;
+    hello.u64(static_cast<std::uint64_t>(::getpid()));
+    transport->send({ipc::MessageType::kHello, hello.take()});
+
+    const auto setup = transport->recv();
+    if (!setup.has_value() ||
+        setup->type != ipc::MessageType::kJobSetup) {
+      std::fprintf(stderr, "dasc_worker: expected kJobSetup\n");
+      return 1;
+    }
+    ipc::WireReader reader(setup->payload);
+    const std::uint64_t ordinal = reader.u64();
+    const std::uint64_t heartbeat_ms = reader.u64();
+    const bool use_combiner = reader.u32() != 0;
+    const std::string job_name(reader.bytes());
+
+    mapreduce::WorkerJob job =
+        mapreduce::make_registered_worker_job(job_name);
+    job.use_combiner = use_combiner;
+    mapreduce::serve_worker_loop(*transport, job,
+                                 static_cast<std::size_t>(ordinal),
+                                 static_cast<std::size_t>(heartbeat_ms));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dasc_worker: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under ThreadSanitizer.
+# Usage: scripts/check_tsan.sh [extra ctest args...]
+#
+# The multi-process runtime forks every worker before the job spawns any
+# threads (WorkerSupervisor's fork-safety-by-construction contract), which
+# is exactly the discipline TSan's fork checking enforces — this suite is
+# the gate that keeps it honest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Route compiles through ccache when available (CI caches CCACHE_DIR).
+if command -v ccache >/dev/null 2>&1; then
+  export CMAKE_CXX_COMPILER_LAUNCHER=ccache
+fi
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan "$@"

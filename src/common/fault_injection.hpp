@@ -109,6 +109,13 @@ class FaultInjector {
   /// Faults fired across all sites.
   std::uint64_t total_fired() const;
 
+  /// Forked-worker hygiene: a child process inheriting this injector calls
+  /// this (on its own copy-on-write copy) so fault evaluation keeps
+  /// working — the state is all atomics, which fork preserves — without
+  /// ever touching the parent-owned MetricsRegistry through the inherited
+  /// pointer. Fault accounting stays single-homed in the supervisor.
+  void detach_metrics() { metrics_ = nullptr; }
+
   const FaultPlan& plan() const { return plan_; }
 
  private:

@@ -1,6 +1,9 @@
 #include "common/spool.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <algorithm>
 #include <atomic>
@@ -77,6 +80,37 @@ std::size_t framed_size(std::string_view key, std::string_view value) {
   return 8 + key.size() + value.size();
 }
 
+/// Positional full write; returns false on any error (caller retries).
+bool pwrite_all(int fd, const char* data, std::size_t size,
+                std::uint64_t offset) {
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, data, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+/// Positional full read; returns false on error or EOF before `size`.
+bool pread_all(int fd, char* data, std::size_t size, std::uint64_t offset) {
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, data, size, static_cast<off_t>(offset));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -86,16 +120,19 @@ SpoolPager::SpoolPager(const SpoolConfig& config)
     : config_(config), path_(next_spool_path(config.dir)) {
   DASC_EXPECT(config_.max_attempts >= 1,
               "spool: max_attempts must be >= 1");
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0600);
+  if (fd_ < 0) {
     throw IoError("spool: cannot open spill file " + path_);
   }
+  // Unlink while the descriptor is open: the kernel reclaims the data when
+  // the last descriptor closes, however this process exits — including
+  // SIGKILL from the worker.kill fault site. Best effort: a filesystem
+  // that refuses leaves the file for the supervisor's sweep.
+  ::unlink(path_.c_str());
 }
 
 SpoolPager::~SpoolPager() {
-  out_.close();
-  std::error_code ec;
-  std::filesystem::remove(path_, ec);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 std::size_t SpoolPager::write_page(std::string_view payload) {
@@ -124,14 +161,9 @@ std::size_t SpoolPager::write_page(std::string_view payload) {
           throw IoError("spool: injected page write failure");
         }
       }
-      out_.seekp(static_cast<std::streamoff>(tail_offset_));
-      out_.write(header.data(),
-                 static_cast<std::streamsize>(header.size()));
-      out_.write(payload.data(),
-                 static_cast<std::streamsize>(payload.size()));
-      out_.flush();
-      if (!out_) {
-        out_.clear();
+      if (!pwrite_all(fd_, header.data(), header.size(), tail_offset_) ||
+          !pwrite_all(fd_, payload.data(), payload.size(),
+                      tail_offset_ + kPageHeaderBytes)) {
         throw IoError("spool: page write failed on " + path_);
       }
       break;
@@ -179,20 +211,14 @@ std::string SpoolPager::read_page(std::size_t index) const {
         throw IoError("spool: injected page read failure");
       }
 
-      // Each read opens its own stream so sealed spools are safe to
-      // consume from concurrent (speculative) reduce attempts.
-      std::ifstream in(path_, std::ios::binary);
-      if (!in) {
-        throw IoError("spool: cannot reopen spill file " + path_);
-      }
-      in.seekg(static_cast<std::streamoff>(meta.offset));
+      // Positional reads on the shared descriptor (the file has no path
+      // anymore), so sealed spools are safe to consume from concurrent
+      // (speculative) reduce attempts.
       std::string header(kPageHeaderBytes, '\0');
-      in.read(header.data(),
-              static_cast<std::streamsize>(kPageHeaderBytes));
       std::string payload(meta.payload_bytes, '\0');
-      in.read(payload.data(),
-              static_cast<std::streamsize>(meta.payload_bytes));
-      if (!in) {
+      if (!pread_all(fd_, header.data(), kPageHeaderBytes, meta.offset) ||
+          !pread_all(fd_, payload.data(), meta.payload_bytes,
+                     meta.offset + kPageHeaderBytes)) {
         throw IoError("spool: short page read on " + path_);
       }
       if (outcome == FaultInjector::Outcome::kCorruption &&
@@ -520,6 +546,10 @@ std::size_t SpoolBuffer::pages_spilled() const {
 
 std::string SpoolBuffer::file_path() const {
   return pager_ == nullptr ? std::string() : pager_->file_path();
+}
+
+int SpoolBuffer::spill_fd() const {
+  return pager_ == nullptr ? -1 : pager_->fd();
 }
 
 }  // namespace dasc

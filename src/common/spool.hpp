@@ -40,7 +40,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -76,10 +75,15 @@ struct SpoolConfig {
   MetricsRegistry* metrics = nullptr;  ///< optional; null = no metrics
 };
 
-/// Page store over one private temp file ("dasc-spool-<pid>-<n>.spl",
-/// removed on destruction). Writes are exclusive to the owning thread;
-/// read_page is const and thread-safe (each call opens its own stream),
-/// so sealed spools can be consumed by concurrent reduce attempts.
+/// Page store over one private temp file ("dasc-spool-<pid>-<n>.spl").
+/// The file is created O_EXCL and unlinked immediately after opening, so
+/// its data lives only as long as this pager's descriptor: a crashed or
+/// SIGKILLed process can never strand a spill file on disk (the
+/// supervisor's sweep in ipc/worker_supervisor.hpp is the backstop for
+/// filesystems where unlink-after-open is unavailable). Writes are
+/// exclusive to the owning thread; read_page is const and thread-safe
+/// (positional pread on the shared descriptor), so sealed spools can be
+/// consumed by concurrent reduce attempts.
 class SpoolPager {
  public:
   explicit SpoolPager(const SpoolConfig& config);
@@ -96,7 +100,11 @@ class SpoolPager {
   std::string read_page(std::size_t index) const;
 
   std::size_t pages() const { return meta_.size(); }
+  /// The (already unlinked) path the spill file was created under.
   const std::string& file_path() const { return path_; }
+  /// The open descriptor — the file's only remaining name. Exposed so
+  /// tests can tamper with on-disk bytes via pwrite.
+  int fd() const { return fd_; }
 
  private:
   struct PageMeta {
@@ -107,7 +115,7 @@ class SpoolPager {
 
   SpoolConfig config_;
   std::string path_;
-  std::ofstream out_;
+  int fd_ = -1;
   std::uint64_t tail_offset_ = 0;
   std::vector<PageMeta> meta_;
 };
@@ -147,8 +155,11 @@ class SpoolBuffer {
   std::size_t pages_spilled() const;
   std::size_t resident_bytes() const { return resident_bytes_; }
   bool finished() const { return finished_; }
-  /// Spill file path; empty while nothing has spilled yet.
+  /// Spill file path; empty while nothing has spilled yet. The file is
+  /// unlinked at creation, so the path never resolves on disk.
   std::string file_path() const;
+  /// Spill file descriptor; -1 while nothing has spilled yet.
+  int spill_fd() const;
 
  private:
   // One sealed page: payload either resident or behind a pager index.

@@ -1,0 +1,197 @@
+#include "ipc/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace dasc::ipc {
+
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Write the whole buffer, riding out EINTR and partial writes. MSG_NOSIGNAL
+/// turns a dead peer into EPIPE instead of a process-killing SIGPIPE.
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_text("ipc: send failed"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read exactly `size` bytes. Returns the bytes actually read before EOF,
+/// so the caller can distinguish clean EOF (0) from truncation (0 < n <
+/// size). Hard read errors throw.
+std::size_t recv_up_to(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_text("ipc: recv failed"));
+    }
+    if (n == 0) break;  // peer closed
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+void fill_unix_addr(sockaddr_un& addr, const std::string& path) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  DASC_EXPECT(path.size() < sizeof(addr.sun_path),
+              "ipc: AF_UNIX socket path too long");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+}  // namespace
+
+std::pair<int, int> make_socketpair() {
+  int fds[2];
+  // CLOEXEC: a later exec'd worker must not inherit these ends — a held
+  // copy of a sibling's socket would mask that sibling's death from the
+  // supervisor's EOF detection. Forked workers close unused ends by hand.
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    throw IoError(errno_text("ipc: socketpair failed"));
+  }
+  return {fds[0], fds[1]};
+}
+
+Transport::Transport(int fd, MetricsRegistry* metrics)
+    : fd_(fd), metrics_(metrics) {
+  DASC_EXPECT(fd >= 0, "ipc: Transport needs a valid fd");
+}
+
+Transport::~Transport() { close(); }
+
+void Transport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<Transport> Transport::connect(const std::string& path,
+                                              MetricsRegistry* metrics) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError(errno_text("ipc: socket failed"));
+  sockaddr_un addr;
+  fill_unix_addr(addr, path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    throw IoError(errno_text("ipc: connect to " + path + " failed"));
+  }
+  return std::make_unique<Transport>(fd, metrics);
+}
+
+void Transport::send(const Message& message) {
+  const std::string frame = encode_frame(message);
+  {
+    std::lock_guard lock(send_mutex_);
+    if (fd_ < 0) throw IoError("ipc: send on closed transport");
+    send_all(fd_, frame.data(), frame.size());
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("ipc.messages_sent").add();
+    metrics_->gauge("ipc.bytes_sent")
+        .add(static_cast<std::int64_t>(frame.size()));
+  }
+}
+
+std::optional<Message> Transport::recv() {
+  if (fd_ < 0) throw IoError("ipc: recv on closed transport");
+  char header[kFrameHeaderBytes];
+  std::size_t header_got = 0;
+  {
+    ScopedTimer wait(metrics_, "ipc.recv_wait");
+    header_got = recv_up_to(fd_, header, kFrameHeaderBytes);
+  }
+  if (header_got == 0) return std::nullopt;  // clean EOF between frames
+  if (header_got < kFrameHeaderBytes) {
+    throw IoError("ipc: truncated frame header (peer died mid-frame)");
+  }
+  const FrameHeader parsed =
+      parse_frame_header(std::string_view(header, kFrameHeaderBytes));
+
+  Message message;
+  message.type = parsed.type;
+  message.payload.resize(parsed.payload_bytes);
+  if (parsed.payload_bytes > 0) {
+    const std::size_t got =
+        recv_up_to(fd_, message.payload.data(), parsed.payload_bytes);
+    if (got < parsed.payload_bytes) {
+      throw IoError("ipc: truncated frame payload (peer died mid-frame)");
+    }
+  }
+  verify_frame_payload(parsed, message.payload);
+  if (metrics_ != nullptr) {
+    metrics_->counter("ipc.messages_received").add();
+    metrics_->gauge("ipc.bytes_received")
+        .add(static_cast<std::int64_t>(kFrameHeaderBytes +
+                                       message.payload.size()));
+  }
+  return message;
+}
+
+Listener::Listener(const std::string& path) : path_(path) {
+  ::unlink(path.c_str());  // a stale socket from a crashed run is not ours
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw IoError(errno_text("ipc: socket failed"));
+  sockaddr_un addr;
+  fill_unix_addr(addr, path_);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError(errno_text("ipc: bind to " + path_ + " failed"));
+  }
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError(errno_text("ipc: listen on " + path_ + " failed"));
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<Transport> Listener::accept(std::size_t timeout_ms,
+                                            MetricsRegistry* metrics) {
+  pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  while (true) {
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(errno_text("ipc: poll on listener failed"));
+    }
+    if (ready == 0) {
+      throw IoError("ipc: timed out waiting for a worker to connect to " +
+                    path_);
+    }
+    break;
+  }
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) throw IoError(errno_text("ipc: accept failed"));
+  return std::make_unique<Transport>(fd, metrics);
+}
+
+}  // namespace dasc::ipc

@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <cmath>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
@@ -14,192 +11,41 @@
 #include "common/metrics.hpp"
 #include "common/spool.hpp"
 #include "common/stopwatch.hpp"
-#include "common/thread_pool.hpp"
+#include "mapreduce/remote_runner.hpp"
 #include "mapreduce/shuffle.hpp"
+#include "mapreduce/task_exec.hpp"
 #include "mapreduce/virtual_cluster.hpp"
 
 namespace dasc::mapreduce {
 
 namespace {
 
-/// One input split: a range of records.
-struct Split {
-  std::vector<Record> records;
-};
+using detail::execute_map_task;
+using detail::execute_reduce_records;
+using detail::run_task_phase;
 
-/// Backoff before task attempt `attempt + 1`: base * 2^(attempt-1) ms,
-/// capped at max.
-double backoff_ms(const JobConf& conf, std::size_t attempt) {
-  const double ms = conf.retry_backoff_base_ms *
-                    std::pow(2.0, static_cast<double>(attempt - 1));
-  return std::min(ms, conf.retry_backoff_max_ms);
-}
-
-std::int64_t steady_now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// A task attempt: does the work, returns the closure that applies its
-/// side effects (output slot + counters). Only the attempt that wins a
-/// task's commit race runs its closure, so retried and speculative
-/// attempts are idempotent — a discarded attempt leaves no trace, like
-/// Hadoop discarding a failed attempt's output.
-using TaskBody = std::function<std::function<void()>(std::size_t)>;
-
-/// One phase of task attempts with Hadoop-style fault tolerance:
-///   - fault injection at `fault_site` before each attempt (JobSpec.faults),
-///   - per-task retry up to conf.max_task_attempts, sleeping a capped
-///     exponential backoff between attempts (`retry.backoff` timer; the
-///     phase `retry_counter` counts retried attempts),
-///   - commit-once idempotence via the TaskBody contract above,
-///   - optional speculative re-execution: once at least half the tasks
-///     have committed, any task slower than speculative_slowdown x the
-///     median committed duration (and speculative_min_ms) gets one backup
-///     attempt; first commit wins (`retry.speculative_launches` gauge).
-/// The committing attempt's duration lands in task_seconds (a backup that
-/// wins shortens the task, which is the point of speculation). The first
-/// permanent task failure is rethrown after every task settles.
-void run_task_phase(const JobSpec& spec, std::size_t num_tasks,
-                    std::string_view fault_site, const char* retry_counter,
-                    std::atomic<std::uint64_t>& failed_attempts,
-                    std::atomic<std::uint64_t>& speculative_launches,
-                    std::vector<double>& task_seconds, const TaskBody& body) {
-  const JobConf& conf = spec.conf;
-  if (num_tasks == 0) return;
-
-  const auto committed = std::make_unique<std::atomic<bool>[]>(num_tasks);
-  const auto speculated = std::make_unique<std::atomic<bool>[]>(num_tasks);
-  const auto start_ns =
-      std::make_unique<std::atomic<std::int64_t>[]>(num_tasks);
-  for (std::size_t t = 0; t < num_tasks; ++t) {
-    committed[t].store(false, std::memory_order_relaxed);
-    speculated[t].store(false, std::memory_order_relaxed);
-    start_ns[t].store(0, std::memory_order_relaxed);
-  }
-
-  std::atomic<std::size_t> settled{0};
-  std::mutex commit_mutex;
-  std::vector<double> committed_durations;
-  std::exception_ptr first_error;
-
-  // Run one attempt; returns true when this attempt committed the task.
-  auto attempt_once = [&](std::size_t task, const Stopwatch& clock) {
-    if (spec.faults != nullptr) spec.faults->maybe_throw(fault_site);
-    const std::function<void()> commit = body(task);
-    if (committed[task].exchange(true, std::memory_order_acq_rel)) {
-      return false;  // another attempt already won this task
-    }
-    commit();
-    const double seconds = clock.seconds();
-    task_seconds[task] = seconds;
-    std::lock_guard lock(commit_mutex);
-    committed_durations.push_back(seconds);
-    return true;
-  };
-
-  auto run_primary = [&](std::size_t task) {
-    Stopwatch clock;
-    start_ns[task].store(steady_now_ns(), std::memory_order_release);
-    for (std::size_t attempt = 1;; ++attempt) {
-      try {
-        attempt_once(task, clock);
-        break;
-      } catch (...) {
-        if (committed[task].load(std::memory_order_acquire)) break;
-        if (attempt >= conf.max_task_attempts) {
-          std::lock_guard lock(commit_mutex);
-          if (!first_error) first_error = std::current_exception();
-          break;
-        }
-        failed_attempts.fetch_add(1, std::memory_order_relaxed);
-        if (spec.metrics != nullptr) {
-          spec.metrics->counter(retry_counter).add();
-        }
-        const double sleep_ms = backoff_ms(conf, attempt);
-        if (spec.metrics != nullptr) {
-          spec.metrics->timer("retry.backoff")
-              .record_seconds(sleep_ms / 1000.0);
-        }
-        if (sleep_ms > 0.0) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(sleep_ms));
-        }
-        DASC_LOG(kWarn) << conf.job_name << ": task attempt " << attempt
-                        << " failed; retrying";
-      }
-    }
-    settled.fetch_add(1, std::memory_order_release);
-  };
-
-  // Backup attempts are best-effort: a failure here is ignored because the
-  // primary is still retrying on its own schedule.
-  auto run_backup = [&](std::size_t task) {
-    Stopwatch clock;
-    try {
-      attempt_once(task, clock);
-    } catch (...) {
-    }
-  };
-
-  std::size_t threads =
-      conf.physical_threads == 0 ? default_threads() : conf.physical_threads;
-  threads = std::max<std::size_t>(1, std::min(threads, num_tasks));
-  const bool speculate = conf.enable_speculation && num_tasks > 1;
-
-  if (threads <= 1 && !speculate) {
-    for (std::size_t t = 0; t < num_tasks; ++t) run_primary(t);
-  } else {
-    ThreadPool pool(threads);
-    for (std::size_t t = 0; t < num_tasks; ++t) {
-      pool.submit([&run_primary, t] { run_primary(t); });
-    }
-    while (speculate &&
-           settled.load(std::memory_order_acquire) < num_tasks) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      std::vector<double> durations;
-      {
-        std::lock_guard lock(commit_mutex);
-        if (committed_durations.size() * 2 < num_tasks) continue;
-        durations = committed_durations;
-      }
-      auto mid = durations.begin() +
-                 static_cast<std::ptrdiff_t>(durations.size() / 2);
-      std::nth_element(durations.begin(), mid, durations.end());
-      const double threshold = std::max(conf.speculative_slowdown * *mid,
-                                        conf.speculative_min_ms / 1000.0);
-      const std::int64_t now = steady_now_ns();
-      for (std::size_t t = 0; t < num_tasks; ++t) {
-        const std::int64_t started =
-            start_ns[t].load(std::memory_order_acquire);
-        if (started == 0 || committed[t].load(std::memory_order_acquire)) {
-          continue;
-        }
-        if (static_cast<double>(now - started) * 1e-9 <= threshold) continue;
-        if (speculated[t].exchange(true, std::memory_order_acq_rel)) continue;
-        speculative_launches.fetch_add(1, std::memory_order_relaxed);
-        DASC_LOG(kInfo) << conf.job_name
-                        << ": launching speculative attempt for task " << t;
-        pool.submit([&run_backup, t] { run_backup(t); });
-      }
-    }
-    pool.wait_idle();
-  }
-
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
+/// In-process execution: tasks run on a host thread pool; splits are one
+/// vector of records per map task.
+JobResult execute(const JobSpec& spec,
+                  std::vector<std::vector<Record>> splits) {
   spec.conf.validate();
   DASC_EXPECT(spec.mapper_factory != nullptr, "run_job: missing mapper");
   DASC_EXPECT(spec.reducer_factory != nullptr, "run_job: missing reducer");
+
+  if (spec.conf.execution_mode == ExecutionMode::kMultiProcess) {
+    return run_job_multiproc(spec, std::move(splits));
+  }
 
   Stopwatch total_clock;
   JobResult result;
   result.num_map_tasks = splits.size();
   result.num_reduce_tasks = spec.conf.num_reducers;
   result.map_task_seconds.assign(splits.size(), 0.0);
+  result.map_task_workers = assign_tasks(
+      splits.size(), spec.conf.num_workers, spec.conf.placement_seed);
+  result.reduce_task_workers =
+      assign_tasks(spec.conf.num_reducers, spec.conf.num_workers,
+                   spec.conf.placement_seed + 1);
 
   DASC_LOG(kInfo) << spec.conf.job_name << ": " << splits.size()
                   << " map tasks, " << spec.conf.num_reducers
@@ -228,36 +74,17 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
       spec, splits.size(), "map.task", "retry.map_attempts", failed_attempts,
       speculative_launches, result.map_task_seconds,
       [&](std::size_t task) -> std::function<void()> {
-        const std::unique_ptr<Mapper> mapper = spec.mapper_factory();
-        VectorEmitter emitter;
-        for (const auto& record : splits[task].records) {
-          mapper->map(record.key, record.value, emitter);
-        }
-        const std::uint64_t emitted = emitter.records().size();
-
-        std::vector<Record> output;
-        std::uint64_t combined_count = 0;
-        if (use_combiner) {
-          // Combine within the task: sort/group local output and fold it
-          // before it hits the shuffle.
-          const std::unique_ptr<Reducer> combiner = spec.combiner_factory();
-          VectorEmitter combined;
-          for (auto& group : sort_and_group(std::move(emitter.records()))) {
-            combiner->reduce(group.key, group.values, combined);
-          }
-          combined_count = combined.records().size();
-          output = std::move(combined.records());
-        } else {
-          output = std::move(emitter.records());
-        }
+        detail::MapTaskResult mapped = execute_map_task(
+            spec.mapper_factory, spec.combiner_factory, use_combiner,
+            splits[task]);
 
         // The commit closure runs only for the attempt that wins the task,
         // so a retried or speculative attempt never double-counts (Hadoop
         // discards failed attempts' output).
-        return [&, task, emitted, combined_count,
-                output = std::move(output)]() mutable {
-          map_in.fetch_add(splits[task].records.size(),
-                           std::memory_order_relaxed);
+        return [&, task, emitted = mapped.emitted,
+                combined_count = mapped.combined,
+                output = std::move(mapped.output)]() mutable {
+          map_in.fetch_add(splits[task].size(), std::memory_order_relaxed);
           map_out.fetch_add(emitted, std::memory_order_relaxed);
           if (use_combiner) {
             combine_in.fetch_add(emitted, std::memory_order_relaxed);
@@ -315,31 +142,27 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
       spec, num_reduce_tasks, "reduce.task", "retry.reduce_attempts",
       failed_attempts, speculative_launches, result.reduce_task_seconds,
       [&](std::size_t task) -> std::function<void()> {
-        const std::unique_ptr<Reducer> reducer = spec.reducer_factory();
-        VectorEmitter emitter;
-        std::uint64_t in_records = 0;
-        std::size_t num_groups = 0;
+        detail::ReduceTaskResult reduced;
         if (spill_shuffle) {
           // Sealed spools are const-readable, so re-attempts and
           // speculative backups stream the same groups again.
+          const std::unique_ptr<Reducer> reducer = spec.reducer_factory();
+          VectorEmitter emitter;
           spilled->for_each_group(task, [&](const KeyGroup& group) {
-            ++num_groups;
-            in_records += group.values.size();
+            ++reduced.num_groups;
+            reduced.in_records += group.values.size();
             reducer->reduce(group.key, group.values, emitter);
           });
+          reduced.output = std::move(emitter.records());
         } else {
-          const std::vector<KeyGroup> groups =
-              reattempts_possible
-                  ? sort_and_group(partitions[task])
-                  : sort_and_group(std::move(partitions[task]));
-          num_groups = groups.size();
-          for (const auto& group : groups) {
-            in_records += group.values.size();
-            reducer->reduce(group.key, group.values, emitter);
-          }
+          reduced = execute_reduce_records(
+              spec.reducer_factory,
+              reattempts_possible ? partitions[task]
+                                  : std::move(partitions[task]));
         }
-        return [&, task, num_groups, in_records,
-                out = std::move(emitter.records())]() mutable {
+        return [&, task, num_groups = reduced.num_groups,
+                in_records = reduced.in_records,
+                out = std::move(reduced.output)]() mutable {
           reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
           reduce_in.fetch_add(in_records, std::memory_order_relaxed);
           reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
@@ -358,56 +181,9 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
                          std::make_move_iterator(part.end()));
   }
 
-  // ---- Simulated cluster time ----
-  result.map_makespan_seconds =
-      makespan_lpt(result.map_task_seconds, spec.conf.num_nodes,
-                   spec.conf.map_slots_per_node);
-  result.reduce_makespan_seconds =
-      makespan_lpt(result.reduce_task_seconds, spec.conf.num_nodes,
-                   spec.conf.reduce_slots_per_node);
-  result.simulated_seconds =
-      result.map_makespan_seconds + result.reduce_makespan_seconds;
+  // ---- Simulated cluster time, metrics, completion log ----
   result.real_seconds = total_clock.seconds();
-
-  if (spec.metrics != nullptr) {
-    MetricsRegistry& registry = *spec.metrics;
-    // One timer sample per task, so count tracks task counts and total the
-    // summed per-task work (not the parallel wall time).
-    MetricsRegistry::Timer& map_timer = registry.timer("mapreduce.map");
-    for (double seconds : result.map_task_seconds) {
-      map_timer.record_seconds(seconds);
-    }
-    MetricsRegistry::Timer& reduce_timer = registry.timer("mapreduce.reduce");
-    for (double seconds : result.reduce_task_seconds) {
-      reduce_timer.record_seconds(seconds);
-    }
-    registry.counter("mapreduce.jobs").add(1);
-    const Counters& counters = result.counters;
-    registry.counter("mapreduce.map_input_records")
-        .add(static_cast<std::int64_t>(counters.map_input_records));
-    registry.counter("mapreduce.map_output_records")
-        .add(static_cast<std::int64_t>(counters.map_output_records));
-    registry.counter("mapreduce.reduce_input_groups")
-        .add(static_cast<std::int64_t>(counters.reduce_input_groups));
-    registry.counter("mapreduce.reduce_input_records")
-        .add(static_cast<std::int64_t>(counters.reduce_input_records));
-    registry.counter("mapreduce.reduce_output_records")
-        .add(static_cast<std::int64_t>(counters.reduce_output_records));
-    registry.counter("mapreduce.shuffle_bytes")
-        .add(static_cast<std::int64_t>(counters.shuffle_bytes));
-    registry.counter("mapreduce.failed_task_attempts")
-        .add(static_cast<std::int64_t>(counters.failed_task_attempts));
-    // Backup launches depend on scheduling (which tasks look slow when),
-    // so this is a gauge, not a regression-gated counter.
-    registry.gauge("retry.speculative_launches")
-        .set_max(static_cast<std::int64_t>(speculative_launches.load()));
-  }
-
-  DASC_LOG(kInfo) << spec.conf.job_name << ": done; simulated "
-                  << result.simulated_seconds << "s (map "
-                  << result.map_makespan_seconds << "s + reduce "
-                  << result.reduce_makespan_seconds << "s), real "
-                  << result.real_seconds << "s";
+  detail::finalize_job_result(spec, speculative_launches.load(), result);
   return result;
 }
 
@@ -415,15 +191,13 @@ JobResult execute(const JobSpec& spec, std::vector<Split> splits) {
 
 JobResult run_job(const JobSpec& spec, const std::vector<Record>& input) {
   spec.conf.validate();
-  std::vector<Split> splits;
+  std::vector<std::vector<Record>> splits;
   for (std::size_t start = 0; start < input.size();
        start += spec.conf.split_records) {
     const std::size_t end =
         std::min(input.size(), start + spec.conf.split_records);
-    Split split;
-    split.records.assign(input.begin() + static_cast<std::ptrdiff_t>(start),
-                         input.begin() + static_cast<std::ptrdiff_t>(end));
-    splits.push_back(std::move(split));
+    splits.emplace_back(input.begin() + static_cast<std::ptrdiff_t>(start),
+                        input.begin() + static_cast<std::ptrdiff_t>(end));
   }
   if (splits.empty()) splits.emplace_back();  // empty job still runs
   return execute(spec, std::move(splits));
@@ -436,16 +210,15 @@ JobResult run_job_dfs(const JobSpec& spec, Dfs& dfs,
   const std::vector<BlockInfo> blocks = dfs.block_locations(input_path);
 
   // One split per DFS block: the data-local layout a Hadoop job would use.
-  std::vector<Split> splits;
+  std::vector<std::vector<Record>> splits;
   splits.reserve(blocks.size());
   std::size_t line_offset = 0;
   for (std::size_t b = 0; b < blocks.size(); ++b) {
-    Split split;
+    std::vector<Record> split;
     const std::vector<std::string> lines = dfs.read_block(input_path, b);
-    split.records.reserve(lines.size());
+    split.reserve(lines.size());
     for (std::size_t i = 0; i < lines.size(); ++i) {
-      split.records.push_back(
-          {std::to_string(line_offset + i), lines[i]});
+      split.push_back({std::to_string(line_offset + i), lines[i]});
     }
     line_offset += lines.size();
     splits.push_back(std::move(split));

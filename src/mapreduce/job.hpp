@@ -55,6 +55,13 @@ struct JobResult {
   std::vector<double> map_task_seconds;
   std::vector<double> reduce_task_seconds;
 
+  /// Task -> worker placement plan (assign_tasks over conf.placement_seed).
+  /// In kMultiProcess mode this is the real initial dispatch plan (a task
+  /// may migrate if its worker dies); kInProcess records the same seeded
+  /// plan so placement determinism holds across execution modes.
+  std::vector<std::size_t> map_task_workers;
+  std::vector<std::size_t> reduce_task_workers;
+
   /// Simulated phase makespans on the virtual cluster.
   double map_makespan_seconds = 0.0;
   double reduce_makespan_seconds = 0.0;

@@ -8,6 +8,20 @@
 
 namespace dasc::mapreduce {
 
+/// How task attempts execute physically (the virtual-cluster *time*
+/// simulation is identical either way):
+///   kInProcess    — tasks run on a host thread pool in this process (the
+///                   historical mode).
+///   kMultiProcess — tasks run in forked/exec'd worker processes over the
+///                   ipc transport; shuffle fetches are real serialized
+///                   CRC-verified transfers (DESIGN.md section 13). Job
+///                   output is byte-identical to kInProcess.
+enum class ExecutionMode { kInProcess, kMultiProcess };
+
+/// Parses "in_process" / "multi_process"; throws InvalidArgument otherwise.
+ExecutionMode parse_execution_mode(const std::string& text);
+const char* to_string(ExecutionMode mode);
+
 /// Hadoop daemon heap sizes from Table 2. They do not influence the
 /// simulation result but are carried (and printed by the elasticity bench)
 /// so runs document the configuration they model.
@@ -62,7 +76,26 @@ struct JobConf {
   std::size_t spill_budget_bytes = 0;
   /// Directory for spill files ("" = the system temp directory).
   std::string spill_dir;
-  /// Human-readable job name for logging.
+  /// Physical execution substrate for task attempts.
+  ExecutionMode execution_mode = ExecutionMode::kInProcess;
+  /// Worker processes running tasks in kMultiProcess mode.
+  std::size_t num_workers = 2;
+  /// Pre-forked spare workers that replace killed ones (worker.kill
+  /// recovery); spares idle unless a primary dies.
+  std::size_t worker_spares = 1;
+  /// Seed of the deterministic task -> worker placement permutation (see
+  /// assign_tasks in virtual_cluster.hpp). Same seed => same assignment,
+  /// in both execution modes.
+  std::uint64_t placement_seed = 0;
+  /// Worker liveness heartbeat period while a task runs (0 = off).
+  std::size_t heartbeat_interval_ms = 25;
+  /// kMultiProcess launch: "" forks workers that inherit this job's
+  /// mapper/reducer factories; a path execs that binary per worker, which
+  /// must serve a *registered* job looked up by job_name (see
+  /// remote_runner.hpp) — arbitrary std::function factories cannot cross
+  /// an exec boundary.
+  std::string worker_binary;
+  /// Human-readable job name for logging (and the exec-mode registry key).
   std::string job_name = "job";
 
   DaemonHeaps heaps;

@@ -1,0 +1,657 @@
+#include "mapreduce/remote_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/stopwatch.hpp"
+#include "ipc/transport.hpp"
+#include "ipc/worker_supervisor.hpp"
+#include "mapreduce/shuffle.hpp"
+#include "mapreduce/task_exec.hpp"
+#include "mapreduce/virtual_cluster.hpp"
+
+namespace dasc::mapreduce {
+
+namespace {
+
+using ipc::Message;
+using ipc::MessageType;
+using ipc::WireReader;
+using ipc::WireWriter;
+
+/// CRC over records in the "key\tvalue\n" convention — the same transfer
+/// checksum fetch_one_verified uses in shuffle.cpp, so the multi-process
+/// gather's verification (and its fault accounting) mirrors in-process.
+std::uint32_t records_crc(const std::vector<Record>& records) {
+  Crc32 crc;
+  for (const auto& record : records) {
+    crc.update(record.key).update("\t").update(record.value).update("\n");
+  }
+  return crc.value();
+}
+
+void append_records(WireWriter& writer, const std::vector<Record>& records) {
+  for (const auto& record : records) {
+    writer.record(record.key, record.value);
+  }
+}
+
+std::vector<Record> read_records(WireReader& reader) {
+  std::vector<Record> records;
+  while (!reader.done()) {
+    const auto [key, value] = reader.record();
+    records.push_back({std::string(key), std::string(value)});
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// The canonical wordcount job, pre-registered so exec-mode workers and
+/// supervisors agree on its semantics by sharing this single definition.
+class WordCountMapper final : public Mapper {
+ public:
+  void map(const std::string& /*key*/, const std::string& value,
+           Emitter& out) override {
+    std::istringstream stream(value);
+    std::string word;
+    while (stream >> word) out.emit(word, "1");
+  }
+};
+
+class WordCountSumReducer final : public Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override {
+    long total = 0;
+    for (const auto& value : values) total += std::stol(value);
+    out.emit(key, std::to_string(total));
+  }
+};
+
+WorkerJob builtin_wordcount_job() {
+  WorkerJob job;
+  job.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  job.reducer_factory = [] { return std::make_unique<WordCountSumReducer>(); };
+  job.combiner_factory = [] {
+    return std::make_unique<WordCountSumReducer>();
+  };
+  return job;
+}
+
+std::map<std::string, std::function<WorkerJob()>>& job_registry() {
+  static std::map<std::string, std::function<WorkerJob()>> registry = {
+      {"wordcount", builtin_wordcount_job},
+  };
+  return registry;
+}
+
+std::mutex& job_registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+void register_worker_job(const std::string& name,
+                         std::function<WorkerJob()> factory) {
+  DASC_EXPECT(factory != nullptr, "register_worker_job: null factory");
+  std::lock_guard lock(job_registry_mutex());
+  job_registry()[name] = std::move(factory);
+}
+
+WorkerJob make_registered_worker_job(const std::string& name) {
+  std::function<WorkerJob()> factory;
+  {
+    std::lock_guard lock(job_registry_mutex());
+    const auto it = job_registry().find(name);
+    if (it == job_registry().end()) {
+      throw InvalidArgument("worker job not registered: '" + name + "'");
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
+                       std::size_t ordinal, std::size_t heartbeat_ms) {
+  DASC_EXPECT(job.mapper_factory != nullptr, "worker: missing mapper");
+  DASC_EXPECT(job.reducer_factory != nullptr, "worker: missing reducer");
+
+  // Map outputs stay here until the supervisor fetches them (kFetch).
+  std::map<std::uint64_t, std::vector<Record>> map_outputs;
+
+  // Heartbeats flow only while a task is executing: that is when the
+  // supervisor is blocked in the exchange's recv loop draining them, so
+  // unread frames stay bounded even between phases.
+  std::atomic<bool> busy{false};
+  std::atomic<bool> stop{false};
+  std::thread heartbeat;
+  if (heartbeat_ms > 0) {
+    heartbeat = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(heartbeat_ms));
+        if (!busy.load(std::memory_order_acquire)) continue;
+        try {
+          transport.send({MessageType::kHeartbeat, {}});
+        } catch (const std::exception&) {
+          return;  // supervisor gone; the serve loop will see EOF too
+        }
+      }
+    });
+  }
+
+  const auto reply_error = [&](std::uint64_t task, const char* where,
+                               const std::exception& error) {
+    WireWriter writer;
+    writer.u64(task);
+    writer.bytes(std::string(where) + ": " + error.what());
+    transport.send({MessageType::kTaskError, writer.take()});
+  };
+
+  bool serving = true;
+  while (serving) {
+    std::optional<Message> message = transport.recv();
+    if (!message.has_value()) break;  // supervisor closed or died
+    switch (message->type) {
+      case MessageType::kMapAssign: {
+        WireReader reader(message->payload);
+        const std::uint64_t task = reader.u64();
+        busy.store(true, std::memory_order_release);
+        try {
+          const std::vector<Record> input = read_records(reader);
+          detail::MapTaskResult mapped = detail::execute_map_task(
+              job.mapper_factory, job.combiner_factory,
+              job.use_combiner && job.combiner_factory != nullptr, input);
+          WireWriter writer;
+          writer.u64(task);
+          writer.u64(mapped.emitted);
+          writer.u64(mapped.combined);
+          writer.u64(mapped.output.size());
+          map_outputs[task] = std::move(mapped.output);
+          transport.send({MessageType::kMapDone, writer.take()});
+        } catch (const std::exception& error) {
+          reply_error(task, "map", error);
+        }
+        busy.store(false, std::memory_order_release);
+        break;
+      }
+      case MessageType::kFetch: {
+        WireReader reader(message->payload);
+        const std::uint64_t task = reader.u64();
+        const auto it = map_outputs.find(task);
+        if (it == map_outputs.end()) {
+          reply_error(task, "fetch",
+                      IoError("map output not resident on this worker"));
+          break;
+        }
+        WireWriter writer;
+        writer.u64(task);
+        writer.u32(records_crc(it->second));
+        writer.u64(it->second.size());
+        append_records(writer, it->second);
+        transport.send({MessageType::kFetchData, writer.take()});
+        break;
+      }
+      case MessageType::kReduceAssign: {
+        WireReader reader(message->payload);
+        const std::uint64_t task = reader.u64();
+        busy.store(true, std::memory_order_release);
+        try {
+          detail::ReduceTaskResult reduced = detail::execute_reduce_records(
+              job.reducer_factory, read_records(reader));
+          WireWriter writer;
+          writer.u64(task);
+          writer.u64(reduced.num_groups);
+          writer.u64(reduced.in_records);
+          writer.u64(reduced.output.size());
+          append_records(writer, reduced.output);
+          transport.send({MessageType::kReduceDone, writer.take()});
+        } catch (const std::exception& error) {
+          reply_error(task, "reduce", error);
+        }
+        busy.store(false, std::memory_order_release);
+        break;
+      }
+      case MessageType::kShutdown:
+        serving = false;
+        break;
+      default:
+        DASC_LOG(kWarn) << "worker " << ordinal
+                        << ": ignoring unexpected message type "
+                        << static_cast<std::uint32_t>(message->type);
+        break;
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  if (heartbeat.joinable()) heartbeat.join();
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kNoOwner = static_cast<std::size_t>(-1);
+
+/// Supervisor-side conversation driver over one worker's transport.
+class WorkerExchange {
+ public:
+  WorkerExchange(ipc::WorkerSupervisor& supervisor, MetricsRegistry* metrics)
+      : supervisor_(supervisor), metrics_(metrics) {}
+
+  /// One request/response conversation with `slot`, serialized by the
+  /// slot's exchange mutex. With `kill_after_send` the worker is
+  /// SIGKILLed right after the request ships — the worker.kill fault
+  /// lands genuinely mid-task. Heartbeats are drained (worker.heartbeats
+  /// gauge); kTaskError is returned like any reply (the worker is alive).
+  /// Transport failure or EOF marks the slot dead and throws IoError.
+  Message call(std::size_t slot, const Message& request,
+               bool kill_after_send = false) {
+    std::lock_guard lock(supervisor_.exchange_mutex(slot));
+    try {
+      supervisor_.transport(slot).send(request);
+    } catch (const std::exception&) {
+      supervisor_.mark_dead(slot);
+      throw IoError("ipc: worker " + std::to_string(slot) +
+                    " unreachable (send failed)");
+    }
+    if (kill_after_send) supervisor_.kill_worker(slot);
+    try {
+      while (true) {
+        std::optional<Message> reply = supervisor_.transport(slot).recv();
+        if (!reply.has_value()) {
+          throw IoError("ipc: worker " + std::to_string(slot) +
+                        " died mid-task (connection closed)");
+        }
+        if (reply->type == MessageType::kHeartbeat) {
+          if (metrics_ != nullptr) metrics_->gauge("worker.heartbeats").add(1);
+          continue;
+        }
+        return *std::move(reply);
+      }
+    } catch (const IoError&) {
+      supervisor_.mark_dead(slot);
+      throw;
+    }
+  }
+
+  /// First live slot scanning from placement[task] + shift (wrapping over
+  /// every provisioned slot, spares included). Deterministic: the scan
+  /// order depends only on the placement plan and which workers are dead.
+  std::size_t pick_worker(std::size_t task,
+                          const std::vector<std::size_t>& placement,
+                          std::size_t shift) const {
+    const std::size_t total = supervisor_.provisioned();
+    for (std::size_t i = 0; i < total; ++i) {
+      const std::size_t slot = (placement[task] + shift + i) % total;
+      if (supervisor_.alive(slot)) return slot;
+    }
+    throw IoError("ipc: no live workers remain");
+  }
+
+ private:
+  ipc::WorkerSupervisor& supervisor_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+/// Throws the worker-reported task failure carried by a kTaskError reply.
+[[noreturn]] void rethrow_task_error(const Message& reply) {
+  WireReader reader(reply.payload);
+  reader.u64();  // task
+  throw IoError("worker task failed: " + std::string(reader.bytes()));
+}
+
+}  // namespace
+
+JobResult run_job_multiproc(const JobSpec& spec,
+                            std::vector<std::vector<Record>> splits) {
+  // Speculation needs two live attempts of one task at once; with real
+  // processes the retry path plus pre-forked spares covers stragglers, so
+  // backups are disabled rather than half-supported.
+  JobSpec mp = spec;
+  if (mp.conf.enable_speculation) {
+    DASC_LOG(kInfo) << mp.conf.job_name
+                    << ": speculative execution is disabled in "
+                       "multi_process mode";
+    mp.conf.enable_speculation = false;
+  }
+  const JobConf& conf = mp.conf;
+
+  Stopwatch total_clock;
+  JobResult result;
+  result.num_map_tasks = splits.size();
+  result.num_reduce_tasks = conf.num_reducers;
+  result.map_task_seconds.assign(splits.size(), 0.0);
+  result.map_task_workers =
+      assign_tasks(splits.size(), conf.num_workers, conf.placement_seed);
+  result.reduce_task_workers = assign_tasks(
+      conf.num_reducers, conf.num_workers, conf.placement_seed + 1);
+
+  const bool use_combiner =
+      conf.enable_combiner && mp.combiner_factory != nullptr;
+
+  // ---- Launch the workers (before any job threads exist: fork safety) ----
+  ipc::WorkerLaunch launch;
+  launch.num_workers = conf.num_workers;
+  launch.num_spares = conf.worker_spares;
+  launch.spill_dir = conf.spill_dir;
+  launch.socket_dir = conf.spill_dir;
+  launch.metrics = mp.metrics;
+  const bool exec_mode = !conf.worker_binary.empty();
+  if (exec_mode) {
+    launch.exec_argv = {conf.worker_binary};
+  } else {
+    WorkerJob job;
+    job.mapper_factory = mp.mapper_factory;
+    job.reducer_factory = mp.reducer_factory;
+    job.combiner_factory = mp.combiner_factory;
+    job.use_combiner = use_combiner;
+    launch.worker_main = [job = std::move(job), faults = mp.faults,
+                          heartbeat_ms = conf.heartbeat_interval_ms](
+                             ipc::Transport& transport, std::size_t slot) {
+      // The child's copy-on-write FaultInjector must never touch the
+      // parent-owned MetricsRegistry; all fault sites fire supervisor-side
+      // anyway (serve_worker_loop never evaluates the plan).
+      if (faults != nullptr) faults->detach_metrics();
+      serve_worker_loop(transport, job, slot, heartbeat_ms);
+    };
+  }
+  ipc::WorkerSupervisor supervisor(std::move(launch));
+  WorkerExchange exchange(supervisor, mp.metrics);
+
+  DASC_LOG(kInfo) << conf.job_name << ": " << splits.size() << " map tasks, "
+                  << conf.num_reducers << " reduce tasks on "
+                  << supervisor.primaries() << "+"
+                  << (supervisor.provisioned() - supervisor.primaries())
+                  << " worker processes ("
+                  << (exec_mode ? conf.worker_binary : "forked") << ")";
+
+  if (exec_mode) {
+    // Exec'd binaries reconstruct the job from the registry; every slot
+    // (spares included) learns its assignment-independent setup up front.
+    for (std::size_t slot = 0; slot < supervisor.provisioned(); ++slot) {
+      WireWriter writer;
+      writer.u64(slot);
+      writer.u64(conf.heartbeat_interval_ms);
+      writer.u32(use_combiner ? 1 : 0);
+      writer.bytes(conf.job_name);
+      supervisor.transport(slot).send(
+          {MessageType::kJobSetup, writer.take()});
+    }
+  }
+
+  std::atomic<std::uint64_t> failed_attempts{0};
+  std::atomic<std::uint64_t> speculative_launches{0};
+
+  /// Injected worker.kill: SIGKILL the assigned worker after this task's
+  /// assignment ships (recovery = the attempt's transport error + retry).
+  const auto kill_fires = [&]() {
+    return mp.faults != nullptr &&
+           mp.faults->check("worker.kill") !=
+               FaultInjector::Outcome::kNone;
+  };
+
+  // ---- Map phase ----
+  std::atomic<std::uint64_t> map_in{0};
+  std::atomic<std::uint64_t> map_out{0};
+  std::atomic<std::uint64_t> combine_in{0};
+  std::atomic<std::uint64_t> combine_out{0};
+  std::vector<std::size_t> map_owner(splits.size(), kNoOwner);
+  // Retries shift to the next live slot; speculation is off, so each
+  // task's attempts are sequential and the shift needs no atomics.
+  std::vector<std::size_t> map_shift(splits.size(), 0);
+
+  detail::run_task_phase(
+      mp, splits.size(), "map.task", "retry.map_attempts", failed_attempts,
+      speculative_launches, result.map_task_seconds,
+      [&](std::size_t task) -> std::function<void()> {
+        const std::size_t slot =
+            exchange.pick_worker(task, result.map_task_workers,
+                                 map_shift[task]);
+        WireWriter writer;
+        writer.u64(task);
+        append_records(writer, splits[task]);
+        Message reply;
+        try {
+          reply = exchange.call(slot, {MessageType::kMapAssign, writer.take()},
+                                kill_fires());
+        } catch (const IoError&) {
+          ++map_shift[task];  // the next attempt tries another worker
+          throw;
+        }
+        if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
+        DASC_ENSURE(reply.type == MessageType::kMapDone,
+                    "ipc: unexpected reply to kMapAssign");
+        WireReader reader(reply.payload);
+        DASC_ENSURE(reader.u64() == task, "ipc: kMapDone task mismatch");
+        const std::uint64_t emitted = reader.u64();
+        const std::uint64_t combined = reader.u64();
+        return [&, task, slot, emitted, combined] {
+          map_in.fetch_add(splits[task].size(), std::memory_order_relaxed);
+          map_out.fetch_add(emitted, std::memory_order_relaxed);
+          if (use_combiner) {
+            combine_in.fetch_add(emitted, std::memory_order_relaxed);
+            combine_out.fetch_add(combined, std::memory_order_relaxed);
+          }
+          map_owner[task] = slot;
+        };
+      });
+
+  result.counters.map_input_records = map_in.load();
+  result.counters.map_output_records = map_out.load();
+  result.counters.combine_input_records = combine_in.load();
+  result.counters.combine_output_records = combine_out.load();
+
+  // ---- Gather + partition (the real shuffle) ----
+  // Fetch each map task's output from its owner in task order, verify the
+  // transfer, and build partitions exactly as fetch_and_partition does —
+  // same record order, same `shuffle.fetch` call sequence, same
+  // `retry.shuffle_fetch` accounting. A dead owner triggers deterministic
+  // map re-execution on the next live slot (worker.map_reexecutions
+  // gauge, not a counter: how often it happens depends on which phase of
+  // the exchange a killed worker died in).
+  //
+  // conf.spill_budget_bytes governs the in-process executor's shuffle
+  // only: here every partition must be serialized whole into a
+  // kReduceAssign anyway, so the gather stays in supervisor RAM.
+  const auto fetch_from_owner =
+      [&](std::size_t owner, std::size_t task) -> std::vector<Record> {
+    for (std::size_t attempt = 1;; ++attempt) {
+      const FaultInjector::Outcome outcome =
+          mp.faults != nullptr ? mp.faults->check("shuffle.fetch")
+                               : FaultInjector::Outcome::kNone;
+      bool ok = outcome != FaultInjector::Outcome::kError;
+      std::vector<Record> fetched;
+      std::uint32_t expected = 0;
+      if (ok) {
+        WireWriter writer;
+        writer.u64(task);
+        Message reply =
+            exchange.call(owner, {MessageType::kFetch, writer.take()});
+        if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
+        DASC_ENSURE(reply.type == MessageType::kFetchData,
+                    "ipc: unexpected reply to kFetch");
+        WireReader reader(reply.payload);
+        DASC_ENSURE(reader.u64() == task, "ipc: kFetchData task mismatch");
+        expected = reader.u32();
+        const std::uint64_t count = reader.u64();
+        fetched = read_records(reader);
+        DASC_ENSURE(fetched.size() == count,
+                    "ipc: kFetchData record count mismatch");
+        if (outcome == FaultInjector::Outcome::kCorruption) {
+          // Flip one byte of the transfer; the CRC check catches it. An
+          // empty transfer has nothing to flip — fail the attempt.
+          bool flipped = false;
+          for (auto& record : fetched) {
+            if (!record.value.empty()) {
+              record.value.front() =
+                  static_cast<char>(record.value.front() ^ 0x1);
+              flipped = true;
+              break;
+            }
+            if (!record.key.empty()) {
+              record.key.front() =
+                  static_cast<char>(record.key.front() ^ 0x1);
+              flipped = true;
+              break;
+            }
+          }
+          ok = flipped && records_crc(fetched) == expected;
+        } else {
+          ok = records_crc(fetched) == expected;
+        }
+      }
+      if (ok) return fetched;
+      if (attempt >= conf.max_fetch_attempts) {
+        throw IoError("shuffle: fetch of map output " + std::to_string(task) +
+                      " failed after " +
+                      std::to_string(conf.max_fetch_attempts) + " attempts");
+      }
+      if (mp.metrics != nullptr) {
+        mp.metrics->counter("retry.shuffle_fetch").add();
+      }
+      DASC_LOG(kWarn) << "shuffle: re-fetching map output " << task
+                      << " (attempt " << attempt << " failed verification)";
+    }
+  };
+
+  const auto reexecute_map_task = [&](std::size_t task) {
+    const std::size_t slot = exchange.pick_worker(
+        task, result.map_task_workers, ++map_shift[task]);
+    DASC_LOG(kWarn) << conf.job_name << ": re-executing map task " << task
+                    << " on worker " << slot << " (output owner died)";
+    if (mp.metrics != nullptr) {
+      mp.metrics->gauge("worker.map_reexecutions").add(1);
+    }
+    WireWriter writer;
+    writer.u64(task);
+    append_records(writer, splits[task]);
+    const Message reply =
+        exchange.call(slot, {MessageType::kMapAssign, writer.take()});
+    if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
+    DASC_ENSURE(reply.type == MessageType::kMapDone,
+                "ipc: unexpected reply to kMapAssign (re-execution)");
+    // The task already committed its counters; only the output moved.
+    map_owner[task] = slot;
+  };
+
+  const auto fetch_verified = [&](std::size_t task) -> std::vector<Record> {
+    // Each round either fetches or loses one more worker; provisioned()+1
+    // rounds bound the loop before "no live workers" surfaces naturally.
+    for (std::size_t round = 0; round <= supervisor.provisioned(); ++round) {
+      try {
+        if (map_owner[task] == kNoOwner ||
+            !supervisor.alive(map_owner[task])) {
+          reexecute_map_task(task);
+        }
+        return fetch_from_owner(map_owner[task], task);
+      } catch (const IoError&) {
+        // A live owner means the transfer itself never verified (injected
+        // faults exhausted max_fetch_attempts): fatal, as in-process. A
+        // dead one means the owner (or the re-execution target) died
+        // mid-conversation: drop the owner and go again.
+        if (map_owner[task] != kNoOwner &&
+            supervisor.alive(map_owner[task])) {
+          throw;
+        }
+        map_owner[task] = kNoOwner;
+      }
+    }
+    throw IoError("shuffle: could not gather map output " +
+                  std::to_string(task));
+  };
+
+  std::vector<std::vector<Record>> partitions(conf.num_reducers);
+  {
+    ScopedTimer shuffle_timer(mp.metrics, "mapreduce.shuffle");
+    for (std::size_t task = 0; task < splits.size(); ++task) {
+      std::vector<Record> fetched = fetch_verified(task);
+      for (auto& record : fetched) {
+        partitions[partition_for_key(record.key, conf.num_reducers)]
+            .push_back(std::move(record));
+      }
+    }
+    result.counters.shuffle_bytes = shuffle_bytes(partitions);
+  }
+
+  // ---- Reduce phase ----
+  result.reduce_task_seconds.assign(conf.num_reducers, 0.0);
+  std::vector<std::vector<Record>> reduce_outputs(conf.num_reducers);
+  std::atomic<std::uint64_t> reduce_groups{0};
+  std::atomic<std::uint64_t> reduce_in{0};
+  std::atomic<std::uint64_t> reduce_out{0};
+  std::vector<std::size_t> reduce_shift(conf.num_reducers, 0);
+
+  detail::run_task_phase(
+      mp, conf.num_reducers, "reduce.task", "retry.reduce_attempts",
+      failed_attempts, speculative_launches, result.reduce_task_seconds,
+      [&](std::size_t task) -> std::function<void()> {
+        const std::size_t slot = exchange.pick_worker(
+            task, result.reduce_task_workers, reduce_shift[task]);
+        WireWriter writer;
+        writer.u64(task);
+        append_records(writer, partitions[task]);
+        Message reply;
+        try {
+          reply = exchange.call(
+              slot, {MessageType::kReduceAssign, writer.take()},
+              kill_fires());
+        } catch (const IoError&) {
+          ++reduce_shift[task];
+          throw;
+        }
+        if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
+        DASC_ENSURE(reply.type == MessageType::kReduceDone,
+                    "ipc: unexpected reply to kReduceAssign");
+        WireReader reader(reply.payload);
+        DASC_ENSURE(reader.u64() == task, "ipc: kReduceDone task mismatch");
+        const std::uint64_t num_groups = reader.u64();
+        const std::uint64_t in_records = reader.u64();
+        const std::uint64_t out_count = reader.u64();
+        std::vector<Record> out = read_records(reader);
+        DASC_ENSURE(out.size() == out_count,
+                    "ipc: kReduceDone record count mismatch");
+        return [&, task, num_groups, in_records,
+                out = std::move(out)]() mutable {
+          reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
+          reduce_in.fetch_add(in_records, std::memory_order_relaxed);
+          reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
+          reduce_outputs[task] = std::move(out);
+        };
+      });
+
+  result.counters.reduce_input_groups = reduce_groups.load();
+  result.counters.reduce_input_records = reduce_in.load();
+  result.counters.reduce_output_records = reduce_out.load();
+  result.counters.failed_task_attempts = failed_attempts.load();
+
+  for (auto& part : reduce_outputs) {
+    result.output.insert(result.output.end(),
+                         std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+  }
+
+  supervisor.shutdown();
+
+  result.real_seconds = total_clock.seconds();
+  detail::finalize_job_result(mp, speculative_launches.load(), result);
+  return result;
+}
+
+}  // namespace dasc::mapreduce

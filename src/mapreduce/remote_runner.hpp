@@ -1,0 +1,85 @@
+// Multi-process job execution: the supervisor side (run_job_multiproc) and
+// the worker side (serve_worker_loop) of JobConf::execution_mode ==
+// kMultiProcess.
+//
+// Topology is a supervisor-mediated star (DESIGN.md section 13). The
+// supervisor — the process that called run_job — forks (or execs) the
+// workers before spawning any job threads, drives both phases through the
+// same detail::run_task_phase as the in-process executor, and moves data
+// as CRC-framed messages:
+//
+//   map:     kMapAssign{task, records}        -> kMapDone{counters}
+//   shuffle: kFetch{task}                     -> kFetchData{crc, records}
+//   reduce:  kReduceAssign{task, partition}   -> kReduceDone{records}
+//
+// Map outputs stay on the worker that committed the task until the gather
+// step fetches them; partitions are then built in the supervisor in map-
+// task order — the exact record order fetch_and_partition produces — and
+// shipped whole to the reduce workers. Together with commit-once attempts
+// and the shared task helpers, job output is byte-identical to kInProcess
+// for any worker count and any fault plan that lets the job finish.
+//
+// Fault sites: `map.task` / `reduce.task` / `shuffle.fetch` fire in the
+// supervisor exactly as in-process (same call order, same accounting), and
+// `worker.kill` SIGKILLs the assigned worker right after its task ships —
+// the task's transport then sees EOF, the attempt fails, and the retry
+// re-dispatches to the next live slot (a pre-forked spare when the
+// primaries are exhausted). A dead map-output owner at gather time causes
+// a deterministic map re-execution (`worker.map_reexecutions` gauge).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/types.hpp"
+
+namespace dasc::ipc {
+class Transport;
+}  // namespace dasc::ipc
+
+namespace dasc::mapreduce {
+
+/// What a worker process needs to execute tasks: the same factories a
+/// JobSpec carries, plus whether map tasks should run the combiner.
+struct WorkerJob {
+  std::function<std::unique_ptr<Mapper>()> mapper_factory;
+  std::function<std::unique_ptr<Reducer>()> reducer_factory;
+  std::function<std::unique_ptr<Reducer>()> combiner_factory;
+  bool use_combiner = false;
+};
+
+/// A worker process's whole life: serve task assignments from `transport`
+/// until kShutdown or EOF (supervisor gone). Runs map tasks with
+/// execute_map_task (outputs retained for later kFetch), reduce tasks with
+/// execute_reduce_records; a task that throws is reported as kTaskError
+/// and the loop keeps serving (the supervisor decides whether to retry).
+/// While a task is executing, a companion thread sends kHeartbeat every
+/// `heartbeat_ms` (idle workers stay silent so unread frames stay
+/// bounded). `ordinal` is the worker's slot index, used only for logging.
+void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
+                       std::size_t ordinal, std::size_t heartbeat_ms);
+
+/// Registry of jobs an exec-mode worker binary can serve by name
+/// (JobConf::job_name travels in kJobSetup). "wordcount" — the canonical
+/// end-to-end demo — is pre-registered, so the dasc_worker binary and the
+/// supervisor share one definition by construction.
+void register_worker_job(const std::string& name,
+                         std::function<WorkerJob()> factory);
+
+/// Build a registered job. Throws InvalidArgument for unknown names.
+WorkerJob make_registered_worker_job(const std::string& name);
+
+/// Execute a job on forked (or, with conf.worker_binary set, exec'd)
+/// worker processes. Called by run_job/run_job_dfs when
+/// conf.execution_mode == kMultiProcess; call sequence and determinism
+/// contract in the file comment. Speculative execution is disabled in this
+/// mode (a backup attempt would need a second live dispatch of the same
+/// task; retries + spares cover stragglers instead).
+JobResult run_job_multiproc(const JobSpec& spec,
+                            std::vector<std::vector<Record>> splits);
+
+}  // namespace dasc::mapreduce

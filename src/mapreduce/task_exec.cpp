@@ -1,0 +1,264 @@
+#include "mapreduce/task_exec.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/fault_injection.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "mapreduce/shuffle.hpp"
+#include "mapreduce/virtual_cluster.hpp"
+
+namespace dasc::mapreduce::detail {
+
+namespace {
+
+/// Backoff before task attempt `attempt + 1`: base * 2^(attempt-1) ms,
+/// capped at max.
+double backoff_ms(const JobConf& conf, std::size_t attempt) {
+  const double ms = conf.retry_backoff_base_ms *
+                    std::pow(2.0, static_cast<double>(attempt - 1));
+  return std::min(ms, conf.retry_backoff_max_ms);
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void run_task_phase(const JobSpec& spec, std::size_t num_tasks,
+                    std::string_view fault_site, const char* retry_counter,
+                    std::atomic<std::uint64_t>& failed_attempts,
+                    std::atomic<std::uint64_t>& speculative_launches,
+                    std::vector<double>& task_seconds, const TaskBody& body) {
+  const JobConf& conf = spec.conf;
+  if (num_tasks == 0) return;
+
+  const auto committed = std::make_unique<std::atomic<bool>[]>(num_tasks);
+  const auto speculated = std::make_unique<std::atomic<bool>[]>(num_tasks);
+  const auto start_ns =
+      std::make_unique<std::atomic<std::int64_t>[]>(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    committed[t].store(false, std::memory_order_relaxed);
+    speculated[t].store(false, std::memory_order_relaxed);
+    start_ns[t].store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::size_t> settled{0};
+  std::mutex commit_mutex;
+  std::vector<double> committed_durations;
+  std::exception_ptr first_error;
+
+  // Run one attempt; returns true when this attempt committed the task.
+  auto attempt_once = [&](std::size_t task, const Stopwatch& clock) {
+    if (spec.faults != nullptr) spec.faults->maybe_throw(fault_site);
+    const std::function<void()> commit = body(task);
+    if (committed[task].exchange(true, std::memory_order_acq_rel)) {
+      return false;  // another attempt already won this task
+    }
+    commit();
+    const double seconds = clock.seconds();
+    task_seconds[task] = seconds;
+    std::lock_guard lock(commit_mutex);
+    committed_durations.push_back(seconds);
+    return true;
+  };
+
+  auto run_primary = [&](std::size_t task) {
+    Stopwatch clock;
+    start_ns[task].store(steady_now_ns(), std::memory_order_release);
+    for (std::size_t attempt = 1;; ++attempt) {
+      try {
+        attempt_once(task, clock);
+        break;
+      } catch (...) {
+        if (committed[task].load(std::memory_order_acquire)) break;
+        if (attempt >= conf.max_task_attempts) {
+          std::lock_guard lock(commit_mutex);
+          if (!first_error) first_error = std::current_exception();
+          break;
+        }
+        failed_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (spec.metrics != nullptr) {
+          spec.metrics->counter(retry_counter).add();
+        }
+        const double sleep_ms = backoff_ms(conf, attempt);
+        if (spec.metrics != nullptr) {
+          spec.metrics->timer("retry.backoff")
+              .record_seconds(sleep_ms / 1000.0);
+        }
+        if (sleep_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(sleep_ms));
+        }
+        DASC_LOG(kWarn) << conf.job_name << ": task attempt " << attempt
+                        << " failed; retrying";
+      }
+    }
+    settled.fetch_add(1, std::memory_order_release);
+  };
+
+  // Backup attempts are best-effort: a failure here is ignored because the
+  // primary is still retrying on its own schedule.
+  auto run_backup = [&](std::size_t task) {
+    Stopwatch clock;
+    try {
+      attempt_once(task, clock);
+    } catch (...) {
+    }
+  };
+
+  std::size_t threads =
+      conf.physical_threads == 0 ? default_threads() : conf.physical_threads;
+  threads = std::max<std::size_t>(1, std::min(threads, num_tasks));
+  const bool speculate = conf.enable_speculation && num_tasks > 1;
+
+  if (threads <= 1 && !speculate) {
+    for (std::size_t t = 0; t < num_tasks; ++t) run_primary(t);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      pool.submit([&run_primary, t] { run_primary(t); });
+    }
+    while (speculate &&
+           settled.load(std::memory_order_acquire) < num_tasks) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::vector<double> durations;
+      {
+        std::lock_guard lock(commit_mutex);
+        if (committed_durations.size() * 2 < num_tasks) continue;
+        durations = committed_durations;
+      }
+      auto mid = durations.begin() +
+                 static_cast<std::ptrdiff_t>(durations.size() / 2);
+      std::nth_element(durations.begin(), mid, durations.end());
+      const double threshold = std::max(conf.speculative_slowdown * *mid,
+                                        conf.speculative_min_ms / 1000.0);
+      const std::int64_t now = steady_now_ns();
+      for (std::size_t t = 0; t < num_tasks; ++t) {
+        const std::int64_t started =
+            start_ns[t].load(std::memory_order_acquire);
+        if (started == 0 || committed[t].load(std::memory_order_acquire)) {
+          continue;
+        }
+        if (static_cast<double>(now - started) * 1e-9 <= threshold) continue;
+        if (speculated[t].exchange(true, std::memory_order_acq_rel)) continue;
+        speculative_launches.fetch_add(1, std::memory_order_relaxed);
+        DASC_LOG(kInfo) << conf.job_name
+                        << ": launching speculative attempt for task " << t;
+        pool.submit([&run_backup, t] { run_backup(t); });
+      }
+    }
+    pool.wait_idle();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+MapTaskResult execute_map_task(
+    const std::function<std::unique_ptr<Mapper>()>& mapper_factory,
+    const std::function<std::unique_ptr<Reducer>()>& combiner_factory,
+    bool use_combiner, const std::vector<Record>& input) {
+  const std::unique_ptr<Mapper> mapper = mapper_factory();
+  VectorEmitter emitter;
+  for (const auto& record : input) {
+    mapper->map(record.key, record.value, emitter);
+  }
+
+  MapTaskResult result;
+  result.emitted = emitter.records().size();
+  if (use_combiner) {
+    // Combine within the task: sort/group local output and fold it before
+    // it hits the shuffle.
+    const std::unique_ptr<Reducer> combiner = combiner_factory();
+    VectorEmitter combined;
+    for (auto& group : sort_and_group(std::move(emitter.records()))) {
+      combiner->reduce(group.key, group.values, combined);
+    }
+    result.combined = combined.records().size();
+    result.output = std::move(combined.records());
+  } else {
+    result.output = std::move(emitter.records());
+  }
+  return result;
+}
+
+ReduceTaskResult execute_reduce_records(
+    const std::function<std::unique_ptr<Reducer>()>& reducer_factory,
+    std::vector<Record> partition) {
+  const std::unique_ptr<Reducer> reducer = reducer_factory();
+  VectorEmitter emitter;
+  ReduceTaskResult result;
+  const std::vector<KeyGroup> groups = sort_and_group(std::move(partition));
+  result.num_groups = groups.size();
+  for (const auto& group : groups) {
+    result.in_records += group.values.size();
+    reducer->reduce(group.key, group.values, emitter);
+  }
+  result.output = std::move(emitter.records());
+  return result;
+}
+
+void finalize_job_result(const JobSpec& spec,
+                         std::uint64_t speculative_launches,
+                         JobResult& result) {
+  result.map_makespan_seconds =
+      makespan_lpt(result.map_task_seconds, spec.conf.num_nodes,
+                   spec.conf.map_slots_per_node);
+  result.reduce_makespan_seconds =
+      makespan_lpt(result.reduce_task_seconds, spec.conf.num_nodes,
+                   spec.conf.reduce_slots_per_node);
+  result.simulated_seconds =
+      result.map_makespan_seconds + result.reduce_makespan_seconds;
+
+  if (spec.metrics != nullptr) {
+    MetricsRegistry& registry = *spec.metrics;
+    // One timer sample per task, so count tracks task counts and total the
+    // summed per-task work (not the parallel wall time).
+    MetricsRegistry::Timer& map_timer = registry.timer("mapreduce.map");
+    for (double seconds : result.map_task_seconds) {
+      map_timer.record_seconds(seconds);
+    }
+    MetricsRegistry::Timer& reduce_timer = registry.timer("mapreduce.reduce");
+    for (double seconds : result.reduce_task_seconds) {
+      reduce_timer.record_seconds(seconds);
+    }
+    registry.counter("mapreduce.jobs").add(1);
+    const Counters& counters = result.counters;
+    registry.counter("mapreduce.map_input_records")
+        .add(static_cast<std::int64_t>(counters.map_input_records));
+    registry.counter("mapreduce.map_output_records")
+        .add(static_cast<std::int64_t>(counters.map_output_records));
+    registry.counter("mapreduce.reduce_input_groups")
+        .add(static_cast<std::int64_t>(counters.reduce_input_groups));
+    registry.counter("mapreduce.reduce_input_records")
+        .add(static_cast<std::int64_t>(counters.reduce_input_records));
+    registry.counter("mapreduce.reduce_output_records")
+        .add(static_cast<std::int64_t>(counters.reduce_output_records));
+    registry.counter("mapreduce.shuffle_bytes")
+        .add(static_cast<std::int64_t>(counters.shuffle_bytes));
+    registry.counter("mapreduce.failed_task_attempts")
+        .add(static_cast<std::int64_t>(counters.failed_task_attempts));
+    // Backup launches depend on scheduling (which tasks look slow when),
+    // so this is a gauge, not a regression-gated counter.
+    registry.gauge("retry.speculative_launches")
+        .set_max(static_cast<std::int64_t>(speculative_launches));
+  }
+
+  DASC_LOG(kInfo) << spec.conf.job_name << ": done; simulated "
+                  << result.simulated_seconds << "s (map "
+                  << result.map_makespan_seconds << "s + reduce "
+                  << result.reduce_makespan_seconds << "s), real "
+                  << result.real_seconds << "s";
+}
+
+}  // namespace dasc::mapreduce::detail

@@ -1,0 +1,83 @@
+// Shared task-attempt machinery for the in-process executor (job.cpp) and
+// the multi-process remote runner (remote_runner.cpp).
+//
+// Both execution modes run phases through the same run_task_phase — fault
+// injection before each attempt, commit-once idempotence, capped-backoff
+// retries, optional speculative re-execution — and both execute the *work*
+// of a task through the same execute_map_task / execute_reduce_records
+// helpers (the in-process mode calls them on the job's thread pool, a
+// worker process calls them inside its serve loop). Sharing the code is
+// what makes the modes' outputs byte-identical by construction rather than
+// by testing alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/types.hpp"
+
+namespace dasc::mapreduce::detail {
+
+/// A task attempt: does the work, returns the closure that applies its
+/// side effects (output slot + counters). Only the attempt that wins a
+/// task's commit race runs its closure, so retried and speculative
+/// attempts are idempotent — a discarded attempt leaves no trace, like
+/// Hadoop discarding a failed attempt's output.
+using TaskBody = std::function<std::function<void()>(std::size_t)>;
+
+/// One phase of task attempts with Hadoop-style fault tolerance:
+///   - fault injection at `fault_site` before each attempt (JobSpec.faults),
+///   - per-task retry up to conf.max_task_attempts, sleeping a capped
+///     exponential backoff between attempts (`retry.backoff` timer; the
+///     phase `retry_counter` counts retried attempts),
+///   - commit-once idempotence via the TaskBody contract above,
+///   - optional speculative re-execution: once at least half the tasks
+///     have committed, any task slower than speculative_slowdown x the
+///     median committed duration (and speculative_min_ms) gets one backup
+///     attempt; first commit wins (`retry.speculative_launches` gauge).
+/// The committing attempt's duration lands in task_seconds (a backup that
+/// wins shortens the task, which is the point of speculation). The first
+/// permanent task failure is rethrown after every task settles.
+void run_task_phase(const JobSpec& spec, std::size_t num_tasks,
+                    std::string_view fault_site, const char* retry_counter,
+                    std::atomic<std::uint64_t>& failed_attempts,
+                    std::atomic<std::uint64_t>& speculative_launches,
+                    std::vector<double>& task_seconds, const TaskBody& body);
+
+struct MapTaskResult {
+  std::vector<Record> output;
+  std::uint64_t emitted = 0;   ///< mapper output records (pre-combine)
+  std::uint64_t combined = 0;  ///< combiner output records (0 if unused)
+};
+
+/// Run one map task: map every input record, then (when `use_combiner`)
+/// sort/group the local output and fold it through the combiner.
+MapTaskResult execute_map_task(
+    const std::function<std::unique_ptr<Mapper>()>& mapper_factory,
+    const std::function<std::unique_ptr<Reducer>()>& combiner_factory,
+    bool use_combiner, const std::vector<Record>& input);
+
+struct ReduceTaskResult {
+  std::vector<Record> output;
+  std::uint64_t num_groups = 0;
+  std::uint64_t in_records = 0;
+};
+
+/// Run one reduce task over a raw partition: stable sort/group by key,
+/// then reduce each group in order.
+ReduceTaskResult execute_reduce_records(
+    const std::function<std::unique_ptr<Reducer>()>& reducer_factory,
+    std::vector<Record> partition);
+
+/// Fill in the simulated makespans, record the job's metrics, and log the
+/// completion line — the common tail of both execution modes. Expects
+/// result.{map,reduce}_task_seconds and result.counters to be complete.
+void finalize_job_result(const JobSpec& spec,
+                         std::uint64_t speculative_launches, JobResult& result);
+
+}  // namespace dasc::mapreduce::detail

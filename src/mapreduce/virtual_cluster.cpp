@@ -8,6 +8,39 @@
 
 namespace dasc::mapreduce {
 
+namespace {
+
+/// splitmix64: the permutation stream must not depend on the standard
+/// library's distribution implementation.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<std::size_t> assign_tasks(std::size_t num_tasks,
+                                      std::size_t num_workers,
+                                      std::uint64_t seed) {
+  DASC_EXPECT(num_workers >= 1, "assign_tasks: need >= 1 worker");
+  std::vector<std::size_t> perm(num_workers);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::uint64_t state = seed;
+  for (std::size_t i = num_workers - 1; i > 0; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(splitmix64(state) % (i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<std::size_t> assignment(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    assignment[t] = perm[t % num_workers];
+  }
+  return assignment;
+}
+
 ScheduleResult schedule_lpt(const std::vector<double>& durations,
                             std::size_t num_nodes,
                             std::size_t slots_per_node) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace dasc::mapreduce {
@@ -39,5 +40,14 @@ ScheduleResult schedule_lpt(const std::vector<double>& durations,
 /// Convenience: just the makespan.
 double makespan_lpt(const std::vector<double>& durations,
                     std::size_t num_nodes, std::size_t slots_per_node);
+
+/// Deterministic task -> worker placement for the multi-process runtime:
+/// task t is assigned to perm[t % num_workers], where perm is a seeded
+/// Fisher-Yates permutation of the workers (own splitmix64 stream, so the
+/// result is identical across standard libraries, thread counts, and
+/// execution modes). Both execution modes record this plan in JobResult.
+std::vector<std::size_t> assign_tasks(std::size_t num_tasks,
+                                      std::size_t num_workers,
+                                      std::uint64_t seed);
 
 }  // namespace dasc::mapreduce

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -49,14 +51,19 @@ TEST(SpoolPager, RoundTripsPagesWithChecksums) {
   EXPECT_THROW(pager.read_page(2), InvalidArgument);
 }
 
-TEST(SpoolPager, RemovesItsFileOnDestruction) {
+TEST(SpoolPager, SpillFileIsNeverVisibleByPath) {
+  // The spill file is unlinked right after creation, so its path never
+  // resolves — not even while the pager is alive and paging through it —
+  // and a SIGKILLed process cannot strand it on disk.
   std::string path;
   {
     SpoolConfig config;
     SpoolPager pager(config);
     pager.write_page("payload");
     path = pager.file_path();
-    EXPECT_TRUE(std::ifstream(path).good());
+    EXPECT_FALSE(path.empty());
+    EXPECT_FALSE(std::ifstream(path).good());
+    EXPECT_EQ(pager.read_page(0), "payload");  // data lives on via the fd
   }
   EXPECT_FALSE(std::ifstream(path).good());
 }
@@ -231,20 +238,15 @@ TEST(SpoolFaults, OnDiskTamperingIsCaughtByCrc) {
   spool.append("key", value);
   spool.finish();
   ASSERT_EQ(spool.pages_spilled(), 1u);
-  const std::string path = spool.file_path();
-  ASSERT_FALSE(path.empty());
-  {
-    // Flip one payload byte behind the spool's back (offset 16 skips the
-    // page header).
-    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
-    ASSERT_TRUE(file.good());
-    file.seekg(20);
-    char byte = 0;
-    file.read(&byte, 1);
-    byte = static_cast<char>(byte ^ 0x7F);
-    file.seekp(20);
-    file.write(&byte, 1);
-  }
+  // The spill file is unlinked, so tampering goes through its descriptor:
+  // flip one payload byte behind the spool's back (offset 16 skips the
+  // page header).
+  const int fd = spool.spill_fd();
+  ASSERT_GE(fd, 0);
+  char byte = 0;
+  ASSERT_EQ(::pread(fd, &byte, 1, 20), 1);
+  byte = static_cast<char>(byte ^ 0x7F);
+  ASSERT_EQ(::pwrite(fd, &byte, 1, 20), 1);
   EXPECT_THROW(drain(spool, /*sorted=*/false), IoError);
 }
 

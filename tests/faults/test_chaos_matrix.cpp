@@ -21,6 +21,7 @@
 #include "data/dataset_io.hpp"
 #include "data/synthetic.hpp"
 #include "mapreduce/dfs.hpp"
+#include "mapreduce/job_conf.hpp"
 #include "serving/model_artifact.hpp"
 
 namespace dasc {
@@ -49,6 +50,13 @@ struct ChaosCase {
   /// run, so spill cases test fault-parity of the spilled execution itself
   /// (1 forces every dense Gram block and shuffle spool page to disk).
   std::size_t spill_budget = 0;
+  /// Execution mode of the faulted run only — the clean baseline always
+  /// runs in-process, so multi-process cases assert cross-mode label
+  /// parity and fault recovery in one comparison.
+  mapreduce::ExecutionMode execution_mode =
+      mapreduce::ExecutionMode::kInProcess;
+  /// Worker-process count for multi-process cases (0 = JobConf default).
+  std::size_t num_workers = 0;
 };
 
 const ChaosCase kCases[] = {
@@ -129,6 +137,44 @@ const ChaosCase kCases[] = {
      "seed=15;spill.page_io:nth=4:max=3;"
      "shuffle.fetch:nth=2:max=2:kind=corrupt",
      core::GramBackendPolicy::kAuto, 1},
+    // Multi-process execution: the faulted run uses real worker processes
+    // while the clean baseline stays in-process, so every case below also
+    // asserts cross-mode label parity. Task/shuffle faults fire
+    // supervisor-side, so their exact retry accounting carries over.
+    {"MultiprocMapTaskNth", Consumer::kMapReduce, "map.task",
+     "retry.map_attempts", "seed=16;map.task:nth=2:max=3",
+     core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 2},
+    {"MultiprocReduceTaskNth", Consumer::kMapReduce, "reduce.task",
+     "retry.reduce_attempts", "seed=17;reduce.task:nth=2:max=2",
+     core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 2},
+    {"MultiprocShuffleCorruptNth", Consumer::kMapReduce, "shuffle.fetch",
+     "retry.shuffle_fetch", "seed=18;shuffle.fetch:nth=3:max=3:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 2},
+    // worker.kill: SIGKILL the assigned worker right after a task ships.
+    // Retry accounting is not exact-per-fire (recovery may re-execute map
+    // tasks whose outputs died with their owner), so site/counter are
+    // blank and only survival + parity + total_fired are asserted. The
+    // pipeline's first stage has 4 map dispatches then 3 reduce
+    // dispatches, so nth<=4 kills mid-map and nth in [5,7] mid-reduce.
+    {"MultiprocKillMidMapW1", Consumer::kMapReduce, "", "",
+     "seed=19;worker.kill:nth=2:max=1", core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 1},
+    {"MultiprocKillMidMapW2", Consumer::kMapReduce, "", "",
+     "seed=19;worker.kill:nth=3:max=1", core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 2},
+    {"MultiprocKillMidReduceW4", Consumer::kMapReduce, "", "",
+     "seed=19;worker.kill:nth=6:max=1", core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 4},
+    // Worker death while tasks are also failing and shuffle transfers are
+    // being corrupted: the full multi-process recovery stack at once.
+    {"MultiprocStorm", Consumer::kMapReduce, "", "",
+     "seed=20;map.task:nth=3:max=2;"
+     "shuffle.fetch:nth=2:max=2:kind=corrupt;worker.kill:nth=5:max=1",
+     core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 2},
 };
 
 data::PointSet chaos_points() {
@@ -160,7 +206,10 @@ core::DascParams chaos_params(FaultInjector* faults, MetricsRegistry* metrics,
 std::vector<int> run_consumer(Consumer consumer, const data::PointSet& points,
                               FaultInjector* faults, MetricsRegistry* metrics,
                               core::GramBackendPolicy backend,
-                              std::size_t spill_budget) {
+                              std::size_t spill_budget,
+                              mapreduce::ExecutionMode execution_mode =
+                                  mapreduce::ExecutionMode::kInProcess,
+                              std::size_t num_workers = 0) {
   const core::DascParams params =
       chaos_params(faults, metrics, backend, spill_budget);
   Rng rng(77);
@@ -180,6 +229,8 @@ std::vector<int> run_consumer(Consumer consumer, const data::PointSet& points,
       mr.conf.physical_threads = 1;
       mr.conf.max_task_attempts = 10;
       mr.conf.max_fetch_attempts = 10;
+      mr.conf.execution_mode = execution_mode;
+      if (num_workers > 0) mr.conf.num_workers = num_workers;
       if (consumer == Consumer::kMapReduce) {
         return core::dasc_cluster_mapreduce(points, mr, rng).labels;
       }
@@ -209,6 +260,9 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   const ChaosCase& test_case = GetParam();
   const data::PointSet points = chaos_points();
 
+  // The baseline is always in-process: for kMultiProcess cases the single
+  // EXPECT_EQ below therefore covers both fault recovery and cross-mode
+  // label parity.
   const std::vector<int> clean =
       run_consumer(test_case.consumer, points, nullptr, nullptr,
                    test_case.backend, test_case.spill_budget);
@@ -218,7 +272,8 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   FaultInjector injector(FaultPlan::parse(test_case.plan), &registry);
   const std::vector<int> faulted =
       run_consumer(test_case.consumer, points, &injector, &registry,
-                   test_case.backend, test_case.spill_budget);
+                   test_case.backend, test_case.spill_budget,
+                   test_case.execution_mode, test_case.num_workers);
 
   // The invariant: the run survived, so the labels are exactly the
   // fault-free labels.
@@ -248,7 +303,8 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   FaultInjector replay(FaultPlan::parse(test_case.plan), &replay_registry);
   const std::vector<int> replayed =
       run_consumer(test_case.consumer, points, &replay, &replay_registry,
-                   test_case.backend, test_case.spill_budget);
+                   test_case.backend, test_case.spill_budget,
+                   test_case.execution_mode, test_case.num_workers);
   EXPECT_EQ(replayed, clean);
   EXPECT_EQ(replay.total_fired(), injector.total_fired());
 }

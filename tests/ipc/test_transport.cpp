@@ -1,0 +1,226 @@
+// Transport framing tests: round trips, every malformed-frame class as a
+// typed dasc::IoError, listener accept/connect, and the supervisor's spool
+// sweep (DESIGN.md section 13).
+#include "ipc/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "ipc/message.hpp"
+#include "ipc/worker_supervisor.hpp"
+
+namespace dasc::ipc {
+namespace {
+
+/// A connected transport pair over a socketpair.
+struct Pair {
+  Pair() {
+    const auto [a, b] = make_socketpair();
+    left = std::make_unique<Transport>(a);
+    right = std::make_unique<Transport>(b);
+  }
+  std::unique_ptr<Transport> left;
+  std::unique_ptr<Transport> right;
+};
+
+/// Write raw bytes to the peer's socket, bypassing Message framing.
+void send_raw(Transport& transport, const std::string& bytes) {
+  ASSERT_EQ(::write(transport.fd(), bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+TEST(Transport, RoundTripsMessages) {
+  Pair pair;
+  Message out;
+  out.type = MessageType::kMapAssign;
+  WireWriter writer;
+  writer.u64(7);
+  writer.record("key", "value");
+  writer.record("", "");  // empty key/value frames fine
+  out.payload = writer.take();
+  pair.left->send(out);
+
+  const auto in = pair.right->recv();
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->type, MessageType::kMapAssign);
+  WireReader reader(in->payload);
+  EXPECT_EQ(reader.u64(), 7u);
+  const auto [key, value] = reader.record();
+  EXPECT_EQ(key, "key");
+  EXPECT_EQ(value, "value");
+  const auto [key2, value2] = reader.record();
+  EXPECT_TRUE(key2.empty());
+  EXPECT_TRUE(value2.empty());
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Transport, EmptyPayloadRoundTrips) {
+  Pair pair;
+  pair.left->send({MessageType::kHeartbeat, {}});
+  const auto in = pair.right->recv();
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(in->type, MessageType::kHeartbeat);
+  EXPECT_TRUE(in->payload.empty());
+}
+
+TEST(Transport, CleanEofAtFrameBoundaryIsNullopt) {
+  Pair pair;
+  pair.left->send({MessageType::kShutdown, {}});
+  pair.left->close();
+  EXPECT_TRUE(pair.right->recv().has_value());  // the shutdown frame
+  EXPECT_FALSE(pair.right->recv().has_value());  // then clean EOF
+}
+
+TEST(Transport, TruncatedHeaderIsIoError) {
+  Pair pair;
+  send_raw(*pair.left, std::string(kFrameHeaderBytes / 2, 'x'));
+  pair.left->close();
+  EXPECT_THROW(pair.right->recv(), IoError);
+}
+
+TEST(Transport, TruncatedPayloadIsIoError) {
+  Pair pair;
+  const std::string frame =
+      encode_frame({MessageType::kFetchData, "some payload bytes"});
+  send_raw(*pair.left, frame.substr(0, frame.size() - 4));
+  pair.left->close();
+  EXPECT_THROW(pair.right->recv(), IoError);
+}
+
+TEST(Transport, BadMagicIsIoError) {
+  Pair pair;
+  std::string frame = encode_frame({MessageType::kHello, "payload"});
+  frame[0] = 'X';
+  send_raw(*pair.left, frame);
+  EXPECT_THROW(pair.right->recv(), IoError);
+}
+
+TEST(Transport, CrcTamperIsIoError) {
+  Pair pair;
+  std::string frame = encode_frame({MessageType::kFetchData, "records..."});
+  frame[kFrameHeaderBytes] =
+      static_cast<char>(frame[kFrameHeaderBytes] ^ 0x1);  // flip payload byte
+  send_raw(*pair.left, frame);
+  EXPECT_THROW(pair.right->recv(), IoError);
+}
+
+TEST(Transport, OversizedDeclaredLengthIsIoError) {
+  Pair pair;
+  // Hand-build a header that declares a payload beyond kMaxPayloadBytes;
+  // the receiver must reject it from the header alone (never allocating).
+  std::string header(kFrameHeaderBytes, '\0');
+  std::memcpy(header.data(), kFrameMagic.data(), 4);
+  const std::uint32_t type = 5;
+  const std::uint32_t huge = static_cast<std::uint32_t>(kMaxPayloadBytes) + 1;
+  std::memcpy(header.data() + 4, &type, 4);
+  std::memcpy(header.data() + 8, &huge, 4);
+  send_raw(*pair.left, header);
+  EXPECT_THROW(pair.right->recv(), IoError);
+}
+
+TEST(Transport, OversizedSendIsInvalidArgument) {
+  Message message;
+  message.type = MessageType::kFetchData;
+  EXPECT_THROW(
+      {
+        // encode_frame validates before any socket is involved.
+        message.payload.resize(kMaxPayloadBytes + 1);
+        encode_frame(message);
+      },
+      InvalidArgument);
+}
+
+TEST(Transport, CountsTrafficInMetrics) {
+  MetricsRegistry registry;
+  const auto [a, b] = make_socketpair();
+  Transport left(a, &registry);
+  Transport right(b, &registry);
+  left.send({MessageType::kHello, "payload"});
+  ASSERT_TRUE(right.recv().has_value());
+  EXPECT_EQ(registry.counter_value("ipc.messages_sent"), 1);
+  EXPECT_EQ(registry.counter_value("ipc.messages_received"), 1);
+  EXPECT_EQ(registry.gauge_value("ipc.bytes_sent"),
+            static_cast<std::int64_t>(kFrameHeaderBytes + 7));
+  EXPECT_EQ(registry.gauge_value("ipc.bytes_received"),
+            static_cast<std::int64_t>(kFrameHeaderBytes + 7));
+}
+
+TEST(Listener, AcceptsAConnection) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dasc-test-listener-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  Listener listener(path);
+  std::thread client([&] {
+    const auto transport = Transport::connect(path);
+    transport->send({MessageType::kHello, "hi"});
+  });
+  const auto accepted = listener.accept(/*timeout_ms=*/5000);
+  const auto hello = accepted->recv();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->payload, "hi");
+  client.join();
+  EXPECT_FALSE(std::filesystem::exists(path + ".nope"));
+}
+
+TEST(Listener, AcceptTimesOutAsIoError) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dasc-test-timeout-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  Listener listener(path);
+  EXPECT_THROW(listener.accept(/*timeout_ms=*/10), IoError);
+}
+
+TEST(SweepSpoolFiles, RemovesOnlyTheDeadWorkersFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dasc-test-sweep-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const long dead_pid = 123456;
+  const auto touch = [&](const std::string& name) {
+    std::ofstream(dir / name) << "x";
+  };
+  touch("dasc-spool-123456-0.spl");
+  touch("dasc-spool-123456-17.spl");
+  touch("dasc-spool-999-0.spl");     // someone else's spool
+  touch("dasc-spool-123456-0.tmp");  // wrong suffix
+  touch("unrelated.txt");
+
+  EXPECT_EQ(sweep_spool_files(dir.string(), dead_pid), 2u);
+  EXPECT_FALSE(fs::exists(dir / "dasc-spool-123456-0.spl"));
+  EXPECT_FALSE(fs::exists(dir / "dasc-spool-123456-17.spl"));
+  EXPECT_TRUE(fs::exists(dir / "dasc-spool-999-0.spl"));
+  EXPECT_TRUE(fs::exists(dir / "dasc-spool-123456-0.tmp"));
+  EXPECT_TRUE(fs::exists(dir / "unrelated.txt"));
+  EXPECT_EQ(sweep_spool_files(dir.string(), dead_pid), 0u);  // idempotent
+  fs::remove_all(dir);
+}
+
+TEST(WireReader, TruncatedPayloadReadsAreIoError) {
+  WireWriter writer;
+  writer.u32(7);
+  const std::string payload = writer.take();
+  {
+    WireReader reader(payload);
+    EXPECT_THROW(reader.u64(), IoError);  // only 4 bytes present
+  }
+  {
+    WireReader reader(payload);
+    EXPECT_THROW(reader.bytes(), IoError);  // length 7 > remaining 0
+  }
+}
+
+}  // namespace
+}  // namespace dasc::ipc

@@ -1,0 +1,240 @@
+// Multi-process execution tests: output parity with the in-process
+// executor across worker counts, placement determinism across modes and
+// seeds, worker.kill recovery mid-map and mid-reduce, worker-side task
+// failures surfacing as typed errors, and the exec-mode worker binary
+// (DESIGN.md section 13).
+#include "mapreduce/remote_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/metrics.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/virtual_cluster.hpp"
+
+namespace dasc::mapreduce {
+namespace {
+
+class WordCountMapper final : public Mapper {
+ public:
+  void map(const std::string& /*key*/, const std::string& value,
+           Emitter& out) override {
+    std::istringstream stream(value);
+    std::string word;
+    while (stream >> word) out.emit(word, "1");
+  }
+};
+
+class SumReducer final : public Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override {
+    long total = 0;
+    for (const auto& v : values) total += std::stol(v);
+    out.emit(key, std::to_string(total));
+  }
+};
+
+class ThrowingReducer final : public Reducer {
+ public:
+  void reduce(const std::string&, const std::vector<std::string>&,
+              Emitter&) override {
+    throw std::runtime_error("reducer exploded");
+  }
+};
+
+JobSpec word_count_spec() {
+  JobSpec spec;
+  spec.conf.num_reducers = 3;
+  spec.conf.split_records = 2;
+  spec.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+  return spec;
+}
+
+std::vector<Record> word_count_input() {
+  std::vector<Record> input;
+  for (int i = 0; i < 12; ++i) {
+    input.push_back({std::to_string(i),
+                     "alpha beta gamma delta word" + std::to_string(i % 5)});
+  }
+  return input;
+}
+
+/// Serialize job output exactly as written (order matters: the parity
+/// contract is byte-for-byte, not up-to-reordering).
+std::string flatten(const std::vector<Record>& output) {
+  std::string text;
+  for (const auto& record : output) {
+    text += record.key + "\t" + record.value + "\n";
+  }
+  return text;
+}
+
+TEST(MultiprocJob, OutputIsByteIdenticalToInProcess) {
+  const JobResult baseline = run_job(word_count_spec(), word_count_input());
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    JobSpec spec = word_count_spec();
+    spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+    spec.conf.num_workers = workers;
+    const JobResult result = run_job(spec, word_count_input());
+    EXPECT_EQ(flatten(result.output), flatten(baseline.output))
+        << "workers=" << workers;
+    EXPECT_EQ(result.counters.map_input_records,
+              baseline.counters.map_input_records);
+    EXPECT_EQ(result.counters.map_output_records,
+              baseline.counters.map_output_records);
+    EXPECT_EQ(result.counters.combine_output_records,
+              baseline.counters.combine_output_records);
+    EXPECT_EQ(result.counters.reduce_input_groups,
+              baseline.counters.reduce_input_groups);
+    EXPECT_EQ(result.counters.reduce_output_records,
+              baseline.counters.reduce_output_records);
+    EXPECT_EQ(result.counters.shuffle_bytes, baseline.counters.shuffle_bytes);
+  }
+}
+
+TEST(MultiprocJob, NoCombinerParityHolds) {
+  JobSpec in_proc = word_count_spec();
+  in_proc.conf.enable_combiner = false;
+  const JobResult baseline = run_job(in_proc, word_count_input());
+  JobSpec multi = word_count_spec();
+  multi.conf.enable_combiner = false;
+  multi.conf.execution_mode = ExecutionMode::kMultiProcess;
+  multi.conf.num_workers = 2;
+  const JobResult result = run_job(multi, word_count_input());
+  EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+  EXPECT_EQ(result.counters.combine_input_records, 0u);
+}
+
+TEST(MultiprocJob, PlacementIsDeterministicAcrossModesAndSeeds) {
+  JobSpec in_proc = word_count_spec();
+  in_proc.conf.placement_seed = 42;
+  const JobResult a = run_job(in_proc, word_count_input());
+
+  JobSpec multi = word_count_spec();
+  multi.conf.placement_seed = 42;
+  multi.conf.execution_mode = ExecutionMode::kMultiProcess;
+  const JobResult b = run_job(multi, word_count_input());
+
+  // Same seed => the same task -> worker plan, whichever mode executed it.
+  ASSERT_FALSE(a.map_task_workers.empty());
+  EXPECT_EQ(a.map_task_workers, b.map_task_workers);
+  EXPECT_EQ(a.reduce_task_workers, b.reduce_task_workers);
+  // And the plan is what assign_tasks says it should be.
+  EXPECT_EQ(a.map_task_workers,
+            assign_tasks(a.num_map_tasks, in_proc.conf.num_workers, 42));
+  EXPECT_EQ(a.reduce_task_workers,
+            assign_tasks(a.num_reduce_tasks, in_proc.conf.num_workers, 43));
+
+  JobSpec reseeded = word_count_spec();
+  reseeded.conf.placement_seed = 7;
+  const JobResult c = run_job(reseeded, word_count_input());
+  // A different seed permutes the workers differently (with 2 workers the
+  // two permutations collide often, so compare against the oracle).
+  EXPECT_EQ(c.map_task_workers,
+            assign_tasks(c.num_map_tasks, reseeded.conf.num_workers, 7));
+}
+
+TEST(MultiprocJob, WorkerKillMidMapRecovers) {
+  const JobResult baseline = run_job(word_count_spec(), word_count_input());
+
+  MetricsRegistry registry;
+  FaultInjector injector(FaultPlan::parse("seed=3;worker.kill:nth=2:max=1"),
+                         &registry);
+  JobSpec spec = word_count_spec();
+  spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+  spec.conf.num_workers = 2;
+  spec.conf.worker_spares = 1;
+  spec.conf.max_task_attempts = 3;
+  spec.metrics = &registry;
+  spec.faults = &injector;
+
+  const JobResult result = run_job(spec, word_count_input());
+  EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+  EXPECT_EQ(injector.fired("worker.kill"), 1u);
+  // Not asserting failed_task_attempts == 1: in principle a reply can
+  // already be in the socket buffer when SIGKILL lands, in which case the
+  // attempt succeeds and only the gather re-executes the task.
+  EXPECT_GE(registry.gauge_value("worker.killed"), 1);
+}
+
+TEST(MultiprocJob, WorkerKillMidReduceRecovers) {
+  const JobResult baseline = run_job(word_count_spec(), word_count_input());
+
+  // 12 input records / split_records=2 => 6 map tasks; nth=8 fires on the
+  // second worker.kill check of the reduce phase.
+  MetricsRegistry registry;
+  FaultInjector injector(FaultPlan::parse("seed=3;worker.kill:nth=8:max=1"),
+                         &registry);
+  JobSpec spec = word_count_spec();
+  spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+  spec.conf.num_workers = 2;
+  spec.conf.worker_spares = 1;
+  spec.conf.max_task_attempts = 3;
+  spec.metrics = &registry;
+  spec.faults = &injector;
+
+  const JobResult result = run_job(spec, word_count_input());
+  EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+  EXPECT_EQ(injector.fired("worker.kill"), 1u);
+  EXPECT_GE(registry.gauge_value("worker.killed"), 1);
+}
+
+TEST(MultiprocJob, WorkerTaskFailureSurfacesAsTypedError) {
+  JobSpec spec = word_count_spec();
+  spec.reducer_factory = [] { return std::make_unique<ThrowingReducer>(); };
+  spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+  spec.conf.num_workers = 2;
+  // One attempt: the worker-side failure must come back as the job error
+  // (and the worker must stay alive to report it, not crash).
+  spec.conf.max_task_attempts = 1;
+  EXPECT_THROW(run_job(spec, word_count_input()), IoError);
+}
+
+TEST(MultiprocJob, EmptyInputStillRuns) {
+  JobSpec spec = word_count_spec();
+  spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+  const JobResult result = run_job(spec, {});
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.num_map_tasks, 1u);
+}
+
+TEST(MultiprocJob, ExecModeWorkerBinaryMatchesInProcess) {
+#ifndef DASC_WORKER_BIN
+  GTEST_SKIP() << "dasc_worker binary path not configured";
+#else
+  // The registered "wordcount" job must agree with an in-process run of
+  // the same factories (both sides use the remote_runner registry).
+  WorkerJob registered = make_registered_worker_job("wordcount");
+  JobSpec in_proc;
+  in_proc.conf.num_reducers = 3;
+  in_proc.conf.split_records = 2;
+  in_proc.conf.job_name = "wordcount";
+  in_proc.mapper_factory = registered.mapper_factory;
+  in_proc.reducer_factory = registered.reducer_factory;
+  in_proc.combiner_factory = registered.combiner_factory;
+  const JobResult baseline = run_job(in_proc, word_count_input());
+
+  JobSpec exec_spec = in_proc;
+  exec_spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+  exec_spec.conf.num_workers = 2;
+  exec_spec.conf.worker_binary = DASC_WORKER_BIN;
+  const JobResult result = run_job(exec_spec, word_count_input());
+  EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+#endif
+}
+
+TEST(MultiprocJob, UnknownRegisteredJobIsInvalidArgument) {
+  EXPECT_THROW(make_registered_worker_job("no-such-job"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc::mapreduce
