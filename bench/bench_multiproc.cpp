@@ -125,6 +125,41 @@ int main() {
   }
   std::printf("all multi-process legs byte-identical to in-process\n");
 
+  // Worker-to-worker shuffle legs: same parity gate, plus the topology's
+  // defining property — the supervisor relays (approximately) zero shuffle
+  // bytes. CI gates gauge shuffle.relay_bytes_ppm (relayed bytes per
+  // million shuffled bytes) at <= 0, so a regression that quietly routes
+  // pulls back through the supervisor fails the bench.
+  for (const std::size_t workers : {2, 4}) {
+    MetricsRegistry leg_registry;
+    JobSpec spec = bench_spec();
+    spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+    spec.conf.shuffle_mode = ShuffleMode::kWorkerToWorker;
+    spec.conf.num_workers = workers;
+    spec.metrics = &leg_registry;
+    const JobResult result = run_job(spec, bench_input());
+    std::printf("workers=%zu (worker-to-worker): %s\n", workers,
+                bench::format_seconds(result.real_seconds).c_str());
+    if (flatten(result.output) != expected) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%zu worker-to-worker output differs from "
+                   "the in-process run (the cross-topology parity "
+                   "invariant is broken)\n",
+                   workers);
+      return 1;
+    }
+    registry
+        .gauge("multiproc.walltime_w2w_w" + std::to_string(workers) + "_us")
+        .set(static_cast<std::int64_t>(result.real_seconds * 1e6));
+    if (workers == 4 && result.counters.shuffle_bytes > 0) {
+      const double relayed = static_cast<double>(
+          leg_registry.gauge_value("shuffle.relay_bytes"));
+      bench::set_ppm(registry, "shuffle.relay_bytes_ppm",
+                     relayed /
+                         static_cast<double>(result.counters.shuffle_bytes));
+    }
+  }
+
   registry.gauge("multiproc.workers_max").set(4);
   registry.gauge("multiproc.inproc_walltime_us")
       .set(static_cast<std::int64_t>(in_proc.real_seconds * 1e6));

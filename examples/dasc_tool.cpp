@@ -60,6 +60,13 @@
 //                              runs them in forked worker processes over
 //                              the ipc transport (DESIGN.md section 13).
 //                              Labels are byte-identical either way.
+//   shuffle-mode=<mode>        mapreduce engine, multi_process only: relay
+//                              (default) gathers the shuffle through the
+//                              supervisor; worker_to_worker has reducers
+//                              pull partitions straight from mapper
+//                              workers' data planes, spooling under
+//                              spill-budget (DESIGN.md section 14).
+//                              Labels are byte-identical either way.
 //   workers=<int>              mapreduce engine only: worker processes in
 //                              multi_process mode (default 2)
 //   task-attempts=<int>        mapreduce engine only: attempts per map /
@@ -95,6 +102,8 @@ struct Options {
   bool use_mapreduce = false;
   dasc::mapreduce::ExecutionMode execution_mode =
       dasc::mapreduce::ExecutionMode::kInProcess;
+  dasc::mapreduce::ShuffleMode shuffle_mode =
+      dasc::mapreduce::ShuffleMode::kRelay;
   std::size_t workers = 0;        ///< 0 = JobConf default
   std::size_t task_attempts = 0;  ///< 0 = JobConf default
   dasc::core::DascParams params;
@@ -182,6 +191,13 @@ Options parse(int argc, char** argv) {
     } else if (key == "execution-mode") {
       try {
         options.execution_mode = dasc::mapreduce::parse_execution_mode(value);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
+    } else if (key == "shuffle-mode") {
+      try {
+        options.shuffle_mode = dasc::mapreduce::parse_shuffle_mode(value);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         std::exit(2);
@@ -276,6 +292,7 @@ int main(int argc, char** argv) {
       core::MapReduceDascParams mr;
       mr.dasc = params;
       mr.conf.execution_mode = options.execution_mode;
+      mr.conf.shuffle_mode = options.shuffle_mode;
       if (options.workers > 0) mr.conf.num_workers = options.workers;
       if (options.task_attempts > 0) {
         mr.conf.max_task_attempts = options.task_attempts;
@@ -284,7 +301,8 @@ int main(int argc, char** argv) {
                   mapreduce::to_string(mr.conf.execution_mode));
       if (mr.conf.execution_mode ==
           mapreduce::ExecutionMode::kMultiProcess) {
-        std::printf(", %zu workers", mr.conf.num_workers);
+        std::printf(", %zu workers, %s shuffle", mr.conf.num_workers,
+                    mapreduce::to_string(mr.conf.shuffle_mode));
       }
       std::printf("\n");
       core::MapReduceDascResult mr_result =

@@ -8,14 +8,17 @@
 // supervisor named (arbitrary std::function factories cannot cross an
 // exec boundary — only jobs in the remote_runner registry can run here;
 // "wordcount" is built in), and serves task assignments until kShutdown
-// or supervisor death. See DESIGN.md section 13 for the protocol.
+// or supervisor death. See DESIGN.md sections 13 (control protocol) and
+// 14 (worker-to-worker shuffle data plane).
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include <unistd.h>
 
+#include "common/fault_injection.hpp"
 #include "ipc/message.hpp"
 #include "ipc/transport.hpp"
 #include "mapreduce/remote_runner.hpp"
@@ -44,17 +47,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     ipc::WireReader reader(setup->payload);
-    const std::uint64_t ordinal = reader.u64();
-    const std::uint64_t heartbeat_ms = reader.u64();
+    mapreduce::WorkerOptions options;
+    options.ordinal = static_cast<std::size_t>(reader.u64());
+    options.heartbeat_ms = static_cast<std::size_t>(reader.u64());
     const bool use_combiner = reader.u32() != 0;
     const std::string job_name(reader.bytes());
+    // Worker-to-worker shuffle extras: the data-plane address this worker
+    // binds ("" = relay mode) and the fault plan it evaluates for worker-
+    // side sites ("" = no faults). Exec'd workers own their injector —
+    // fires are reported back in kReducePullDone, so no metrics here.
+    options.data_socket_path = std::string(reader.bytes());
+    const std::string fault_plan_text(reader.bytes());
+    std::optional<FaultInjector> faults;
+    if (!fault_plan_text.empty()) {
+      faults.emplace(FaultPlan::parse(fault_plan_text));
+      options.faults = &*faults;
+    }
 
     mapreduce::WorkerJob job =
         mapreduce::make_registered_worker_job(job_name);
     job.use_combiner = use_combiner;
-    mapreduce::serve_worker_loop(*transport, job,
-                                 static_cast<std::size_t>(ordinal),
-                                 static_cast<std::size_t>(heartbeat_ms));
+    mapreduce::serve_worker_loop(*transport, job, options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dasc_worker: %s\n", e.what());
     return 1;

@@ -17,3 +17,9 @@ fi
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan "$@"
+
+# The stream suite runs concurrent sender/receiver threads over one
+# transport pair (flow-control credit, mid-stream death); hammer it so a
+# racy ack or shutdown path cannot hide behind a lucky interleaving.
+ctest --preset tsan --tests-regex '^(TransportFuzz|WireFuzz|Stream)\.' \
+  --repeat until-fail:3

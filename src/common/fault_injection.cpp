@@ -243,4 +243,19 @@ std::uint64_t FaultInjector::total_fired() const {
   return total_fired_.load(std::memory_order_relaxed);
 }
 
+void FaultInjector::record_remote_fires(std::string_view site,
+                                        std::uint64_t count) {
+  if (count == 0) return;
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    it->second.fired.fetch_add(count, std::memory_order_relaxed);
+  }
+  total_fired_.fetch_add(count, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->counter("fault.injected").add(static_cast<std::int64_t>(count));
+    metrics_->counter("fault.injected." + std::string(site))
+        .add(static_cast<std::int64_t>(count));
+  }
+}
+
 }  // namespace dasc

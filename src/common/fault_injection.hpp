@@ -116,6 +116,14 @@ class FaultInjector {
   /// pointer. Fault accounting stays single-homed in the supervisor.
   void detach_metrics() { metrics_ = nullptr; }
 
+  /// Absorb `count` fires a worker process reported for `site` (the
+  /// worker-to-worker shuffle's kReducePullDone accounting): bumps the
+  /// site's fired count, total_fired, and the `fault.injected` /
+  /// `fault.injected.<site>` counters, so supervisor-side accounting
+  /// invariants (fired == fault.injected.<site> == retries) hold even
+  /// when the site was evaluated in a child's copy-on-write injector.
+  void record_remote_fires(std::string_view site, std::uint64_t count);
+
   const FaultPlan& plan() const { return plan_; }
 
  private:

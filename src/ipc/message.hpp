@@ -28,7 +28,9 @@
 namespace dasc::ipc {
 
 /// Protocol message types. kHello..kShutdown are the supervisor/worker
-/// vocabulary (DESIGN.md section 13); unknown types are receiver errors.
+/// vocabulary (DESIGN.md section 13); kFetchPart..kChunkAck are the
+/// worker-to-worker shuffle and chunked-streaming extensions (section 14);
+/// unknown types are receiver errors.
 enum class MessageType : std::uint32_t {
   kHello = 1,      ///< worker -> supervisor: u64 pid (handshake)
   kJobSetup,       ///< supervisor -> exec worker: registered-job setup
@@ -41,6 +43,21 @@ enum class MessageType : std::uint32_t {
   kTaskError,      ///< worker -> supervisor: task failed (message text)
   kHeartbeat,      ///< worker -> supervisor: liveness while busy
   kShutdown,       ///< supervisor -> worker: exit the serve loop
+  // Worker-to-worker shuffle (DESIGN.md section 14):
+  kFetchPart,      ///< reducer -> mapper data plane: one partition of one
+                   ///< map output {map_task, partition, num_partitions}
+  kReducePull,     ///< supervisor -> reducer: pull-based reduce assignment
+                   ///< (partition map of owner slots + data-plane paths)
+  kReducePullDone, ///< reducer -> supervisor: reduce output + spill/fault
+                   ///< accounting report
+  kPullFailed,     ///< reducer -> supervisor: a map-output owner died
+                   ///< mid-pull {reduce_task, map_task}
+  kPullResume,     ///< supervisor -> reducer: map_task re-executed locally,
+                   ///< resume pulling {map_task}
+  // Chunked streaming for large payloads (ipc/stream.hpp):
+  kDataChunk,      ///< one chunk of a streamed logical message
+  kDataEnd,        ///< stream trailer: chunk count + whole-payload CRC
+  kChunkAck,       ///< receiver -> sender: flow-control window credit
 };
 
 struct Message {

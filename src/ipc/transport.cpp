@@ -174,6 +174,16 @@ Listener::~Listener() {
 
 std::unique_ptr<Transport> Listener::accept(std::size_t timeout_ms,
                                             MetricsRegistry* metrics) {
+  std::unique_ptr<Transport> accepted = try_accept(timeout_ms, metrics);
+  if (accepted == nullptr) {
+    throw IoError("ipc: timed out waiting for a worker to connect to " +
+                  path_);
+  }
+  return accepted;
+}
+
+std::unique_ptr<Transport> Listener::try_accept(std::size_t timeout_ms,
+                                                MetricsRegistry* metrics) {
   pollfd pfd;
   pfd.fd = fd_;
   pfd.events = POLLIN;
@@ -183,10 +193,7 @@ std::unique_ptr<Transport> Listener::accept(std::size_t timeout_ms,
       if (errno == EINTR) continue;
       throw IoError(errno_text("ipc: poll on listener failed"));
     }
-    if (ready == 0) {
-      throw IoError("ipc: timed out waiting for a worker to connect to " +
-                    path_);
-    }
+    if (ready == 0) return nullptr;
     break;
   }
   const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);

@@ -90,6 +90,12 @@ class Listener {
   std::unique_ptr<Transport> accept(std::size_t timeout_ms = 10000,
                                     MetricsRegistry* metrics = nullptr);
 
+  /// Accept one connection or return nullptr after `timeout_ms` with no
+  /// pending peer — the polling form the worker data-plane loop uses so a
+  /// quiet listener can interleave stop-flag checks instead of throwing.
+  std::unique_ptr<Transport> try_accept(std::size_t timeout_ms,
+                                        MetricsRegistry* metrics = nullptr);
+
   const std::string& path() const { return path_; }
   int fd() const { return fd_; }
 

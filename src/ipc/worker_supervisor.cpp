@@ -33,14 +33,28 @@ std::size_t sweep_spool_files(const std::string& dir, long pid) {
   std::error_code ec;
   const fs::path base = dir.empty() ? fs::temp_directory_path(ec) : fs::path(dir);
   if (ec) return 0;
+  // Exactly "dasc-spool-<pid>-<digits>.spl". Workers in worker-to-worker
+  // shuffle mode share the supervisor's spill_dir, so the match must never
+  // alias across pids: the "-" after the pid stops prefix collisions
+  // (123 vs 1234) and the all-digits middle stops any other live worker's
+  // name shape from matching a dead pid's sweep.
   const std::string prefix = "dasc-spool-" + std::to_string(pid) + "-";
+  const std::string suffix = ".spl";
   std::size_t removed = 0;
   fs::directory_iterator it(base, ec);
   if (ec) return 0;
   for (const auto& entry : it) {
+    std::error_code type_ec;
+    if (!entry.is_regular_file(type_ec) || type_ec) continue;
     const std::string name = entry.path().filename().string();
     if (name.rfind(prefix, 0) != 0) continue;
-    if (name.size() < 4 || name.substr(name.size() - 4) != ".spl") continue;
+    if (name.size() < prefix.size() + suffix.size() + 1) continue;
+    if (name.substr(name.size() - suffix.size()) != suffix) continue;
+    const std::string middle = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    bool digits = !middle.empty();
+    for (const char c : middle) digits = digits && c >= '0' && c <= '9';
+    if (!digits) continue;
     std::error_code remove_ec;
     if (fs::remove(entry.path(), remove_ec)) ++removed;
   }

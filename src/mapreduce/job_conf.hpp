@@ -22,6 +22,23 @@ enum class ExecutionMode { kInProcess, kMultiProcess };
 ExecutionMode parse_execution_mode(const std::string& text);
 const char* to_string(ExecutionMode mode);
 
+/// How multi-process shuffle traffic moves (kInProcess ignores this):
+///   kRelay          — the supervisor star-gathers every map output over
+///                     the control sockets and ships whole partitions to
+///                     reducers (the historical topology; partitions are
+///                     resident in supervisor RAM).
+///   kWorkerToWorker — reducers pull their partitions directly from the
+///                     mapper workers' data-plane listeners, streaming
+///                     records into per-partition sort-on-seal spools so
+///                     spill_budget_bytes bounds reducer residency and the
+///                     supervisor relays ~no shuffle bytes (DESIGN.md
+///                     section 14). Labels are byte-identical either way.
+enum class ShuffleMode { kRelay, kWorkerToWorker };
+
+/// Parses "relay" / "worker_to_worker"; throws InvalidArgument otherwise.
+ShuffleMode parse_shuffle_mode(const std::string& text);
+const char* to_string(ShuffleMode mode);
+
 /// Hadoop daemon heap sizes from Table 2. They do not influence the
 /// simulation result but are carried (and printed by the elasticity bench)
 /// so runs document the configuration they model.
@@ -78,6 +95,9 @@ struct JobConf {
   std::string spill_dir;
   /// Physical execution substrate for task attempts.
   ExecutionMode execution_mode = ExecutionMode::kInProcess;
+  /// Multi-process shuffle topology: supervisor relay (default) or direct
+  /// worker-to-worker pulls through per-worker data-plane listeners.
+  ShuffleMode shuffle_mode = ShuffleMode::kRelay;
   /// Worker processes running tasks in kMultiProcess mode.
   std::size_t num_workers = 2;
   /// Pre-forked spare workers that replace killed ones (worker.kill

@@ -1,10 +1,15 @@
 #include "mapreduce/remote_runner.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -14,7 +19,9 @@
 #include "common/fault_injection.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/spool.hpp"
 #include "common/stopwatch.hpp"
+#include "ipc/stream.hpp"
 #include "ipc/transport.hpp"
 #include "ipc/worker_supervisor.hpp"
 #include "mapreduce/shuffle.hpp"
@@ -30,9 +37,12 @@ using ipc::MessageType;
 using ipc::WireReader;
 using ipc::WireWriter;
 
+constexpr std::size_t kNoOwner = static_cast<std::size_t>(-1);
+
 /// CRC over records in the "key\tvalue\n" convention — the same transfer
-/// checksum fetch_one_verified uses in shuffle.cpp, so the multi-process
-/// gather's verification (and its fault accounting) mirrors in-process.
+/// checksum fetch_one_verified uses in shuffle.cpp, so both shuffle
+/// topologies' verification (and their fault accounting) mirror
+/// in-process.
 std::uint32_t records_crc(const std::vector<Record>& records) {
   Crc32 crc;
   for (const auto& record : records) {
@@ -54,6 +64,46 @@ std::vector<Record> read_records(WireReader& reader) {
     records.push_back({std::string(key), std::string(value)});
   }
   return records;
+}
+
+/// Throws the worker-reported task failure carried by a kTaskError reply.
+[[noreturn]] void rethrow_task_error(const Message& reply) {
+  WireReader reader(reply.payload);
+  reader.u64();  // task
+  throw IoError("worker task failed: " + std::string(reader.bytes()));
+}
+
+/// The records of `output` that hash to `partition` — order-preserving, so
+/// a reducer pulling its slice of every map output in task order sees the
+/// exact record sequence fetch_and_partition appends for that partition.
+std::vector<Record> filter_partition(const std::vector<Record>& output,
+                                     std::size_t partition,
+                                     std::size_t num_partitions) {
+  std::vector<Record> slice;
+  for (const auto& record : output) {
+    if (partition_for_key(record.key, num_partitions) == partition) {
+      slice.push_back(record);
+    }
+  }
+  return slice;
+}
+
+/// Injected-corruption realization shared by the relay gather and the
+/// worker-side pull: flip one byte of the transfer so the CRC check
+/// catches it. Returns false when every record is empty (nothing to flip —
+/// the caller fails the attempt instead).
+bool flip_one_byte(std::vector<Record>& records) {
+  for (auto& record : records) {
+    if (!record.value.empty()) {
+      record.value.front() = static_cast<char>(record.value.front() ^ 0x1);
+      return true;
+    }
+    if (!record.key.empty()) {
+      record.key.front() = static_cast<char>(record.key.front() ^ 0x1);
+      return true;
+    }
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -104,6 +154,336 @@ std::mutex& job_registry_mutex() {
   return mutex;
 }
 
+/// State shared between a worker's serve loop and its data-plane thread:
+/// map outputs are written by the serve loop (kMapAssign, and kMapAssign
+/// re-executions inside a pull recovery) and read concurrently by
+/// kFetchPart servers and local pulls.
+struct WorkerState {
+  std::mutex outputs_mutex;
+  std::map<std::uint64_t, std::vector<Record>> map_outputs;
+};
+
+/// Thrown inside a pull when the owner's data plane is unreachable (dead
+/// process, stale socket path, EOF mid-reply): the reducer reports
+/// kPullFailed so the supervisor re-homes the map output, rather than
+/// burning fetch attempts on a peer that cannot answer.
+struct OwnerUnreachable {
+  std::string reason;
+};
+
+/// Owner of one map task's output as the kReducePull partition map
+/// describes it. An empty path on our own slot means "pull locally".
+struct OwnerRef {
+  std::size_t slot = kNoOwner;
+  std::string path;
+};
+
+/// One pulled slice plus the checksum its owner computed before transfer.
+struct PullSlice {
+  std::vector<Record> records;
+  std::uint32_t crc = 0;
+};
+
+/// Everything a kReducePullDone report carries besides the output records:
+/// the reduce result, the pulled byte volume, and the spill/fault work the
+/// supervisor absorbs into its own registry and injector.
+struct PullOutcome {
+  detail::ReduceTaskResult reduced;
+  std::uint64_t record_bytes = 0;
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t spill_bytes_read = 0;
+  std::uint64_t spill_pages = 0;
+  std::uint64_t fetch_fires = 0;
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t spill_fires = 0;
+  std::uint64_t spill_retries = 0;
+};
+
+/// Serve one data-plane connection: kFetchPart requests until the peer
+/// closes. Each request is a self-contained transaction, so pullers can
+/// reconnect per attempt and a dead puller costs nothing but this loop's
+/// EOF.
+void serve_data_peer(ipc::Transport& peer, WorkerState& state) {
+  while (true) {
+    std::optional<Message> request = ipc::recv_message(peer);
+    if (!request.has_value()) return;  // puller closed cleanly
+    if (request->type != MessageType::kFetchPart) {
+      throw IoError("data plane: unexpected message type " +
+                    std::to_string(
+                        static_cast<std::uint32_t>(request->type)));
+    }
+    WireReader reader(request->payload);
+    const std::uint64_t map_task = reader.u64();
+    const std::uint64_t partition = reader.u64();
+    const std::uint64_t num_partitions = reader.u64();
+    std::optional<std::vector<Record>> slice;
+    {
+      std::lock_guard lock(state.outputs_mutex);
+      const auto it = state.map_outputs.find(map_task);
+      if (it != state.map_outputs.end()) {
+        slice = filter_partition(it->second,
+                                 static_cast<std::size_t>(partition),
+                                 static_cast<std::size_t>(num_partitions));
+      }
+    }
+    if (!slice.has_value()) {
+      WireWriter writer;
+      writer.u64(map_task);
+      writer.bytes("fetch_part: map output not resident on this worker");
+      peer.send({MessageType::kTaskError, writer.take()});
+      continue;
+    }
+    WireWriter writer;
+    writer.u64(map_task);
+    writer.u32(records_crc(*slice));
+    writer.u64(slice->size());
+    append_records(writer, *slice);
+    ipc::send_message(peer, {MessageType::kFetchData, writer.take()});
+  }
+}
+
+/// The worker half of a kReducePull assignment (topology in the header
+/// comment): pull this reduce task's slice of every map output in map-task
+/// order — remote owners over their data planes, our own outputs directly
+/// — into one sort-on-seal spool, then reduce off the merged stream. Pull
+/// order fixes the partition's record sequence to exactly what
+/// fetch_and_partition builds, so the spool's stable merge makes the
+/// reduce byte-identical to every other path.
+PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
+                            const WorkerOptions& options, WorkerState& state,
+                            std::uint64_t task, WireReader& reader) {
+  const std::uint64_t num_partitions = reader.u64();
+  const std::uint64_t num_map_tasks = reader.u64();
+  const std::uint64_t spill_budget = reader.u64();
+  const std::string spill_dir(reader.bytes());
+  const std::uint64_t max_fetch_attempts = reader.u64();
+  std::vector<OwnerRef> owners(static_cast<std::size_t>(num_map_tasks));
+  for (auto& owner : owners) {
+    owner.slot = static_cast<std::size_t>(reader.u64());
+    owner.path = std::string(reader.bytes());
+  }
+
+  FaultInjector* faults = options.faults;
+  const std::uint64_t fetch_base =
+      faults != nullptr ? faults->fired("shuffle.fetch") : 0;
+
+  // A per-task registry so the spill gauges snapshot cleanly into the
+  // kReducePullDone report; the supervisor re-homes them in its own
+  // registry when the task commits.
+  MetricsRegistry task_metrics;
+  SpoolConfig spool_config;
+  spool_config.dir = spill_dir;
+  // JobConf budget 0 means spilling off; SpoolConfig budget 0 means spill
+  // every sealed page. Map "off" to a budget nothing reaches.
+  spool_config.budget_bytes =
+      spill_budget == 0 ? std::numeric_limits<std::size_t>::max()
+                        : static_cast<std::size_t>(spill_budget);
+  spool_config.sort_on_seal = true;
+  spool_config.faults = faults;
+  spool_config.metrics = &task_metrics;
+  SpoolBuffer spool(spool_config);
+
+  PullOutcome outcome;
+
+  const auto pull_local = [&](std::uint64_t map_task) -> PullSlice {
+    std::lock_guard lock(state.outputs_mutex);
+    const auto it = state.map_outputs.find(map_task);
+    if (it == state.map_outputs.end()) {
+      throw IoError("pull: map output " + std::to_string(map_task) +
+                    " not resident on this worker");
+    }
+    PullSlice slice;
+    slice.records =
+        filter_partition(it->second, static_cast<std::size_t>(task),
+                         static_cast<std::size_t>(num_partitions));
+    slice.crc = records_crc(slice.records);
+    return slice;
+  };
+
+  const auto pull_remote = [&](const OwnerRef& owner,
+                               std::uint64_t map_task) -> PullSlice {
+    // One connection per attempt: any transport failure here — connecting
+    // to a dead process's stale socket, EOF mid-reply — is the owner being
+    // gone, not a verification failure, so it routes to recovery instead
+    // of the fetch-attempt loop.
+    std::optional<Message> reply;
+    try {
+      const std::unique_ptr<ipc::Transport> peer =
+          ipc::Transport::connect(owner.path);
+      WireWriter writer;
+      writer.u64(map_task);
+      writer.u64(task);
+      writer.u64(num_partitions);
+      peer->send({MessageType::kFetchPart, writer.take()});
+      reply = ipc::recv_message(*peer);
+    } catch (const IoError& error) {
+      throw OwnerUnreachable{error.what()};
+    }
+    if (!reply.has_value()) {
+      throw OwnerUnreachable{"owner closed the data plane mid-pull"};
+    }
+    if (reply->type == MessageType::kTaskError) rethrow_task_error(*reply);
+    DASC_ENSURE(reply->type == MessageType::kFetchData,
+                "ipc: unexpected reply to kFetchPart");
+    WireReader data(reply->payload);
+    DASC_ENSURE(data.u64() == map_task,
+                "ipc: kFetchData map task mismatch");
+    PullSlice slice;
+    slice.crc = data.u32();
+    const std::uint64_t count = data.u64();
+    slice.records = read_records(data);
+    DASC_ENSURE(slice.records.size() == count,
+                "ipc: kFetchData record count mismatch");
+    return slice;
+  };
+
+  // Mirrors the supervisor's relay fetch loop: one `shuffle.fetch` check
+  // per attempt, the same corruption realization, the same attempt cap —
+  // the fault plan is exercised identically whichever process fetches.
+  const auto pull_verified =
+      [&](std::uint64_t map_task) -> std::vector<Record> {
+    const OwnerRef& owner = owners[static_cast<std::size_t>(map_task)];
+    for (std::uint64_t attempt = 1;; ++attempt) {
+      const FaultInjector::Outcome fault =
+          faults != nullptr ? faults->check("shuffle.fetch")
+                            : FaultInjector::Outcome::kNone;
+      bool ok = fault != FaultInjector::Outcome::kError;
+      std::vector<Record> records;
+      if (ok) {
+        PullSlice slice;
+        if (owner.slot == options.ordinal) {
+          slice = pull_local(map_task);
+        } else if (owner.path.empty()) {
+          throw OwnerUnreachable{"owner has no data-plane address"};
+        } else {
+          slice = pull_remote(owner, map_task);
+        }
+        records = std::move(slice.records);
+        if (fault == FaultInjector::Outcome::kCorruption) {
+          ok = flip_one_byte(records) && records_crc(records) == slice.crc;
+        } else {
+          ok = records_crc(records) == slice.crc;
+        }
+      }
+      if (ok) return records;
+      if (attempt >= max_fetch_attempts) {
+        throw IoError("pull: fetch of map output " +
+                      std::to_string(map_task) + " failed after " +
+                      std::to_string(max_fetch_attempts) + " attempts");
+      }
+      ++outcome.fetch_retries;
+      DASC_LOG(kWarn) << "worker " << options.ordinal
+                      << ": re-pulling map output " << map_task
+                      << " (attempt " << attempt
+                      << " failed verification)";
+    }
+  };
+
+  // Dead-owner recovery (state machine in DESIGN.md section 14): report
+  // the dead owner, serve the supervisor's inline kMapAssign re-execution
+  // of that map task, and resume with the output re-homed onto us. The
+  // whole dance happens inside our own kReducePull conversation, so it
+  // needs no second supervisor thread and works at any worker count.
+  const auto recover_owner = [&](std::uint64_t map_task,
+                                 const std::string& reason) {
+    DASC_LOG(kWarn) << "worker " << options.ordinal << ": map output "
+                    << map_task << " owner unreachable (" << reason
+                    << "); asking the supervisor to re-home it";
+    WireWriter failed;
+    failed.u64(task);
+    failed.u64(map_task);
+    control.send({MessageType::kPullFailed, failed.take()});
+    while (true) {
+      std::optional<Message> frame = ipc::recv_message(control);
+      if (!frame.has_value()) {
+        throw IoError("pull: supervisor vanished during owner recovery");
+      }
+      switch (frame->type) {
+        case MessageType::kMapAssign: {
+          WireReader assign(frame->payload);
+          const std::uint64_t assigned = assign.u64();
+          const std::vector<Record> input = read_records(assign);
+          detail::MapTaskResult mapped = detail::execute_map_task(
+              job.mapper_factory, job.combiner_factory,
+              job.use_combiner && job.combiner_factory != nullptr, input);
+          WireWriter done;
+          done.u64(assigned);
+          done.u64(mapped.emitted);
+          done.u64(mapped.combined);
+          done.u64(mapped.output.size());
+          {
+            std::lock_guard lock(state.outputs_mutex);
+            state.map_outputs[assigned] = std::move(mapped.output);
+          }
+          control.send({MessageType::kMapDone, done.take()});
+          break;
+        }
+        case MessageType::kPullResume: {
+          WireReader resume(frame->payload);
+          DASC_ENSURE(resume.u64() == map_task,
+                      "ipc: kPullResume map task mismatch");
+          owners[static_cast<std::size_t>(map_task)] =
+              OwnerRef{options.ordinal, std::string()};
+          return;
+        }
+        default:
+          throw IoError("pull: unexpected message type " +
+                        std::to_string(
+                            static_cast<std::uint32_t>(frame->type)) +
+                        " during owner recovery");
+      }
+    }
+  };
+
+  for (std::uint64_t m = 0; m < num_map_tasks; ++m) {
+    std::vector<Record> slice;
+    // Two rounds suffice: a failed pull re-homes the output onto this
+    // worker, and a local pull cannot lose its owner.
+    for (std::size_t round = 0;; ++round) {
+      try {
+        slice = pull_verified(m);
+        break;
+      } catch (const OwnerUnreachable& unreachable) {
+        if (round >= 1) {
+          throw IoError("pull: map output " + std::to_string(m) +
+                        " unreachable after re-homing: " +
+                        unreachable.reason);
+        }
+        recover_owner(m, unreachable.reason);
+      }
+    }
+    for (const auto& record : slice) {
+      spool.append(record.key, record.value);
+    }
+  }
+  spool.finish();
+  outcome.reduced =
+      detail::execute_reduce_spooled(job.reducer_factory, spool);
+  outcome.record_bytes = spool.record_bytes();
+  outcome.spill_bytes_written = static_cast<std::uint64_t>(
+      task_metrics.gauge_value("spill.bytes_written"));
+  outcome.spill_bytes_read = static_cast<std::uint64_t>(
+      task_metrics.gauge_value("spill.bytes_read"));
+  outcome.spill_pages =
+      static_cast<std::uint64_t>(task_metrics.gauge_value("spill.pages"));
+  outcome.spill_retries = static_cast<std::uint64_t>(
+      task_metrics.counter_value("retry.spill_page_io"));
+  // Every realized spool fire was retried on the way to this (successful)
+  // report, so the spool's retry count IS its fire count. The injector's
+  // fired() delta would also pick up `spill.page_io` fires realized inside
+  // user map/reduce code (e.g. a reduce stage running its own spools on
+  // the job's detached registry); absorbing those without their retries
+  // would break the supervisor's fired == retried invariant, so they stay
+  // worker-local like every other user-code metric. `shuffle.fetch` has no
+  // such aliasing — only the pull loop above calls it in a worker — so its
+  // delta is exact.
+  outcome.spill_fires = outcome.spill_retries;
+  if (faults != nullptr) {
+    outcome.fetch_fires = faults->fired("shuffle.fetch") - fetch_base;
+  }
+  return outcome;
+}
+
 }  // namespace
 
 void register_worker_job(const std::string& name,
@@ -127,12 +507,11 @@ WorkerJob make_registered_worker_job(const std::string& name) {
 }
 
 void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
-                       std::size_t ordinal, std::size_t heartbeat_ms) {
+                       const WorkerOptions& options) {
   DASC_EXPECT(job.mapper_factory != nullptr, "worker: missing mapper");
   DASC_EXPECT(job.reducer_factory != nullptr, "worker: missing reducer");
 
-  // Map outputs stay here until the supervisor fetches them (kFetch).
-  std::map<std::uint64_t, std::vector<Record>> map_outputs;
+  WorkerState state;
 
   // Heartbeats flow only while a task is executing: that is when the
   // supervisor is blocked in the exchange's recv loop draining them, so
@@ -140,10 +519,11 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
   std::atomic<bool> busy{false};
   std::atomic<bool> stop{false};
   std::thread heartbeat;
-  if (heartbeat_ms > 0) {
+  if (options.heartbeat_ms > 0) {
     heartbeat = std::thread([&] {
       while (!stop.load(std::memory_order_acquire)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(heartbeat_ms));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.heartbeat_ms));
         if (!busy.load(std::memory_order_acquire)) continue;
         try {
           transport.send({MessageType::kHeartbeat, {}});
@@ -154,6 +534,45 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
     });
   }
 
+  // Worker-to-worker shuffle: bind the data plane before serving the first
+  // assignment, so by the time any reducer learns this worker's address
+  // (from a partition map built after our first kMapDone) the listener is
+  // already accepting. The accept loop polls so it can observe `stop`.
+  std::unique_ptr<ipc::Listener> data_listener;
+  std::thread data_server;
+  if (!options.data_socket_path.empty()) {
+    data_listener = std::make_unique<ipc::Listener>(options.data_socket_path);
+    data_server = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::unique_ptr<ipc::Transport> peer;
+        try {
+          peer = data_listener->try_accept(100);
+        } catch (const std::exception& error) {
+          DASC_LOG(kWarn) << "worker " << options.ordinal
+                          << ": data-plane listener failed: "
+                          << error.what();
+          return;
+        }
+        if (peer == nullptr) continue;
+        try {
+          serve_data_peer(*peer, state);
+        } catch (const std::exception& error) {
+          // One misbehaving puller must not take the plane down; its
+          // failed pull surfaces on the puller's side.
+          DASC_LOG(kWarn) << "worker " << options.ordinal
+                          << ": data-plane connection failed: "
+                          << error.what();
+        }
+      }
+    });
+  }
+
+  const auto join_threads = [&] {
+    stop.store(true, std::memory_order_release);
+    if (heartbeat.joinable()) heartbeat.join();
+    if (data_server.joinable()) data_server.join();
+  };
+
   const auto reply_error = [&](std::uint64_t task, const char* where,
                                const std::exception& error) {
     WireWriter writer;
@@ -162,83 +581,123 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
     transport.send({MessageType::kTaskError, writer.take()});
   };
 
-  bool serving = true;
-  while (serving) {
-    std::optional<Message> message = transport.recv();
-    if (!message.has_value()) break;  // supervisor closed or died
-    switch (message->type) {
-      case MessageType::kMapAssign: {
-        WireReader reader(message->payload);
-        const std::uint64_t task = reader.u64();
-        busy.store(true, std::memory_order_release);
-        try {
-          const std::vector<Record> input = read_records(reader);
-          detail::MapTaskResult mapped = detail::execute_map_task(
-              job.mapper_factory, job.combiner_factory,
-              job.use_combiner && job.combiner_factory != nullptr, input);
-          WireWriter writer;
-          writer.u64(task);
-          writer.u64(mapped.emitted);
-          writer.u64(mapped.combined);
-          writer.u64(mapped.output.size());
-          map_outputs[task] = std::move(mapped.output);
-          transport.send({MessageType::kMapDone, writer.take()});
-        } catch (const std::exception& error) {
-          reply_error(task, "map", error);
-        }
-        busy.store(false, std::memory_order_release);
-        break;
-      }
-      case MessageType::kFetch: {
-        WireReader reader(message->payload);
-        const std::uint64_t task = reader.u64();
-        const auto it = map_outputs.find(task);
-        if (it == map_outputs.end()) {
-          reply_error(task, "fetch",
-                      IoError("map output not resident on this worker"));
+  try {
+    bool serving = true;
+    while (serving) {
+      std::optional<Message> message = ipc::recv_message(transport);
+      if (!message.has_value()) break;  // supervisor closed or died
+      switch (message->type) {
+        case MessageType::kMapAssign: {
+          WireReader reader(message->payload);
+          const std::uint64_t task = reader.u64();
+          busy.store(true, std::memory_order_release);
+          try {
+            const std::vector<Record> input = read_records(reader);
+            detail::MapTaskResult mapped = detail::execute_map_task(
+                job.mapper_factory, job.combiner_factory,
+                job.use_combiner && job.combiner_factory != nullptr, input);
+            WireWriter writer;
+            writer.u64(task);
+            writer.u64(mapped.emitted);
+            writer.u64(mapped.combined);
+            writer.u64(mapped.output.size());
+            {
+              std::lock_guard lock(state.outputs_mutex);
+              state.map_outputs[task] = std::move(mapped.output);
+            }
+            transport.send({MessageType::kMapDone, writer.take()});
+          } catch (const std::exception& error) {
+            reply_error(task, "map", error);
+          }
+          busy.store(false, std::memory_order_release);
           break;
         }
-        WireWriter writer;
-        writer.u64(task);
-        writer.u32(records_crc(it->second));
-        writer.u64(it->second.size());
-        append_records(writer, it->second);
-        transport.send({MessageType::kFetchData, writer.take()});
-        break;
-      }
-      case MessageType::kReduceAssign: {
-        WireReader reader(message->payload);
-        const std::uint64_t task = reader.u64();
-        busy.store(true, std::memory_order_release);
-        try {
-          detail::ReduceTaskResult reduced = detail::execute_reduce_records(
-              job.reducer_factory, read_records(reader));
+        case MessageType::kFetch: {
+          WireReader reader(message->payload);
+          const std::uint64_t task = reader.u64();
           WireWriter writer;
-          writer.u64(task);
-          writer.u64(reduced.num_groups);
-          writer.u64(reduced.in_records);
-          writer.u64(reduced.output.size());
-          append_records(writer, reduced.output);
-          transport.send({MessageType::kReduceDone, writer.take()});
-        } catch (const std::exception& error) {
-          reply_error(task, "reduce", error);
+          {
+            std::lock_guard lock(state.outputs_mutex);
+            const auto it = state.map_outputs.find(task);
+            if (it == state.map_outputs.end()) {
+              reply_error(task, "fetch",
+                          IoError("map output not resident on this worker"));
+              break;
+            }
+            writer.u64(task);
+            writer.u32(records_crc(it->second));
+            writer.u64(it->second.size());
+            append_records(writer, it->second);
+          }
+          ipc::send_message(transport,
+                            {MessageType::kFetchData, writer.take()});
+          break;
         }
-        busy.store(false, std::memory_order_release);
-        break;
+        case MessageType::kReduceAssign: {
+          WireReader reader(message->payload);
+          const std::uint64_t task = reader.u64();
+          busy.store(true, std::memory_order_release);
+          try {
+            detail::ReduceTaskResult reduced = detail::execute_reduce_records(
+                job.reducer_factory, read_records(reader));
+            WireWriter writer;
+            writer.u64(task);
+            writer.u64(reduced.num_groups);
+            writer.u64(reduced.in_records);
+            writer.u64(reduced.output.size());
+            append_records(writer, reduced.output);
+            ipc::send_message(transport,
+                              {MessageType::kReduceDone, writer.take()});
+          } catch (const std::exception& error) {
+            reply_error(task, "reduce", error);
+          }
+          busy.store(false, std::memory_order_release);
+          break;
+        }
+        case MessageType::kReducePull: {
+          WireReader reader(message->payload);
+          const std::uint64_t task = reader.u64();
+          busy.store(true, std::memory_order_release);
+          try {
+            PullOutcome outcome =
+                run_reduce_pull(transport, job, options, state, task, reader);
+            WireWriter writer;
+            writer.u64(task);
+            writer.u64(outcome.reduced.num_groups);
+            writer.u64(outcome.reduced.in_records);
+            writer.u64(outcome.reduced.output.size());
+            writer.u64(outcome.record_bytes);
+            writer.u64(outcome.spill_bytes_written);
+            writer.u64(outcome.spill_bytes_read);
+            writer.u64(outcome.spill_pages);
+            writer.u64(outcome.fetch_fires);
+            writer.u64(outcome.fetch_retries);
+            writer.u64(outcome.spill_fires);
+            writer.u64(outcome.spill_retries);
+            append_records(writer, outcome.reduced.output);
+            ipc::send_message(transport,
+                              {MessageType::kReducePullDone, writer.take()});
+          } catch (const std::exception& error) {
+            reply_error(task, "reduce_pull", error);
+          }
+          busy.store(false, std::memory_order_release);
+          break;
+        }
+        case MessageType::kShutdown:
+          serving = false;
+          break;
+        default:
+          DASC_LOG(kWarn) << "worker " << options.ordinal
+                          << ": ignoring unexpected message type "
+                          << static_cast<std::uint32_t>(message->type);
+          break;
       }
-      case MessageType::kShutdown:
-        serving = false;
-        break;
-      default:
-        DASC_LOG(kWarn) << "worker " << ordinal
-                        << ": ignoring unexpected message type "
-                        << static_cast<std::uint32_t>(message->type);
-        break;
     }
+  } catch (...) {
+    join_threads();
+    throw;
   }
-
-  stop.store(true, std::memory_order_release);
-  if (heartbeat.joinable()) heartbeat.join();
+  join_threads();
 }
 
 // ---------------------------------------------------------------------------
@@ -247,13 +706,21 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
 
 namespace {
 
-constexpr std::size_t kNoOwner = static_cast<std::size_t>(-1);
-
 /// Supervisor-side conversation driver over one worker's transport.
 class WorkerExchange {
  public:
   WorkerExchange(ipc::WorkerSupervisor& supervisor, MetricsRegistry* metrics)
-      : supervisor_(supervisor), metrics_(metrics) {}
+      : supervisor_(supervisor), metrics_(metrics) {
+    interloper_ = [this](const Message& frame) {
+      if (frame.type == MessageType::kHeartbeat) {
+        note_heartbeat();
+        return;
+      }
+      throw IoError("ipc: unexpected frame type " +
+                    std::to_string(static_cast<std::uint32_t>(frame.type)) +
+                    " during a streamed exchange");
+    };
+  }
 
   /// One request/response conversation with `slot`, serialized by the
   /// slot's exchange mutex. With `kill_after_send` the worker is
@@ -263,31 +730,49 @@ class WorkerExchange {
   /// Transport failure or EOF marks the slot dead and throws IoError.
   Message call(std::size_t slot, const Message& request,
                bool kill_after_send = false) {
+    return converse(slot, request, kill_after_send,
+                    [](const Message&) { return true; });
+  }
+
+  /// call(), but every reply runs through `handle` first: returning true
+  /// finishes the conversation with that reply; returning false means the
+  /// handler consumed the frame mid-conversation (the worker-to-worker
+  /// kPullFailed -> kMapAssign -> kPullResume recovery dance) and the
+  /// exchange keeps listening. Handler exceptions propagate without
+  /// marking the worker dead — a kTaskError from a live worker is a task
+  /// failure, not a transport failure.
+  Message converse(std::size_t slot, const Message& request,
+                   bool kill_after_send,
+                   const std::function<bool(const Message&)>& handle) {
     std::lock_guard lock(supervisor_.exchange_mutex(slot));
     try {
-      supervisor_.transport(slot).send(request);
+      ipc::send_message(supervisor_.transport(slot), request, stream_config_,
+                        interloper_);
     } catch (const std::exception&) {
       supervisor_.mark_dead(slot);
       throw IoError("ipc: worker " + std::to_string(slot) +
                     " unreachable (send failed)");
     }
     if (kill_after_send) supervisor_.kill_worker(slot);
-    try {
-      while (true) {
-        std::optional<Message> reply = supervisor_.transport(slot).recv();
-        if (!reply.has_value()) {
-          throw IoError("ipc: worker " + std::to_string(slot) +
-                        " died mid-task (connection closed)");
-        }
-        if (reply->type == MessageType::kHeartbeat) {
-          if (metrics_ != nullptr) metrics_->gauge("worker.heartbeats").add(1);
-          continue;
-        }
-        return *std::move(reply);
+    while (true) {
+      std::optional<Message> reply;
+      try {
+        reply = ipc::recv_message(supervisor_.transport(slot),
+                                  stream_config_, interloper_);
+      } catch (const IoError&) {
+        supervisor_.mark_dead(slot);
+        throw;
       }
-    } catch (const IoError&) {
-      supervisor_.mark_dead(slot);
-      throw;
+      if (!reply.has_value()) {
+        supervisor_.mark_dead(slot);
+        throw IoError("ipc: worker " + std::to_string(slot) +
+                      " died mid-task (connection closed)");
+      }
+      if (reply->type == MessageType::kHeartbeat) {
+        note_heartbeat();
+        continue;
+      }
+      if (handle(*reply)) return *std::move(reply);
     }
   }
 
@@ -305,17 +790,21 @@ class WorkerExchange {
     throw IoError("ipc: no live workers remain");
   }
 
+  void note_heartbeat() {
+    if (metrics_ != nullptr) metrics_->gauge("worker.heartbeats").add(1);
+  }
+
+  const ipc::StreamConfig& stream_config() const { return stream_config_; }
+  const std::function<void(const Message&)>& interloper() const {
+    return interloper_;
+  }
+
  private:
   ipc::WorkerSupervisor& supervisor_;
   MetricsRegistry* metrics_ = nullptr;
+  ipc::StreamConfig stream_config_;
+  std::function<void(const Message&)> interloper_;
 };
-
-/// Throws the worker-reported task failure carried by a kTaskError reply.
-[[noreturn]] void rethrow_task_error(const Message& reply) {
-  WireReader reader(reply.payload);
-  reader.u64();  // task
-  throw IoError("worker task failed: " + std::string(reader.bytes()));
-}
 
 }  // namespace
 
@@ -332,6 +821,7 @@ JobResult run_job_multiproc(const JobSpec& spec,
     mp.conf.enable_speculation = false;
   }
   const JobConf& conf = mp.conf;
+  const bool w2w = conf.shuffle_mode == ShuffleMode::kWorkerToWorker;
 
   Stopwatch total_clock;
   JobResult result;
@@ -345,6 +835,24 @@ JobResult run_job_multiproc(const JobSpec& spec,
 
   const bool use_combiner =
       conf.enable_combiner && mp.combiner_factory != nullptr;
+
+  // Worker-to-worker shuffle: every provisioned slot (spares included)
+  // gets a data-plane address up front, supervisor-pid-namespaced so
+  // concurrent jobs sharing a spill_dir cannot collide.
+  std::vector<std::string> data_paths;
+  if (w2w) {
+    namespace fs = std::filesystem;
+    const fs::path base = conf.spill_dir.empty()
+                              ? fs::temp_directory_path()
+                              : fs::path(conf.spill_dir);
+    const std::size_t total_slots = conf.num_workers + conf.worker_spares;
+    for (std::size_t slot = 0; slot < total_slots; ++slot) {
+      data_paths.push_back(
+          (base / ("dasc-data-" + std::to_string(::getpid()) + "-" +
+                   std::to_string(slot) + ".sock"))
+              .string());
+    }
+  }
 
   // ---- Launch the workers (before any job threads exist: fork safety) ----
   ipc::WorkerLaunch launch;
@@ -363,13 +871,23 @@ JobResult run_job_multiproc(const JobSpec& spec,
     job.combiner_factory = mp.combiner_factory;
     job.use_combiner = use_combiner;
     launch.worker_main = [job = std::move(job), faults = mp.faults,
-                          heartbeat_ms = conf.heartbeat_interval_ms](
-                             ipc::Transport& transport, std::size_t slot) {
+                          heartbeat_ms = conf.heartbeat_interval_ms,
+                          data_paths](ipc::Transport& transport,
+                                      std::size_t slot) {
       // The child's copy-on-write FaultInjector must never touch the
-      // parent-owned MetricsRegistry; all fault sites fire supervisor-side
-      // anyway (serve_worker_loop never evaluates the plan).
+      // parent-owned MetricsRegistry. Worker-side sites (`shuffle.fetch`
+      // during pulls, `spill.page_io` in the reduce spool) still evaluate
+      // here; their fires are reported back in kReducePullDone and
+      // re-homed into the supervisor's injector and registry.
       if (faults != nullptr) faults->detach_metrics();
-      serve_worker_loop(transport, job, slot, heartbeat_ms);
+      WorkerOptions options;
+      options.ordinal = slot;
+      options.heartbeat_ms = heartbeat_ms;
+      if (slot < data_paths.size()) {
+        options.data_socket_path = data_paths[slot];
+      }
+      options.faults = faults;
+      serve_worker_loop(transport, job, options);
     };
   }
   ipc::WorkerSupervisor supervisor(std::move(launch));
@@ -380,7 +898,8 @@ JobResult run_job_multiproc(const JobSpec& spec,
                   << supervisor.primaries() << "+"
                   << (supervisor.provisioned() - supervisor.primaries())
                   << " worker processes ("
-                  << (exec_mode ? conf.worker_binary : "forked") << ")";
+                  << (exec_mode ? conf.worker_binary : "forked") << ", "
+                  << to_string(conf.shuffle_mode) << " shuffle)";
 
   if (exec_mode) {
     // Exec'd binaries reconstruct the job from the registry; every slot
@@ -391,6 +910,10 @@ JobResult run_job_multiproc(const JobSpec& spec,
       writer.u64(conf.heartbeat_interval_ms);
       writer.u32(use_combiner ? 1 : 0);
       writer.bytes(conf.job_name);
+      writer.bytes(slot < data_paths.size() ? data_paths[slot]
+                                            : std::string());
+      writer.bytes(mp.faults != nullptr ? mp.faults->plan().to_string()
+                                        : std::string());
       supervisor.transport(slot).send(
           {MessageType::kJobSetup, writer.take()});
     }
@@ -413,6 +936,12 @@ JobResult run_job_multiproc(const JobSpec& spec,
   std::atomic<std::uint64_t> combine_in{0};
   std::atomic<std::uint64_t> combine_out{0};
   std::vector<std::size_t> map_owner(splits.size(), kNoOwner);
+  // Guards map_owner once the reduce phase starts: under worker-to-worker
+  // shuffle, concurrent reduce tasks read the owner table while a
+  // kPullFailed recovery rewrites the re-homed entry. (The map phase needs
+  // no locking: each task's committing attempt is the entry's only
+  // writer, and the phases are separated by the pool join.)
+  std::mutex owner_mutex;
   // Retries shift to the next live slot; speculation is off, so each
   // task's attempts are sequential and the shift needs no atomics.
   std::vector<std::size_t> map_shift(splits.size(), 0);
@@ -458,7 +987,7 @@ JobResult run_job_multiproc(const JobSpec& spec,
   result.counters.combine_input_records = combine_in.load();
   result.counters.combine_output_records = combine_out.load();
 
-  // ---- Gather + partition (the real shuffle) ----
+  // ---- Gather + partition (relay shuffle only) ----
   // Fetch each map task's output from its owner in task order, verify the
   // transfer, and build partitions exactly as fetch_and_partition does —
   // same record order, same `shuffle.fetch` call sequence, same
@@ -469,7 +998,9 @@ JobResult run_job_multiproc(const JobSpec& spec,
   //
   // conf.spill_budget_bytes governs the in-process executor's shuffle
   // only: here every partition must be serialized whole into a
-  // kReduceAssign anyway, so the gather stays in supervisor RAM.
+  // kReduceAssign anyway, so the gather stays in supervisor RAM. The
+  // worker-to-worker topology exists to break exactly this residency —
+  // it skips the gather entirely and reducers spool their own partitions.
   const auto fetch_from_owner =
       [&](std::size_t owner, std::size_t task) -> std::vector<Record> {
     for (std::size_t attempt = 1;; ++attempt) {
@@ -497,22 +1028,7 @@ JobResult run_job_multiproc(const JobSpec& spec,
         if (outcome == FaultInjector::Outcome::kCorruption) {
           // Flip one byte of the transfer; the CRC check catches it. An
           // empty transfer has nothing to flip — fail the attempt.
-          bool flipped = false;
-          for (auto& record : fetched) {
-            if (!record.value.empty()) {
-              record.value.front() =
-                  static_cast<char>(record.value.front() ^ 0x1);
-              flipped = true;
-              break;
-            }
-            if (!record.key.empty()) {
-              record.key.front() =
-                  static_cast<char>(record.key.front() ^ 0x1);
-              flipped = true;
-              break;
-            }
-          }
-          ok = flipped && records_crc(fetched) == expected;
+          ok = flip_one_byte(fetched) && records_crc(fetched) == expected;
         } else {
           ok = records_crc(fetched) == expected;
         }
@@ -578,7 +1094,7 @@ JobResult run_job_multiproc(const JobSpec& spec,
   };
 
   std::vector<std::vector<Record>> partitions(conf.num_reducers);
-  {
+  if (!w2w) {
     ScopedTimer shuffle_timer(mp.metrics, "mapreduce.shuffle");
     for (std::size_t task = 0; task < splits.size(); ++task) {
       std::vector<Record> fetched = fetch_verified(task);
@@ -588,6 +1104,13 @@ JobResult run_job_multiproc(const JobSpec& spec,
       }
     }
     result.counters.shuffle_bytes = shuffle_bytes(partitions);
+    if (mp.metrics != nullptr) {
+      // Shuffle bytes that physically moved through the supervisor — the
+      // residency the worker-to-worker topology eliminates (its jobs
+      // leave this gauge untouched; bench_multiproc gates the ratio).
+      mp.metrics->gauge("shuffle.relay_bytes")
+          .add(static_cast<std::int64_t>(result.counters.shuffle_bytes));
+    }
   }
 
   // ---- Reduce phase ----
@@ -596,45 +1119,243 @@ JobResult run_job_multiproc(const JobSpec& spec,
   std::atomic<std::uint64_t> reduce_groups{0};
   std::atomic<std::uint64_t> reduce_in{0};
   std::atomic<std::uint64_t> reduce_out{0};
+  std::atomic<std::uint64_t> pulled_shuffle_bytes{0};
   std::vector<std::size_t> reduce_shift(conf.num_reducers, 0);
 
-  detail::run_task_phase(
-      mp, conf.num_reducers, "reduce.task", "retry.reduce_attempts",
-      failed_attempts, speculative_launches, result.reduce_task_seconds,
+  // Relay topology: ship the supervisor-resident partition whole.
+  const detail::TaskBody reduce_relay_body =
       [&](std::size_t task) -> std::function<void()> {
-        const std::size_t slot = exchange.pick_worker(
-            task, result.reduce_task_workers, reduce_shift[task]);
-        WireWriter writer;
-        writer.u64(task);
-        append_records(writer, partitions[task]);
-        Message reply;
-        try {
-          reply = exchange.call(
-              slot, {MessageType::kReduceAssign, writer.take()},
-              kill_fires());
-        } catch (const IoError&) {
-          ++reduce_shift[task];
-          throw;
+    const std::size_t slot = exchange.pick_worker(
+        task, result.reduce_task_workers, reduce_shift[task]);
+    WireWriter writer;
+    writer.u64(task);
+    append_records(writer, partitions[task]);
+    Message reply;
+    try {
+      reply = exchange.call(
+          slot, {MessageType::kReduceAssign, writer.take()},
+          kill_fires());
+    } catch (const IoError&) {
+      ++reduce_shift[task];
+      throw;
+    }
+    if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
+    DASC_ENSURE(reply.type == MessageType::kReduceDone,
+                "ipc: unexpected reply to kReduceAssign");
+    WireReader reader(reply.payload);
+    DASC_ENSURE(reader.u64() == task, "ipc: kReduceDone task mismatch");
+    const std::uint64_t num_groups = reader.u64();
+    const std::uint64_t in_records = reader.u64();
+    const std::uint64_t out_count = reader.u64();
+    std::vector<Record> out = read_records(reader);
+    DASC_ENSURE(out.size() == out_count,
+                "ipc: kReduceDone record count mismatch");
+    return [&, task, num_groups, in_records,
+            out = std::move(out)]() mutable {
+      reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
+      reduce_in.fetch_add(in_records, std::memory_order_relaxed);
+      reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
+      reduce_outputs[task] = std::move(out);
+    };
+  };
+
+  // Worker-to-worker recovery (DESIGN.md section 14): a reducer reported
+  // a dead map-output owner mid-pull. Retire the owner for real (it is
+  // unreachable from the data plane even if its control socket lingers),
+  // re-execute the map task inline on the reporting reducer over its own
+  // conversation — no second exchange, so this cannot deadlock even at
+  // one worker — and hand the pull back with the output re-homed.
+  const auto handle_pull_failed = [&](std::size_t reducer_slot,
+                                      const Message& frame) {
+    WireReader reader(frame.payload);
+    const std::uint64_t reduce_task = reader.u64();
+    const std::uint64_t map_task = reader.u64();
+    DASC_ENSURE(map_task < splits.size(),
+                "ipc: kPullFailed map task out of range");
+    std::size_t owner = kNoOwner;
+    {
+      std::lock_guard lock(owner_mutex);
+      owner = map_owner[map_task];
+    }
+    if (owner != kNoOwner && owner != reducer_slot) {
+      supervisor.kill_worker(owner);
+    }
+    DASC_LOG(kWarn) << conf.job_name << ": re-executing map task "
+                    << map_task << " on reducer worker " << reducer_slot
+                    << " (owner unreachable during pull for reduce task "
+                    << reduce_task << ")";
+    if (mp.metrics != nullptr) {
+      mp.metrics->gauge("worker.map_reexecutions").add(1);
+    }
+    ipc::Transport& transport = supervisor.transport(reducer_slot);
+    WireWriter writer;
+    writer.u64(map_task);
+    append_records(writer, splits[map_task]);
+    try {
+      ipc::send_message(transport, {MessageType::kMapAssign, writer.take()},
+                        exchange.stream_config(), exchange.interloper());
+    } catch (const std::exception&) {
+      supervisor.mark_dead(reducer_slot);
+      throw IoError("ipc: worker " + std::to_string(reducer_slot) +
+                    " unreachable (send failed)");
+    }
+    while (true) {
+      std::optional<Message> reply;
+      try {
+        reply = ipc::recv_message(transport, exchange.stream_config(),
+                                  exchange.interloper());
+      } catch (const IoError&) {
+        supervisor.mark_dead(reducer_slot);
+        throw;
+      }
+      if (!reply.has_value()) {
+        supervisor.mark_dead(reducer_slot);
+        throw IoError("ipc: worker " + std::to_string(reducer_slot) +
+                      " died mid-task (connection closed)");
+      }
+      if (reply->type == MessageType::kHeartbeat) {
+        exchange.note_heartbeat();
+        continue;
+      }
+      // The worker reports the re-execution's failure as the reduce
+      // task's one kTaskError; the attempt fails and retries cleanly.
+      if (reply->type == MessageType::kTaskError) {
+        rethrow_task_error(*reply);
+      }
+      DASC_ENSURE(reply->type == MessageType::kMapDone,
+                  "ipc: unexpected reply to kMapAssign (pull recovery)");
+      WireReader done(reply->payload);
+      DASC_ENSURE(done.u64() == map_task,
+                  "ipc: kMapDone task mismatch (pull recovery)");
+      break;
+    }
+    {
+      std::lock_guard lock(owner_mutex);
+      map_owner[map_task] = reducer_slot;
+    }
+    WireWriter resume;
+    resume.u64(map_task);
+    try {
+      transport.send({MessageType::kPullResume, resume.take()});
+    } catch (const std::exception&) {
+      supervisor.mark_dead(reducer_slot);
+      throw IoError("ipc: worker " + std::to_string(reducer_slot) +
+                    " unreachable (send failed)");
+    }
+  };
+
+  // Worker-to-worker topology: ship the partition map, let the reducer
+  // pull and spool its own partition, then absorb its report.
+  const detail::TaskBody reduce_pull_body =
+      [&](std::size_t task) -> std::function<void()> {
+    const std::size_t slot = exchange.pick_worker(
+        task, result.reduce_task_workers, reduce_shift[task]);
+    WireWriter writer;
+    writer.u64(task);
+    writer.u64(conf.num_reducers);
+    writer.u64(splits.size());
+    writer.u64(conf.spill_budget_bytes);
+    writer.bytes(conf.spill_dir);
+    writer.u64(conf.max_fetch_attempts);
+    {
+      std::lock_guard lock(owner_mutex);
+      for (std::size_t m = 0; m < splits.size(); ++m) {
+        const std::size_t owner = map_owner[m];
+        writer.u64(static_cast<std::uint64_t>(owner));
+        writer.bytes(owner != kNoOwner && owner < data_paths.size()
+                         ? data_paths[owner]
+                         : std::string());
+      }
+    }
+    Message reply;
+    try {
+      reply = exchange.converse(
+          slot, {MessageType::kReducePull, writer.take()}, kill_fires(),
+          [&](const Message& frame) {
+            if (frame.type == MessageType::kPullFailed) {
+              handle_pull_failed(slot, frame);
+              return false;  // keep the conversation open
+            }
+            return true;
+          });
+    } catch (const IoError&) {
+      ++reduce_shift[task];
+      throw;
+    }
+    if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
+    DASC_ENSURE(reply.type == MessageType::kReducePullDone,
+                "ipc: unexpected reply to kReducePull");
+    WireReader reader(reply.payload);
+    DASC_ENSURE(reader.u64() == task, "ipc: kReducePullDone task mismatch");
+    const std::uint64_t num_groups = reader.u64();
+    const std::uint64_t in_records = reader.u64();
+    const std::uint64_t out_count = reader.u64();
+    const std::uint64_t record_bytes = reader.u64();
+    const std::uint64_t spill_written = reader.u64();
+    const std::uint64_t spill_read = reader.u64();
+    const std::uint64_t spill_pages = reader.u64();
+    const std::uint64_t fetch_fires = reader.u64();
+    const std::uint64_t fetch_retries = reader.u64();
+    const std::uint64_t spill_fires = reader.u64();
+    const std::uint64_t spill_retries = reader.u64();
+    std::vector<Record> out = read_records(reader);
+    DASC_ENSURE(out.size() == out_count,
+                "ipc: kReducePullDone record count mismatch");
+    return [&, task, num_groups, in_records, record_bytes, spill_written,
+            spill_read, spill_pages, fetch_fires, fetch_retries, spill_fires,
+            spill_retries, out = std::move(out)]() mutable {
+      reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
+      reduce_in.fetch_add(in_records, std::memory_order_relaxed);
+      reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
+      pulled_shuffle_bytes.fetch_add(record_bytes,
+                                     std::memory_order_relaxed);
+      reduce_outputs[task] = std::move(out);
+      // Re-home the committing attempt's worker-side accounting so the
+      // supervisor's registry and injector read the same as a relay run:
+      // spill gauges accumulate, retry counters count, and every
+      // reported fire lands in fault.injected.<site>. (A failed
+      // attempt's report is discarded with the attempt — fires, retries,
+      // and spill work vanish together, keeping the views consistent.)
+      if (mp.metrics != nullptr) {
+        if (spill_written > 0) {
+          mp.metrics->gauge("spill.bytes_written")
+              .add(static_cast<std::int64_t>(spill_written));
         }
-        if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
-        DASC_ENSURE(reply.type == MessageType::kReduceDone,
-                    "ipc: unexpected reply to kReduceAssign");
-        WireReader reader(reply.payload);
-        DASC_ENSURE(reader.u64() == task, "ipc: kReduceDone task mismatch");
-        const std::uint64_t num_groups = reader.u64();
-        const std::uint64_t in_records = reader.u64();
-        const std::uint64_t out_count = reader.u64();
-        std::vector<Record> out = read_records(reader);
-        DASC_ENSURE(out.size() == out_count,
-                    "ipc: kReduceDone record count mismatch");
-        return [&, task, num_groups, in_records,
-                out = std::move(out)]() mutable {
-          reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
-          reduce_in.fetch_add(in_records, std::memory_order_relaxed);
-          reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
-          reduce_outputs[task] = std::move(out);
-        };
-      });
+        if (spill_read > 0) {
+          mp.metrics->gauge("spill.bytes_read")
+              .add(static_cast<std::int64_t>(spill_read));
+        }
+        if (spill_pages > 0) {
+          mp.metrics->gauge("spill.pages")
+              .add(static_cast<std::int64_t>(spill_pages));
+        }
+        if (fetch_retries > 0) {
+          mp.metrics->counter("retry.shuffle_fetch")
+              .add(static_cast<std::int64_t>(fetch_retries));
+        }
+        if (spill_retries > 0) {
+          mp.metrics->counter("retry.spill_page_io")
+              .add(static_cast<std::int64_t>(spill_retries));
+        }
+      }
+      if (mp.faults != nullptr) {
+        mp.faults->record_remote_fires("shuffle.fetch", fetch_fires);
+        mp.faults->record_remote_fires("spill.page_io", spill_fires);
+      }
+    };
+  };
+
+  detail::run_task_phase(mp, conf.num_reducers, "reduce.task",
+                         "retry.reduce_attempts", failed_attempts,
+                         speculative_launches, result.reduce_task_seconds,
+                         w2w ? reduce_pull_body : reduce_relay_body);
+
+  if (w2w) {
+    // The reducers moved the shuffle bytes; the supervisor only tallies
+    // them. Same key+value+2 convention as the relay gather, so the
+    // counter is topology- and worker-count-invariant.
+    result.counters.shuffle_bytes = pulled_shuffle_bytes.load();
+  }
 
   result.counters.reduce_input_groups = reduce_groups.load();
   result.counters.reduce_input_records = reduce_in.load();
@@ -648,6 +1369,10 @@ JobResult run_job_multiproc(const JobSpec& spec,
   }
 
   supervisor.shutdown();
+  // Workers unlink their data sockets with their Listeners, but a
+  // SIGKILLed worker cannot; sweep the paths so shared spill_dirs stay
+  // clean.
+  for (const auto& path : data_paths) ::unlink(path.c_str());
 
   result.real_seconds = total_clock.seconds();
   detail::finalize_job_result(mp, speculative_launches.load(), result);

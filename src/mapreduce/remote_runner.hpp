@@ -2,30 +2,59 @@
 // the worker side (serve_worker_loop) of JobConf::execution_mode ==
 // kMultiProcess.
 //
-// Topology is a supervisor-mediated star (DESIGN.md section 13). The
-// supervisor — the process that called run_job — forks (or execs) the
+// The control plane is a supervisor-mediated star (DESIGN.md section 13):
+// the supervisor — the process that called run_job — forks (or execs) the
 // workers before spawning any job threads, drives both phases through the
 // same detail::run_task_phase as the in-process executor, and moves data
-// as CRC-framed messages:
+// as CRC-framed messages. Payloads larger than one stream chunk ship as
+// bounded kDataChunk/kDataEnd streams (ipc/stream.hpp), so a big map input
+// or reduce partition never buffers whole in a socket.
 //
-//   map:     kMapAssign{task, records}        -> kMapDone{counters}
-//   shuffle: kFetch{task}                     -> kFetchData{crc, records}
-//   reduce:  kReduceAssign{task, partition}   -> kReduceDone{records}
+// Shuffle topology is JobConf::shuffle_mode:
 //
-// Map outputs stay on the worker that committed the task until the gather
-// step fetches them; partitions are then built in the supervisor in map-
-// task order — the exact record order fetch_and_partition produces — and
-// shipped whole to the reduce workers. Together with commit-once attempts
-// and the shared task helpers, job output is byte-identical to kInProcess
-// for any worker count and any fault plan that lets the job finish.
+//   kRelay (default) — the supervisor gathers every map output over the
+//   control sockets and ships whole partitions to reducers:
 //
-// Fault sites: `map.task` / `reduce.task` / `shuffle.fetch` fire in the
-// supervisor exactly as in-process (same call order, same accounting), and
-// `worker.kill` SIGKILLs the assigned worker right after its task ships —
-// the task's transport then sees EOF, the attempt fails, and the retry
-// re-dispatches to the next live slot (a pre-forked spare when the
-// primaries are exhausted). A dead map-output owner at gather time causes
-// a deterministic map re-execution (`worker.map_reexecutions` gauge).
+//     map:     kMapAssign{task, records}      -> kMapDone{counters}
+//     shuffle: kFetch{task}                   -> kFetchData{crc, records}
+//     reduce:  kReduceAssign{task, partition} -> kReduceDone{records}
+//
+//   Partitions are built in the supervisor in map-task order — the exact
+//   record order fetch_and_partition produces. The relayed byte volume is
+//   recorded in the `shuffle.relay_bytes` gauge.
+//
+//   kWorkerToWorker (DESIGN.md section 14) — each worker additionally
+//   binds a data-plane Listener; reducers pull their partitions straight
+//   from the mapper workers and the supervisor relays no shuffle bytes:
+//
+//     reduce:  kReducePull{task, partition map} -> kReducePullDone{records,
+//                                                  spill/fault accounting}
+//     pull:    kFetchPart{map_task, partition}  -> kFetchData{crc, records}
+//              (reducer -> owner's data plane, one connection per attempt)
+//
+//   Pulled records stream into one sort-on-seal SpoolBuffer per reduce
+//   task, so JobConf::spill_budget_bytes bounds reducer residency instead
+//   of supervisor RAM. A map-output owner that dies mid-pull is first-
+//   class: the reducer reports kPullFailed, the supervisor re-executes the
+//   map task inline on that reducer (kMapAssign over the same
+//   conversation), replies kPullResume, and the pull resumes locally.
+//
+// Together with commit-once attempts and the shared task helpers, job
+// output is byte-identical to kInProcess for any worker count, either
+// shuffle mode, any spill budget, and any fault plan that lets the job
+// finish.
+//
+// Fault sites: `map.task` / `reduce.task` fire in the supervisor exactly
+// as in-process, and `worker.kill` SIGKILLs the assigned worker right
+// after its task ships — the task's transport then sees EOF, the attempt
+// fails, and the retry re-dispatches to the next live slot (a pre-forked
+// spare when the primaries are exhausted). `shuffle.fetch` fires wherever
+// the fetch runs: in the supervisor's gather under kRelay, inside the
+// pulling reduce worker under kWorkerToWorker (fires/retries are reported
+// back in kReducePullDone and absorbed into the supervisor's injector and
+// registry, so accounting stays consistent). A dead map-output owner
+// causes a deterministic map re-execution (`worker.map_reexecutions`
+// gauge).
 #pragma once
 
 #include <cstddef>
@@ -36,6 +65,10 @@
 
 #include "mapreduce/job.hpp"
 #include "mapreduce/types.hpp"
+
+namespace dasc {
+class FaultInjector;
+}  // namespace dasc
 
 namespace dasc::ipc {
 class Transport;
@@ -52,16 +85,37 @@ struct WorkerJob {
   bool use_combiner = false;
 };
 
+/// Per-worker runtime knobs for serve_worker_loop. Forked workers get
+/// these from the supervisor's closure; exec'd workers parse them out of
+/// kJobSetup.
+struct WorkerOptions {
+  /// The worker's slot index (logging and self-pull detection).
+  std::size_t ordinal = 0;
+  /// kHeartbeat period while a task runs (0 = off).
+  std::size_t heartbeat_ms = 0;
+  /// Worker-to-worker shuffle: AF_UNIX path this worker binds its data-
+  /// plane Listener on. Empty = relay mode, no data plane.
+  std::string data_socket_path;
+  /// Worker-side fault injection (`shuffle.fetch` during pulls,
+  /// `spill.page_io` in the reduce spool). May be null. Forked workers
+  /// share the supervisor's injector copy-on-write (metrics detached);
+  /// exec'd workers own one built from the kJobSetup plan text.
+  FaultInjector* faults = nullptr;
+};
+
 /// A worker process's whole life: serve task assignments from `transport`
 /// until kShutdown or EOF (supervisor gone). Runs map tasks with
-/// execute_map_task (outputs retained for later kFetch), reduce tasks with
-/// execute_reduce_records; a task that throws is reported as kTaskError
-/// and the loop keeps serving (the supervisor decides whether to retry).
-/// While a task is executing, a companion thread sends kHeartbeat every
-/// `heartbeat_ms` (idle workers stay silent so unread frames stay
-/// bounded). `ordinal` is the worker's slot index, used only for logging.
+/// execute_map_task (outputs retained for later kFetch / data-plane
+/// pulls), relay reduce tasks with execute_reduce_records, and pull-based
+/// reduce tasks (kReducePull) by fetching each map task's slice of the
+/// partition — remote owners over their data planes, itself directly —
+/// into a sort-on-seal SpoolBuffer reduced via execute_reduce_spooled. A
+/// task that throws is reported as kTaskError and the loop keeps serving
+/// (the supervisor decides whether to retry). While a task is executing, a
+/// companion thread sends kHeartbeat every options.heartbeat_ms (idle
+/// workers stay silent so unread frames stay bounded).
 void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
-                       std::size_t ordinal, std::size_t heartbeat_ms);
+                       const WorkerOptions& options);
 
 /// Registry of jobs an exec-mode worker binary can serve by name
 /// (JobConf::job_name travels in kJobSetup). "wordcount" — the canonical

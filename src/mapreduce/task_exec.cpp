@@ -208,6 +208,41 @@ ReduceTaskResult execute_reduce_records(
   return result;
 }
 
+ReduceTaskResult execute_reduce_spooled(
+    const std::function<std::unique_ptr<Reducer>()>& reducer_factory,
+    const SpoolBuffer& partition) {
+  const std::unique_ptr<Reducer> reducer = reducer_factory();
+  VectorEmitter emitter;
+  ReduceTaskResult result;
+  // The merged stream is the partition stable-sorted by key (the spool's
+  // sort_on_seal contract), so grouping is one streaming pass: flush
+  // whenever the key changes — the exact group sequence sort_and_group
+  // builds from the same records.
+  KeyGroup group;
+  bool open = false;
+  partition.for_each_sorted(
+      [&](std::string_view key, std::string_view value) {
+        if (!open || group.key != key) {
+          if (open) {
+            ++result.num_groups;
+            result.in_records += group.values.size();
+            reducer->reduce(group.key, group.values, emitter);
+          }
+          group.key.assign(key);
+          group.values.clear();
+          open = true;
+        }
+        group.values.emplace_back(value);
+      });
+  if (open) {
+    ++result.num_groups;
+    result.in_records += group.values.size();
+    reducer->reduce(group.key, group.values, emitter);
+  }
+  result.output = std::move(emitter.records());
+  return result;
+}
+
 void finalize_job_result(const JobSpec& spec,
                          std::uint64_t speculative_launches,
                          JobResult& result) {

@@ -21,6 +21,10 @@
 #include "mapreduce/job.hpp"
 #include "mapreduce/types.hpp"
 
+namespace dasc {
+class SpoolBuffer;
+}  // namespace dasc
+
 namespace dasc::mapreduce::detail {
 
 /// A task attempt: does the work, returns the closure that applies its
@@ -73,6 +77,15 @@ struct ReduceTaskResult {
 ReduceTaskResult execute_reduce_records(
     const std::function<std::unique_ptr<Reducer>()>& reducer_factory,
     std::vector<Record> partition);
+
+/// Run one reduce task over a finished sort-on-seal SpoolBuffer, streaming
+/// groups off the spool's merged order — which is exactly the stable sort
+/// execute_reduce_records performs — so the worker-to-worker gather's
+/// spooled partition reduces byte-identically to the RAM paths while only
+/// one group is resident at a time.
+ReduceTaskResult execute_reduce_spooled(
+    const std::function<std::unique_ptr<Reducer>()>& reducer_factory,
+    const SpoolBuffer& partition);
 
 /// Fill in the simulated makespans, record the job's metrics, and log the
 /// completion line — the common tail of both execution modes. Expects

@@ -57,6 +57,12 @@ struct ChaosCase {
       mapreduce::ExecutionMode::kInProcess;
   /// Worker-process count for multi-process cases (0 = JobConf default).
   std::size_t num_workers = 0;
+  /// Shuffle topology of the faulted multi-process run. Worker-to-worker
+  /// cases route partitions over the data plane (reducers pull from mapper
+  /// workers, spooling under the spill budget) while the clean baseline
+  /// stays in-process, so one comparison gates fault recovery, cross-mode
+  /// parity, AND cross-topology parity at once.
+  mapreduce::ShuffleMode shuffle_mode = mapreduce::ShuffleMode::kRelay;
 };
 
 const ChaosCase kCases[] = {
@@ -175,6 +181,53 @@ const ChaosCase kCases[] = {
      "shuffle.fetch:nth=2:max=2:kind=corrupt;worker.kill:nth=5:max=1",
      core::GramBackendPolicy::kAuto, 0,
      mapreduce::ExecutionMode::kMultiProcess, 2},
+    // Worker-to-worker shuffle: reducers pull partitions straight from
+    // mapper workers, so shuffle.fetch fires inside the pulling worker
+    // (fires/retries travel back in kReducePullDone) and worker.kill can
+    // strand map outputs whose owner died — forcing the kPullFailed ->
+    // inline re-execution -> kPullResume recovery. Crossed with spill
+    // budgets so the pulled spool itself runs resident (64Ki), fully
+    // spilled (1), and unbudgeted (0).
+    {"W2WShuffleErrorNthW2", Consumer::kMapReduce, "shuffle.fetch",
+     "retry.shuffle_fetch", "seed=21;shuffle.fetch:nth=2:max=2",
+     core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 2,
+     mapreduce::ShuffleMode::kWorkerToWorker},
+    {"W2WShuffleCorruptNthW2Spill1", Consumer::kMapReduce, "shuffle.fetch",
+     "retry.shuffle_fetch",
+     "seed=22;shuffle.fetch:nth=3:max=2:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 1,
+     mapreduce::ExecutionMode::kMultiProcess, 2,
+     mapreduce::ShuffleMode::kWorkerToWorker},
+    {"W2WShuffleCorruptNthW4Spill64K", Consumer::kMapReduce,
+     "shuffle.fetch", "retry.shuffle_fetch",
+     "seed=23;shuffle.fetch:nth=2:max=1:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 64 * 1024,
+     mapreduce::ExecutionMode::kMultiProcess, 4,
+     mapreduce::ShuffleMode::kWorkerToWorker},
+    {"W2WSpillPageIoCorruptNth", Consumer::kMapReduce, "spill.page_io",
+     "retry.spill_page_io",
+     "seed=24;spill.page_io:nth=3:max=4:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 1,
+     mapreduce::ExecutionMode::kMultiProcess, 2,
+     mapreduce::ShuffleMode::kWorkerToWorker},
+    {"W2WKillMidMapW2", Consumer::kMapReduce, "", "",
+     "seed=25;worker.kill:nth=2:max=1", core::GramBackendPolicy::kAuto, 0,
+     mapreduce::ExecutionMode::kMultiProcess, 2,
+     mapreduce::ShuffleMode::kWorkerToWorker},
+    {"W2WKillMidReduceW4Spill1", Consumer::kMapReduce, "", "",
+     "seed=25;worker.kill:nth=6:max=1", core::GramBackendPolicy::kAuto, 1,
+     mapreduce::ExecutionMode::kMultiProcess, 4,
+     mapreduce::ShuffleMode::kWorkerToWorker},
+    // Kill + corruption at once through the pull path: a reducer dies,
+    // its re-dispatched pull both re-executes orphaned map tasks and
+    // retries CRC-caught corrupt transfers, and the labels still match.
+    {"W2WStorm", Consumer::kMapReduce, "", "",
+     "seed=26;worker.kill:nth=5:max=1;"
+     "shuffle.fetch:nth=2:max=2:kind=corrupt",
+     core::GramBackendPolicy::kAuto, 1,
+     mapreduce::ExecutionMode::kMultiProcess, 2,
+     mapreduce::ShuffleMode::kWorkerToWorker},
 };
 
 data::PointSet chaos_points() {
@@ -209,7 +262,9 @@ std::vector<int> run_consumer(Consumer consumer, const data::PointSet& points,
                               std::size_t spill_budget,
                               mapreduce::ExecutionMode execution_mode =
                                   mapreduce::ExecutionMode::kInProcess,
-                              std::size_t num_workers = 0) {
+                              std::size_t num_workers = 0,
+                              mapreduce::ShuffleMode shuffle_mode =
+                                  mapreduce::ShuffleMode::kRelay) {
   const core::DascParams params =
       chaos_params(faults, metrics, backend, spill_budget);
   Rng rng(77);
@@ -230,6 +285,7 @@ std::vector<int> run_consumer(Consumer consumer, const data::PointSet& points,
       mr.conf.max_task_attempts = 10;
       mr.conf.max_fetch_attempts = 10;
       mr.conf.execution_mode = execution_mode;
+      mr.conf.shuffle_mode = shuffle_mode;
       if (num_workers > 0) mr.conf.num_workers = num_workers;
       if (consumer == Consumer::kMapReduce) {
         return core::dasc_cluster_mapreduce(points, mr, rng).labels;
@@ -273,7 +329,8 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   const std::vector<int> faulted =
       run_consumer(test_case.consumer, points, &injector, &registry,
                    test_case.backend, test_case.spill_budget,
-                   test_case.execution_mode, test_case.num_workers);
+                   test_case.execution_mode, test_case.num_workers,
+                   test_case.shuffle_mode);
 
   // The invariant: the run survived, so the labels are exactly the
   // fault-free labels.
@@ -304,7 +361,8 @@ TEST_P(ChaosMatrix, LabelsSurviveFaultsBitIdentically) {
   const std::vector<int> replayed =
       run_consumer(test_case.consumer, points, &replay, &replay_registry,
                    test_case.backend, test_case.spill_budget,
-                   test_case.execution_mode, test_case.num_workers);
+                   test_case.execution_mode, test_case.num_workers,
+                   test_case.shuffle_mode);
   EXPECT_EQ(replayed, clean);
   EXPECT_EQ(replay.total_fired(), injector.total_fired());
 }

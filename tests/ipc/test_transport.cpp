@@ -16,6 +16,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/spool.hpp"
 #include "ipc/message.hpp"
 #include "ipc/worker_supervisor.hpp"
 
@@ -205,6 +206,71 @@ TEST(SweepSpoolFiles, RemovesOnlyTheDeadWorkersFiles) {
   EXPECT_TRUE(fs::exists(dir / "dasc-spool-123456-0.tmp"));
   EXPECT_TRUE(fs::exists(dir / "unrelated.txt"));
   EXPECT_EQ(sweep_spool_files(dir.string(), dead_pid), 0u);  // idempotent
+  fs::remove_all(dir);
+}
+
+TEST(SweepSpoolFiles, PidIsMatchedWholeNotAsAPrefix) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dasc-test-sweep-pid-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const auto touch = [&](const std::string& name) {
+    std::ofstream(dir / name) << "x";
+  };
+  // Pid 123 dies; files of pids 1234 and 12 — and malformed middles that
+  // merely contain "123" — must survive a sweep for 123.
+  touch("dasc-spool-123-0.spl");
+  touch("dasc-spool-1234-0.spl");
+  touch("dasc-spool-12-0.spl");
+  touch("dasc-spool-123x-0.spl");
+  touch("dasc-spool-x123-0.spl");
+  touch("dasc-spool--123-0.spl");
+
+  EXPECT_EQ(sweep_spool_files(dir.string(), 123), 1u);
+  EXPECT_FALSE(fs::exists(dir / "dasc-spool-123-0.spl"));
+  EXPECT_TRUE(fs::exists(dir / "dasc-spool-1234-0.spl"));
+  EXPECT_TRUE(fs::exists(dir / "dasc-spool-12-0.spl"));
+  EXPECT_TRUE(fs::exists(dir / "dasc-spool-123x-0.spl"));
+  EXPECT_TRUE(fs::exists(dir / "dasc-spool-x123-0.spl"));
+  EXPECT_TRUE(fs::exists(dir / "dasc-spool--123-0.spl"));
+  fs::remove_all(dir);
+}
+
+TEST(SweepSpoolFiles, LiveSpoolSurvivesSweepingAnotherPid) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dasc-test-sweep-live-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  // A live spool with everything spilled (budget 0), then a sweep for a
+  // different dead pid: the spool's pages must still read back intact
+  // (its file is unlinked-at-creation, so no sweep can ever reach it).
+  SpoolConfig config;
+  config.dir = dir.string();
+  config.budget_bytes = 0;
+  config.page_bytes = 64;
+  config.sort_on_seal = true;
+  SpoolBuffer spool(config);
+  for (int i = 0; i < 100; ++i) {
+    spool.append("key" + std::to_string(i % 7), "value" + std::to_string(i));
+  }
+  spool.finish();
+  ASSERT_GE(spool.pages_spilled(), 1u);
+
+  std::ofstream(dir / "dasc-spool-424242-0.spl") << "x";
+  EXPECT_EQ(sweep_spool_files(dir.string(), 424242), 1u);
+
+  std::size_t seen = 0;
+  std::string last_key;
+  spool.for_each_sorted([&](std::string_view key, std::string_view value) {
+    EXPECT_GE(key, last_key);  // still globally sorted
+    EXPECT_FALSE(value.empty());
+    last_key.assign(key);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 100u);
   fs::remove_all(dir);
 }
 

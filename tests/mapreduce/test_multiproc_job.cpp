@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -234,6 +235,166 @@ TEST(MultiprocJob, ExecModeWorkerBinaryMatchesInProcess) {
 
 TEST(MultiprocJob, UnknownRegisteredJobIsInvalidArgument) {
   EXPECT_THROW(make_registered_worker_job("no-such-job"), InvalidArgument);
+}
+
+// --- Worker-to-worker shuffle (DESIGN.md section 14) ---
+
+JobSpec w2w_spec(std::size_t workers, std::size_t spill_budget) {
+  JobSpec spec = word_count_spec();
+  spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+  spec.conf.shuffle_mode = ShuffleMode::kWorkerToWorker;
+  spec.conf.num_workers = workers;
+  spec.conf.spill_budget_bytes = spill_budget;
+  return spec;
+}
+
+TEST(MultiprocW2W, OutputIsByteIdenticalAcrossWorkersAndBudgets) {
+  const JobResult baseline = run_job(word_count_spec(), word_count_input());
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    for (const std::size_t budget : {0u, 1u, 64u * 1024}) {
+      const JobResult result =
+          run_job(w2w_spec(workers, budget), word_count_input());
+      EXPECT_EQ(flatten(result.output), flatten(baseline.output))
+          << "workers=" << workers << " budget=" << budget;
+      EXPECT_EQ(result.counters.reduce_input_groups,
+                baseline.counters.reduce_input_groups)
+          << "workers=" << workers << " budget=" << budget;
+      EXPECT_EQ(result.counters.shuffle_bytes,
+                baseline.counters.shuffle_bytes)
+          << "workers=" << workers << " budget=" << budget;
+    }
+  }
+}
+
+TEST(MultiprocW2W, MatchesRelayModeByteForByte) {
+  JobSpec relay = word_count_spec();
+  relay.conf.execution_mode = ExecutionMode::kMultiProcess;
+  relay.conf.num_workers = 2;
+  const JobResult relayed = run_job(relay, word_count_input());
+  const JobResult pulled = run_job(w2w_spec(2, 0), word_count_input());
+  EXPECT_EQ(flatten(pulled.output), flatten(relayed.output));
+  EXPECT_EQ(pulled.counters.shuffle_bytes, relayed.counters.shuffle_bytes);
+}
+
+TEST(MultiprocW2W, ShuffleAndSpillBytesAreWorkerCountInvariant) {
+  // The shuffle volume is derived from the record stream (key + value + 2
+  // per record) and every pulled record spools through the same budget, so
+  // neither number may depend on how many workers the records crossed.
+  std::vector<std::uint64_t> shuffle_bytes;
+  std::vector<std::int64_t> spill_written;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    MetricsRegistry registry;
+    JobSpec spec = w2w_spec(workers, /*spill_budget=*/1);
+    spec.metrics = &registry;
+    const JobResult result = run_job(spec, word_count_input());
+    shuffle_bytes.push_back(result.counters.shuffle_bytes);
+    spill_written.push_back(registry.gauge_value("spill.bytes_written"));
+  }
+  EXPECT_GT(shuffle_bytes[0], 0u);
+  EXPECT_EQ(shuffle_bytes[0], shuffle_bytes[1]);
+  EXPECT_EQ(shuffle_bytes[0], shuffle_bytes[2]);
+  EXPECT_GT(spill_written[0], 0);
+  EXPECT_EQ(spill_written[0], spill_written[1]);
+  EXPECT_EQ(spill_written[0], spill_written[2]);
+}
+
+TEST(MultiprocW2W, RelaysNoShuffleBytesThroughTheSupervisor) {
+  // Relay mode funnels every shuffle byte through the supervisor
+  // (shuffle.relay_bytes); worker-to-worker must move the same records
+  // while relaying none, bounding reducer residency via the spool instead.
+  MetricsRegistry relay_registry;
+  JobSpec relay = word_count_spec();
+  relay.conf.execution_mode = ExecutionMode::kMultiProcess;
+  relay.conf.num_workers = 2;
+  relay.metrics = &relay_registry;
+  run_job(relay, word_count_input());
+  EXPECT_GT(relay_registry.gauge_value("shuffle.relay_bytes"), 0);
+
+  MetricsRegistry w2w_registry;
+  JobSpec pulled = w2w_spec(2, /*spill_budget=*/1);
+  pulled.metrics = &w2w_registry;
+  run_job(pulled, word_count_input());
+  EXPECT_EQ(w2w_registry.gauge_value("shuffle.relay_bytes"), 0);
+  EXPECT_GE(w2w_registry.gauge_value("spill.bytes_written"), 1);
+  EXPECT_GE(w2w_registry.gauge_value("spill.pages"), 1);
+}
+
+TEST(MultiprocW2W, WorkerKillMidMapRecovers) {
+  const JobResult baseline = run_job(word_count_spec(), word_count_input());
+  MetricsRegistry registry;
+  FaultInjector injector(FaultPlan::parse("seed=3;worker.kill:nth=2:max=1"),
+                         &registry);
+  JobSpec spec = w2w_spec(2, 0);
+  spec.conf.worker_spares = 1;
+  spec.conf.max_task_attempts = 3;
+  spec.metrics = &registry;
+  spec.faults = &injector;
+  const JobResult result = run_job(spec, word_count_input());
+  EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+  EXPECT_EQ(injector.fired("worker.kill"), 1u);
+  EXPECT_GE(registry.gauge_value("worker.killed"), 1);
+}
+
+TEST(MultiprocW2W, WorkerKillMidReduceReexecutesLostMapOutputs) {
+  const JobResult baseline = run_job(word_count_spec(), word_count_input());
+  // 6 map dispatches, then reduce pulls: nth=8 SIGKILLs a reducer right
+  // after its kReducePull ships. The retry lands on a live worker whose
+  // partition map still names the dead slot as a map-output owner, so
+  // recovery must go through kPullFailed -> inline map re-execution ->
+  // kPullResume — and the labels must not show any of it.
+  MetricsRegistry registry;
+  FaultInjector injector(FaultPlan::parse("seed=3;worker.kill:nth=8:max=1"),
+                         &registry);
+  JobSpec spec = w2w_spec(2, /*spill_budget=*/1);
+  spec.conf.worker_spares = 1;
+  spec.conf.max_task_attempts = 3;
+  spec.metrics = &registry;
+  spec.faults = &injector;
+  const JobResult result = run_job(spec, word_count_input());
+  EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+  EXPECT_EQ(injector.fired("worker.kill"), 1u);
+  EXPECT_GE(registry.gauge_value("worker.killed"), 1);
+  EXPECT_GE(registry.gauge_value("worker.map_reexecutions"), 1);
+}
+
+TEST(MultiprocW2W, WorkerTaskFailureSurfacesAsTypedError) {
+  JobSpec spec = w2w_spec(2, 0);
+  spec.reducer_factory = [] { return std::make_unique<ThrowingReducer>(); };
+  spec.conf.max_task_attempts = 1;
+  EXPECT_THROW(run_job(spec, word_count_input()), IoError);
+}
+
+TEST(MultiprocW2W, EmptyInputStillRuns) {
+  const JobResult result = run_job(w2w_spec(2, 0), {});
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.num_map_tasks, 1u);
+}
+
+TEST(MultiprocW2W, ExecModeWorkerBinaryMatchesInProcess) {
+#ifndef DASC_WORKER_BIN
+  GTEST_SKIP() << "dasc_worker binary path not configured";
+#else
+  WorkerJob registered = make_registered_worker_job("wordcount");
+  JobSpec in_proc;
+  in_proc.conf.num_reducers = 3;
+  in_proc.conf.split_records = 2;
+  in_proc.conf.job_name = "wordcount";
+  in_proc.mapper_factory = registered.mapper_factory;
+  in_proc.reducer_factory = registered.reducer_factory;
+  in_proc.combiner_factory = registered.combiner_factory;
+  const JobResult baseline = run_job(in_proc, word_count_input());
+
+  // Exec'd workers learn their data-plane address and fault plan from
+  // kJobSetup, so pulls work across a real exec boundary too.
+  JobSpec exec_spec = in_proc;
+  exec_spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+  exec_spec.conf.shuffle_mode = ShuffleMode::kWorkerToWorker;
+  exec_spec.conf.num_workers = 2;
+  exec_spec.conf.spill_budget_bytes = 1;
+  exec_spec.conf.worker_binary = DASC_WORKER_BIN;
+  const JobResult result = run_job(exec_spec, word_count_input());
+  EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+#endif
 }
 
 }  // namespace
