@@ -157,6 +157,20 @@ int main() {
       bench::set_ppm(registry, "shuffle.relay_bytes_ppm",
                      relayed /
                          static_cast<double>(result.counters.shuffle_bytes));
+      // Connection reuse: with pooling on (the default) each reducer
+      // dials every mapper owner once and reuses the socket for all
+      // subsequent pulls, so conns-opened-per-pull stays around or below
+      // 1.0 (= 1'000'000 ppm). CI gates this at <= 1.1 to catch a
+      // regression that re-dials per pull (which would sit near the
+      // pull count, several times over the gate).
+      const double pulls =
+          static_cast<double>(leg_registry.gauge_value("shuffle.pulls"));
+      if (pulls > 0.0) {
+        const double conns = static_cast<double>(
+            leg_registry.gauge_value("shuffle.conns_opened"));
+        bench::set_ppm(registry, "shuffle.conns_opened_per_pull_ppm",
+                       conns / pulls);
+      }
     }
   }
 

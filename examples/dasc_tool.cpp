@@ -13,7 +13,12 @@
 //   cap=<int>                  max bucket size, 0 = off (default 0)
 //   sigma=<float>              kernel bandwidth (default: median heuristic)
 //   seed=<int>                 RNG seed (default 42)
-//   threads=<int>              worker threads, 0 = hardware (default 0)
+//   threads=<int>              worker threads, 0 = hardware (default 0).
+//                              For the mapreduce engine this also sizes
+//                              the per-phase task pool (physical_threads),
+//                              which the speculation monitor needs: a
+//                              single-threaded pool serializes behind the
+//                              straggler it is meant to outrun.
 //   max-inflight-blocks=<int>  Gram blocks resident at once, 0 = off
 //   max-inflight-bytes=<int>   byte budget for resident blocks, 0 = off
 //   spill-budget=<int>         out-of-core spill budget in bytes, 0 = off
@@ -73,6 +78,19 @@
 //                              reduce task (default 1; raise alongside
 //                              fault-plan so killed workers and failed
 //                              tasks are retried to completion)
+//   speculation=<on|off>       mapreduce engine only: launch one backup
+//                              attempt for straggling tasks; the first
+//                              attempt to finish commits (off by default;
+//                              works in both execution modes — DESIGN.md
+//                              section 15)
+//   spec-slowdown=<float>      speculation threshold: a task slower than
+//                              this multiple of the median committed
+//                              duration gets a backup (default 4.0)
+//   spec-min-ms=<float>        speculation floor: never speculate on tasks
+//                              faster than this many ms (default 5.0)
+//   pool-conns=<on|off>        worker_to_worker shuffle only: pool and
+//                              pipeline data-plane connections per owner
+//                              (default on; off dials per pull)
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -106,6 +124,10 @@ struct Options {
       dasc::mapreduce::ShuffleMode::kRelay;
   std::size_t workers = 0;        ///< 0 = JobConf default
   std::size_t task_attempts = 0;  ///< 0 = JobConf default
+  bool speculation = false;
+  double spec_slowdown = 0.0;  ///< 0 = JobConf default
+  double spec_min_ms = -1.0;   ///< < 0 = JobConf default
+  bool pool_conns = true;
   dasc::core::DascParams params;
 };
 
@@ -206,6 +228,21 @@ Options parse(int argc, char** argv) {
       options.workers = std::stoul(value);
     } else if (key == "task-attempts") {
       options.task_attempts = std::stoul(value);
+    } else if (key == "speculation" || key == "pool-conns") {
+      bool parsed = false;
+      if (value == "on") {
+        parsed = true;
+      } else if (value != "off") {
+        std::fprintf(stderr, "%s=%s: expected on or off\n", key.c_str(),
+                     value.c_str());
+        std::exit(2);
+      }
+      (key == "speculation" ? options.speculation : options.pool_conns) =
+          parsed;
+    } else if (key == "spec-slowdown") {
+      options.spec_slowdown = std::stod(value);
+    } else if (key == "spec-min-ms") {
+      options.spec_min_ms = std::stod(value);
     } else if (key == "simd") {
       const auto level = dasc::linalg::simd::parse_level(value);
       if (!level) {
@@ -297,6 +334,15 @@ int main(int argc, char** argv) {
       if (options.task_attempts > 0) {
         mr.conf.max_task_attempts = options.task_attempts;
       }
+      mr.conf.enable_speculation = options.speculation;
+      if (options.spec_slowdown > 0.0) {
+        mr.conf.speculative_slowdown = options.spec_slowdown;
+      }
+      if (options.spec_min_ms >= 0.0) {
+        mr.conf.speculative_min_ms = options.spec_min_ms;
+      }
+      mr.conf.pool_data_connections = options.pool_conns;
+      if (params.threads > 0) mr.conf.physical_threads = params.threads;
       std::printf("mapreduce engine: %s",
                   mapreduce::to_string(mr.conf.execution_mode));
       if (mr.conf.execution_mode ==

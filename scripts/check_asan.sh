@@ -17,9 +17,11 @@ ctest --preset asan "$@"
 # must hold on every run, so hammer it until-fail under the sanitizers.
 ctest --preset asan --tests-regex 'SimdDifferential' --repeat until-fail:3
 
-# The transport fuzz/property and stream suites drive the framing layer
-# with malformed, truncated, and bit-flipped input; every rejection path
-# must be allocation-clean under ASan, so hammer them too.
-ctest --preset asan --tests-regex '^(TransportFuzz|WireFuzz|Stream)\.' \
+# The transport fuzz/property, stream, and connection-pool suites drive
+# the framing layer with malformed, truncated, and bit-flipped input and
+# the data-plane pool through kill/restart/invalidation churn; every
+# rejection and teardown path must be allocation-clean under ASan, so
+# hammer them too.
+ctest --preset asan --tests-regex '^(TransportFuzz|WireFuzz|Stream|ConnPool)\.' \
   --repeat until-fail:3
 

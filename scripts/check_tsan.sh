@@ -19,7 +19,9 @@ cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan "$@"
 
 # The stream suite runs concurrent sender/receiver threads over one
-# transport pair (flow-control credit, mid-stream death); hammer it so a
-# racy ack or shutdown path cannot hide behind a lucky interleaving.
-ctest --preset tsan --tests-regex '^(TransportFuzz|WireFuzz|Stream)\.' \
+# transport pair (flow-control credit, mid-stream death), and the
+# connection-pool suite mixes leases with owner kills/restarts across
+# threads; hammer both so a racy ack, shutdown, or give-back path cannot
+# hide behind a lucky interleaving.
+ctest --preset tsan --tests-regex '^(TransportFuzz|WireFuzz|Stream|ConnPool)\.' \
   --repeat until-fail:3

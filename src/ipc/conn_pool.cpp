@@ -1,0 +1,77 @@
+#include "ipc/conn_pool.hpp"
+
+#include <utility>
+
+#include "common/metrics.hpp"
+
+namespace dasc::ipc {
+
+ConnPool::Lease ConnPool::lease(std::size_t slot, const std::string& path) {
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(slot);
+    if (it != entries_.end()) {
+      if (it->second.path == path && it->second.transport != nullptr) {
+        std::unique_ptr<Transport> transport = std::move(it->second.transport);
+        entries_.erase(it);
+        ++reused_;
+        if (metrics_ != nullptr) {
+          metrics_->counter("shuffle.conns_reused").add();
+        }
+        return Lease(this, slot, path, std::move(transport), /*reused=*/true);
+      }
+      // Stale path (the slot was re-homed since this connection was
+      // pooled): the socket points at the wrong incarnation — drop it.
+      entries_.erase(it);
+    }
+  }
+  // Dial outside the lock: connect(2) may block, and a slow owner must not
+  // serialize every other slot's lease.
+  std::unique_ptr<Transport> transport = Transport::connect(path);
+  {
+    std::lock_guard lock(mutex_);
+    ++opened_;
+  }
+  if (metrics_ != nullptr) metrics_->counter("shuffle.conns_opened").add();
+  return Lease(this, slot, path, std::move(transport), /*reused=*/false);
+}
+
+void ConnPool::invalidate(std::size_t slot) {
+  std::lock_guard lock(mutex_);
+  entries_.erase(slot);  // ~Transport closes the socket
+}
+
+void ConnPool::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t ConnPool::pooled() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ConnPool::opened() const {
+  std::lock_guard lock(mutex_);
+  return opened_;
+}
+
+std::uint64_t ConnPool::reused_count() const {
+  std::lock_guard lock(mutex_);
+  return reused_;
+}
+
+void ConnPool::give_back(std::size_t slot, const std::string& path,
+                         std::unique_ptr<Transport> transport) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_[slot];
+  if (entry.transport != nullptr) {
+    // A concurrent lease already restocked this slot; one idle connection
+    // per slot is the cap, so the latecomer closes.
+    return;
+  }
+  entry.path = path;
+  entry.transport = std::move(transport);
+}
+
+}  // namespace dasc::ipc

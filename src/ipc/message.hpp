@@ -58,6 +58,12 @@ enum class MessageType : std::uint32_t {
   kDataChunk,      ///< one chunk of a streamed logical message
   kDataEnd,        ///< stream trailer: chunk count + whole-payload CRC
   kChunkAck,       ///< receiver -> sender: flow-control window credit
+  // Speculative execution (DESIGN.md section 15):
+  kTaskCancel,     ///< supervisor -> worker: a retained attempt lost the
+                   ///< commit race {kind, task, spill_dir} — drop the map
+                   ///< output (map kind) and sweep own spool files
+  kTaskCancelled,  ///< worker -> supervisor: cancel receipt
+                   ///< {task, outputs_dropped, spools_swept}
 };
 
 struct Message {

@@ -35,6 +35,27 @@ void route_interloper(const Message& message,
 
 }  // namespace
 
+StreamConfig derived_stream_config(std::uint64_t payload_bytes) {
+  constexpr std::uint64_t kAlignBytes = 64 * 1024;
+  constexpr std::uint64_t kMinChunkBytes = 256 * 1024;
+  constexpr std::uint64_t kMaxChunkBytes = 4 * 1024 * 1024;
+  constexpr std::uint64_t kInflightTargetBytes = 8 * 1024 * 1024;
+  constexpr std::uint64_t kMinWindow = 4;  // == StreamConfig{}.window_chunks
+  constexpr std::uint64_t kMaxWindow = 16;
+
+  std::uint64_t chunk = payload_bytes / 64;
+  chunk = ((chunk + kAlignBytes - 1) / kAlignBytes) * kAlignBytes;
+  chunk = std::clamp(chunk, kMinChunkBytes, kMaxChunkBytes);
+  const std::uint64_t window =
+      std::clamp(kInflightTargetBytes / chunk, kMinWindow, kMaxWindow);
+
+  StreamConfig config;
+  config.chunk_bytes = static_cast<std::size_t>(chunk);
+  config.window_chunks = static_cast<std::size_t>(window);
+  config.adaptive = false;  // already resolved; nothing left to derive
+  return config;
+}
+
 Message encode_chunk(MessageType final_type, std::uint64_t total_bytes,
                      std::uint64_t chunk_index, std::string_view chunk) {
   WireWriter writer;
@@ -56,8 +77,11 @@ Message encode_stream_end(MessageType final_type, std::uint64_t total_bytes,
 }
 
 void send_message(Transport& transport, const Message& message,
-                  const StreamConfig& config,
+                  const StreamConfig& requested,
                   const std::function<void(const Message&)>& interloper) {
+  const StreamConfig config =
+      requested.adaptive ? derived_stream_config(message.payload.size())
+                         : requested;
   DASC_EXPECT(config.chunk_bytes >= 1, "ipc: chunk_bytes must be >= 1");
   DASC_EXPECT(config.window_chunks >= 1, "ipc: window_chunks must be >= 1");
   if (message.payload.size() <= config.chunk_bytes) {
@@ -113,6 +137,7 @@ std::optional<Message> recv_message(
   std::string payload;
   std::uint64_t expected_total = 0;
   std::uint64_t next_index = 0;
+  std::size_t ack_every = config.window_chunks;
   bool have_header = false;
   std::optional<Message> frame = std::move(first);
   while (true) {
@@ -130,6 +155,15 @@ std::optional<Message> recv_message(
         assembled.type = final_type;
         expected_total = total;
         payload.reserve(static_cast<std::size_t>(total));
+        if (config.adaptive) {
+          // Ack on the smaller of the derived window and the fixed default:
+          // a deadlock needs the receiver's ack cadence to exceed the
+          // sender's window, and every sender window (fixed or derived) is
+          // at least the default, so this cadence is always safe whatever
+          // config the sender ran with.
+          ack_every = std::min(derived_stream_config(total).window_chunks,
+                               StreamConfig{}.window_chunks);
+        }
         have_header = true;
       } else if (final_type != assembled.type || total != expected_total) {
         throw IoError("ipc: inconsistent stream chunk header");
@@ -142,7 +176,7 @@ std::optional<Message> recv_message(
       }
       payload.append(chunk);
       ++next_index;
-      if (next_index % config.window_chunks == 0) {
+      if (next_index % ack_every == 0) {
         WireWriter ack;
         ack.u64(next_index);
         transport.send({MessageType::kChunkAck, ack.take()});

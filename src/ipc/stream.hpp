@@ -49,7 +49,32 @@ struct StreamConfig {
   std::size_t chunk_bytes = 256 * 1024;
   /// Chunks in flight before the sender blocks for a kChunkAck.
   std::size_t window_chunks = 4;
+  /// Derive chunk_bytes/window_chunks per message from the payload size
+  /// (sender) or the stream's declared total (receiver) instead of the
+  /// fixed values above — see derived_stream_config. An adaptive receiver
+  /// acks on the fixed default cadence (4 chunks), which never exceeds any
+  /// derived or default sender window, so mixed adaptive/fixed pairings
+  /// cannot deadlock.
+  bool adaptive = false;
 };
+
+/// The config an adaptive endpoint resolves for a payload of
+/// `payload_bytes`: chunks of payload/64 rounded up to 64 KiB, clamped to
+/// [256 KiB, 4 MiB] (small payloads keep the historical framing; huge ones
+/// amortize per-frame overhead), and a window targeting ~8 MiB in flight,
+/// clamped to [4, 16]. Pure and deterministic — both ends of a transfer
+/// derive the same values from the same declared size. The window floor of
+/// 4 (== the fixed default) is what makes adaptive and fixed endpoints
+/// safely interoperable (see StreamConfig::adaptive).
+StreamConfig derived_stream_config(std::uint64_t payload_bytes);
+
+/// Convenience: a default config with `adaptive` set — what the
+/// multi-process runtime passes on every control- and data-plane endpoint.
+inline StreamConfig adaptive_stream_config() {
+  StreamConfig config;
+  config.adaptive = true;
+  return config;
+}
 
 /// Frames a single kDataChunk. Exposed for tests that tamper with streams.
 Message encode_chunk(MessageType final_type, std::uint64_t total_bytes,

@@ -85,6 +85,10 @@ void Transport::close() {
   }
 }
 
+void Transport::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 std::unique_ptr<Transport> Transport::connect(const std::string& path,
                                               MetricsRegistry* metrics) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);

@@ -69,6 +69,12 @@ class Transport {
   int fd() const { return fd_; }
   /// Close the socket now (recv on the peer sees EOF). Idempotent.
   void close();
+  /// shutdown(2) both directions without closing the fd: a thread blocked
+  /// in recv() on this transport wakes with EOF, and later sends fail as
+  /// typed IoError. Safe to call from another thread while recv() blocks —
+  /// which close() is not (fd reuse) — so this is how the worker data
+  /// plane unblocks its per-peer serving threads at shutdown. Idempotent.
+  void shutdown_rw();
 
  private:
   int fd_ = -1;

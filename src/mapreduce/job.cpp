@@ -73,25 +73,29 @@ JobResult execute(const JobSpec& spec,
   run_task_phase(
       spec, splits.size(), "map.task", "retry.map_attempts", failed_attempts,
       speculative_launches, result.map_task_seconds,
-      [&](std::size_t task) -> std::function<void()> {
+      [&](std::size_t task, bool /*backup*/) -> detail::TaskAttempt {
         detail::MapTaskResult mapped = execute_map_task(
             spec.mapper_factory, spec.combiner_factory, use_combiner,
             splits[task]);
 
         // The commit closure runs only for the attempt that wins the task,
         // so a retried or speculative attempt never double-counts (Hadoop
-        // discards failed attempts' output).
-        return [&, task, emitted = mapped.emitted,
-                combined_count = mapped.combined,
-                output = std::move(mapped.output)]() mutable {
-          map_in.fetch_add(splits[task].size(), std::memory_order_relaxed);
-          map_out.fetch_add(emitted, std::memory_order_relaxed);
-          if (use_combiner) {
-            combine_in.fetch_add(emitted, std::memory_order_relaxed);
-            combine_out.fetch_add(combined_count, std::memory_order_relaxed);
-          }
-          map_outputs[task] = std::move(output);
-        };
+        // discards failed attempts' output). A losing attempt's output is
+        // a process-local temporary, so there is nothing to abandon.
+        return {[&, task, emitted = mapped.emitted,
+                 combined_count = mapped.combined,
+                 output = std::move(mapped.output)]() mutable {
+                  map_in.fetch_add(splits[task].size(),
+                                   std::memory_order_relaxed);
+                  map_out.fetch_add(emitted, std::memory_order_relaxed);
+                  if (use_combiner) {
+                    combine_in.fetch_add(emitted, std::memory_order_relaxed);
+                    combine_out.fetch_add(combined_count,
+                                          std::memory_order_relaxed);
+                  }
+                  map_outputs[task] = std::move(output);
+                },
+                nullptr};
       });
 
   result.counters.map_input_records = map_in.load();
@@ -141,7 +145,7 @@ JobResult execute(const JobSpec& spec,
   run_task_phase(
       spec, num_reduce_tasks, "reduce.task", "retry.reduce_attempts",
       failed_attempts, speculative_launches, result.reduce_task_seconds,
-      [&](std::size_t task) -> std::function<void()> {
+      [&](std::size_t task, bool /*backup*/) -> detail::TaskAttempt {
         detail::ReduceTaskResult reduced;
         if (spill_shuffle) {
           // Sealed spools are const-readable, so re-attempts and
@@ -160,14 +164,16 @@ JobResult execute(const JobSpec& spec,
               reattempts_possible ? partitions[task]
                                   : std::move(partitions[task]));
         }
-        return [&, task, num_groups = reduced.num_groups,
-                in_records = reduced.in_records,
-                out = std::move(reduced.output)]() mutable {
-          reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
-          reduce_in.fetch_add(in_records, std::memory_order_relaxed);
-          reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
-          reduce_outputs[task] = std::move(out);
-        };
+        return {[&, task, num_groups = reduced.num_groups,
+                 in_records = reduced.in_records,
+                 out = std::move(reduced.output)]() mutable {
+                  reduce_groups.fetch_add(num_groups,
+                                          std::memory_order_relaxed);
+                  reduce_in.fetch_add(in_records, std::memory_order_relaxed);
+                  reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
+                  reduce_outputs[task] = std::move(out);
+                },
+                nullptr};
       });
 
   result.counters.reduce_input_groups = reduce_groups.load();

@@ -82,10 +82,21 @@ struct JobConf {
   /// execution): once half the phase has finished, a task whose elapsed
   /// time exceeds `speculative_slowdown` x the median completed duration
   /// (and `speculative_min_ms`) gets one backup attempt; the first attempt
-  /// to finish commits, the other is discarded.
+  /// to finish commits, the other is discarded. Works in both execution
+  /// modes: under multi_process the backup is dispatched to a different
+  /// live worker than the primary's current slot, and the losing worker's
+  /// retained side effects are cancelled (DESIGN.md section 15).
   bool enable_speculation = false;
   double speculative_slowdown = 4.0;
   double speculative_min_ms = 5.0;
+  /// Worker-to-worker shuffle data plane: reuse one pooled connection per
+  /// map-output owner across pulls, reduce tasks, and re-attempts, instead
+  /// of dialing per pull. Off forces the historical dial-per-pull path.
+  bool pool_data_connections = true;
+  /// With pooling on, how many kFetchPart requests a reducer keeps in
+  /// flight per owner connection (replies are consumed in request order).
+  /// 0 disables pipelining (pooled but strictly request/reply).
+  std::size_t pull_pipeline_depth = 4;
   /// Out-of-core shuffle: when > 0, map outputs shuffle through per-
   /// partition spool buffers (external merge sort) whose sealed pages
   /// spill to disk past this resident-byte budget, instead of the RAM

@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <limits>
 #include <map>
@@ -13,6 +15,7 @@
 #include <sstream>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/checksum.hpp"
 #include "common/error.hpp"
@@ -21,6 +24,7 @@
 #include "common/metrics.hpp"
 #include "common/spool.hpp"
 #include "common/stopwatch.hpp"
+#include "ipc/conn_pool.hpp"
 #include "ipc/stream.hpp"
 #include "ipc/transport.hpp"
 #include "ipc/worker_supervisor.hpp"
@@ -161,6 +165,9 @@ std::mutex& job_registry_mutex() {
 struct WorkerState {
   std::mutex outputs_mutex;
   std::map<std::uint64_t, std::vector<Record>> map_outputs;
+  /// Pooled data-plane connections to map-output owners, reused across
+  /// pulls, reduce tasks, and re-attempts (DESIGN.md section 15).
+  ipc::ConnPool pool;
 };
 
 /// Thrown inside a pull when the owner's data plane is unreachable (dead
@@ -197,15 +204,20 @@ struct PullOutcome {
   std::uint64_t fetch_retries = 0;
   std::uint64_t spill_fires = 0;
   std::uint64_t spill_retries = 0;
+  std::uint64_t conns_opened = 0;  ///< data-plane dials this task paid
+  std::uint64_t pulls = 0;         ///< map-output slices gathered
 };
 
 /// Serve one data-plane connection: kFetchPart requests until the peer
 /// closes. Each request is a self-contained transaction, so pullers can
-/// reconnect per attempt and a dead puller costs nothing but this loop's
-/// EOF.
+/// hold a pooled connection open across many pulls (or reconnect per
+/// attempt) and a dead puller costs nothing but this loop's EOF. Pullers
+/// may pipeline several kFetchPart requests before reading replies; the
+/// serve loop naturally answers them in order.
 void serve_data_peer(ipc::Transport& peer, WorkerState& state) {
+  const ipc::StreamConfig stream = ipc::adaptive_stream_config();
   while (true) {
-    std::optional<Message> request = ipc::recv_message(peer);
+    std::optional<Message> request = ipc::recv_message(peer, stream);
     if (!request.has_value()) return;  // puller closed cleanly
     if (request->type != MessageType::kFetchPart) {
       throw IoError("data plane: unexpected message type " +
@@ -238,7 +250,7 @@ void serve_data_peer(ipc::Transport& peer, WorkerState& state) {
     writer.u32(records_crc(*slice));
     writer.u64(slice->size());
     append_records(writer, *slice);
-    ipc::send_message(peer, {MessageType::kFetchData, writer.take()});
+    ipc::send_message(peer, {MessageType::kFetchData, writer.take()}, stream);
   }
 }
 
@@ -257,11 +269,14 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
   const std::uint64_t spill_budget = reader.u64();
   const std::string spill_dir(reader.bytes());
   const std::uint64_t max_fetch_attempts = reader.u64();
+  const bool pool_conns = reader.u32() != 0;
+  const std::size_t pipeline_depth = static_cast<std::size_t>(reader.u32());
   std::vector<OwnerRef> owners(static_cast<std::size_t>(num_map_tasks));
   for (auto& owner : owners) {
     owner.slot = static_cast<std::size_t>(reader.u64());
     owner.path = std::string(reader.bytes());
   }
+  const ipc::StreamConfig stream = ipc::adaptive_stream_config();
 
   FaultInjector* faults = options.faults;
   const std::uint64_t fetch_base =
@@ -284,6 +299,137 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
   SpoolBuffer spool(spool_config);
 
   PullOutcome outcome;
+  const std::uint64_t conns_base = state.pool.opened();
+
+  // ---- Pipelined prefetch over pooled connections (section 15) ----
+  // One window of kFetchPart requests stays in flight per distinct remote
+  // owner, so pulls from different owners overlap and successive pulls
+  // from one owner hide the request/reply turnaround. Replies are consumed
+  // strictly in request order (the owner's serve loop answers in order),
+  // which is what keeps a pooled connection at a message boundary. Any
+  // wobble — an error, a mismatched reply, out-of-order consumption —
+  // breaks the pipeline: the lease is invalidated and the affected pulls
+  // fall back to the one-shot path, which reproduces the owner's typed
+  // error or unreachability with identical fault accounting.
+  struct OwnerPipeline {
+    std::string path;
+    std::optional<ipc::ConnPool::Lease> lease;
+    std::vector<std::uint64_t> tasks;   ///< owner's map tasks, pull order
+    std::size_t next_request = 0;       ///< tasks[next_request..) unsent
+    std::deque<std::uint64_t> pending;  ///< requested, reply unread
+    bool broken = false;
+  };
+  std::map<std::size_t, OwnerPipeline> pipelines;
+
+  const auto request_part = [&](ipc::Transport& peer,
+                                std::uint64_t map_task) {
+    WireWriter writer;
+    writer.u64(map_task);
+    writer.u64(task);
+    writer.u64(num_partitions);
+    peer.send({MessageType::kFetchPart, writer.take()});
+  };
+
+  const auto break_pipeline = [&](OwnerPipeline& pipe) {
+    pipe.broken = true;
+    if (pipe.lease.has_value()) {
+      pipe.lease->invalidate();
+      pipe.lease.reset();
+    }
+  };
+
+  const auto top_up = [&](OwnerPipeline& pipe) {
+    if (pipe.broken || !pipe.lease.has_value()) return;
+    try {
+      while (pipe.pending.size() < pipeline_depth &&
+             pipe.next_request < pipe.tasks.size()) {
+        request_part(**pipe.lease, pipe.tasks[pipe.next_request]);
+        pipe.pending.push_back(pipe.tasks[pipe.next_request]);
+        ++pipe.next_request;
+      }
+    } catch (const IoError&) {
+      break_pipeline(pipe);
+    }
+  };
+
+  if (pool_conns && pipeline_depth > 0) {
+    for (std::uint64_t m = 0; m < num_map_tasks; ++m) {
+      const OwnerRef& owner = owners[static_cast<std::size_t>(m)];
+      if (owner.slot == options.ordinal || owner.slot == kNoOwner ||
+          owner.path.empty()) {
+        continue;
+      }
+      OwnerPipeline& pipe = pipelines[owner.slot];
+      pipe.path = owner.path;
+      pipe.tasks.push_back(m);
+    }
+    for (auto& [slot, pipe] : pipelines) {
+      try {
+        pipe.lease.emplace(state.pool.lease(slot, pipe.path));
+      } catch (const IoError&) {
+        pipe.broken = true;  // dead owner: surfaces as unreachable later
+        continue;
+      }
+      top_up(pipe);
+    }
+  }
+
+  // Consume the pipelined reply for `map_task`, if one is in flight.
+  // Called exactly once per map task, before its attempt loop; nullopt
+  // means the pull falls back to the one-shot path.
+  const auto take_prefetched =
+      [&](std::uint64_t map_task) -> std::optional<PullSlice> {
+    const OwnerRef& owner = owners[static_cast<std::size_t>(map_task)];
+    const auto it = pipelines.find(owner.slot);
+    if (it == pipelines.end()) return std::nullopt;
+    OwnerPipeline& pipe = it->second;
+    if (pipe.broken || !pipe.lease.has_value()) return std::nullopt;
+    if (pipe.pending.empty() || pipe.pending.front() != map_task) {
+      break_pipeline(pipe);  // out of order would desynchronize the conn
+      return std::nullopt;
+    }
+    try {
+      std::optional<Message> reply = ipc::recv_message(**pipe.lease, stream);
+      if (!reply.has_value()) {
+        break_pipeline(pipe);
+        return std::nullopt;
+      }
+      pipe.pending.pop_front();
+      if (reply->type == MessageType::kTaskError) {
+        // Connection still clean (the serve loop answers errors in-band);
+        // the fallback pull will surface the same typed error.
+        top_up(pipe);
+        return std::nullopt;
+      }
+      DASC_ENSURE(reply->type == MessageType::kFetchData,
+                  "ipc: unexpected reply to pipelined kFetchPart");
+      WireReader data(reply->payload);
+      DASC_ENSURE(data.u64() == map_task,
+                  "ipc: pipelined kFetchData map task mismatch");
+      PullSlice slice;
+      slice.crc = data.u32();
+      const std::uint64_t count = data.u64();
+      slice.records = read_records(data);
+      DASC_ENSURE(slice.records.size() == count,
+                  "ipc: pipelined kFetchData record count mismatch");
+      top_up(pipe);
+      return slice;
+    } catch (const std::exception&) {
+      break_pipeline(pipe);
+      return std::nullopt;
+    }
+  };
+
+  // Unconsumed pipelined replies leave a connection mid-conversation; a
+  // failed reduce task must close those instead of pooling them.
+  const auto abandon_pipelines = [&] {
+    for (auto& entry : pipelines) {
+      OwnerPipeline& pipe = entry.second;
+      if (pipe.lease.has_value() && !pipe.pending.empty()) {
+        break_pipeline(pipe);
+      }
+    }
+  };
 
   const auto pull_local = [&](std::uint64_t map_task) -> PullSlice {
     std::lock_guard lock(state.outputs_mutex);
@@ -302,20 +448,31 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
 
   const auto pull_remote = [&](const OwnerRef& owner,
                                std::uint64_t map_task) -> PullSlice {
-    // One connection per attempt: any transport failure here — connecting
-    // to a dead process's stale socket, EOF mid-reply — is the owner being
-    // gone, not a verification failure, so it routes to recovery instead
-    // of the fetch-attempt loop.
+    // Any transport failure here — connecting to a dead process's stale
+    // socket, EOF mid-reply — is the owner being gone, not a verification
+    // failure, so it routes to recovery instead of the fetch-attempt loop.
+    // With pooling on, the connection is leased from (and returned to) the
+    // per-slot pool; a failure invalidates the lease so a desynchronized
+    // socket is closed, never reused.
     std::optional<Message> reply;
     try {
-      const std::unique_ptr<ipc::Transport> peer =
-          ipc::Transport::connect(owner.path);
-      WireWriter writer;
-      writer.u64(map_task);
-      writer.u64(task);
-      writer.u64(num_partitions);
-      peer->send({MessageType::kFetchPart, writer.take()});
-      reply = ipc::recv_message(*peer);
+      if (pool_conns) {
+        ipc::ConnPool::Lease lease = state.pool.lease(owner.slot, owner.path);
+        try {
+          request_part(*lease, map_task);
+          reply = ipc::recv_message(*lease, stream);
+        } catch (...) {
+          lease.invalidate();
+          throw;
+        }
+        if (!reply.has_value()) lease.invalidate();
+      } else {
+        const std::unique_ptr<ipc::Transport> peer =
+            ipc::Transport::connect(owner.path);
+        ++outcome.conns_opened;
+        request_part(*peer, map_task);
+        reply = ipc::recv_message(*peer, stream);
+      }
     } catch (const IoError& error) {
       throw OwnerUnreachable{error.what()};
     }
@@ -340,8 +497,12 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
   // Mirrors the supervisor's relay fetch loop: one `shuffle.fetch` check
   // per attempt, the same corruption realization, the same attempt cap —
   // the fault plan is exercised identically whichever process fetches.
+  // `prefetched` (the pipelined reply, if any) serves the first attempt
+  // that actually pulls; a retry always re-pulls fresh, because a corrupt
+  // transfer must not be reused.
   const auto pull_verified =
-      [&](std::uint64_t map_task) -> std::vector<Record> {
+      [&](std::uint64_t map_task,
+          std::optional<PullSlice>& prefetched) -> std::vector<Record> {
     const OwnerRef& owner = owners[static_cast<std::size_t>(map_task)];
     for (std::uint64_t attempt = 1;; ++attempt) {
       const FaultInjector::Outcome fault =
@@ -351,7 +512,10 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
       std::vector<Record> records;
       if (ok) {
         PullSlice slice;
-        if (owner.slot == options.ordinal) {
+        if (prefetched.has_value()) {
+          slice = *std::move(prefetched);
+          prefetched.reset();
+        } else if (owner.slot == options.ordinal) {
           slice = pull_local(map_task);
         } else if (owner.path.empty()) {
           throw OwnerUnreachable{"owner has no data-plane address"};
@@ -389,12 +553,19 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
     DASC_LOG(kWarn) << "worker " << options.ordinal << ": map output "
                     << map_task << " owner unreachable (" << reason
                     << "); asking the supervisor to re-home it";
+    // Any idle pooled connection to the dead owner is garbage now — its
+    // next incarnation listens on a fresh accept queue.
+    const std::size_t dead_slot =
+        owners[static_cast<std::size_t>(map_task)].slot;
+    if (dead_slot != kNoOwner && dead_slot != options.ordinal) {
+      state.pool.invalidate(dead_slot);
+    }
     WireWriter failed;
     failed.u64(task);
     failed.u64(map_task);
     control.send({MessageType::kPullFailed, failed.take()});
     while (true) {
-      std::optional<Message> frame = ipc::recv_message(control);
+      std::optional<Message> frame = ipc::recv_message(control, stream);
       if (!frame.has_value()) {
         throw IoError("pull: supervisor vanished during owner recovery");
       }
@@ -435,27 +606,35 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
     }
   };
 
-  for (std::uint64_t m = 0; m < num_map_tasks; ++m) {
-    std::vector<Record> slice;
-    // Two rounds suffice: a failed pull re-homes the output onto this
-    // worker, and a local pull cannot lose its owner.
-    for (std::size_t round = 0;; ++round) {
-      try {
-        slice = pull_verified(m);
-        break;
-      } catch (const OwnerUnreachable& unreachable) {
-        if (round >= 1) {
-          throw IoError("pull: map output " + std::to_string(m) +
-                        " unreachable after re-homing: " +
-                        unreachable.reason);
+  try {
+    for (std::uint64_t m = 0; m < num_map_tasks; ++m) {
+      std::optional<PullSlice> prefetched = take_prefetched(m);
+      std::vector<Record> slice;
+      // Two rounds suffice: a failed pull re-homes the output onto this
+      // worker, and a local pull cannot lose its owner.
+      for (std::size_t round = 0;; ++round) {
+        try {
+          slice = pull_verified(m, prefetched);
+          break;
+        } catch (const OwnerUnreachable& unreachable) {
+          if (round >= 1) {
+            throw IoError("pull: map output " + std::to_string(m) +
+                          " unreachable after re-homing: " +
+                          unreachable.reason);
+          }
+          recover_owner(m, unreachable.reason);
         }
-        recover_owner(m, unreachable.reason);
       }
+      for (const auto& record : slice) {
+        spool.append(record.key, record.value);
+      }
+      ++outcome.pulls;
     }
-    for (const auto& record : slice) {
-      spool.append(record.key, record.value);
-    }
+  } catch (...) {
+    abandon_pipelines();
+    throw;
   }
+  abandon_pipelines();  // no-op on success: every pending reply consumed
   spool.finish();
   outcome.reduced =
       detail::execute_reduce_spooled(job.reducer_factory, spool);
@@ -481,6 +660,10 @@ PullOutcome run_reduce_pull(ipc::Transport& control, const WorkerJob& job,
   if (faults != nullptr) {
     outcome.fetch_fires = faults->fired("shuffle.fetch") - fetch_base;
   }
+  // Pooled dials are visible only as the pool's counter; the delta over
+  // this task is what the report attributes to it (reused connections by
+  // definition add nothing here).
+  outcome.conns_opened += state.pool.opened() - conns_base;
   return outcome;
 }
 
@@ -538,8 +721,18 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
   // assignment, so by the time any reducer learns this worker's address
   // (from a partition map built after our first kMapDone) the listener is
   // already accepting. The accept loop polls so it can observe `stop`.
+  //
+  // Each accepted peer gets its own serving thread: with pooled
+  // connections a reducer holds its conversation open across many pulls,
+  // and a serve-one-peer-to-EOF loop would park every other reducer behind
+  // it. The peer registry lets shutdown wake threads blocked in recv via
+  // shutdown_rw (close() would be unsafe cross-thread — the fd could be
+  // reused under the reader).
   std::unique_ptr<ipc::Listener> data_listener;
   std::thread data_server;
+  std::mutex peers_mutex;
+  std::vector<ipc::Transport*> live_peers;
+  std::vector<std::thread> peer_threads;
   if (!options.data_socket_path.empty()) {
     data_listener = std::make_unique<ipc::Listener>(options.data_socket_path);
     data_server = std::thread([&] {
@@ -554,15 +747,24 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
           return;
         }
         if (peer == nullptr) continue;
-        try {
-          serve_data_peer(*peer, state);
-        } catch (const std::exception& error) {
-          // One misbehaving puller must not take the plane down; its
-          // failed pull surfaces on the puller's side.
-          DASC_LOG(kWarn) << "worker " << options.ordinal
-                          << ": data-plane connection failed: "
-                          << error.what();
-        }
+        std::lock_guard lock(peers_mutex);
+        live_peers.push_back(peer.get());
+        peer_threads.emplace_back(
+            [&state, &options, &peers_mutex, &live_peers,
+             peer = std::move(peer)]() mutable {
+              try {
+                serve_data_peer(*peer, state);
+              } catch (const std::exception& error) {
+                // One misbehaving puller must not take the plane down; its
+                // failed pull surfaces on the puller's side.
+                DASC_LOG(kWarn) << "worker " << options.ordinal
+                                << ": data-plane connection failed: "
+                                << error.what();
+              }
+              std::lock_guard lock(peers_mutex);
+              live_peers.erase(std::find(live_peers.begin(),
+                                         live_peers.end(), peer.get()));
+            });
       }
     });
   }
@@ -571,6 +773,15 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
     stop.store(true, std::memory_order_release);
     if (heartbeat.joinable()) heartbeat.join();
     if (data_server.joinable()) data_server.join();
+    // No new peer threads can spawn now; our own outbound pool closes
+    // first so peer workers' serving threads see EOF too, then any thread
+    // still blocked on an inbound recv is woken with a half-close.
+    state.pool.clear();
+    {
+      std::lock_guard lock(peers_mutex);
+      for (ipc::Transport* peer : live_peers) peer->shutdown_rw();
+    }
+    for (std::thread& thread : peer_threads) thread.join();
   };
 
   const auto reply_error = [&](std::uint64_t task, const char* where,
@@ -581,10 +792,11 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
     transport.send({MessageType::kTaskError, writer.take()});
   };
 
+  const ipc::StreamConfig stream = ipc::adaptive_stream_config();
   try {
     bool serving = true;
     while (serving) {
-      std::optional<Message> message = ipc::recv_message(transport);
+      std::optional<Message> message = ipc::recv_message(transport, stream);
       if (!message.has_value()) break;  // supervisor closed or died
       switch (message->type) {
         case MessageType::kMapAssign: {
@@ -630,7 +842,7 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
             append_records(writer, it->second);
           }
           ipc::send_message(transport,
-                            {MessageType::kFetchData, writer.take()});
+                            {MessageType::kFetchData, writer.take()}, stream);
           break;
         }
         case MessageType::kReduceAssign: {
@@ -646,8 +858,8 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
             writer.u64(reduced.in_records);
             writer.u64(reduced.output.size());
             append_records(writer, reduced.output);
-            ipc::send_message(transport,
-                              {MessageType::kReduceDone, writer.take()});
+            ipc::send_message(
+                transport, {MessageType::kReduceDone, writer.take()}, stream);
           } catch (const std::exception& error) {
             reply_error(task, "reduce", error);
           }
@@ -674,13 +886,40 @@ void serve_worker_loop(ipc::Transport& transport, const WorkerJob& job,
             writer.u64(outcome.fetch_retries);
             writer.u64(outcome.spill_fires);
             writer.u64(outcome.spill_retries);
+            writer.u64(outcome.conns_opened);
+            writer.u64(outcome.pulls);
             append_records(writer, outcome.reduced.output);
-            ipc::send_message(transport,
-                              {MessageType::kReducePullDone, writer.take()});
+            ipc::send_message(
+                transport, {MessageType::kReducePullDone, writer.take()},
+                stream);
           } catch (const std::exception& error) {
             reply_error(task, "reduce_pull", error);
           }
           busy.store(false, std::memory_order_release);
+          break;
+        }
+        case MessageType::kTaskCancel: {
+          // A retained attempt of ours lost the commit race (DESIGN.md
+          // section 15): drop the losing map output so no reducer can pull
+          // a side effect the job discarded, and sweep our spool files so
+          // a cancelled reduce attempt leaks no disk.
+          WireReader reader(message->payload);
+          const std::uint64_t kind = reader.u64();  // 0 = map, 1 = reduce
+          const std::uint64_t task = reader.u64();
+          const std::string spill_dir(reader.bytes());
+          std::uint64_t dropped = 0;
+          if (kind == 0) {
+            std::lock_guard lock(state.outputs_mutex);
+            dropped = state.map_outputs.erase(task);
+          }
+          const std::uint64_t swept = static_cast<std::uint64_t>(
+              ipc::sweep_spool_files(spill_dir,
+                                     static_cast<long>(::getpid())));
+          WireWriter writer;
+          writer.u64(task);
+          writer.u64(dropped);
+          writer.u64(swept);
+          transport.send({MessageType::kTaskCancelled, writer.take()});
           break;
         }
         case MessageType::kShutdown:
@@ -710,7 +949,8 @@ namespace {
 class WorkerExchange {
  public:
   WorkerExchange(ipc::WorkerSupervisor& supervisor, MetricsRegistry* metrics)
-      : supervisor_(supervisor), metrics_(metrics) {
+      : supervisor_(supervisor), metrics_(metrics),
+        stream_config_(ipc::adaptive_stream_config()) {
     interloper_ = [this](const Message& frame) {
       if (frame.type == MessageType::kHeartbeat) {
         note_heartbeat();
@@ -779,15 +1019,22 @@ class WorkerExchange {
   /// First live slot scanning from placement[task] + shift (wrapping over
   /// every provisioned slot, spares included). Deterministic: the scan
   /// order depends only on the placement plan and which workers are dead.
+  /// `avoid` excludes one slot from the scan — a speculative backup must
+  /// land on a different worker than the straggling primary, otherwise it
+  /// would queue behind the very serve loop it is meant to outrun.
   std::size_t pick_worker(std::size_t task,
                           const std::vector<std::size_t>& placement,
-                          std::size_t shift) const {
+                          std::size_t shift,
+                          std::size_t avoid = kNoOwner) const {
     const std::size_t total = supervisor_.provisioned();
     for (std::size_t i = 0; i < total; ++i) {
       const std::size_t slot = (placement[task] + shift + i) % total;
+      if (slot == avoid) continue;
       if (supervisor_.alive(slot)) return slot;
     }
-    throw IoError("ipc: no live workers remain");
+    throw IoError(avoid == kNoOwner
+                      ? "ipc: no live workers remain"
+                      : "ipc: no distinct live worker for a backup attempt");
   }
 
   void note_heartbeat() {
@@ -810,16 +1057,13 @@ class WorkerExchange {
 
 JobResult run_job_multiproc(const JobSpec& spec,
                             std::vector<std::vector<Record>> splits) {
-  // Speculation needs two live attempts of one task at once; with real
-  // processes the retry path plus pre-forked spares covers stragglers, so
-  // backups are disabled rather than half-supported.
+  // Speculative execution runs for real here: a backup attempt is
+  // dispatched to a *different* live worker than the straggling primary's
+  // current slot, the commit-once exchange in run_task_phase arbitrates
+  // which attempt's report lands, and the loser's worker receives a
+  // kTaskCancel so its retained side effects (map output, spool files)
+  // are discarded — DESIGN.md section 15.
   JobSpec mp = spec;
-  if (mp.conf.enable_speculation) {
-    DASC_LOG(kInfo) << mp.conf.job_name
-                    << ": speculative execution is disabled in "
-                       "multi_process mode";
-    mp.conf.enable_speculation = false;
-  }
   const JobConf& conf = mp.conf;
   const bool w2w = conf.shuffle_mode == ShuffleMode::kWorkerToWorker;
 
@@ -939,20 +1183,114 @@ JobResult run_job_multiproc(const JobSpec& spec,
   // Guards map_owner once the reduce phase starts: under worker-to-worker
   // shuffle, concurrent reduce tasks read the owner table while a
   // kPullFailed recovery rewrites the re-homed entry. (The map phase needs
-  // no locking: each task's committing attempt is the entry's only
-  // writer, and the phases are separated by the pool join.)
+  // no locking: commit-once arbitration makes each task's committing
+  // attempt the entry's only writer, and the phases are separated by the
+  // pool join.)
   std::mutex owner_mutex;
-  // Retries shift to the next live slot; speculation is off, so each
-  // task's attempts are sequential and the shift needs no atomics.
-  std::vector<std::size_t> map_shift(splits.size(), 0);
+  // Retries shift to the next live slot. A speculative backup runs
+  // concurrently with its primary's retries, so the shifts are atomics.
+  const auto map_shift =
+      std::make_unique<std::atomic<std::size_t>[]>(splits.size());
+  // The slot each task's latest primary attempt dispatched to — what a
+  // backup must avoid. Seeded from the placement plan so a backup launched
+  // while the primary is still pre-dispatch (stalled in fault injection)
+  // avoids the slot the primary is about to use.
+  const auto map_attempt_slot =
+      std::make_unique<std::atomic<std::size_t>[]>(splits.size());
+  for (std::size_t t = 0; t < splits.size(); ++t) {
+    map_shift[t].store(0, std::memory_order_relaxed);
+    map_attempt_slot[t].store(result.map_task_workers[t],
+                              std::memory_order_relaxed);
+  }
+  const auto reduce_attempt_slot =
+      std::make_unique<std::atomic<std::size_t>[]>(conf.num_reducers);
+  for (std::size_t t = 0; t < conf.num_reducers; ++t) {
+    reduce_attempt_slot[t].store(result.reduce_task_workers[t],
+                                 std::memory_order_relaxed);
+  }
+
+  // ---- Commit arbitration cleanup (DESIGN.md section 15) ----
+  // A losing attempt's abandon closure only *queues* the cancel: at the
+  // moment the loser observes `committed`, the winner's commit closure may
+  // not have published its owner slot yet, and a retried primary can have
+  // migrated onto the very worker the backup used — cancelling there would
+  // drop the winning output. Flushing after the phase joins (all commits
+  // visible, no attempt in flight) makes the winner check race-free.
+  struct CancelRequest {
+    std::uint64_t kind;  ///< 0 = map, 1 = reduce
+    std::size_t task;
+    std::size_t slot;
+  };
+  std::mutex cancel_mutex;
+  std::vector<CancelRequest> pending_cancels;
+  const auto queue_cancel = [&](std::uint64_t kind, std::size_t task,
+                                std::size_t slot) {
+    std::lock_guard lock(cancel_mutex);
+    pending_cancels.push_back({kind, task, slot});
+  };
+  const auto flush_cancels = [&] {
+    std::vector<CancelRequest> cancels;
+    {
+      std::lock_guard lock(cancel_mutex);
+      cancels.swap(pending_cancels);
+    }
+    for (const CancelRequest& cancel : cancels) {
+      if (cancel.kind == 0) {
+        std::lock_guard lock(owner_mutex);
+        // The committed output landed on the loser's slot after all (the
+        // primary retried onto it, or a recovery re-homed the task there):
+        // the retained output *is* the winner's — leave it alone.
+        if (map_owner[cancel.task] == cancel.slot) continue;
+      }
+      if (!supervisor.alive(cancel.slot)) continue;
+      WireWriter writer;
+      writer.u64(cancel.kind);
+      writer.u64(static_cast<std::uint64_t>(cancel.task));
+      writer.bytes(conf.spill_dir);
+      try {
+        const Message reply = exchange.call(
+            cancel.slot, {MessageType::kTaskCancel, writer.take()});
+        DASC_ENSURE(reply.type == MessageType::kTaskCancelled,
+                    "ipc: unexpected reply to kTaskCancel");
+        WireReader reader(reply.payload);
+        DASC_ENSURE(reader.u64() == cancel.task,
+                    "ipc: kTaskCancelled task mismatch");
+        const std::uint64_t dropped = reader.u64();
+        const std::uint64_t swept = reader.u64();
+        if (mp.metrics != nullptr) {
+          mp.metrics->gauge("worker.task_cancels").add(1);
+          if (dropped > 0) {
+            mp.metrics->gauge("worker.outputs_cancelled")
+                .add(static_cast<std::int64_t>(dropped));
+          }
+          if (swept > 0) {
+            mp.metrics->gauge("worker.spool_files_swept")
+                .add(static_cast<std::int64_t>(swept));
+          }
+        }
+      } catch (const IoError&) {
+        // Best effort: a loser slot that died since takes its retained
+        // state with it.
+      }
+    }
+  };
 
   detail::run_task_phase(
       mp, splits.size(), "map.task", "retry.map_attempts", failed_attempts,
       speculative_launches, result.map_task_seconds,
-      [&](std::size_t task) -> std::function<void()> {
-        const std::size_t slot =
-            exchange.pick_worker(task, result.map_task_workers,
-                                 map_shift[task]);
+      [&](std::size_t task, bool backup) -> detail::TaskAttempt {
+        std::size_t slot;
+        if (backup) {
+          slot = exchange.pick_worker(
+              task, result.map_task_workers,
+              map_shift[task].load(std::memory_order_acquire),
+              map_attempt_slot[task].load(std::memory_order_acquire));
+        } else {
+          slot = exchange.pick_worker(
+              task, result.map_task_workers,
+              map_shift[task].load(std::memory_order_acquire));
+          map_attempt_slot[task].store(slot, std::memory_order_release);
+        }
         WireWriter writer;
         writer.u64(task);
         append_records(writer, splits[task]);
@@ -961,7 +1299,8 @@ JobResult run_job_multiproc(const JobSpec& spec,
           reply = exchange.call(slot, {MessageType::kMapAssign, writer.take()},
                                 kill_fires());
         } catch (const IoError&) {
-          ++map_shift[task];  // the next attempt tries another worker
+          // The next attempt tries another worker.
+          map_shift[task].fetch_add(1, std::memory_order_acq_rel);
           throw;
         }
         if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
@@ -971,16 +1310,24 @@ JobResult run_job_multiproc(const JobSpec& spec,
         DASC_ENSURE(reader.u64() == task, "ipc: kMapDone task mismatch");
         const std::uint64_t emitted = reader.u64();
         const std::uint64_t combined = reader.u64();
-        return [&, task, slot, emitted, combined] {
-          map_in.fetch_add(splits[task].size(), std::memory_order_relaxed);
-          map_out.fetch_add(emitted, std::memory_order_relaxed);
-          if (use_combiner) {
-            combine_in.fetch_add(emitted, std::memory_order_relaxed);
-            combine_out.fetch_add(combined, std::memory_order_relaxed);
-          }
-          map_owner[task] = slot;
-        };
+        return {[&, task, slot, emitted, combined] {
+                  map_in.fetch_add(splits[task].size(),
+                                   std::memory_order_relaxed);
+                  map_out.fetch_add(emitted, std::memory_order_relaxed);
+                  if (use_combiner) {
+                    combine_in.fetch_add(emitted, std::memory_order_relaxed);
+                    combine_out.fetch_add(combined,
+                                          std::memory_order_relaxed);
+                  }
+                  map_owner[task] = slot;
+                },
+                [&queue_cancel, task, slot] {
+                  queue_cancel(/*kind=*/0, task, slot);
+                }};
       });
+  // Losing map attempts' retained outputs are dropped before any reducer
+  // can see a partition map.
+  flush_cancels();
 
   result.counters.map_input_records = map_in.load();
   result.counters.map_output_records = map_out.load();
@@ -1048,8 +1395,10 @@ JobResult run_job_multiproc(const JobSpec& spec,
   };
 
   const auto reexecute_map_task = [&](std::size_t task) {
-    const std::size_t slot = exchange.pick_worker(
-        task, result.map_task_workers, ++map_shift[task]);
+    const std::size_t shift =
+        map_shift[task].fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::size_t slot =
+        exchange.pick_worker(task, result.map_task_workers, shift);
     DASC_LOG(kWarn) << conf.job_name << ": re-executing map task " << task
                     << " on worker " << slot << " (output owner died)";
     if (mp.metrics != nullptr) {
@@ -1120,13 +1469,32 @@ JobResult run_job_multiproc(const JobSpec& spec,
   std::atomic<std::uint64_t> reduce_in{0};
   std::atomic<std::uint64_t> reduce_out{0};
   std::atomic<std::uint64_t> pulled_shuffle_bytes{0};
-  std::vector<std::size_t> reduce_shift(conf.num_reducers, 0);
+  const auto reduce_shift =
+      std::make_unique<std::atomic<std::size_t>[]>(conf.num_reducers);
+  for (std::size_t t = 0; t < conf.num_reducers; ++t) {
+    reduce_shift[t].store(0, std::memory_order_relaxed);
+  }
+
+  // Picks the worker for one reduce attempt, with the same backup
+  // avoid-the-primary rule as the map phase.
+  const auto pick_reduce_slot = [&](std::size_t task, bool backup) {
+    if (backup) {
+      return exchange.pick_worker(
+          task, result.reduce_task_workers,
+          reduce_shift[task].load(std::memory_order_acquire),
+          reduce_attempt_slot[task].load(std::memory_order_acquire));
+    }
+    const std::size_t slot = exchange.pick_worker(
+        task, result.reduce_task_workers,
+        reduce_shift[task].load(std::memory_order_acquire));
+    reduce_attempt_slot[task].store(slot, std::memory_order_release);
+    return slot;
+  };
 
   // Relay topology: ship the supervisor-resident partition whole.
   const detail::TaskBody reduce_relay_body =
-      [&](std::size_t task) -> std::function<void()> {
-    const std::size_t slot = exchange.pick_worker(
-        task, result.reduce_task_workers, reduce_shift[task]);
+      [&](std::size_t task, bool backup) -> detail::TaskAttempt {
+    const std::size_t slot = pick_reduce_slot(task, backup);
     WireWriter writer;
     writer.u64(task);
     append_records(writer, partitions[task]);
@@ -1136,7 +1504,7 @@ JobResult run_job_multiproc(const JobSpec& spec,
           slot, {MessageType::kReduceAssign, writer.take()},
           kill_fires());
     } catch (const IoError&) {
-      ++reduce_shift[task];
+      reduce_shift[task].fetch_add(1, std::memory_order_acq_rel);
       throw;
     }
     if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
@@ -1150,13 +1518,16 @@ JobResult run_job_multiproc(const JobSpec& spec,
     std::vector<Record> out = read_records(reader);
     DASC_ENSURE(out.size() == out_count,
                 "ipc: kReduceDone record count mismatch");
-    return [&, task, num_groups, in_records,
-            out = std::move(out)]() mutable {
-      reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
-      reduce_in.fetch_add(in_records, std::memory_order_relaxed);
-      reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
-      reduce_outputs[task] = std::move(out);
-    };
+    return {[&, task, num_groups, in_records,
+             out = std::move(out)]() mutable {
+              reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
+              reduce_in.fetch_add(in_records, std::memory_order_relaxed);
+              reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
+              reduce_outputs[task] = std::move(out);
+            },
+            [&queue_cancel, task, slot] {
+              queue_cancel(/*kind=*/1, task, slot);
+            }};
   };
 
   // Worker-to-worker recovery (DESIGN.md section 14): a reducer reported
@@ -1247,9 +1618,8 @@ JobResult run_job_multiproc(const JobSpec& spec,
   // Worker-to-worker topology: ship the partition map, let the reducer
   // pull and spool its own partition, then absorb its report.
   const detail::TaskBody reduce_pull_body =
-      [&](std::size_t task) -> std::function<void()> {
-    const std::size_t slot = exchange.pick_worker(
-        task, result.reduce_task_workers, reduce_shift[task]);
+      [&](std::size_t task, bool backup) -> detail::TaskAttempt {
+    const std::size_t slot = pick_reduce_slot(task, backup);
     WireWriter writer;
     writer.u64(task);
     writer.u64(conf.num_reducers);
@@ -1257,6 +1627,8 @@ JobResult run_job_multiproc(const JobSpec& spec,
     writer.u64(conf.spill_budget_bytes);
     writer.bytes(conf.spill_dir);
     writer.u64(conf.max_fetch_attempts);
+    writer.u32(conf.pool_data_connections ? 1 : 0);
+    writer.u32(static_cast<std::uint32_t>(conf.pull_pipeline_depth));
     {
       std::lock_guard lock(owner_mutex);
       for (std::size_t m = 0; m < splits.size(); ++m) {
@@ -1279,7 +1651,7 @@ JobResult run_job_multiproc(const JobSpec& spec,
             return true;
           });
     } catch (const IoError&) {
-      ++reduce_shift[task];
+      reduce_shift[task].fetch_add(1, std::memory_order_acq_rel);
       throw;
     }
     if (reply.type == MessageType::kTaskError) rethrow_task_error(reply);
@@ -1298,12 +1670,15 @@ JobResult run_job_multiproc(const JobSpec& spec,
     const std::uint64_t fetch_retries = reader.u64();
     const std::uint64_t spill_fires = reader.u64();
     const std::uint64_t spill_retries = reader.u64();
+    const std::uint64_t conns_opened = reader.u64();
+    const std::uint64_t pulls = reader.u64();
     std::vector<Record> out = read_records(reader);
     DASC_ENSURE(out.size() == out_count,
                 "ipc: kReducePullDone record count mismatch");
-    return [&, task, num_groups, in_records, record_bytes, spill_written,
-            spill_read, spill_pages, fetch_fires, fetch_retries, spill_fires,
-            spill_retries, out = std::move(out)]() mutable {
+    return {[&, task, num_groups, in_records, record_bytes, spill_written,
+             spill_read, spill_pages, fetch_fires, fetch_retries, spill_fires,
+             spill_retries, conns_opened, pulls,
+             out = std::move(out)]() mutable {
       reduce_groups.fetch_add(num_groups, std::memory_order_relaxed);
       reduce_in.fetch_add(in_records, std::memory_order_relaxed);
       reduce_out.fetch_add(out.size(), std::memory_order_relaxed);
@@ -1337,18 +1712,36 @@ JobResult run_job_multiproc(const JobSpec& spec,
           mp.metrics->counter("retry.spill_page_io")
               .add(static_cast<std::int64_t>(spill_retries));
         }
+        // Connection economics are scheduling-shaped (how many distinct
+        // owners a reducer pulls from, pool reuse across its tasks), so
+        // they are gauges; bench_multiproc gates the dials-per-pull
+        // ratio.
+        if (conns_opened > 0) {
+          mp.metrics->gauge("shuffle.conns_opened")
+              .add(static_cast<std::int64_t>(conns_opened));
+        }
+        if (pulls > 0) {
+          mp.metrics->gauge("shuffle.pulls")
+              .add(static_cast<std::int64_t>(pulls));
+        }
       }
       if (mp.faults != nullptr) {
         mp.faults->record_remote_fires("shuffle.fetch", fetch_fires);
         mp.faults->record_remote_fires("spill.page_io", spill_fires);
       }
-    };
+    },
+            [&queue_cancel, task, slot] {
+              queue_cancel(/*kind=*/1, task, slot);
+            }};
   };
 
   detail::run_task_phase(mp, conf.num_reducers, "reduce.task",
                          "retry.reduce_attempts", failed_attempts,
                          speculative_launches, result.reduce_task_seconds,
                          w2w ? reduce_pull_body : reduce_relay_body);
+  // Losing reduce attempts have no retained output (their reports were
+  // discarded with the attempt), but their spool files still get swept.
+  flush_cancels();
 
   if (w2w) {
     // The reducers moved the shuffle bytes; the supervisor only tallies

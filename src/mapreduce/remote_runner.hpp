@@ -30,7 +30,8 @@
 //     reduce:  kReducePull{task, partition map} -> kReducePullDone{records,
 //                                                  spill/fault accounting}
 //     pull:    kFetchPart{map_task, partition}  -> kFetchData{crc, records}
-//              (reducer -> owner's data plane, one connection per attempt)
+//              (reducer -> owner's data plane, over a pooled per-owner
+//              connection with a pipelined request window; see below)
 //
 //   Pulled records stream into one sort-on-seal SpoolBuffer per reduce
 //   task, so JobConf::spill_budget_bytes bounds reducer residency instead
@@ -38,6 +39,27 @@
 //   class: the reducer reports kPullFailed, the supervisor re-executes the
 //   map task inline on that reducer (kMapAssign over the same
 //   conversation), replies kPullResume, and the pull resumes locally.
+//
+//   Data-plane efficiency (DESIGN.md section 15): with
+//   JobConf::pool_data_connections each reducer keeps one pooled
+//   connection per owner slot (ipc/conn_pool.hpp), reused across pulls and
+//   reduce tasks and invalidated whenever an owner dies or a conversation
+//   breaks mid-reply; JobConf::pull_pipeline_depth kFetchPart requests per
+//   owner stay in flight, consumed strictly in request order. Owners serve
+//   each accepted data-plane peer on its own thread, so one reducer's
+//   long-lived conversation never parks another's. Stream framing is
+//   adaptive on every endpoint (ipc::adaptive_stream_config): chunk size
+//   and credit window derive from each payload's declared size.
+//
+// Speculative execution (DESIGN.md section 15): with
+// JobConf::enable_speculation a straggling task gets one backup attempt,
+// dispatched to a different live worker than the primary's current slot.
+// run_task_phase's commit-once exchange arbitrates which attempt's report
+// lands; the losing attempt queues a kTaskCancel that — flushed after the
+// phase joins, so the winner check is race-free — makes the loser's worker
+// drop its retained map output and sweep its spool files
+// (kTaskCancelled{task, outputs_dropped, spools_swept} receipt;
+// `worker.task_cancels` / `worker.spec_commits_won` gauges).
 //
 // Together with commit-once attempts and the shared task helpers, job
 // output is byte-identical to kInProcess for any worker count, either
@@ -129,10 +151,8 @@ WorkerJob make_registered_worker_job(const std::string& name);
 
 /// Execute a job on forked (or, with conf.worker_binary set, exec'd)
 /// worker processes. Called by run_job/run_job_dfs when
-/// conf.execution_mode == kMultiProcess; call sequence and determinism
-/// contract in the file comment. Speculative execution is disabled in this
-/// mode (a backup attempt would need a second live dispatch of the same
-/// task; retries + spares cover stragglers instead).
+/// conf.execution_mode == kMultiProcess; call sequence, speculation, and
+/// determinism contract in the file comment.
 JobResult run_job_multiproc(const JobSpec& spec,
                             std::vector<std::vector<Record>> splits);
 

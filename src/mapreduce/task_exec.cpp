@@ -59,13 +59,30 @@ void run_task_phase(const JobSpec& spec, std::size_t num_tasks,
   std::exception_ptr first_error;
 
   // Run one attempt; returns true when this attempt committed the task.
-  auto attempt_once = [&](std::size_t task, const Stopwatch& clock) {
+  auto attempt_once = [&](std::size_t task, const Stopwatch& clock,
+                          bool backup) {
     if (spec.faults != nullptr) spec.faults->maybe_throw(fault_site);
-    const std::function<void()> commit = body(task);
+    const TaskAttempt attempt = body(task, backup);
     if (committed[task].exchange(true, std::memory_order_acq_rel)) {
-      return false;  // another attempt already won this task
+      // Another attempt already won this task: let the loser clean up
+      // whatever it parked elsewhere (best effort — the winner's output
+      // is committed either way).
+      if (attempt.abandon != nullptr) {
+        try {
+          attempt.abandon();
+        } catch (...) {
+        }
+      }
+      return false;
     }
-    commit();
+    attempt.commit();
+    if (backup && spec.metrics != nullptr) {
+      // Scheduling-dependent like the launch gauge: how often a backup
+      // outruns its straggling primary is a property of the run, not of
+      // the code, so it is a gauge rather than a determinism-gated
+      // counter.
+      spec.metrics->gauge("worker.spec_commits_won").add(1);
+    }
     const double seconds = clock.seconds();
     task_seconds[task] = seconds;
     std::lock_guard lock(commit_mutex);
@@ -78,7 +95,7 @@ void run_task_phase(const JobSpec& spec, std::size_t num_tasks,
     start_ns[task].store(steady_now_ns(), std::memory_order_release);
     for (std::size_t attempt = 1;; ++attempt) {
       try {
-        attempt_once(task, clock);
+        attempt_once(task, clock, /*backup=*/false);
         break;
       } catch (...) {
         if (committed[task].load(std::memory_order_acquire)) break;
@@ -112,7 +129,7 @@ void run_task_phase(const JobSpec& spec, std::size_t num_tasks,
   auto run_backup = [&](std::size_t task) {
     Stopwatch clock;
     try {
-      attempt_once(task, clock);
+      attempt_once(task, clock, /*backup=*/true);
     } catch (...) {
     }
   };

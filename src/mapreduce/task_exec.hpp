@@ -27,12 +27,30 @@ class SpoolBuffer;
 
 namespace dasc::mapreduce::detail {
 
-/// A task attempt: does the work, returns the closure that applies its
-/// side effects (output slot + counters). Only the attempt that wins a
-/// task's commit race runs its closure, so retried and speculative
-/// attempts are idempotent — a discarded attempt leaves no trace, like
-/// Hadoop discarding a failed attempt's output.
-using TaskBody = std::function<std::function<void()>(std::size_t)>;
+/// What one finished task attempt hands back to the phase runner. Exactly
+/// one of the two closures runs, decided by the task's commit race:
+///   commit  — applies the attempt's side effects (output slot + counters).
+///             Only the attempt that wins the race runs it, so retried and
+///             speculative attempts are idempotent — a discarded attempt
+///             leaves no trace, like Hadoop discarding a failed attempt's
+///             output.
+///   abandon — optional (may be null): tears down state the attempt parked
+///             outside this process before losing — the multi-process
+///             runner queues a kTaskCancel for the loser's worker here so
+///             its retained map output is dropped and its spool files
+///             swept (DESIGN.md section 15). Must be cheap and non-
+///             throwing in spirit; exceptions are swallowed.
+struct TaskAttempt {
+  std::function<void()> commit;
+  std::function<void()> abandon;
+};
+
+/// A task attempt body: does the work for `task` and returns its
+/// TaskAttempt. `backup` is true for a speculative backup attempt — the
+/// multi-process runner places backups on a different worker than the
+/// primary's current slot, which is what makes commit arbitration between
+/// live processes race-free.
+using TaskBody = std::function<TaskAttempt(std::size_t task, bool backup)>;
 
 /// One phase of task attempts with Hadoop-style fault tolerance:
 ///   - fault injection at `fault_site` before each attempt (JobSpec.faults),
@@ -43,7 +61,9 @@ using TaskBody = std::function<std::function<void()>(std::size_t)>;
 ///   - optional speculative re-execution: once at least half the tasks
 ///     have committed, any task slower than speculative_slowdown x the
 ///     median committed duration (and speculative_min_ms) gets one backup
-///     attempt; first commit wins (`retry.speculative_launches` gauge).
+///     attempt; first commit wins (`retry.speculative_launches` gauge; a
+///     backup that wins also bumps the `worker.spec_commits_won` gauge)
+///     and the loser's abandon closure runs.
 /// The committing attempt's duration lands in task_seconds (a backup that
 /// wins shortens the task, which is the point of speculation). The first
 /// permanent task failure is rethrown after every task settles.

@@ -1,0 +1,296 @@
+// Data-plane connection pool tests (ipc/conn_pool.hpp): lease/give-back
+// reuse, re-dial on slot re-homing, idle-connection caps, invalidation on
+// owner death or broken conversations, and a 200-round seeded stress run
+// mixing pulls, owner kills/restarts, and pool invalidation that checks
+// the two pool invariants end to end: a successful pull never delivers a
+// stale socket's data (generation-stamped owners prove it), and nothing
+// leaks file descriptors (/proc/self/fd returns to its baseline).
+#include "ipc/conn_pool.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ipc/message.hpp"
+#include "ipc/transport.hpp"
+
+namespace dasc::ipc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string socket_path(const char* tag, std::size_t slot) {
+  return (fs::temp_directory_path() /
+          ("dasc-cpool-" + std::to_string(::getpid()) + "-" + tag + "-" +
+           std::to_string(slot) + ".sock"))
+      .string();
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++count;
+  }
+  return count;  // includes the iterator's own fd on every call — constant
+}
+
+/// A data-plane owner stand-in: accepts connections on `path` and serves
+/// each on its own thread, answering every frame with its generation
+/// stamp. A pull that completes against this server proves the socket it
+/// used was dialed to *this* incarnation — the stale-data oracle for the
+/// stress test.
+class GenerationOwner {
+ public:
+  GenerationOwner(std::string path, std::uint64_t generation)
+      : path_(std::move(path)), generation_(generation),
+        listener_(path_), accept_thread_([this] { accept_loop(); }) {}
+
+  ~GenerationOwner() {
+    stop_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> serving;
+    {
+      std::lock_guard lock(mutex_);
+      for (auto& peer : peers_) peer->shutdown_rw();
+      serving.swap(threads_);
+    }
+    for (std::thread& thread : serving) thread.join();
+  }
+
+  std::uint64_t generation() const { return generation_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::unique_ptr<Transport> peer;
+      try {
+        peer = listener_.try_accept(20);
+      } catch (const std::exception&) {
+        return;
+      }
+      if (peer == nullptr) continue;
+      std::lock_guard lock(mutex_);
+      Transport* raw = peer.get();
+      peers_.push_back(std::move(peer));
+      threads_.emplace_back([this, raw] { serve(raw); });
+    }
+  }
+
+  void serve(Transport* peer) {
+    try {
+      while (true) {
+        const std::optional<Message> request = peer->recv();
+        if (!request.has_value()) return;
+        WireWriter writer;
+        writer.u64(generation_);
+        peer->send({request->type, writer.take()});
+      }
+    } catch (const std::exception&) {
+      // Peer vanished mid-frame (pool cleared, lease closed): fine.
+    }
+  }
+
+  std::string path_;
+  std::uint64_t generation_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Transport>> peers_;
+  std::vector<std::thread> threads_;
+  std::thread accept_thread_;
+};
+
+/// One request/reply exchange over a lease; returns the generation the
+/// owner stamped, or nullopt (lease invalidated) when the conversation
+/// broke — exactly the production rule: any wobble closes the socket.
+std::optional<std::uint64_t> pull_once(ConnPool::Lease& lease) {
+  try {
+    lease->send({MessageType::kFetchPart, {}});
+    const std::optional<Message> reply = lease->recv();
+    if (!reply.has_value()) {
+      lease.invalidate();
+      return std::nullopt;
+    }
+    WireReader reader(reply->payload);
+    return reader.u64();
+  } catch (const std::exception&) {
+    lease.invalidate();
+    return std::nullopt;
+  }
+}
+
+TEST(ConnPool, ReusesThePooledConnectionAcrossLeases) {
+  GenerationOwner owner(socket_path("reuse", 0), 1);
+  ConnPool pool;
+  {
+    ConnPool::Lease lease = pool.lease(0, owner.path());
+    EXPECT_FALSE(lease.reused());
+    EXPECT_EQ(pull_once(lease), std::uint64_t{1});
+  }
+  EXPECT_EQ(pool.pooled(), 1u);
+  {
+    ConnPool::Lease lease = pool.lease(0, owner.path());
+    EXPECT_TRUE(lease.reused());
+    EXPECT_EQ(pull_once(lease), std::uint64_t{1});
+  }
+  EXPECT_EQ(pool.opened(), 1u);
+  EXPECT_EQ(pool.reused_count(), 1u);
+}
+
+TEST(ConnPool, RedialsWhenTheSlotRehomesToANewPath) {
+  GenerationOwner old_home(socket_path("rehome-a", 0), 1);
+  GenerationOwner new_home(socket_path("rehome-b", 0), 2);
+  ConnPool pool;
+  { ConnPool::Lease lease = pool.lease(0, old_home.path()); }
+  EXPECT_EQ(pool.pooled(), 1u);
+  // Same slot, different path: the pooled connection is to the wrong
+  // process, so the pool must dial fresh — and the pull proves it reached
+  // the new home, not the pooled socket.
+  {
+    ConnPool::Lease lease = pool.lease(0, new_home.path());
+    EXPECT_FALSE(lease.reused());
+    EXPECT_EQ(pull_once(lease), std::uint64_t{2});
+  }
+  EXPECT_EQ(pool.opened(), 2u);
+  EXPECT_EQ(pool.pooled(), 1u);  // one idle connection per slot, the new one
+}
+
+TEST(ConnPool, InvalidateSlotDropsTheIdleConnection) {
+  GenerationOwner owner(socket_path("invalidate", 3), 1);
+  ConnPool pool;
+  { ConnPool::Lease lease = pool.lease(3, owner.path()); }
+  ASSERT_EQ(pool.pooled(), 1u);
+  pool.invalidate(3);
+  EXPECT_EQ(pool.pooled(), 0u);
+  ConnPool::Lease lease = pool.lease(3, owner.path());
+  EXPECT_FALSE(lease.reused());  // a dropped connection is never reused
+}
+
+TEST(ConnPool, InvalidatedLeaseClosesInsteadOfPooling) {
+  GenerationOwner owner(socket_path("broken", 0), 1);
+  ConnPool pool;
+  {
+    ConnPool::Lease lease = pool.lease(0, owner.path());
+    lease.invalidate();  // conversation broke: never pool this socket
+  }
+  EXPECT_EQ(pool.pooled(), 0u);
+  ConnPool::Lease lease = pool.lease(0, owner.path());
+  EXPECT_FALSE(lease.reused());
+}
+
+TEST(ConnPool, KeepsAtMostOneIdleConnectionPerSlot) {
+  GenerationOwner owner(socket_path("cap", 0), 1);
+  ConnPool pool;
+  {
+    ConnPool::Lease first = pool.lease(0, owner.path());
+    ConnPool::Lease second = pool.lease(0, owner.path());  // concurrent: dials
+    EXPECT_FALSE(first.reused());
+    EXPECT_FALSE(second.reused());
+  }
+  EXPECT_EQ(pool.opened(), 2u);
+  EXPECT_EQ(pool.pooled(), 1u);  // the extra returned connection was closed
+}
+
+TEST(ConnPool, ClearClosesEveryPooledConnection) {
+  GenerationOwner a(socket_path("clear", 0), 1);
+  GenerationOwner b(socket_path("clear", 1), 1);
+  ConnPool pool;
+  { ConnPool::Lease lease = pool.lease(0, a.path()); }
+  { ConnPool::Lease lease = pool.lease(1, b.path()); }
+  ASSERT_EQ(pool.pooled(), 2u);
+  pool.clear();
+  EXPECT_EQ(pool.pooled(), 0u);
+  pool.clear();  // idempotent
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(ConnPool, FailedDialIsTypedAndLeavesNoEntry) {
+  ConnPool pool;
+  EXPECT_THROW(pool.lease(0, socket_path("nobody-listens", 0)), IoError);
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_EQ(pool.opened(), 0u);
+}
+
+TEST(ConnPool, StressPullsKillsAndInvalidationsLeakNothing) {
+  // 200 seeded rounds over three owner slots: pull through the pool, kill
+  // and restart owners (bumping their generation), sometimes apply the
+  // production invalidate-on-death rule and sometimes "forget" it so the
+  // next pull trips over the stale socket. Invariants:
+  //   1. no successful pull ever returns a previous generation's stamp —
+  //      a stale pooled socket may fail, never deliver;
+  //   2. after teardown the process holds exactly the fds it started with.
+  const std::size_t fd_baseline = open_fd_count();
+  {
+    constexpr std::size_t kSlots = 3;
+    Rng rng(0xC0117001);
+    std::uint64_t next_generation = 1;
+    std::vector<std::unique_ptr<GenerationOwner>> owners;
+    for (std::size_t slot = 0; slot < kSlots; ++slot) {
+      owners.push_back(std::make_unique<GenerationOwner>(
+          socket_path("stress", slot), next_generation++));
+    }
+    ConnPool pool;
+    std::size_t pulls_delivered = 0;
+    std::size_t stale_failures = 0;
+
+    for (int round = 0; round < 200; ++round) {
+      const std::size_t slot = rng.uniform_index(kSlots);
+      switch (rng.uniform_index(4)) {
+        case 0: {  // kill + restart the owner, new generation, same path
+          const std::string path = owners[slot]->path();
+          owners[slot].reset();
+          owners[slot] = std::make_unique<GenerationOwner>(
+              path, next_generation++);
+          if (rng.uniform_index(2) == 0) {
+            pool.invalidate(slot);  // the production kPullFailed rule
+          }                         // else: leave the stale socket pooled
+          break;
+        }
+        default: {  // pull (possibly retrying through a stale socket)
+          for (int attempt = 0; attempt < 2; ++attempt) {
+            std::optional<std::uint64_t> stamp;
+            try {
+              ConnPool::Lease lease = pool.lease(slot, owners[slot]->path());
+              stamp = pull_once(lease);
+            } catch (const IoError&) {
+              stamp = std::nullopt;  // dial raced the restart
+            }
+            if (stamp.has_value()) {
+              // The stale-data invariant: whatever the pool did, data only
+              // ever comes from the owner's current incarnation.
+              ASSERT_EQ(*stamp, owners[slot]->generation())
+                  << "round " << round << " slot " << slot;
+              ++pulls_delivered;
+              break;
+            }
+            ++stale_failures;
+            pool.invalidate(slot);  // discovered the death: drop and retry
+          }
+          break;
+        }
+      }
+    }
+    EXPECT_GT(pulls_delivered, 100u);  // the happy path dominated
+    EXPECT_GT(stale_failures, 0u);     // and stale sockets were exercised
+    EXPECT_GT(pool.reused_count(), 0u);  // pooling actually pooled
+    pool.clear();
+    EXPECT_EQ(pool.pooled(), 0u);
+  }
+  EXPECT_EQ(open_fd_count(), fd_baseline);
+}
+
+}  // namespace
+}  // namespace dasc::ipc

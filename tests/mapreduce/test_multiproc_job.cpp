@@ -1,21 +1,28 @@
 // Multi-process execution tests: output parity with the in-process
 // executor across worker counts, placement determinism across modes and
 // seeds, worker.kill recovery mid-map and mid-reduce, worker-side task
-// failures surfacing as typed errors, and the exec-mode worker binary
-// (DESIGN.md section 13).
+// failures surfacing as typed errors, the exec-mode worker binary
+// (DESIGN.md section 13), and cross-process speculative execution with
+// supervisor-arbitrated commit and kTaskCancel cleanup (section 15).
 #include "mapreduce/remote_runner.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "common/metrics.hpp"
+#include "ipc/message.hpp"
+#include "ipc/transport.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/virtual_cluster.hpp"
 
@@ -395,6 +402,164 @@ TEST(MultiprocW2W, ExecModeWorkerBinaryMatchesInProcess) {
   const JobResult result = run_job(exec_spec, word_count_input());
   EXPECT_EQ(flatten(result.output), flatten(baseline.output));
 #endif
+}
+
+// --- Cross-process speculative execution (DESIGN.md section 15) ---
+
+TEST(MultiprocSpeculation, EveryCellKeepsParityAndCommitsEachTaskOnce) {
+  const JobResult baseline = run_job(word_count_spec(), word_count_input());
+
+  // One seeded plan for every cell: a worker dies mid-map (the retry path
+  // and speculation must coexist), and the first reduce attempt stalls for
+  // 300ms — far past speculative_slowdown x the median — so the spec-on
+  // cells must launch a backup on a different worker and let commit-once
+  // arbitration pick a winner. The property under test: whatever raced,
+  // labels and counters are exactly the fault-free in-process run's (a
+  // double commit would inflate reduce_output_records; a lost commit would
+  // fail the job or drop records).
+  const char* kPlan =
+      "seed=5;worker.kill:nth=2:max=1;"
+      "reduce.task:nth=1:max=1:kind=stall:stall_ms=300";
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    for (const ShuffleMode mode :
+         {ShuffleMode::kRelay, ShuffleMode::kWorkerToWorker}) {
+      for (const bool speculate : {false, true}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers) + " shuffle=" +
+                     to_string(mode) + (speculate ? " spec=on" : " spec=off"));
+        MetricsRegistry registry;
+        FaultInjector injector(FaultPlan::parse(kPlan), &registry);
+        JobSpec spec = word_count_spec();
+        spec.conf.execution_mode = ExecutionMode::kMultiProcess;
+        spec.conf.shuffle_mode = mode;
+        spec.conf.num_workers = workers;
+        spec.conf.worker_spares = 1;
+        spec.conf.max_task_attempts = 3;
+        // The straggler monitor needs the non-stalled tasks to commit
+        // while the stalled one sleeps, so the phase pool must not
+        // serialize behind it (single-CPU hosts default to one thread).
+        spec.conf.physical_threads = 4;
+        if (mode == ShuffleMode::kWorkerToWorker) {
+          spec.conf.spill_budget_bytes = 1;  // pulls spool through disk
+        }
+        if (speculate) {
+          spec.conf.enable_speculation = true;
+          spec.conf.speculative_slowdown = 1.5;
+          spec.conf.speculative_min_ms = 1.0;
+        }
+        spec.metrics = &registry;
+        spec.faults = &injector;
+
+        const JobResult result = run_job(spec, word_count_input());
+        EXPECT_EQ(flatten(result.output), flatten(baseline.output));
+        EXPECT_EQ(result.counters.map_input_records,
+                  baseline.counters.map_input_records);
+        EXPECT_EQ(result.counters.map_output_records,
+                  baseline.counters.map_output_records);
+        EXPECT_EQ(result.counters.reduce_input_groups,
+                  baseline.counters.reduce_input_groups);
+        EXPECT_EQ(result.counters.reduce_output_records,
+                  baseline.counters.reduce_output_records);
+        EXPECT_EQ(result.counters.shuffle_bytes,
+                  baseline.counters.shuffle_bytes);
+
+        // Every fire the plan promises happened, exactly once, and the
+        // injector's own view agrees with the metrics view (remote fires
+        // are absorbed into both). Retry counts for worker.kill are
+        // deliberately not asserted: a reply can already be in the socket
+        // buffer when SIGKILL lands, in which case no attempt fails.
+        EXPECT_EQ(injector.fired("worker.kill"), 1u);
+        EXPECT_EQ(registry.counter_value("fault.injected.worker.kill"), 1);
+        EXPECT_EQ(injector.fired("reduce.task"), 1u);
+        EXPECT_EQ(registry.counter_value("fault.injected.reduce.task"), 1);
+        if (speculate) {
+          EXPECT_GE(registry.gauge_value("retry.speculative_launches"), 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiprocSpeculation, TaskCancelDropsOutputAndSweepsOnlyOwnSpools) {
+  // Drive one worker's serve loop directly over a socketpair and play the
+  // supervisor's side of the cancel protocol. The regression under test:
+  // a losing attempt's spool files are swept on kTaskCancel, while the
+  // winner's (a different pid's) spool files in the same spill dir
+  // survive — the sweep must key on the cancelled worker's own pid.
+  namespace fs = std::filesystem;
+  const auto [sup_fd, worker_fd] = ipc::make_socketpair();
+  ipc::Transport supervisor(sup_fd);
+  ipc::Transport worker_end(worker_fd);
+
+  WorkerJob job;
+  job.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  job.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  const WorkerOptions options;  // no heartbeat, no data plane
+  std::thread worker([&] { serve_worker_loop(worker_end, job, options); });
+
+  // A committed map task retains its output for later fetches.
+  {
+    ipc::WireWriter writer;
+    writer.u64(0);
+    writer.record("r0", "alpha beta");
+    supervisor.send({ipc::MessageType::kMapAssign, writer.take()});
+    const auto reply = supervisor.recv();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, ipc::MessageType::kMapDone);
+  }
+
+  // Plant spool files: the serve loop runs in this process, so files named
+  // with our pid are the losing worker's; the winner is "another worker",
+  // simulated by a different pid in the filename.
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dasc-cancel-test-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const fs::path loser =
+      dir / ("dasc-spool-" + std::to_string(::getpid()) + "-999.spl");
+  const fs::path winner =
+      dir / ("dasc-spool-" + std::to_string(::getpid() + 1) + "-999.spl");
+  std::ofstream(loser) << "losing attempt's page";
+  std::ofstream(winner) << "winning attempt's page";
+  ASSERT_TRUE(fs::exists(loser));
+  ASSERT_TRUE(fs::exists(winner));
+
+  const auto cancel = [&](std::uint64_t expect_dropped,
+                          std::uint64_t expect_swept) {
+    ipc::WireWriter writer;
+    writer.u64(0);  // kind: map
+    writer.u64(0);  // task
+    writer.bytes(dir.string());
+    supervisor.send({ipc::MessageType::kTaskCancel, writer.take()});
+    const auto reply = supervisor.recv();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, ipc::MessageType::kTaskCancelled);
+    ipc::WireReader reader(reply->payload);
+    EXPECT_EQ(reader.u64(), 0u);  // task echoed
+    EXPECT_EQ(reader.u64(), expect_dropped);
+    EXPECT_EQ(reader.u64(), expect_swept);
+  };
+
+  cancel(/*expect_dropped=*/1, /*expect_swept=*/1);
+  EXPECT_FALSE(fs::exists(loser));   // the loser's spool is gone
+  EXPECT_TRUE(fs::exists(winner));   // the winner's survives
+
+  // The dropped output is unreachable: a fetch for it fails typed instead
+  // of serving a side effect the job discarded.
+  {
+    ipc::WireWriter writer;
+    writer.u64(0);
+    supervisor.send({ipc::MessageType::kFetch, writer.take()});
+    const auto reply = supervisor.recv();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, ipc::MessageType::kTaskError);
+  }
+
+  // Cancel is idempotent: nothing left to drop or sweep.
+  cancel(/*expect_dropped=*/0, /*expect_swept=*/0);
+
+  supervisor.send({ipc::MessageType::kShutdown, {}});
+  worker.join();
+  fs::remove_all(dir);
 }
 
 }  // namespace
